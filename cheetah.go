@@ -1,0 +1,177 @@
+// Package cheetah is the public API of the Cheetah reproduction: switch
+// pruning for database queries (Tirmazi, Ben Basat, Gao, Yu — SIGCOMM
+// 2019). It re-exports the pieces a downstream user composes:
+//
+//   - Queries and tables: declarative query specs over columnar tables.
+//   - Execution: ExecDirect (exact single-node ground truth), ExecCheetah
+//     (workers → switch pruner → master completion), and RunCluster (the
+//     same over a simulated lossy network with the §7.2 reliability
+//     protocol).
+//   - Pruners: every §4/§5 algorithm, constructible with paper or custom
+//     parameters, each declaring its Table 2 resource profile.
+//   - The switch model: PISA resource admission and multi-query packing.
+//
+// See examples/quickstart for a five-minute tour and DESIGN.md for the
+// system inventory.
+package cheetah
+
+import (
+	"cheetah/internal/cache"
+	"cheetah/internal/cluster"
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/table"
+)
+
+// Tables and schemas.
+type (
+	// Table is a columnar in-memory table.
+	Table = table.Table
+	// Schema describes a table's columns.
+	Schema = table.Schema
+	// ColumnDef is one schema column.
+	ColumnDef = table.ColumnDef
+)
+
+// Column types.
+const (
+	Int64  = table.Int64
+	String = table.String
+)
+
+// NewTable creates an empty table with the given schema.
+func NewTable(s Schema) (*Table, error) { return table.New(s) }
+
+// Queries and execution.
+type (
+	// Query is a declarative query spec.
+	Query = engine.Query
+	// QueryKind discriminates query shapes.
+	QueryKind = engine.QueryKind
+	// FilterPred is a WHERE predicate.
+	FilterPred = engine.FilterPred
+	// Result is a canonical, sorted query result.
+	Result = engine.Result
+	// CheetahOptions configures the pruned execution path.
+	CheetahOptions = engine.CheetahOptions
+	// CheetahRun reports a pruned execution's result and traffic.
+	CheetahRun = engine.CheetahRun
+	// CostModel converts traffic into completion-time estimates.
+	CostModel = engine.CostModel
+)
+
+// Query kinds.
+const (
+	KindFilter     = engine.KindFilter
+	KindDistinct   = engine.KindDistinct
+	KindTopN       = engine.KindTopN
+	KindGroupByMax = engine.KindGroupByMax
+	KindGroupBySum = engine.KindGroupBySum
+	KindHaving     = engine.KindHaving
+	KindJoin       = engine.KindJoin
+	KindSkyline    = engine.KindSkyline
+)
+
+// ExecDirect runs a query exactly on one node (the ground truth).
+func ExecDirect(q *Query) (*Result, error) { return engine.ExecDirect(q) }
+
+// ExecCheetah runs a query along the pruned path: CWorkers serialize the
+// relevant columns, the simulated switch prunes, the master completes.
+func ExecCheetah(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	return engine.ExecCheetah(q, opts)
+}
+
+// DefaultCostModel returns the calibrated completion-time model.
+func DefaultCostModel() CostModel { return engine.DefaultCostModel() }
+
+// Cluster execution over the simulated network.
+type (
+	// ClusterConfig shapes an end-to-end cluster run.
+	ClusterConfig = cluster.Config
+	// ClusterReport summarizes protocol behaviour of a run.
+	ClusterReport = cluster.Report
+)
+
+// RunCluster executes a single-pass query end-to-end over the simulated
+// lossy network with the reliability protocol of §7.2.
+func RunCluster(q *Query, p Pruner, cfg ClusterConfig) (*Result, *ClusterReport, error) {
+	return cluster.Run(q, p, cfg)
+}
+
+// Pruners.
+type (
+	// Pruner is a switch pruning program with statistics.
+	Pruner = prune.Pruner
+	// PruneStats counts a pruner's traffic.
+	PruneStats = prune.Stats
+
+	// DistinctConfig configures the DISTINCT pruner.
+	DistinctConfig = prune.DistinctConfig
+	// DetTopNConfig configures the deterministic TOP N pruner.
+	DetTopNConfig = prune.DetTopNConfig
+	// RandTopNConfig configures the randomized TOP N pruner.
+	RandTopNConfig = prune.RandTopNConfig
+	// GroupByConfig configures the max/min GROUP BY pruner.
+	GroupByConfig = prune.GroupByConfig
+	// GroupBySumConfig configures the in-switch SUM aggregation pruner.
+	GroupBySumConfig = prune.GroupBySumConfig
+	// JoinConfig configures the two-pass Bloom-filter JOIN pruner.
+	JoinConfig = prune.JoinConfig
+	// HavingConfig configures the Count-Min HAVING pruner.
+	HavingConfig = prune.HavingConfig
+	// SkylineConfig configures the SKYLINE pruner.
+	SkylineConfig = prune.SkylineConfig
+)
+
+// Cache replacement policies for DISTINCT.
+const (
+	FIFO = cache.FIFO
+	LRU  = cache.LRU
+)
+
+// Skyline heuristics.
+const (
+	SkylineSum      = prune.SkylineSum
+	SkylineAPH      = prune.SkylineAPH
+	SkylineBaseline = prune.SkylineBaseline
+)
+
+// Pruner constructors.
+var (
+	NewDistinct   = prune.NewDistinct
+	NewDetTopN    = prune.NewDetTopN
+	NewRandTopN   = prune.NewRandTopN
+	NewGroupBy    = prune.NewGroupBy
+	NewGroupBySum = prune.NewGroupBySum
+	NewJoin       = prune.NewJoin
+	NewHaving     = prune.NewHaving
+	NewSkyline    = prune.NewSkyline
+)
+
+// Configuration formulas from §5.
+var (
+	// TopNColumnsFor computes Theorem 2's matrix-column count.
+	TopNColumnsFor = prune.TopNColumnsFor
+	// OptimalTopNRows jointly optimizes the TOP N matrix dimensions.
+	OptimalTopNRows = prune.OptimalTopNRows
+)
+
+// Switch hardware models.
+type (
+	// SwitchModel describes PISA hardware resources.
+	SwitchModel = switchsim.Model
+	// SwitchPipeline packs pruning programs onto a model.
+	SwitchPipeline = switchsim.Pipeline
+	// ResourceProfile is one algorithm's Table 2 row.
+	ResourceProfile = switchsim.Profile
+)
+
+// Tofino returns the default 12-stage switch model.
+func Tofino() SwitchModel { return switchsim.Tofino() }
+
+// Tofino2 returns the larger 20-stage model.
+func Tofino2() SwitchModel { return switchsim.Tofino2() }
+
+// NewPipeline creates an empty pipeline for a model.
+func NewPipeline(m SwitchModel) (*SwitchPipeline, error) { return switchsim.NewPipeline(m) }

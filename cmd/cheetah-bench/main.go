@@ -1,0 +1,64 @@
+// Command cheetah-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cheetah-bench [-scale N] [-seeds K] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all]
+//
+// Scale divides the paper's dataset sizes (scale=1 reproduces paper
+// scale and takes minutes; the default 50 finishes in seconds). Output
+// is aligned text, one block per table/figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cheetah/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 50, "divide paper dataset sizes by this factor (1 = paper scale)")
+	seeds := flag.Int("seeds", 5, "runs per randomized algorithm (95% CIs)")
+	seed := flag.Uint64("seed", 0xc0ffee, "base RNG seed")
+	flag.Parse()
+
+	o := bench.Options{Scale: *scale, Seeds: *seeds, BaseSeed: *seed}
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	run := map[string]func() error{
+		"table2": func() error { return bench.Table2(os.Stdout) },
+		"table3": func() error { return bench.Table3(os.Stdout) },
+		"fig5":   func() error { _, err := bench.Fig5(os.Stdout, o); return err },
+		"fig6":   func() error { _, _, err := bench.Fig6(os.Stdout, o); return err },
+		"fig7":   func() error { _, err := bench.Fig7(os.Stdout, o); return err },
+		"fig8":   func() error { _, err := bench.Fig8(os.Stdout, o); return err },
+		"fig9":   func() error { _, err := bench.Fig9(os.Stdout, o); return err },
+		"fig10":  func() error { _, err := bench.Fig10(os.Stdout, o); return err },
+		"fig11":  func() error { _, err := bench.Fig11(os.Stdout, o); return err },
+	}
+	order := []string{"table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+	for _, t := range targets {
+		if t == "all" {
+			for _, name := range order {
+				fmt.Printf("\n===== %s =====\n", name)
+				if err := run[name](); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+					os.Exit(1)
+				}
+			}
+			continue
+		}
+		f, ok := run[t]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v)\n", t, order)
+			os.Exit(2)
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command cheetah-sim sweeps one pruning algorithm's rate over a
+// synthetic stream — the quick single-panel counterpart of
+// cheetah-bench fig10.
+//
+// Usage:
+//
+//	cheetah-sim -alg distinct -m 1000000 -d 4096 -w 2
+//	cheetah-sim -alg topn -m 1000000 -d 4096 -w 8 -n 250
+//	cheetah-sim -alg skyline -m 300000 -w 10 -heuristic aph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cheetah"
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/workload"
+)
+
+func main() {
+	alg := flag.String("alg", "distinct", "distinct|topn-det|topn|groupby|skyline|having")
+	m := flag.Int("m", 1_000_000, "stream length")
+	d := flag.Int("d", 4096, "matrix rows / sketch counters")
+	w := flag.Int("w", 2, "matrix columns / stored points / thresholds")
+	n := flag.Int("n", 250, "TOP N result size")
+	distinct := flag.Int("distinct", 15000, "distinct values in the stream")
+	heuristic := flag.String("heuristic", "aph", "skyline heuristic: sum|aph|baseline")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	var p cheetah.Pruner
+	var stream [][]uint64
+	var err error
+	switch *alg {
+	case "distinct":
+		p, err = cheetah.NewDistinct(cheetah.DistinctConfig{Rows: *d, Cols: *w, Policy: cheetah.LRU, Seed: *seed})
+		for _, v := range workload.DistinctStream(*m, *distinct, *seed) {
+			stream = append(stream, []uint64{v})
+		}
+	case "topn-det":
+		p, err = cheetah.NewDetTopN(cheetah.DetTopNConfig{N: *n, Thresholds: *w})
+		for _, v := range workload.UniformStream(*m, *seed) {
+			stream = append(stream, []uint64{uint64(v)})
+		}
+	case "topn":
+		p, err = cheetah.NewRandTopN(cheetah.RandTopNConfig{N: *n, Rows: *d, Cols: *w, Seed: *seed})
+		for _, v := range workload.UniformStream(*m, *seed) {
+			stream = append(stream, []uint64{uint64(v)})
+		}
+	case "groupby":
+		p, err = cheetah.NewGroupBy(cheetah.GroupByConfig{Rows: *d, Cols: *w, Seed: *seed})
+		keys := workload.ZipfKeys(*m, 1.2, 10_000, *seed)
+		vals := workload.ZipfKeys(*m, 1.1, 1_000, *seed+7)
+		for i := range keys {
+			stream = append(stream, []uint64{keys[i], vals[i]})
+		}
+	case "skyline":
+		h := cheetah.SkylineAPH
+		switch *heuristic {
+		case "sum":
+			h = cheetah.SkylineSum
+		case "baseline":
+			h = cheetah.SkylineBaseline
+		}
+		p, err = cheetah.NewSkyline(cheetah.SkylineConfig{Dims: 2, Points: *w, Heuristic: h})
+		stream = workload.CorrelatedPoints2D(*m, 256, 49152, 16384, *seed)
+	case "having":
+		keys := workload.ZipfKeys(*m, 1.3, 100, *seed)
+		revs := workload.ZipfKeys(*m, 1.1, 10_000, *seed+3)
+		var total uint64
+		for i := range keys {
+			stream = append(stream, []uint64{keys[i], revs[i]})
+			total += revs[i]
+		}
+		p, err = cheetah.NewHaving(cheetah.HavingConfig{
+			Agg: prune.HavingSum, Threshold: int64(total / 50),
+			Rows: 3, CountersPerRow: *d, Seed: *seed,
+		})
+	default:
+		log.Fatalf("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	forwarded := 0
+	for _, vals := range stream {
+		if p.Process(vals) == switchsim.Forward {
+			forwarded++
+		}
+	}
+	st := p.Stats()
+	fmt.Printf("algorithm:  %s (%s guarantee)\n", p.Name(), p.Guarantee())
+	fmt.Printf("profile:    %s\n", p.Profile())
+	fmt.Printf("stream:     %d entries\n", st.Processed)
+	fmt.Printf("pruned:     %d (%.4f%%)\n", st.Pruned, 100*st.PruneRate())
+	fmt.Printf("unpruned:   %d (fraction %.6g)\n", st.Forwarded(), st.UnprunedRate())
+	pl, errNP := cheetah.NewPipeline(cheetah.Tofino())
+	if errNP == nil {
+		if err := pl.Install(1, p); err != nil {
+			fmt.Printf("admission:  DOES NOT FIT tofino: %v\n", err)
+		} else {
+			fmt.Printf("admission:  fits the tofino model\n")
+		}
+	}
+}

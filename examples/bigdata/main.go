@@ -1,0 +1,89 @@
+// Command bigdata runs the Big Data benchmark workloads (Appendix B) at
+// a configurable scale and prints, per query, the measured pruning rate
+// and the modelled Spark-vs-Cheetah completion times — a miniature
+// Figure 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cheetah"
+	"cheetah/internal/boolexpr"
+	"cheetah/internal/prune"
+	"cheetah/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 200_000, "UserVisits rows to generate")
+	workers := flag.Int("workers", 5, "CWorker count")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Parse()
+
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(*rows, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rank := workload.Rankings(*rows/2+1000, *seed+1)
+	if err := rank.Shuffle(*seed + 2); err != nil {
+		log.Fatal(err)
+	}
+	cm := cheetah.DefaultCostModel()
+
+	queries := []struct {
+		label string
+		q     *cheetah.Query
+	}{
+		{"A: COUNT WHERE avgDuration<10", &cheetah.Query{
+			Kind: cheetah.KindFilter, Table: rank,
+			Predicates: []cheetah.FilterPred{{Col: "avgDuration", Op: prune.OpLT, Const: 10}},
+			Formula:    boolexpr.Leaf{V: 0}, CountOnly: true,
+		}},
+		{"B: SUM(adRevenue) GROUP BY lang", &cheetah.Query{
+			Kind: cheetah.KindGroupBySum, Table: uv, KeyCol: "languageCode", AggCol: "adRevenue",
+		}},
+		{"DISTINCT userAgent", &cheetah.Query{
+			Kind: cheetah.KindDistinct, Table: uv, DistinctCols: []string{"userAgent"},
+		}},
+		{"MAX(adRevenue) GROUP BY agent", &cheetah.Query{
+			Kind: cheetah.KindGroupByMax, Table: uv, KeyCol: "userAgent", AggCol: "adRevenue",
+		}},
+		{"TOP 250 BY adRevenue", &cheetah.Query{
+			Kind: cheetah.KindTopN, Table: uv, OrderCol: "adRevenue", N: 250,
+		}},
+		{"SKYLINE OF pageRank,avgDuration", &cheetah.Query{
+			Kind: cheetah.KindSkyline, Table: rank, SkylineCols: []string{"pageRank", "avgDuration"},
+		}},
+		{"HAVING SUM(adRevenue)>1M", &cheetah.Query{
+			Kind: cheetah.KindHaving, Table: uv, KeyCol: "languageCode", AggCol: "adRevenue",
+			Threshold: 1_000_000,
+		}},
+	}
+
+	fmt.Printf("%-34s %10s %10s %8s %9s %9s %9s\n",
+		"query", "sent", "forwarded", "pruned%", "spark1st", "spark", "cheetah")
+	for _, spec := range queries {
+		direct, err := cheetah.ExecDirect(spec.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := cheetah.ExecCheetah(spec.q, cheetah.CheetahOptions{Workers: *workers, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !direct.Equal(run.Result) {
+			log.Fatalf("%s: pruned result diverges from ground truth", spec.label)
+		}
+		perWorker := make([]int, *workers)
+		for i := range perWorker {
+			perWorker[i] = spec.q.Table.NumRows() / *workers
+		}
+		spark1 := cm.SparkTime(spec.q.Kind, perWorker, len(direct.Rows), true, 10).Total()
+		spark := cm.SparkTime(spec.q.Kind, perWorker, len(direct.Rows), false, 10).Total()
+		che := cm.CheetahTime(spec.q.Kind, run.Traffic, 10).Total()
+		fmt.Printf("%-34s %10d %10d %7.2f%% %8.3fs %8.3fs %8.3fs\n",
+			spec.label, run.Traffic.EntriesSent, run.Traffic.Forwarded,
+			100*run.Stats.PruneRate(), spark1, spark, che)
+	}
+}

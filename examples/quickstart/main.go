@@ -1,0 +1,110 @@
+// Command quickstart reproduces the paper's running example (Table 1):
+// it builds the Products and Ratings tables, runs DISTINCT, TOP N,
+// HAVING, JOIN and SKYLINE through both execution paths, and shows that
+// the pruned path returns exactly the direct result while the switch
+// drops a measurable share of the traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cheetah"
+)
+
+func main() {
+	products, err := cheetah.NewTable(cheetah.Schema{
+		{Name: "name", Type: cheetah.String},
+		{Name: "seller", Type: cheetah.String},
+		{Name: "price", Type: cheetah.Int64},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range []struct {
+		name, seller string
+		price        int64
+	}{
+		{"Burger", "McCheetah", 4},
+		{"Pizza", "Papizza", 7},
+		{"Fries", "McCheetah", 2},
+		{"Jello", "JellyFish", 5},
+	} {
+		if err := products.AppendRow(r.name, r.seller, r.price); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ratings, err := cheetah.NewTable(cheetah.Schema{
+		{Name: "name", Type: cheetah.String},
+		{Name: "taste", Type: cheetah.Int64},
+		{Name: "texture", Type: cheetah.Int64},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range []struct {
+		name           string
+		taste, texture int64
+	}{
+		{"Pizza", 7, 5}, {"Cheetos", 8, 6}, {"Jello", 9, 4}, {"Burger", 5, 7}, {"Fries", 3, 3},
+	} {
+		if err := ratings.AppendRow(r.name, r.taste, r.texture); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	queries := []struct {
+		title string
+		q     *cheetah.Query
+	}{
+		{"SELECT DISTINCT seller FROM Products", &cheetah.Query{
+			Kind: cheetah.KindDistinct, Table: products, DistinctCols: []string{"seller"},
+		}},
+		{"SELECT TOP 3 ... ORDER BY taste", &cheetah.Query{
+			Kind: cheetah.KindTopN, Table: ratings, OrderCol: "taste", N: 3,
+		}},
+		{"GROUP BY seller HAVING SUM(price) > 5", &cheetah.Query{
+			Kind: cheetah.KindHaving, Table: products, KeyCol: "seller", AggCol: "price", Threshold: 5,
+		}},
+		{"Products JOIN Ratings ON name", &cheetah.Query{
+			Kind: cheetah.KindJoin, Table: products, Right: ratings,
+			LeftKey: "name", RightKey: "name",
+		}},
+		{"SKYLINE OF taste, texture", &cheetah.Query{
+			Kind: cheetah.KindSkyline, Table: ratings, SkylineCols: []string{"taste", "texture"},
+		}},
+	}
+
+	for _, spec := range queries {
+		direct, err := cheetah.ExecDirect(spec.q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := cheetah.ExecCheetah(spec.q, cheetah.CheetahOptions{Workers: 2, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "MATCH"
+		if !direct.Equal(run.Result) {
+			match = "MISMATCH"
+		}
+		fmt.Printf("== %s\n", spec.title)
+		fmt.Printf("   pruner=%s sent=%d forwarded=%d pruned=%d result=%s\n",
+			run.PrunerName, run.Traffic.EntriesSent, run.Traffic.Forwarded,
+			run.Stats.Pruned, match)
+		fmt.Print(indent(direct.String()))
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += "   " + s[start:i+1]
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package aph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("beta=0 accepted")
+	}
+	if _, err := New(1 << 33); err == nil {
+		t.Fatal("beta=2^33 accepted")
+	}
+	if _, err := New(DefaultBeta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestApproxLog2TableRange(t *testing.T) {
+	p := MustNew(DefaultBeta)
+	// Exact powers of two inside the table must be exact multiples of beta.
+	for e := uint(0); e < 16; e++ {
+		v := uint64(1) << e
+		want := uint64(e) * DefaultBeta
+		if got := p.ApproxLog2(v); got != want {
+			t.Fatalf("ApproxLog2(2^%d) = %d, want %d", e, got, want)
+		}
+	}
+	if p.ApproxLog2(0) != 0 {
+		t.Fatal("ApproxLog2(0) must be 0")
+	}
+	if p.ApproxLog2(1) != 0 {
+		t.Fatal("ApproxLog2(1) must be 0")
+	}
+}
+
+func TestApproxLog2WideValues(t *testing.T) {
+	p := MustNew(DefaultBeta)
+	// Powers of two above the table range still land on exact multiples.
+	for e := uint(16); e < 64; e++ {
+		v := uint64(1) << e
+		want := uint64(e) * DefaultBeta
+		if got := p.ApproxLog2(v); got != want {
+			t.Fatalf("ApproxLog2(2^%d) = %d, want %d", e, got, want)
+		}
+	}
+}
+
+func TestApproxLog2Accuracy(t *testing.T) {
+	p := MustNew(DefaultBeta)
+	maxAbsErr := p.MaxRelError() // in log2 units
+	vals := []uint64{2, 3, 100, 65535, 65536, 1 << 20, 123456789, 1 << 40, math.MaxUint64}
+	for _, v := range vals {
+		got := float64(p.ApproxLog2(v)) / DefaultBeta
+		want := math.Log2(float64(v))
+		if math.Abs(got-want) > maxAbsErr+1e-9 {
+			t.Errorf("ApproxLog2(%d)/beta = %v, want %v ± %v", v, got, want, maxAbsErr)
+		}
+	}
+}
+
+func TestApproxLog2Monotone(t *testing.T) {
+	// Monotonicity is the safety requirement for SKYLINE (§4.4): if x is
+	// dominated by y then Score(x) <= Score(y), which needs per-dimension
+	// monotonicity.
+	p := MustNew(DefaultBeta)
+	prev := uint64(0)
+	for v := uint64(0); v < TableEntries+4096; v++ {
+		cur := p.ApproxLog2(v)
+		if cur < prev {
+			t.Fatalf("ApproxLog2 not monotone at %d: %d < %d", v, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestApproxLog2MonotoneProperty(t *testing.T) {
+	p := MustNew(DefaultBeta)
+	f := func(a, b uint64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return p.ApproxLog2(a) <= p.ApproxLog2(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreDominancePreserved(t *testing.T) {
+	// If x is dominated by y (every coordinate <=), Score(x) <= Score(y).
+	p := MustNew(DefaultBeta)
+	f := func(xs [4]uint32, deltas [4]uint16) bool {
+		x := make([]uint64, 4)
+		y := make([]uint64, 4)
+		for i := range x {
+			x[i] = uint64(xs[i])
+			y[i] = x[i] + uint64(deltas[i])
+		}
+		return p.Score(x) <= p.Score(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumScoreDominancePreserved(t *testing.T) {
+	f := func(xs [3]uint32, deltas [3]uint16) bool {
+		x := make([]uint64, 3)
+		y := make([]uint64, 3)
+		for i := range x {
+			x[i] = uint64(xs[i])
+			y[i] = x[i] + uint64(deltas[i])
+		}
+		return SumScore(x) <= SumScore(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreApproximatesProductOrdering(t *testing.T) {
+	// The motivation for APH over Sum (§4.4): with unbalanced dimension
+	// ranges (one 0..255, one 0..65535), product ordering should be
+	// recovered by APH but distorted by Sum. Construct a pair where
+	// product says A > B but sum says B > A, and verify APH agrees with
+	// the product.
+	p := MustNew(DefaultBeta)
+	a := []uint64{200, 200} // product 40000, sum 400
+	b := []uint64{2, 30000} // product 60000, sum 30002
+	if ExactProductLog(a) >= ExactProductLog(b) {
+		t.Fatal("test fixture wrong: want product(a) < product(b)")
+	}
+	if SumScore(a) >= SumScore(b) {
+		t.Fatal("test fixture wrong: want sum(a) < sum(b)")
+	}
+	// Both agree here; now a case where sum disagrees with product:
+	c := []uint64{150, 150} // product 22500, sum 300
+	d := []uint64{1, 10000} // product 10000, sum 10001
+	if !(ExactProductLog(c) > ExactProductLog(d)) || !(SumScore(c) < SumScore(d)) {
+		t.Fatal("test fixture wrong for c,d")
+	}
+	if !(p.Score(c) > p.Score(d)) {
+		t.Fatalf("APH failed to recover product ordering: Score(c)=%d Score(d)=%d", p.Score(c), p.Score(d))
+	}
+}
+
+func TestScoreSumAdditivity(t *testing.T) {
+	p := MustNew(DefaultBeta)
+	x := []uint64{7, 130, 99999}
+	want := p.ApproxLog2(7) + p.ApproxLog2(130) + p.ApproxLog2(99999)
+	if got := p.Score(x); got != want {
+		t.Fatalf("Score = %d, want %d", got, want)
+	}
+	if p.Score(nil) != 0 {
+		t.Fatal("empty score must be 0")
+	}
+}
+
+func TestExactProductLog(t *testing.T) {
+	if got := ExactProductLog([]uint64{4, 8}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("log2(32) = %v", got)
+	}
+	if got := ExactProductLog([]uint64{0, 16}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("zero coordinate handling = %v", got)
+	}
+}
+
+func TestBetaAccessorsAndConstants(t *testing.T) {
+	p := MustNew(1 << 8)
+	if p.Beta() != 1<<8 {
+		t.Fatal("Beta accessor")
+	}
+	if TableEntries != 65536 || MSBTCAMRules != 64 {
+		t.Fatal("constants changed")
+	}
+	if p.MaxRelError() <= 0 {
+		t.Fatal("MaxRelError must be positive")
+	}
+}
+
+func BenchmarkApproxLog2Narrow(b *testing.B) {
+	p := MustNew(DefaultBeta)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.ApproxLog2(uint64(i) & 0xffff)
+	}
+	_ = sink
+}
+
+func BenchmarkApproxLog2Wide(b *testing.B) {
+	p := MustNew(DefaultBeta)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.ApproxLog2(uint64(i)<<24 | 0xfffff)
+	}
+	_ = sink
+}
+
+func BenchmarkScore2D(b *testing.B) {
+	p := MustNew(DefaultBeta)
+	pt := []uint64{123456, 789}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.Score(pt)
+	}
+	_ = sink
+}

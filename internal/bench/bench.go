@@ -1,0 +1,179 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§8): completion-time comparisons (Fig. 5, 6, 8), the
+// NetAccel drain overhead (Fig. 7), the blocking-master latency (Fig. 9),
+// the pruning-rate-vs-resources sweeps (Fig. 10a–f), the pruning-vs-scale
+// sweeps (Fig. 11a–f), and the resource (Table 2) and hardware (Table 3)
+// summaries. Runners execute the real pruners over generated workloads
+// and print the same rows/series the paper reports.
+//
+// Scale: runners accept a Scale divisor so the full battery runs in
+// seconds for tests and in minutes at paper scale; traffic counts are
+// extrapolated linearly where the paper's absolute row counts matter
+// (the pruning *fractions* are measured, never extrapolated).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	// CI holds optional 95% confidence half-widths (randomized
+	// algorithms are run five times, §8.3).
+	CI []float64
+}
+
+// Figure is a reproducible plot: metadata plus its series.
+type Figure struct {
+	ID     string // e.g. "fig10a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteTo renders the figure as aligned text columns (x then one column
+// per series), consumable by humans and by plotting scripts alike.
+func (f *Figure) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+		if s.CI != nil {
+			fmt.Fprintf(&b, " %12s", "±95%")
+		}
+	}
+	b.WriteByte('\n')
+	// Series may have different x grids; render the union.
+	xs := unionX(f.Series)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-14.6g", x)
+		for _, s := range f.Series {
+			if y, ok := lookupY(s, x); ok {
+				fmt.Fprintf(&b, " %16.8g", y)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+			if s.CI != nil {
+				if ci, ok := lookupCI(s, x); ok {
+					fmt.Fprintf(&b, " %12.4g", ci)
+				} else {
+					fmt.Fprintf(&b, " %12s", "-")
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func unionX(series []Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	// Insertion sort; grids are small.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+func lookupY(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func lookupCI(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x && i < len(s.CI) {
+			return s.CI[i], true
+		}
+	}
+	return 0, false
+}
+
+// BarGroup is one cluster of bars (Fig. 5/8 style).
+type BarGroup struct {
+	Label string
+	Bars  map[string]float64
+}
+
+// BarChart is a grouped bar chart rendered as a table.
+type BarChart struct {
+	ID     string
+	Title  string
+	YLabel string
+	Order  []string // bar ordering within each group
+	Groups []BarGroup
+}
+
+// WriteTo renders the chart.
+func (c *BarChart) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s (%s)\n", c.ID, c.Title, c.YLabel)
+	fmt.Fprintf(&b, "%-22s", "workload")
+	for _, name := range c.Order {
+		fmt.Fprintf(&b, " %16s", name)
+	}
+	b.WriteByte('\n')
+	for _, g := range c.Groups {
+		fmt.Fprintf(&b, "%-22s", g.Label)
+		for _, name := range c.Order {
+			if v, ok := g.Bars[name]; ok {
+				fmt.Fprintf(&b, " %16.3f", v)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Options configures a bench run.
+type Options struct {
+	// Scale divides the paper's dataset sizes (1 = paper scale). The
+	// default used by tests is 100.
+	Scale int
+	// Seeds is the number of runs for randomized algorithms (default 5,
+	// matching §8.3).
+	Seeds int
+	// BaseSeed offsets all RNG seeds.
+	BaseSeed uint64
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 100
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 5
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 0xc0ffee
+	}
+	return o
+}

@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallOpts keeps test runs fast.
+func smallOpts() Options {
+	return Options{Scale: 400, Seeds: 2, BaseSeed: 7}
+}
+
+func TestTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"distinct-FIFO", "distinct-LRU", "skyline-Sum", "skyline-APH",
+		"topn-det", "topn-rand", "groupby-max", "join-BF", "join-RBF", "having-SUM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table2 missing row %q:\n%s", want, out)
+		}
+	}
+	// Every default configuration must fit the Tofino model.
+	if strings.Contains(out, " no\n") {
+		t.Fatalf("a Table 2 default does not fit the switch:\n%s", out)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Tofino V2") {
+		t.Fatal("Table3 missing Tofino row")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	chart, err := Fig5(nil, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]BarGroup{}
+	for _, g := range chart.Groups {
+		byLabel[g.Label] = g
+	}
+	if len(byLabel) != 9 {
+		t.Fatalf("expected 9 workloads, got %d", len(byLabel))
+	}
+	// Headline claims: Cheetah beats warm Spark on the aggregation
+	// workloads by 40–200%+ and loses only on BigData A (cheap filter).
+	for _, label := range []string{"BigData B", "BigData A+B", "TPC-H Q3", "Distinct",
+		"GroupBy (Max)", "Skyline", "Top-N", "Join"} {
+		g := byLabel[label]
+		if g.Bars["Cheetah"] >= g.Bars["Spark"] {
+			t.Errorf("%s: Cheetah %.2fs not faster than Spark %.2fs",
+				label, g.Bars["Cheetah"], g.Bars["Spark"])
+		}
+		if g.Bars["Spark (1st run)"] <= g.Bars["Spark"] {
+			t.Errorf("%s: first run not slower than subsequent", label)
+		}
+	}
+	a := byLabel["BigData A"]
+	if a.Bars["Cheetah"] < a.Bars["Spark"] {
+		t.Errorf("BigData A: Cheetah %.2fs should NOT beat warm Spark %.2fs (serialization overhead)",
+			a.Bars["Cheetah"], a.Bars["Spark"])
+	}
+	// A+B pipelining: Cheetah's A+B is cheaper than A + B separately.
+	sum := byLabel["BigData A"].Bars["Cheetah"] + byLabel["BigData B"].Bars["Cheetah"]
+	if byLabel["BigData A+B"].Bars["Cheetah"] >= sum {
+		t.Errorf("A+B %.2fs not cheaper than A+B run separately %.2fs",
+			byLabel["BigData A+B"].Bars["Cheetah"], sum)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	figA, figB, err := Fig6(nil, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6a: Cheetah below Spark at every worker count.
+	var cheetah, spark Series
+	for _, s := range figA.Series {
+		if s.Name == "Cheetah" {
+			cheetah = s
+		} else {
+			spark = s
+		}
+	}
+	for i := range cheetah.X {
+		if cheetah.Y[i] >= spark.Y[i] {
+			t.Errorf("fig6a workers=%v: Cheetah %.2f not below Spark %.2f", cheetah.X[i], cheetah.Y[i], spark.Y[i])
+		}
+	}
+	// 6b: both grow with scale; the gap widens.
+	for _, s := range figB.Series {
+		if s.Y[len(s.Y)-1] <= s.Y[0] {
+			t.Errorf("fig6b %s does not grow with data scale", s.Name)
+		}
+	}
+	var c6b, s6b Series
+	for _, s := range figB.Series {
+		if s.Name == "Cheetah" {
+			c6b = s
+		} else {
+			s6b = s
+		}
+	}
+	gapSmall := s6b.Y[0] - c6b.Y[0]
+	gapLarge := s6b.Y[len(s6b.Y)-1] - c6b.Y[len(c6b.Y)-1]
+	if gapLarge <= gapSmall {
+		t.Errorf("fig6b gap does not widen: %.2f then %.2f", gapSmall, gapLarge)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	fig, err := Fig7(nil, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var che, na Series
+	for _, s := range fig.Series {
+		if s.Name == "Cheetah" {
+			che = s
+		} else {
+			na = s
+		}
+	}
+	for i := range che.X {
+		if che.Y[i] >= na.Y[i] {
+			t.Errorf("fig7 at %v%%: Cheetah %.3f not below NetAccel %.3f", che.X[i], che.Y[i], na.Y[i])
+		}
+	}
+	// NetAccel grows linearly with result size.
+	if na.Y[len(na.Y)-1] <= na.Y[0]*2 {
+		t.Error("NetAccel drain barely grows")
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	chart, err := Fig8(nil, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := map[string]BarGroup{}
+	for _, g := range chart.Groups {
+		groups[g.Label] = g
+	}
+	for _, q := range []string{"Distinct", "Group-By"} {
+		sp := groups[q+" / Spark"]
+		c10 := groups[q+" / Cheetah 10G"]
+		c20 := groups[q+" / Cheetah 20G"]
+		// Spark compute-bound; Cheetah network-bound; 20G ≈ 2x better.
+		if sp.Bars["Computation"] <= sp.Bars["Network"] {
+			t.Errorf("%s: Spark should be compute-bound", q)
+		}
+		if c10.Bars["Network"] <= c10.Bars["Computation"] {
+			t.Errorf("%s: Cheetah should be network-bound at 10G", q)
+		}
+		improve := c10.Bars["Total"] / c20.Bars["Total"]
+		if improve < 1.4 {
+			t.Errorf("%s: 20G improvement %.2fx too small", q, improve)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	fig, err := Fig9(nil, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		// Monotone increasing and superlinear.
+		n := len(s.Y)
+		if s.Y[n-1] <= s.Y[0] {
+			t.Errorf("%s latency not increasing", s.Name)
+		}
+		early := s.Y[1] - s.Y[0]
+		late := s.Y[n-1] - s.Y[n-2]
+		if late < early {
+			t.Errorf("%s latency not superlinear", s.Name)
+		}
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	o := smallOpts()
+	t.Run("a", func(t *testing.T) {
+		fig, err := Fig10a(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Larger d prunes more (unpruned decreases), and OPT is below all.
+		for _, s := range fig.Series {
+			if s.Name == "OPT" {
+				continue
+			}
+			if s.Y[len(s.Y)-1] > s.Y[0] {
+				t.Errorf("%s: unpruned grows with d", s.Name)
+			}
+		}
+		opt := seriesByName(fig, "OPT")
+		lru := seriesByName(fig, "LRU")
+		for i := range lru.Y {
+			if opt.Y[i] > lru.Y[i]+1e-9 {
+				t.Errorf("OPT above LRU at d=%v", lru.X[i])
+			}
+		}
+	})
+	t.Run("b", func(t *testing.T) {
+		fig, err := Fig10b(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aph := seriesByName(fig, "APH")
+		sum := seriesByName(fig, "Sum")
+		base := seriesByName(fig, "Baseline")
+		last := len(aph.Y) - 1
+		if aph.Y[last] > sum.Y[last]*1.05+1e-9 {
+			t.Error("APH materially worse than Sum at w=20")
+		}
+		// At small w the learned heuristics dominate arbitrary points by
+		// a wide margin (the paper's headline gap). The w=20 crossover is
+		// not asserted: at test scale the heuristics' replacement churn
+		// (w·ln(m/w)/m, negligible at paper scale) exceeds Baseline's
+		// residual — see Fig10b's doc comment.
+		for _, wx := range []float64{1, 2, 4} {
+			bi, si := -1, -1
+			for i, x := range base.X {
+				if x == wx {
+					bi = i
+				}
+			}
+			for i, x := range sum.X {
+				if x == wx {
+					si = i
+				}
+			}
+			if bi >= 0 && si >= 0 && base.Y[bi] < 5*sum.Y[si] {
+				t.Errorf("Baseline at w=%v (%.5f) not ≫ Sum (%.5f)", wx, base.Y[bi], sum.Y[si])
+			}
+		}
+		// Paper: the heuristics prune >99% with w ≤ 7, while Baseline is
+		// far from that with few points.
+		idx := func(s Series, want float64) int {
+			for i, x := range s.X {
+				if x == want {
+					return i
+				}
+			}
+			return -1
+		}
+		if i := idx(sum, 7); i >= 0 && sum.Y[i] > 0.01 {
+			t.Errorf("Sum at w=7 prunes only %.3f%%, paper says >99%%", 100*(1-sum.Y[i]))
+		}
+		if i := idx(base, 2); i >= 0 && base.Y[i] <= 0.01 {
+			t.Error("Baseline at w=2 should be far from 99% pruning")
+		}
+	})
+	t.Run("c", func(t *testing.T) {
+		fig, err := Fig10c(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := seriesByName(fig, "Det")
+		rnd := seriesByName(fig, "Rand")
+		last := len(det.Y) - 1
+		if rnd.Y[last] >= det.Y[last] {
+			t.Error("randomized not better than deterministic at w=12")
+		}
+	})
+	t.Run("d", func(t *testing.T) {
+		fig, err := Fig10d(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb := seriesByName(fig, "GroupBy")
+		if gb.Y[len(gb.Y)-1] >= gb.Y[0] {
+			t.Error("group-by pruning does not improve with w")
+		}
+	})
+	t.Run("e", func(t *testing.T) {
+		fig, err := Fig10e(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf := seriesByName(fig, "BF")
+		if bf.Y[len(bf.Y)-1] >= bf.Y[0] {
+			t.Error("join pruning does not improve with filter size")
+		}
+		opt := seriesByName(fig, "OPT")
+		for i := range bf.Y {
+			if opt.Y[i] > bf.Y[i]+1e-9 {
+				t.Errorf("OPT above BF at %vKB", bf.X[i])
+			}
+		}
+	})
+	t.Run("f", func(t *testing.T) {
+		fig, err := Fig10f(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv := seriesByName(fig, "Having")
+		if hv.Y[len(hv.Y)-1] >= hv.Y[0] {
+			t.Error("having pruning does not improve with counters")
+		}
+	})
+}
+
+func TestFig11Shapes(t *testing.T) {
+	o := smallOpts()
+	// (a) DISTINCT improves with scale (unpruned falls).
+	fig, err := Fig11a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := seriesByName(fig, "d=16384")
+	if big.Y[len(big.Y)-1] >= big.Y[0] {
+		t.Error("fig11a: DISTINCT does not improve with scale")
+	}
+	// (c) TOP N improves with scale.
+	fig, err = Fig11c(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesByName(fig, "w=8")
+	if s.Y[len(s.Y)-1] >= s.Y[0] {
+		t.Error("fig11c: TOP N does not improve with scale")
+	}
+	// (e) JOIN degrades with scale for the small filter.
+	fig, err = Fig11e(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := seriesByName(fig, "0.25MB")
+	if small.Y[len(small.Y)-1] <= small.Y[0] {
+		t.Error("fig11e: small-filter JOIN does not degrade with scale")
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	fig := &Figure{
+		ID: "t", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.25}, CI: []float64{0.01, 0.02}},
+			{Name: "b", X: []float64{2, 3}, Y: []float64{0.1, 0.2}},
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := fig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "±95%") || !strings.Contains(out, "-") {
+		t.Fatalf("rendering missing CI column or gap marker:\n%s", out)
+	}
+	chart := &BarChart{ID: "c", Order: []string{"x"}, Groups: []BarGroup{{Label: "g", Bars: map[string]float64{"x": 1}}}}
+	buf.Reset()
+	if _, err := chart.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "g") {
+		t.Fatal("bar chart rendering")
+	}
+}
+
+func seriesByName(f *Figure, name string) Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return Series{}
+}

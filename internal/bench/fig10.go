@@ -1,0 +1,360 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cheetah/internal/cache"
+	"cheetah/internal/prune"
+	"cheetah/internal/stats"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/workload"
+)
+
+// unprunedOf runs a pruner over a prepared value stream and returns the
+// unpruned fraction.
+func unprunedOf(p prune.Pruner, stream [][]uint64) float64 {
+	for _, vals := range stream {
+		p.Process(vals)
+	}
+	st := p.Stats()
+	if d, ok := p.(prune.Drainer); ok {
+		// Drained state reaches the master too; count it as unpruned.
+		extra := len(d.Drain())
+		return (float64(st.Forwarded()) + float64(extra)) / float64(st.Processed)
+	}
+	return st.UnprunedRate()
+}
+
+// ciSeries runs builder over `seeds` seeds per x and aggregates a series
+// with 95% CIs, the §8.3 methodology.
+func ciSeries(name string, xs []float64, seeds int, base uint64,
+	measure func(x float64, seed uint64) (float64, error)) (Series, error) {
+	s := Series{Name: name}
+	for _, x := range xs {
+		vals := make([]float64, 0, seeds)
+		for r := 0; r < seeds; r++ {
+			y, err := measure(x, base+uint64(r)*101)
+			if err != nil {
+				return Series{}, err
+			}
+			vals = append(vals, y)
+		}
+		mean, hw := stats.ConfidenceInterval95(vals)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, mean)
+		s.CI = append(s.CI, hw)
+	}
+	return s, nil
+}
+
+// wrap1 lifts a scalar stream to entry vectors.
+func wrap1(vals []uint64) [][]uint64 {
+	out := make([][]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = []uint64{v}
+	}
+	return out
+}
+
+// Fig10a: DISTINCT unpruned fraction vs d (w=2), FIFO vs LRU vs OPT.
+func Fig10a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 6_000_000 / o.Scale
+	distinct := 15_000
+	if distinct > m/4 {
+		distinct = m / 4
+	}
+	stream := wrap1(workload.DistinctStream(m, distinct, o.BaseSeed))
+	fig := &Figure{ID: "fig10a", Title: "DISTINCT (w=2)", XLabel: "rows d", YLabel: "unpruned fraction"}
+	ds := []float64{64, 256, 1024, 4096, 16384}
+	for _, policy := range []cache.Policy{cache.FIFO, cache.LRU} {
+		policy := policy
+		s, err := ciSeries(policy.String(), ds, o.Seeds, o.BaseSeed,
+			func(x float64, seed uint64) (float64, error) {
+				p, err := prune.NewDistinct(prune.DistinctConfig{
+					Rows: int(x), Cols: 2, Policy: policy, Seed: seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return unprunedOf(p, stream), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	opt := unprunedOf(prune.NewOptDistinct(), stream)
+	fig.Series = append(fig.Series, Series{Name: "OPT", X: ds, Y: repeat(opt, len(ds))})
+	return fig, nil
+}
+
+// Fig10b: SKYLINE unpruned fraction vs stored points w: APH, Sum,
+// Baseline, OPT. Dimension ranges deliberately unbalanced (0..255 vs
+// 0..65535, the §4.4 motivation).
+func Fig10b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	// Replacement churn (a displaced point is forwarded without
+	// re-checking dominance against earlier stages, as on hardware)
+	// costs w·ln(m/w) forwards — logarithmic and invisible at paper
+	// scale but dominant on tiny streams, so this panel floors m.
+	m := 3_000_000 / o.Scale
+	if m < 100_000 {
+		m = 100_000
+	}
+	// Correlated dimensions with unbalanced ranges, mirroring the
+	// benchmark's (pageRank, avgDuration) skyline inputs: learned prune
+	// points (the band's far end) dominate nearly everything, while the
+	// first w arbitrary points do not (Fig. 10b's Baseline gap).
+	pts := workload.CorrelatedPoints2D(m, 256, 49152, 16384, o.BaseSeed)
+	fig := &Figure{ID: "fig10b", Title: "SKYLINE", XLabel: "stored points w", YLabel: "unpruned fraction"}
+	ws := []float64{1, 2, 4, 7, 10, 14, 20}
+	for _, h := range []prune.SkylineHeuristic{prune.SkylineAPH, prune.SkylineBaseline, prune.SkylineSum} {
+		h := h
+		seeds := 1 // the score heuristics are deterministic
+		if h == prune.SkylineBaseline {
+			seeds = o.Seeds // average the arbitrary-sample luck (§8.3)
+		}
+		s, err := ciSeries(h.String(), ws, seeds, o.BaseSeed,
+			func(x float64, seed uint64) (float64, error) {
+				p, err := prune.NewSkyline(prune.SkylineConfig{Dims: 2, Points: int(x), Heuristic: h, Seed: seed})
+				if err != nil {
+					return 0, err
+				}
+				return unprunedOf(p, pts), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		s.CI = nil
+		fig.Series = append(fig.Series, s)
+	}
+	opt := unprunedOf(prune.NewOptSkyline(2), pts)
+	fig.Series = append(fig.Series, Series{Name: "OPT", X: ws, Y: repeat(opt, len(ws))})
+	return fig, nil
+}
+
+// Fig10c: TOP N unpruned fraction vs matrix width w (d=4096):
+// deterministic thresholds vs randomized matrix vs OPT.
+func Fig10c(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 5_000_000 / o.Scale
+	const n = 250
+	// The paper's d=4096 presumes multi-million-entry streams; at reduced
+	// Scale the matrix must shrink with the stream or it never fills and
+	// nothing is pruned. Full scale keeps the paper's d.
+	d := 4096
+	if m < d*320 {
+		d = m / 320
+		if d < 64 {
+			d = 64
+		}
+	}
+	stream := workload.UniformStream(m, o.BaseSeed)
+	u64 := make([][]uint64, len(stream))
+	for i, v := range stream {
+		u64[i] = []uint64{uint64(v)}
+	}
+	fig := &Figure{ID: "fig10c", Title: fmt.Sprintf("TOP N (d=%d)", d), XLabel: "matrix width w", YLabel: "unpruned fraction"}
+	ws := []float64{2, 4, 6, 8, 10, 12}
+	det, err := ciSeries("Det", ws, 1, o.BaseSeed, func(x float64, seed uint64) (float64, error) {
+		p, err := prune.NewDetTopN(prune.DetTopNConfig{N: n, Thresholds: int(x)})
+		if err != nil {
+			return 0, err
+		}
+		return unprunedOf(p, u64), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	det.CI = nil
+	rand, err := ciSeries("Rand", ws, o.Seeds, o.BaseSeed, func(x float64, seed uint64) (float64, error) {
+		p, err := prune.NewRandTopN(prune.RandTopNConfig{N: n, Rows: d, Cols: int(x), Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		return unprunedOf(p, u64), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt := unprunedOf(prune.NewOptTopN(n), u64)
+	fig.Series = []Series{det, rand, {Name: "OPT", X: ws, Y: repeat(opt, len(ws))}}
+	return fig, nil
+}
+
+// Fig10d: GROUP BY unpruned fraction vs matrix width w (d=4096).
+func Fig10d(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 5_000_000 / o.Scale
+	keys := workload.ZipfKeys(m, 1.2, 10_000, o.BaseSeed)
+	vals := workload.ZipfKeys(m, 1.1, 1_000, o.BaseSeed+7)
+	stream := make([][]uint64, m)
+	for i := range stream {
+		stream[i] = []uint64{keys[i], vals[i]}
+	}
+	fig := &Figure{ID: "fig10d", Title: "GROUP BY (max)", XLabel: "matrix width w", YLabel: "unpruned fraction"}
+	ws := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	gb, err := ciSeries("GroupBy", ws, o.Seeds, o.BaseSeed, func(x float64, seed uint64) (float64, error) {
+		p, err := prune.NewGroupBy(prune.GroupByConfig{Rows: 4096, Cols: int(x), Seed: seed})
+		if err != nil {
+			return 0, err
+		}
+		return unprunedOf(p, stream), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt := unprunedOf(prune.NewOptGroupBy(), stream)
+	fig.Series = []Series{gb, {Name: "OPT", X: ws, Y: repeat(opt, len(ws))}}
+	return fig, nil
+}
+
+// Fig10e: JOIN unpruned fraction (probe pass) vs Bloom filter size:
+// BF vs register BF vs OPT.
+func Fig10e(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	scaleKeys := 4_000_000 / o.Scale
+	overlap := scaleKeys / 10
+	a, b := workload.JoinKeyStreams(overlap, scaleKeys/2, scaleKeys/2, o.BaseSeed)
+	fig := &Figure{ID: "fig10e", Title: "JOIN", XLabel: "filter size KB", YLabel: "unpruned fraction"}
+	// The x-axis is the paper-scale filter size; actual bits scale with
+	// the key population so the load factor matches the paper's.
+	sizesKB := []float64{64, 256, 1024, 4096, 16384}
+	probeUnpruned := func(p *prune.Join) float64 {
+		for _, k := range a {
+			p.Process([]uint64{uint64(prune.SideA), k})
+		}
+		for _, k := range b {
+			p.Process([]uint64{uint64(prune.SideB), k})
+		}
+		p.StartProbe()
+		forwarded, total := 0, 0
+		for _, k := range a {
+			total++
+			if p.Process([]uint64{uint64(prune.SideA), k}) == switchsim.Forward {
+				forwarded++
+			}
+		}
+		for _, k := range b {
+			total++
+			if p.Process([]uint64{uint64(prune.SideB), k}) == switchsim.Forward {
+				forwarded++
+			}
+		}
+		return float64(forwarded) / float64(total)
+	}
+	for _, kind := range []prune.JoinFilterKind{prune.BloomFilter, prune.RegisterBloomFilter} {
+		kind := kind
+		s, err := ciSeries(kind.String(), sizesKB, o.Seeds, o.BaseSeed,
+			func(x float64, seed uint64) (float64, error) {
+				bits := int(x) * 8 * 1024 / o.Scale
+				if bits < 1024 {
+					bits = 1024
+				}
+				p, err := prune.NewJoin(prune.JoinConfig{
+					FilterBits: bits, Hashes: 3, Kind: kind, Seed: seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return probeUnpruned(p), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	// OPT: exact key-set oracle.
+	opt := prune.NewOptJoin()
+	for _, k := range a {
+		opt.Process([]uint64{uint64(prune.SideA), k})
+	}
+	for _, k := range b {
+		opt.Process([]uint64{uint64(prune.SideB), k})
+	}
+	opt.StartProbe()
+	fwd, tot := 0, 0
+	for _, k := range a {
+		tot++
+		if opt.Process([]uint64{uint64(prune.SideA), k}) == switchsim.Forward {
+			fwd++
+		}
+	}
+	for _, k := range b {
+		tot++
+		if opt.Process([]uint64{uint64(prune.SideB), k}) == switchsim.Forward {
+			fwd++
+		}
+	}
+	fig.Series = append(fig.Series, Series{
+		Name: "OPT", X: sizesKB, Y: repeat(float64(fwd)/float64(tot), len(sizesKB)),
+	})
+	return fig, nil
+}
+
+// Fig10f: HAVING unpruned fraction vs counters per row (3 Count-Min
+// rows) — "the codes for languages whose sum-of-ad-revenue is larger
+// than $1M".
+func Fig10f(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 5_000_000 / o.Scale
+	keys := workload.ZipfKeys(m, 1.3, 100, o.BaseSeed)
+	revs := workload.ZipfKeys(m, 1.1, 10_000, o.BaseSeed+3)
+	stream := make([][]uint64, m)
+	var totalRev uint64
+	for i := range stream {
+		stream[i] = []uint64{keys[i], revs[i]}
+		totalRev += revs[i]
+	}
+	// Threshold at ~2% of total revenue so the output is small but
+	// non-empty at every scale.
+	threshold := int64(totalRev / 50)
+	fig := &Figure{ID: "fig10f", Title: "HAVING (3 Count-Min rows)", XLabel: "counters per row", YLabel: "unpruned fraction"}
+	widths := []float64{32, 64, 128, 256, 512, 1024}
+	hv, err := ciSeries("Having", widths, o.Seeds, o.BaseSeed, func(x float64, seed uint64) (float64, error) {
+		p, err := prune.NewHaving(prune.HavingConfig{
+			Agg: prune.HavingSum, Threshold: threshold,
+			Rows: 3, CountersPerRow: int(x), Seed: seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return unprunedOf(p, stream), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt := unprunedOf(prune.NewOptHaving(threshold), stream)
+	fig.Series = []Series{hv, {Name: "OPT", X: widths, Y: repeat(opt, len(widths))}}
+	return fig, nil
+}
+
+// Fig10 runs all six panels.
+func Fig10(w io.Writer, o Options) ([]*Figure, error) {
+	panels := []func(Options) (*Figure, error){Fig10a, Fig10b, Fig10c, Fig10d, Fig10e, Fig10f}
+	var out []*Figure
+	for _, f := range panels {
+		fig, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+		if w != nil {
+			if _, err := fig.WriteTo(w); err != nil {
+				return nil, err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return out, nil
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

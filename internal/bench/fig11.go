@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/workload"
+)
+
+// cumulativeSeries streams entries through a pruner, sampling the
+// cumulative unpruned fraction at the checkpoints — Fig. 11's measurement
+// ("each data point refers to the first entries in the relevant data
+// set").
+func cumulativeSeries(name string, p prune.Pruner, stream [][]uint64, checkpoints []int) Series {
+	s := Series{Name: name}
+	next := 0
+	for i, vals := range stream {
+		p.Process(vals)
+		if next < len(checkpoints) && i+1 == checkpoints[next] {
+			st := p.Stats()
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, st.UnprunedRate())
+			next++
+		}
+	}
+	return s
+}
+
+// checkpointsFor spreads eight sample points over m entries.
+func checkpointsFor(m int) []int {
+	var cps []int
+	for i := 1; i <= 8; i++ {
+		cps = append(cps, m*i/8)
+	}
+	return cps
+}
+
+// Fig11a: DISTINCT (w=2) unpruned fraction vs data scale for several d.
+func Fig11a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 14_000_000 / o.Scale
+	distinct := m / 40
+	if distinct < 100 {
+		distinct = 100
+	}
+	stream := wrap1(workload.DistinctStream(m, distinct, o.BaseSeed))
+	cps := checkpointsFor(m)
+	fig := &Figure{ID: "fig11a", Title: "DISTINCT (w=2) vs data scale", XLabel: "entries", YLabel: "unpruned fraction"}
+	for _, d := range []int{64, 256, 1024, 4096, 16384} {
+		p, err := prune.NewDistinct(prune.DistinctConfig{Rows: d, Cols: 2, Seed: o.BaseSeed})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, cumulativeSeries(fmt.Sprintf("d=%d", d), p, stream, cps))
+	}
+	fig.Series = append(fig.Series, cumulativeSeries("OPT", prune.NewOptDistinct(), stream, cps))
+	return fig, nil
+}
+
+// Fig11b: SKYLINE (APH) vs data scale for several w.
+func Fig11b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 9_000_000 / o.Scale
+	pts := workload.CorrelatedPoints2D(m, 256, 49152, 16384, o.BaseSeed)
+	cps := checkpointsFor(m)
+	fig := &Figure{ID: "fig11b", Title: "SKYLINE (APH) vs data scale", XLabel: "entries", YLabel: "unpruned fraction"}
+	for _, w := range []int{2, 4, 8, 16} {
+		p, err := prune.NewSkyline(prune.SkylineConfig{Dims: 2, Points: w, Heuristic: prune.SkylineAPH})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, cumulativeSeries(fmt.Sprintf("w=%d", w), p, pts, cps))
+	}
+	fig.Series = append(fig.Series, cumulativeSeries("OPT", prune.NewOptSkyline(2), pts, cps))
+	return fig, nil
+}
+
+// Fig11c: randomized TOP N vs data scale for several w (d=4096).
+func Fig11c(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 14_000_000 / o.Scale
+	d := 4096
+	if m < d*320 {
+		d = m / 320
+		if d < 64 {
+			d = 64
+		}
+	}
+	vals := workload.UniformStream(m, o.BaseSeed)
+	stream := make([][]uint64, m)
+	for i, v := range vals {
+		stream[i] = []uint64{uint64(v)}
+	}
+	cps := checkpointsFor(m)
+	fig := &Figure{ID: "fig11c", Title: fmt.Sprintf("TOP N (rand, d=%d) vs data scale", d), XLabel: "entries", YLabel: "unpruned fraction"}
+	for _, w := range []int{4, 6, 8, 12} {
+		p, err := prune.NewRandTopN(prune.RandTopNConfig{N: 250, Rows: d, Cols: w, Seed: o.BaseSeed})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, cumulativeSeries(fmt.Sprintf("w=%d", w), p, stream, cps))
+	}
+	fig.Series = append(fig.Series, cumulativeSeries("OPT", prune.NewOptTopN(250), stream, cps))
+	return fig, nil
+}
+
+// Fig11d: GROUP BY vs data scale for several w.
+func Fig11d(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 14_000_000 / o.Scale
+	keys := workload.ZipfKeys(m, 1.2, 10_000, o.BaseSeed)
+	vals := workload.ZipfKeys(m, 1.1, 1_000, o.BaseSeed+7)
+	stream := make([][]uint64, m)
+	for i := range stream {
+		stream[i] = []uint64{keys[i], vals[i]}
+	}
+	cps := checkpointsFor(m)
+	fig := &Figure{ID: "fig11d", Title: "GROUP BY vs data scale", XLabel: "entries", YLabel: "unpruned fraction"}
+	for _, w := range []int{2, 4, 6, 8, 10} {
+		p, err := prune.NewGroupBy(prune.GroupByConfig{Rows: 4096, Cols: w, Seed: o.BaseSeed})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, cumulativeSeries(fmt.Sprintf("w=%d", w), p, stream, cps))
+	}
+	fig.Series = append(fig.Series, cumulativeSeries("OPT", prune.NewOptGroupBy(), stream, cps))
+	return fig, nil
+}
+
+// Fig11e: JOIN vs data scale for several filter sizes. Each checkpoint
+// runs a fresh two-pass join over the prefix (false positives grow with
+// the key population, so pruning degrades with scale — the paper's
+// observation).
+func Fig11e(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 6_000_000 / o.Scale
+	a, b := workload.JoinKeyStreams(m/10, m/2, m/2, o.BaseSeed)
+	fig := &Figure{ID: "fig11e", Title: "JOIN vs data scale", XLabel: "entries", YLabel: "unpruned fraction"}
+	// Labels are paper-scale sizes; bits scale with the key population.
+	sizes := []struct {
+		label string
+		bits  int
+	}{
+		{"0.25MB", (2 << 20) / o.Scale}, {"1MB", (8 << 20) / o.Scale},
+		{"4MB", (32 << 20) / o.Scale}, {"16MB", (128 << 20) / o.Scale},
+	}
+	cps := checkpointsFor(min(len(a), len(b)))
+	for _, sz := range sizes {
+		s := Series{Name: sz.label}
+		for _, cp := range cps {
+			bits := sz.bits
+			if bits < 1024 {
+				bits = 1024
+			}
+			p, err := prune.NewJoin(prune.JoinConfig{FilterBits: bits, Hashes: 3, Seed: o.BaseSeed})
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range a[:cp] {
+				p.Process([]uint64{uint64(prune.SideA), k})
+			}
+			for _, k := range b[:cp] {
+				p.Process([]uint64{uint64(prune.SideB), k})
+			}
+			p.StartProbe()
+			fwd, tot := 0, 0
+			for _, k := range a[:cp] {
+				tot++
+				if p.Process([]uint64{uint64(prune.SideA), k}) == switchsim.Forward {
+					fwd++
+				}
+			}
+			for _, k := range b[:cp] {
+				tot++
+				if p.Process([]uint64{uint64(prune.SideB), k}) == switchsim.Forward {
+					fwd++
+				}
+			}
+			s.X = append(s.X, float64(2*cp))
+			s.Y = append(s.Y, float64(fwd)/float64(tot))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	// OPT at the full scale for reference.
+	opt := prune.NewOptJoin()
+	for _, k := range a {
+		opt.Process([]uint64{uint64(prune.SideA), k})
+	}
+	for _, k := range b {
+		opt.Process([]uint64{uint64(prune.SideB), k})
+	}
+	opt.StartProbe()
+	fwd, tot := 0, 0
+	for _, k := range a {
+		tot++
+		if opt.Process([]uint64{uint64(prune.SideA), k}) == switchsim.Forward {
+			fwd++
+		}
+	}
+	for _, k := range b {
+		tot++
+		if opt.Process([]uint64{uint64(prune.SideB), k}) == switchsim.Forward {
+			fwd++
+		}
+	}
+	xs := fig.Series[0].X
+	fig.Series = append(fig.Series, Series{Name: "OPT", X: xs, Y: repeat(float64(fwd)/float64(tot), len(xs))})
+	return fig, nil
+}
+
+// Fig11f: HAVING vs data scale for several counter widths (3 CM rows).
+func Fig11f(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	m := 14_000_000 / o.Scale
+	keys := workload.ZipfKeys(m, 1.3, 100, o.BaseSeed)
+	revs := workload.ZipfKeys(m, 1.1, 10_000, o.BaseSeed+3)
+	stream := make([][]uint64, m)
+	var total uint64
+	for i := range stream {
+		stream[i] = []uint64{keys[i], revs[i]}
+		total += revs[i]
+	}
+	threshold := int64(total / 50)
+	cps := checkpointsFor(m)
+	fig := &Figure{ID: "fig11f", Title: "HAVING vs data scale (3 CM rows)", XLabel: "entries", YLabel: "unpruned fraction"}
+	for _, w := range []int{32, 64, 128, 256, 512} {
+		p, err := prune.NewHaving(prune.HavingConfig{
+			Agg: prune.HavingSum, Threshold: threshold,
+			Rows: 3, CountersPerRow: w, Seed: o.BaseSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, cumulativeSeries(fmt.Sprintf("w=%d", w), p, stream, cps))
+	}
+	fig.Series = append(fig.Series, cumulativeSeries("OPT", prune.NewOptHaving(threshold), stream, cps))
+	return fig, nil
+}
+
+// Fig11 runs all six panels.
+func Fig11(w io.Writer, o Options) ([]*Figure, error) {
+	panels := []func(Options) (*Figure, error){Fig11a, Fig11b, Fig11c, Fig11d, Fig11e, Fig11f}
+	var out []*Figure
+	for _, f := range panels {
+		fig, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+		if w != nil {
+			if _, err := fig.WriteTo(w); err != nil {
+				return nil, err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

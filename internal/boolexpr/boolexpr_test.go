@@ -1,0 +1,252 @@
+package boolexpr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperFormula is the running example from §4.1:
+// (taste > 5) OR (texture > 4 AND name LIKE e%s)
+// with p0 = taste>5, p1 = texture>4, p2 = name LIKE e%s.
+func paperFormula() Expr {
+	return Or{Leaf{0}, And{Leaf{1}, Leaf{2}}}
+}
+
+func TestEval(t *testing.T) {
+	e := paperFormula()
+	cases := []struct {
+		assign [3]bool
+		want   bool
+	}{
+		{[3]bool{false, false, false}, false},
+		{[3]bool{true, false, false}, true},
+		{[3]bool{false, true, false}, false},
+		{[3]bool{false, true, true}, true},
+		{[3]bool{false, false, true}, false},
+		{[3]bool{true, true, true}, true},
+	}
+	for _, c := range cases {
+		got := e.Eval(func(v int) bool { return c.assign[v] })
+		if got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.assign, got, c.want)
+		}
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	if !Const(true).Eval(nil) || Const(false).Eval(nil) {
+		t.Fatal("const eval broken")
+	}
+	if (And{}).Eval(nil) != true {
+		t.Fatal("empty AND should be true")
+	}
+	if (Or{}).Eval(nil) != false {
+		t.Fatal("empty OR should be false")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := paperFormula()
+	if got := e.String(); got != "(p0 OR (p1 AND p2))" {
+		t.Fatalf("String = %q", got)
+	}
+	if Const(true).String() != "T" || Const(false).String() != "F" {
+		t.Fatal("const strings")
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := Or{Leaf{3}, And{Leaf{1}, Leaf{3}, Const(true)}}
+	got := Vars(e)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Vars = %v", got)
+	}
+	if len(Vars(Const(true))) != 0 {
+		t.Fatal("const has no vars")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want string
+	}{
+		{And{Const(true), Leaf{0}}, "p0"},
+		{And{Const(false), Leaf{0}}, "F"},
+		{Or{Const(true), Leaf{0}}, "T"},
+		{Or{Const(false), Leaf{0}}, "p0"},
+		{And{And{Leaf{0}, Leaf{1}}, Leaf{2}}, "(p0 AND p1 AND p2)"},
+		{Or{Or{Leaf{0}}, Leaf{1}}, "(p0 OR p1)"},
+		{And{}, "T"},
+		{Or{}, "F"},
+		{And{Or{Const(false)}}, "F"},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.in).String(); got != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	// Property: simplification never changes the function.
+	f := func(bits uint8, shape uint8) bool {
+		e := buildExpr(int(shape), 0)
+		s := Simplify(e)
+		assign := func(v int) bool { return bits&(1<<(v%8)) != 0 }
+		return e.Eval(assign) == s.Eval(assign)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildExpr deterministically builds a small formula from a shape seed.
+func buildExpr(shape, depth int) Expr {
+	if depth > 2 {
+		return Leaf{shape % 5}
+	}
+	switch shape % 4 {
+	case 0:
+		return Leaf{shape % 5}
+	case 1:
+		return Const(shape%2 == 0)
+	case 2:
+		return And{buildExpr(shape/2, depth+1), buildExpr(shape/3+1, depth+1)}
+	default:
+		return Or{buildExpr(shape/2, depth+1), buildExpr(shape/3+1, depth+1)}
+	}
+}
+
+func TestDecomposePaperExample(t *testing.T) {
+	// Paper: replacing the LIKE predicate (p2) with T reduces
+	// (p0 OR (p1 AND p2)) to (p0 OR p1).
+	sw, residual := Decompose(paperFormula(), func(v int) bool { return v != 2 })
+	if got := sw.String(); got != "(p0 OR p1)" {
+		t.Fatalf("switch formula = %s, want (p0 OR p1)", got)
+	}
+	if len(residual) != 1 || residual[0] != 2 {
+		t.Fatalf("residual = %v", residual)
+	}
+}
+
+func TestDecomposeAllSupported(t *testing.T) {
+	sw, residual := Decompose(paperFormula(), func(int) bool { return true })
+	if sw.String() != paperFormula().String() {
+		t.Fatalf("formula changed: %s", sw)
+	}
+	if len(residual) != 0 {
+		t.Fatalf("residual = %v", residual)
+	}
+}
+
+func TestDecomposeNothingSupported(t *testing.T) {
+	sw, residual := Decompose(paperFormula(), func(int) bool { return false })
+	if c, ok := sw.(Const); !ok || !bool(c) {
+		t.Fatalf("expected T, got %s", sw)
+	}
+	if len(residual) != 3 {
+		t.Fatalf("residual = %v", residual)
+	}
+}
+
+func TestDecomposeIsSafeOverapproximation(t *testing.T) {
+	// Core safety property (monotone formulas): for every assignment, if
+	// the original formula accepts, the decomposed formula accepts too —
+	// i.e. the switch never prunes an entry the query wants.
+	f := func(bits uint8, shape uint8, supportMask uint8) bool {
+		e := buildExpr(int(shape), 0)
+		supported := func(v int) bool { return supportMask&(1<<(v%8)) != 0 }
+		sw, _ := Decompose(e, supported)
+		assign := func(v int) bool { return bits&(1<<(v%8)) != 0 }
+		if e.Eval(assign) && !sw.Eval(assign) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileTruthTable(t *testing.T) {
+	e := paperFormula()
+	tt, err := Compile(e, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.NumVars() != 3 || tt.Entries() != 8 {
+		t.Fatalf("dims: vars=%d entries=%d", tt.NumVars(), tt.Entries())
+	}
+	for idx := uint32(0); idx < 8; idx++ {
+		want := e.Eval(func(v int) bool { return idx&(1<<v) != 0 })
+		if got := tt.Lookup(idx); got != want {
+			t.Errorf("Lookup(%03b) = %v, want %v", idx, got, want)
+		}
+	}
+}
+
+func TestCompileWithDontCares(t *testing.T) {
+	// Extra variables in the ordering act as don't-cares.
+	e := Expr(Leaf{0})
+	tt, err := Compile(e, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tt.Lookup(0b01) || !tt.Lookup(0b11) || tt.Lookup(0b00) || tt.Lookup(0b10) {
+		t.Fatal("don't-care handling wrong")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(Leaf{9}, []int{0}); err == nil {
+		t.Fatal("missing variable accepted")
+	}
+	if _, err := Compile(Leaf{0}, []int{0, 0}); err == nil {
+		t.Fatal("duplicate variable accepted")
+	}
+	tooMany := make([]int, MaxTruthTableVars+1)
+	for i := range tooMany {
+		tooMany[i] = i
+	}
+	if _, err := Compile(Const(true), tooMany); err == nil {
+		t.Fatal("oversized table accepted")
+	}
+}
+
+func TestCompileMatchesEvalProperty(t *testing.T) {
+	f := func(shape uint8, idx uint16) bool {
+		e := buildExpr(int(shape), 0)
+		vars := []int{0, 1, 2, 3, 4}
+		tt, err := Compile(e, vars)
+		if err != nil {
+			return false
+		}
+		i := uint32(idx) % uint32(tt.Entries())
+		want := e.Eval(func(v int) bool { return i&(1<<v) != 0 })
+		return tt.Lookup(i) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruthTableVarsAccessor(t *testing.T) {
+	tt, _ := Compile(Leaf{2}, []int{2, 7})
+	vs := tt.Vars()
+	if len(vs) != 2 || vs[0] != 2 || vs[1] != 7 {
+		t.Fatalf("Vars = %v", vs)
+	}
+}
+
+func BenchmarkTruthTableLookup(b *testing.B) {
+	e := Or{Leaf{0}, And{Leaf{1}, Leaf{2}}, And{Leaf{3}, Or{Leaf{4}, Leaf{5}}}}
+	tt, _ := Compile(e, []int{0, 1, 2, 3, 4, 5})
+	b.ReportAllocs()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = tt.Lookup(uint32(i) & 63)
+	}
+	_ = sink
+}

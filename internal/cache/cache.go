@@ -1,0 +1,288 @@
+// Package cache implements the d×w register matrices Cheetah lays out in
+// switch SRAM (§4.2, §5): per-row caches with rolling replacement used by
+// DISTINCT, rolling-minimum rows used by the randomized TOP N, and keyed
+// running-max rows used by GROUP BY.
+//
+// Layout mirrors the hardware: each of the w columns is one pipeline stage
+// holding a d-entry register array; a packet visits the columns of its row
+// in stage order. All structures use flat backing arrays and allocate
+// nothing per entry.
+package cache
+
+import (
+	"fmt"
+
+	"cheetah/internal/hashutil"
+)
+
+// Policy selects the replacement behaviour of a matrix-cache row.
+type Policy uint8
+
+const (
+	// FIFO does rolling replacement on every miss: the new value enters
+	// column 0 and every cached value shifts one column right, the last
+	// falling out. A hit leaves the row unchanged. This is the cheaper
+	// policy (Table 2's "FIFO*" row shares same-stage ALU memory).
+	FIFO Policy = iota
+	// LRU additionally moves a hit value back to column 0, so the row
+	// evicts the least recently *seen* value rather than the oldest
+	// insertion.
+	LRU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "FIFO"
+	case LRU:
+		return "LRU"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Matrix is the d×w value cache used by the DISTINCT pruner: row i caches
+// the last w values hashed to it. Values must already be fingerprints or
+// raw 64-bit column values; the matrix itself stores opaque uint64s.
+//
+// Empty slots are tracked explicitly (occupancy bitmap per row is replaced
+// by a fill counter, because rolling replacement always fills columns left
+// to right), so the value 0 is a legal cacheable value.
+type Matrix struct {
+	d, w   int
+	policy Policy
+	vals   []uint64 // row-major d rows × w cols
+	fill   []int    // number of occupied columns in each row
+	seed   uint64
+}
+
+// NewMatrix creates a d-row, w-column cache with the given replacement
+// policy. The seed drives the row-selection hash.
+func NewMatrix(d, w int, policy Policy, seed uint64) (*Matrix, error) {
+	if d <= 0 || w <= 0 {
+		return nil, fmt.Errorf("cache: matrix dimensions %dx%d must be positive", d, w)
+	}
+	if policy != FIFO && policy != LRU {
+		return nil, fmt.Errorf("cache: unknown policy %v", policy)
+	}
+	return &Matrix{
+		d:      d,
+		w:      w,
+		policy: policy,
+		vals:   make([]uint64, d*w),
+		fill:   make([]int, d),
+		seed:   seed,
+	}, nil
+}
+
+// Rows returns d. Cols returns w.
+func (m *Matrix) Rows() int { return m.d }
+
+// Cols returns the number of columns (stages) per row.
+func (m *Matrix) Cols() int { return m.w }
+
+// PolicyKind returns the replacement policy.
+func (m *Matrix) PolicyKind() Policy { return m.policy }
+
+// RowOf returns the row index value maps to.
+func (m *Matrix) RowOf(value uint64) int {
+	return hashutil.Reduce(hashutil.HashUint64(value, m.seed), m.d)
+}
+
+// Insert looks value up in its row and inserts it on a miss.
+// It returns true when the value was already cached (the caller prunes
+// the entry) and false when it was new (the caller forwards it).
+func (m *Matrix) Insert(value uint64) (hit bool) {
+	row := m.RowOf(value)
+	base := row * m.w
+	n := m.fill[row]
+	slots := m.vals[base : base+n]
+	for i, v := range slots {
+		if v == value {
+			if m.policy == LRU && i > 0 {
+				copy(slots[1:i+1], slots[:i])
+				slots[0] = value
+			}
+			return true
+		}
+	}
+	// Miss: rolling replacement, new value enters column 0.
+	if n < m.w {
+		m.fill[row] = n + 1
+		n++
+	}
+	full := m.vals[base : base+n]
+	copy(full[1:], full[:n-1])
+	full[0] = value
+	return false
+}
+
+// Contains reports whether value is currently cached, without mutating
+// the matrix.
+func (m *Matrix) Contains(value uint64) bool {
+	row := m.RowOf(value)
+	base := row * m.w
+	for _, v := range m.vals[base : base+m.fill[row]] {
+		if v == value {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears all rows.
+func (m *Matrix) Reset() {
+	for i := range m.fill {
+		m.fill[i] = 0
+	}
+}
+
+// MemoryBits returns the SRAM footprint in bits (d·w 64-bit registers),
+// matching Table 2's "(d·w)×64b" accounting.
+func (m *Matrix) MemoryBits() int { return m.d * m.w * 64 }
+
+// RollingMin is the d×w matrix of §5's randomized TOP N: each row keeps
+// the w largest values routed to it, in descending column order, using the
+// single-comparison-per-stage rolling-minimum update the switch supports.
+type RollingMin struct {
+	d, w int
+	vals []int64
+	fill []int
+}
+
+// NewRollingMin creates the matrix.
+func NewRollingMin(d, w int) (*RollingMin, error) {
+	if d <= 0 || w <= 0 {
+		return nil, fmt.Errorf("cache: rolling-min dimensions %dx%d must be positive", d, w)
+	}
+	return &RollingMin{d: d, w: w, vals: make([]int64, d*w), fill: make([]int, d)}, nil
+}
+
+// Rows returns d. Cols returns w.
+func (r *RollingMin) Rows() int { return r.d }
+
+// Cols returns w.
+func (r *RollingMin) Cols() int { return r.w }
+
+// Offer presents value to the given row (chosen uniformly at random by the
+// caller). It returns true when the value was smaller than every cached
+// value in a full row — i.e. the entry can be pruned. Otherwise the value
+// is spliced into its ordered position and the row's minimum falls out.
+//
+// The update is exactly the hardware's rolling scheme: at each stage the
+// packet compares its carried value to the register; if larger, they swap
+// and the displaced value rides along to the next stage.
+func (r *RollingMin) Offer(row int, value int64) (prune bool) {
+	base := row * r.w
+	n := r.fill[row]
+	carried := value
+	inserted := false
+	slots := r.vals[base : base+n]
+	for i := range slots {
+		if carried > slots[i] {
+			carried, slots[i] = slots[i], carried
+			inserted = true
+		}
+	}
+	if n < r.w {
+		r.vals[base+n] = carried
+		r.fill[row] = n + 1
+		return false
+	}
+	// Row is full: if the offered value never displaced anything, it is
+	// smaller than all w cached values and the entry is pruned.
+	return !inserted
+}
+
+// RowMin returns the minimum cached value of a full row, or false when the
+// row is not yet full.
+func (r *RollingMin) RowMin(row int) (int64, bool) {
+	n := r.fill[row]
+	if n < r.w {
+		return 0, false
+	}
+	return r.vals[row*r.w+r.w-1], true
+}
+
+// Reset clears all rows.
+func (r *RollingMin) Reset() {
+	for i := range r.fill {
+		r.fill[i] = 0
+	}
+}
+
+// MemoryBits returns the SRAM footprint in bits.
+func (r *RollingMin) MemoryBits() int { return r.d * r.w * 64 }
+
+// KeyedMax is the GROUP BY matrix (§4.3, Table 2): each row holds w
+// (key fingerprint, running max) pairs. An entry whose value does not
+// exceed the cached max for its key is pruned; larger values update the
+// max and are forwarded so the master always holds the true per-key max.
+type KeyedMax struct {
+	d, w int
+	keys []uint64
+	vals []int64
+	fill []int
+	seed uint64
+}
+
+// NewKeyedMax creates the matrix.
+func NewKeyedMax(d, w int, seed uint64) (*KeyedMax, error) {
+	if d <= 0 || w <= 0 {
+		return nil, fmt.Errorf("cache: keyed-max dimensions %dx%d must be positive", d, w)
+	}
+	return &KeyedMax{
+		d: d, w: w,
+		keys: make([]uint64, d*w),
+		vals: make([]int64, d*w),
+		fill: make([]int, d),
+		seed: seed,
+	}, nil
+}
+
+// Rows returns d. Cols returns w.
+func (k *KeyedMax) Rows() int { return k.d }
+
+// Cols returns w.
+func (k *KeyedMax) Cols() int { return k.w }
+
+// Offer presents (key, value). It returns true when the entry is provably
+// redundant (a same-key entry with value ≥ this one was already
+// forwarded) and false when the entry must be forwarded.
+func (k *KeyedMax) Offer(key uint64, value int64) (prune bool) {
+	row := hashutil.Reduce(hashutil.HashUint64(key, k.seed), k.d)
+	base := row * k.w
+	n := k.fill[row]
+	for i := 0; i < n; i++ {
+		if k.keys[base+i] == key {
+			if value <= k.vals[base+i] {
+				return true
+			}
+			k.vals[base+i] = value
+			return false
+		}
+	}
+	// Unknown key: cache it (rolling replacement) and forward.
+	if n < k.w {
+		k.keys[base+n] = key
+		k.vals[base+n] = value
+		k.fill[row] = n + 1
+		return false
+	}
+	copy(k.keys[base+1:base+k.w], k.keys[base:base+k.w-1])
+	copy(k.vals[base+1:base+k.w], k.vals[base:base+k.w-1])
+	k.keys[base] = key
+	k.vals[base] = value
+	return false
+}
+
+// Reset clears all rows.
+func (k *KeyedMax) Reset() {
+	for i := range k.fill {
+		k.fill[i] = 0
+	}
+}
+
+// MemoryBits returns the SRAM footprint in bits (key + value registers).
+func (k *KeyedMax) MemoryBits() int { return k.d * k.w * 64 }

@@ -1,0 +1,230 @@
+// Package cluster wires the full Cheetah deployment of Figure 1 over the
+// simulated network: CWorkers send their partitions through the
+// reliability protocol, the switch node runs the admitted pruning
+// program, and the CMaster collects survivors and completes the query —
+// exactly the paper's rack-scale topology (five workers, one ToR switch,
+// one master), with injectable packet loss.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/netsim"
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/transport"
+)
+
+// Config shapes a cluster run.
+type Config struct {
+	// Workers is the CWorker count (default 5, the paper's testbed).
+	Workers int
+	// LossRate injects loss on every link (0 for a clean fabric).
+	LossRate float64
+	// Seed drives fingerprints, pruner randomness and loss decisions.
+	Seed uint64
+	// RTO overrides the protocol retransmission timeout.
+	RTO time.Duration
+	// Model is the switch hardware model (zero value selects Tofino).
+	Model switchsim.Model
+}
+
+// Report summarizes a run's protocol-level behaviour.
+type Report struct {
+	EntriesSent     int
+	Pruned          uint64
+	Delivered       uint64
+	Retransmissions uint64
+	DroppedGaps     uint64
+	PrunerName      string
+}
+
+// flowMux routes every registered flow to one shared pruning program,
+// the way one installed query serves all worker ports.
+type flowMux struct {
+	mu     sync.Mutex
+	pruner prune.Pruner
+}
+
+// Process implements transport.Dataplane.
+func (m *flowMux) Process(_ uint32, vals []uint64) switchsim.Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pruner.Process(vals)
+}
+
+// Run executes a single-pass query end-to-end over the simulated
+// network and returns the master's result. The pruner defaults to the
+// query kind's standard configuration; pass one explicitly to ablate.
+func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 5
+	}
+	if cfg.Model.Stages == 0 {
+		cfg.Model = switchsim.Tofino()
+	}
+	if pruner == nil {
+		p, err := engine.DefaultPruner(q, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		pruner = p
+	}
+	// Admission-check the program against the hardware model before
+	// going anywhere near the network — the control-plane step of §3.
+	pl, err := switchsim.NewPipeline(cfg.Model)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := pl.Install(1, pruner); err != nil {
+		return nil, nil, fmt.Errorf("cluster: query does not fit the switch: %w", err)
+	}
+
+	entries, err := engine.EncodeEntries(q, cfg.Workers, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	net := netsim.New(cfg.Seed)
+	swEp := net.Endpoint("switch", 1<<16)
+	maEp := net.Endpoint("master", 1<<16)
+	mux := &flowMux{pruner: pruner}
+	sw, err := transport.NewSwitch(swEp, "master", mux)
+	if err != nil {
+		return nil, nil, err
+	}
+	master, err := transport.NewMaster(maEp, "switch")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sw.Run(ctx)
+	go master.Run(ctx)
+
+	workers := make([]*transport.Worker, cfg.Workers)
+	total := 0
+	for i := 0; i < cfg.Workers; i++ {
+		name := fmt.Sprintf("worker%d", i+1)
+		ep := net.Endpoint(name, 1<<16)
+		if cfg.LossRate > 0 {
+			for _, pair := range [][2]string{{name, "switch"}, {"switch", name}} {
+				if err := net.SetLoss(pair[0], pair[1], cfg.LossRate); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		w, err := transport.NewWorker(ep, transport.WorkerConfig{
+			FlowID:     uint32(i + 1),
+			SwitchAddr: "switch",
+			RTO:        cfg.RTO,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		sw.Register(uint32(i+1), name)
+		workers[i] = w
+		total += len(entries[i])
+	}
+	if cfg.LossRate > 0 {
+		if err := net.SetLossBoth("switch", "master", cfg.LossRate); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Launch the workers.
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *transport.Worker) {
+			defer wg.Done()
+			errs[i] = w.Run(ctx, entries[i])
+		}(i, w)
+	}
+
+	// Master: collect survivor row ids until every flow FINs.
+	rowsCh := make(chan []int, 1)
+	go func() {
+		var survivors []int
+		finished := 0
+		for finished < cfg.Workers {
+			select {
+			case d := <-master.Deliveries:
+				if len(d.Values) > 0 {
+					survivors = append(survivors, int(d.Values[len(d.Values)-1]))
+				}
+			case <-master.FlowDone:
+				finished++
+			case <-ctx.Done():
+				rowsCh <- survivors
+				return
+			}
+		}
+		// Drain anything already queued.
+		for {
+			select {
+			case d := <-master.Deliveries:
+				if len(d.Values) > 0 {
+					survivors = append(survivors, int(d.Values[len(d.Values)-1]))
+				}
+			default:
+				rowsCh <- survivors
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: worker %d: %w", i+1, err)
+		}
+	}
+	survivors := <-rowsCh
+
+	// Control-plane drain for pruners holding switch state (SKYLINE).
+	if dr, ok := pruner.(prune.Drainer); ok {
+		width := len(entries[0][0]) - 1
+		for _, e := range dr.Drain() {
+			if len(e) > width {
+				survivors = append(survivors, int(e[width]))
+			}
+		}
+	}
+
+	res, err := engine.CompleteOnRows(q, dedupeInts(survivors))
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &Report{
+		EntriesSent: total,
+		Pruned:      sw.Pruned,
+		Delivered:   sw.ForwardedOK + sw.ForwardedRetransmit,
+		DroppedGaps: sw.DroppedGap,
+		PrunerName:  pruner.Name(),
+	}
+	for _, w := range workers {
+		report.Retransmissions += w.Retransmissions
+	}
+	return res, report, nil
+}
+
+// dedupeInts removes duplicate row ids (retransmissions of pruned packets
+// may be delivered, §7.2) while preserving order.
+func dedupeInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

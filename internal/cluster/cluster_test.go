@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/workload"
+)
+
+func distinctQuery(t *testing.T, rows int, seed uint64) *engine.Query {
+	t.Helper()
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(rows, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &engine.Query{Kind: engine.KindDistinct, Table: uv, DistinctCols: []string{"userAgent"}}
+}
+
+func TestClusterDistinctLossless(t *testing.T) {
+	q := distinctQuery(t, 3000, 1)
+	want, err := engine.ExecDirect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := Run(q, nil, Config{Workers: 5, Seed: 42, RTO: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res) {
+		t.Fatalf("cluster result diverges: want %d rows got %d", len(want.Rows), len(res.Rows))
+	}
+	if rep.Pruned == 0 {
+		t.Fatal("switch pruned nothing on a Zipfian distinct stream")
+	}
+	if rep.EntriesSent != 3000 {
+		t.Fatalf("EntriesSent = %d", rep.EntriesSent)
+	}
+	if rep.Pruned+rep.Delivered < uint64(rep.EntriesSent) {
+		t.Fatalf("conservation violated: pruned %d + delivered %d < sent %d",
+			rep.Pruned, rep.Delivered, rep.EntriesSent)
+	}
+}
+
+func TestClusterDistinctUnderLoss(t *testing.T) {
+	q := distinctQuery(t, 1500, 3)
+	want, err := engine.ExecDirect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := Run(q, nil, Config{
+		Workers: 3, Seed: 7, LossRate: 0.1, RTO: 8 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res) {
+		t.Fatal("lossy cluster run diverges from ground truth")
+	}
+	if rep.Retransmissions == 0 {
+		t.Fatal("10% loss with no retransmissions")
+	}
+}
+
+func TestClusterTopN(t *testing.T) {
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(4000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{Kind: engine.KindTopN, Table: uv, OrderCol: "adRevenue", N: 100}
+	want, _ := engine.ExecDirect(q)
+	res, rep, err := Run(q, nil, Config{Workers: 4, Seed: 9, RTO: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res) {
+		t.Fatal("top-n cluster run diverges")
+	}
+	if rep.PrunerName != "topn-rand" {
+		t.Fatalf("pruner = %s", rep.PrunerName)
+	}
+}
+
+func TestClusterSkylineWithDrain(t *testing.T) {
+	rank := workload.Rankings(3000, 11)
+	if err := rank.Shuffle(1); err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{Kind: engine.KindSkyline, Table: rank, SkylineCols: []string{"pageRank", "avgDuration"}}
+	want, _ := engine.ExecDirect(q)
+	res, _, err := Run(q, nil, Config{Workers: 2, Seed: 13, RTO: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res) {
+		t.Fatal("skyline cluster run diverges (drain path broken?)")
+	}
+}
+
+func TestClusterGroupByMax(t *testing.T) {
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(3000, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{Kind: engine.KindGroupByMax, Table: uv, KeyCol: "languageCode", AggCol: "adRevenue"}
+	want, _ := engine.ExecDirect(q)
+	res, _, err := Run(q, nil, Config{Workers: 5, Seed: 3, RTO: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res) {
+		t.Fatal("group-by cluster run diverges")
+	}
+}
+
+func TestClusterCustomPruner(t *testing.T) {
+	q := distinctQuery(t, 1000, 19)
+	// An undersized FIFO matrix: still correct, just prunes less.
+	p, err := prune.NewDistinct(prune.DistinctConfig{Rows: 8, Cols: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := engine.ExecDirect(q)
+	res, rep, err := Run(q, p, Config{Workers: 2, Seed: 21, RTO: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res) {
+		t.Fatal("custom pruner run diverges")
+	}
+	if rep.PrunerName != "distinct-FIFO" {
+		t.Fatalf("pruner = %s", rep.PrunerName)
+	}
+}
+
+func TestClusterRejectsMultiPassKinds(t *testing.T) {
+	orders, lineitem, err := workload.TPCHQ3(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{Kind: engine.KindJoin, Table: orders, Right: lineitem,
+		LeftKey: "o_orderkey", RightKey: "l_orderkey"}
+	if _, _, err := Run(q, nil, Config{Workers: 1}); err == nil {
+		t.Fatal("multi-pass kind accepted by single-pass cluster runner")
+	}
+}
+
+func TestClusterRejectsOversizedProgram(t *testing.T) {
+	q := distinctQuery(t, 100, 23)
+	// A matrix too large for the per-stage SRAM of the model.
+	p, err := prune.NewDistinct(prune.DistinctConfig{Rows: 1 << 22, Cols: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(q, p, Config{Workers: 1}); err == nil {
+		t.Fatal("oversized program admitted")
+	}
+}

@@ -1,0 +1,109 @@
+// Package core states the pruning abstraction that is the paper's
+// primary contribution (§3) and provides the checker the test suite uses
+// to certify implementations against it.
+//
+// Let Q(D) denote the result of query Q on data D. A pruning algorithm
+// A_Q maps D to a subset A_Q(D) ⊆ D such that
+//
+//	Q(A_Q(D)) = Q(D)            (deterministic guarantee), or
+//	Pr[Q(A_Q(D)) ≠ Q(D)] ≤ δ    (probabilistic guarantee, §5).
+//
+// Pruning decides per entry, online, under switch resource constraints;
+// the master completes the query on the survivors exactly as it would
+// on the full data. Crucially, every Cheetah algorithm also tolerates
+// *supersets*: forwarding extra entries (retransmitted duplicates, false
+// negatives of the caches) never changes Q's output — the property the
+// §7.2 reliability protocol relies on.
+//
+// The concrete algorithms live in internal/prune; this package owns only
+// the contract and its verification.
+package core
+
+import (
+	"fmt"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+)
+
+// Violation describes a failed pruning-invariant check.
+type Violation struct {
+	Query    string
+	Expected int // rows in Q(D)
+	Got      int // rows in Q(A(D))
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("core: pruning invariant violated for %s: Q(D) has %d rows, Q(A(D)) has %d",
+		v.Query, v.Expected, v.Got)
+}
+
+// VerifyPruning checks Q(A_Q(D)) = Q(D) for a query: it executes the
+// direct path (ground truth) and the pruned path with the given pruner
+// (nil selects the query kind's default) and compares canonical results.
+// For Randomized pruners a mismatch is a δ-event rather than a bug; the
+// returned Violation lets the caller decide.
+func VerifyPruning(q *engine.Query, p prune.Pruner, workers int, seed uint64) error {
+	want, err := engine.ExecDirect(q)
+	if err != nil {
+		return fmt.Errorf("core: direct execution: %w", err)
+	}
+	run, err := engine.ExecCheetah(q, engine.CheetahOptions{Workers: workers, Pruner: p, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("core: pruned execution: %w", err)
+	}
+	if !want.Equal(run.Result) {
+		return &Violation{Query: q.Kind.String(), Expected: len(want.Rows), Got: len(run.Result.Rows)}
+	}
+	return nil
+}
+
+// VerifySupersetTolerance checks the §7.2 requirement on a single-pass
+// query: completing the query on the survivors PLUS extra arbitrary rows
+// (simulating retransmitted duplicates of pruned packets) still yields
+// Q(D).
+func VerifySupersetTolerance(q *engine.Query, extraEvery int, workers int, seed uint64) error {
+	want, err := engine.ExecDirect(q)
+	if err != nil {
+		return err
+	}
+	entries, err := engine.EncodeEntries(q, workers, seed)
+	if err != nil {
+		return err
+	}
+	p, err := engine.DefaultPruner(q, seed)
+	if err != nil {
+		return err
+	}
+	var survivors []int
+	row := 0
+	for _, part := range entries {
+		for _, vals := range part {
+			id := int(vals[len(vals)-1])
+			if p.Process(vals[:len(vals)-1]) == 0 { // switchsim.Forward
+				survivors = append(survivors, id)
+			} else if extraEvery > 0 && row%extraEvery == 0 {
+				// A pruned packet whose retransmission reached the master.
+				survivors = append(survivors, id)
+			}
+			row++
+		}
+	}
+	if dr, ok := p.(prune.Drainer); ok {
+		width := len(entries[0][0]) - 1
+		for _, e := range dr.Drain() {
+			if len(e) > width {
+				survivors = append(survivors, int(e[width]))
+			}
+		}
+	}
+	got, err := engine.CompleteOnRows(q, survivors)
+	if err != nil {
+		return err
+	}
+	if !want.Equal(got) {
+		return &Violation{Query: q.Kind.String(), Expected: len(want.Rows), Got: len(got.Rows)}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/workload"
+)
+
+func queries(t *testing.T) []*engine.Query {
+	t.Helper()
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(8000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := workload.Rankings(8000, 5)
+	if err := rank.Shuffle(7); err != nil {
+		t.Fatal(err)
+	}
+	return []*engine.Query{
+		{Kind: engine.KindDistinct, Table: uv, DistinctCols: []string{"userAgent"}},
+		{Kind: engine.KindTopN, Table: uv, OrderCol: "adRevenue", N: 100},
+		{Kind: engine.KindGroupByMax, Table: uv, KeyCol: "languageCode", AggCol: "adRevenue"},
+		{Kind: engine.KindSkyline, Table: rank, SkylineCols: []string{"pageRank", "avgDuration"}},
+	}
+}
+
+func TestVerifyPruningHolds(t *testing.T) {
+	for _, q := range queries(t) {
+		if err := VerifyPruning(q, nil, 3, 11); err != nil {
+			t.Errorf("%v: %v", q.Kind, err)
+		}
+	}
+}
+
+func TestVerifyPruningDetectsViolation(t *testing.T) {
+	// A pruner that is WRONG for this query: DISTINCT pruning applied to
+	// TOP N drops duplicate order-by values, but the top-N result is a
+	// multiset — duplicates among the top values must survive.
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(5000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{Kind: engine.KindTopN, Table: uv, OrderCol: "adRevenue", N: 200}
+	bad, err := prune.NewDistinct(prune.DistinctConfig{Rows: 4096, Cols: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyPruning(q, bad, 2, 1)
+	if err == nil {
+		t.Fatal("under-provisioned pruner passed verification")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("want *Violation, got %T: %v", err, err)
+	}
+	if !strings.Contains(v.Error(), "topn") {
+		t.Fatalf("violation message: %v", v)
+	}
+}
+
+func TestVerifySupersetTolerance(t *testing.T) {
+	// §7.2: retransmitted duplicates of pruned packets reaching the
+	// master never change the output.
+	for _, q := range queries(t) {
+		if err := VerifySupersetTolerance(q, 7, 3, 13); err != nil {
+			t.Errorf("%v: %v", q.Kind, err)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestDefaultCostModelShapes(t *testing.T) {
+	cm := DefaultCostModel()
+	// Fig. 5 shape: on an aggregation-heavy query (DISTINCT at BigData
+	// scale) Cheetah beats Spark's subsequent runs; on a cheap filter it
+	// does not beat them.
+	const rows = 31_700_000
+	perWorker := []int{rows / 5, rows / 5, rows / 5, rows / 5, rows / 5}
+
+	sparkDistinct := cm.SparkTime(KindDistinct, perWorker, 8192, false, 10).Total()
+	sparkDistinct1st := cm.SparkTime(KindDistinct, perWorker, 8192, true, 10).Total()
+	cheetahDistinct := cm.CheetahTime(KindDistinct, Traffic{
+		EntriesSent: rows, Forwarded: 20_000, MasterProcessed: 20_000,
+	}, 10).Total()
+	if cheetahDistinct >= sparkDistinct {
+		t.Fatalf("DISTINCT: Cheetah %.2fs not faster than Spark %.2fs", cheetahDistinct, sparkDistinct)
+	}
+	if sparkDistinct1st <= sparkDistinct {
+		t.Fatal("first run must be slower than subsequent runs")
+	}
+	// Paper: 40-200% improvement → ratio 1.4–3.0 vs subsequent runs.
+	ratio := sparkDistinct / cheetahDistinct
+	if ratio < 1.2 || ratio > 5 {
+		t.Fatalf("DISTINCT speedup ratio %.2f outside plausible band", ratio)
+	}
+
+	// Filter: Cheetah roughly matches Spark's 1st run but loses to
+	// subsequent runs (§8.2.1).
+	const frows = 18_000_000
+	fPerWorker := []int{frows / 5, frows / 5, frows / 5, frows / 5, frows / 5}
+	sparkFilter := cm.SparkTime(KindFilter, fPerWorker, 100, false, 10).Total()
+	sparkFilter1st := cm.SparkTime(KindFilter, fPerWorker, 100, true, 10).Total()
+	cheetahFilter := cm.CheetahTime(KindFilter, Traffic{
+		EntriesSent: frows, Forwarded: frows / 100, MasterProcessed: frows / 100,
+	}, 10).Total()
+	if cheetahFilter <= sparkFilter {
+		t.Fatalf("filter: Cheetah %.2fs should NOT beat warm Spark %.2fs", cheetahFilter, sparkFilter)
+	}
+	if cheetahFilter > sparkFilter1st*1.6 {
+		t.Fatalf("filter: Cheetah %.2fs should be comparable to Spark 1st %.2fs", cheetahFilter, sparkFilter1st)
+	}
+}
+
+func TestCheetahTimeNetworkBound(t *testing.T) {
+	// §8.2.3: doubling the NIC to 20G nearly halves Cheetah's completion
+	// time — the network is the bottleneck.
+	cm := DefaultCostModel()
+	tr := Traffic{EntriesSent: 31_700_000, Forwarded: 10_000, MasterProcessed: 10_000}
+	t10 := cm.CheetahTime(KindDistinct, tr, 10)
+	t20 := cm.CheetahTime(KindDistinct, tr, 20)
+	improve := t10.Total() / t20.Total()
+	if improve < 1.6 || improve > 2.2 {
+		t.Fatalf("20G improvement = %.2fx, want ≈2x", improve)
+	}
+	if t10.Network < t10.Computation {
+		t.Fatal("Cheetah must be network-dominated at 10G (Fig. 8)")
+	}
+}
+
+func TestSparkTimeNotNetworkBound(t *testing.T) {
+	// Fig. 8: Spark does not improve with a faster NIC.
+	cm := DefaultCostModel()
+	perWorker := []int{6_340_000, 6_340_000, 6_340_000, 6_340_000, 6_340_000}
+	s10 := cm.SparkTime(KindDistinct, perWorker, 8192, false, 10)
+	s20 := cm.SparkTime(KindDistinct, perWorker, 8192, false, 20)
+	if s10.Total()/s20.Total() > 1.05 {
+		t.Fatalf("Spark improved %.2fx with faster NIC; should be compute-bound",
+			s10.Total()/s20.Total())
+	}
+	if s10.Computation < s10.Network {
+		t.Fatal("Spark must be compute-dominated")
+	}
+}
+
+func TestMasterBlockingLatencySuperlinear(t *testing.T) {
+	// Fig. 9: latency grows super-linearly in the unpruned fraction and
+	// TOP N stays far below DISTINCT.
+	cm := DefaultCostModel()
+	const total = 31_700_000
+	lat := func(q QueryKind, u float64) float64 {
+		return cm.MasterBlockingLatency(q, total, u, 10)
+	}
+	// Super-linearity: slope on [0.4, 0.5] exceeds slope on [0.1, 0.2].
+	lo := lat(KindDistinct, 0.2) - lat(KindDistinct, 0.1)
+	hi := lat(KindDistinct, 0.5) - lat(KindDistinct, 0.4)
+	if hi <= lo {
+		t.Fatalf("latency not superlinear: early slope %.3f, late slope %.3f", lo, hi)
+	}
+	if lat(KindTopN, 0.5) >= lat(KindDistinct, 0.5) {
+		t.Fatal("TOP N (heap) must stay below DISTINCT")
+	}
+	// Magnitudes in the paper's range: DISTINCT at 0.5 is O(10s).
+	if l := lat(KindDistinct, 0.5); l < 2 || l > 30 {
+		t.Fatalf("DISTINCT latency at 0.5 = %.1fs, outside Fig. 9's range", l)
+	}
+	if lat(KindDistinct, 0) != 0 {
+		t.Fatal("zero unpruned must cost zero")
+	}
+}
+
+func TestNetAccelDrainGrowsWithResult(t *testing.T) {
+	// Fig. 7: the NetAccel lower bound grows linearly with result size
+	// and dominates Cheetah's streaming result movement.
+	cm := DefaultCostModel()
+	small := cm.NetAccelDrainTime(10_000)
+	large := cm.NetAccelDrainTime(600_000)
+	if large <= small {
+		t.Fatal("drain time must grow")
+	}
+	if large < 0.5 || large > 0.7 {
+		t.Fatalf("drain of 600k entries = %.3fs, Fig. 7 tops out ≈0.6s", large)
+	}
+	if che := cm.CheetahResultMoveTime(600_000, 10); che >= large {
+		t.Fatalf("Cheetah result move %.3fs must undercut NetAccel drain %.3fs", che, large)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{Computation: 1, Network: 2, Other: 0.5}
+	if b.Total() != 3.5 {
+		t.Fatal("Total")
+	}
+}
+
+func TestCheetahTimeDefaultNIC(t *testing.T) {
+	cm := DefaultCostModel()
+	tr := Traffic{EntriesSent: 1000, Forwarded: 10, MasterProcessed: 10}
+	if cm.CheetahTime(KindTopN, tr, 0).Total() <= 0 {
+		t.Fatal("zero NIC speed must fall back to 10G")
+	}
+	if cm.MasterBlockingLatency(KindTopN, 1000, 0.5, 0) < 0 {
+		t.Fatal("latency must be non-negative")
+	}
+	if cm.SparkTime(KindTopN, []int{100}, 10, false, 0).Total() <= 0 {
+		t.Fatal("Spark zero NIC fallback")
+	}
+}
+
+func TestSparkAPlusBPipelining(t *testing.T) {
+	// §8.2.1: Cheetah executes A+B faster than the sum of A and B because
+	// serialization is shared. The model exposes this as: one combined
+	// pass sends the table once, not twice.
+	cm := DefaultCostModel()
+	const rows = 10_000_000
+	single := cm.CheetahTime(KindFilter, Traffic{EntriesSent: rows, Forwarded: rows / 10, MasterProcessed: rows / 10}, 10).Total() +
+		cm.CheetahTime(KindGroupBySum, Traffic{EntriesSent: rows, Forwarded: 1000, MasterProcessed: 1000}, 10).Total()
+	combined := cm.CheetahTime(KindGroupBySum, Traffic{EntriesSent: rows, Forwarded: rows / 10, MasterProcessed: rows / 10}, 10).Total()
+	if combined >= single {
+		t.Fatalf("combined A+B %.2fs not faster than sequential %.2fs", combined, single)
+	}
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+
+	"cheetah/internal/cache"
+	"cheetah/internal/prune"
+)
+
+// This file exposes the CWorker-side entry encoding and master-side
+// completion used by the engine's in-process Cheetah path, so the
+// cluster layer can run the same queries over the real transport.
+
+// EncodeEntries serializes the query's relevant columns into per-worker
+// entry streams, one []uint64 per row with the global row id appended as
+// the final value (the late-materialization handle). Only single-pass
+// query kinds are supported here; JOIN and HAVING run their multi-pass
+// protocols inside ExecCheetah.
+func EncodeEntries(q *Query, workers int, seed uint64) ([][][]uint64, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	n := q.Table.NumRows()
+	out := make([][][]uint64, workers)
+	starts := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		starts[i] = i * n / workers
+	}
+	encodeRow, width, err := rowEncoder(q, seed)
+	if err != nil {
+		return nil, err
+	}
+	for w := 0; w < workers; w++ {
+		part := make([][]uint64, 0, starts[w+1]-starts[w])
+		for r := starts[w]; r < starts[w+1]; r++ {
+			vals := make([]uint64, width+1)
+			encodeRow(r, vals)
+			vals[width] = uint64(r)
+			part = append(part, vals)
+		}
+		out[w] = part
+	}
+	return out, nil
+}
+
+// rowEncoder returns a function filling vals[0:width] for a row.
+func rowEncoder(q *Query, seed uint64) (func(r int, vals []uint64), int, error) {
+	switch q.Kind {
+	case KindFilter:
+		cols := make([]int, len(q.Predicates))
+		for i, p := range q.Predicates {
+			cols[i] = q.Table.Schema().MustIndex(p.Col)
+		}
+		preds := q.Predicates
+		return func(r int, vals []uint64) {
+			for i := range preds {
+				if preds[i].SwitchSupported() {
+					vals[i] = uint64(q.Table.Int64At(cols[i], r))
+				} else if preds[i].Eval(q.Table, cols[i], r) {
+					vals[i] = 1
+				} else {
+					vals[i] = 0
+				}
+			}
+		}, len(preds), nil
+	case KindDistinct:
+		cols := make([]int, len(q.DistinctCols))
+		for i, c := range q.DistinctCols {
+			cols[i] = q.Table.Schema().MustIndex(c)
+		}
+		return func(r int, vals []uint64) {
+			vals[0] = fingerprintRow(q.Table, cols, r, seed)
+		}, 1, nil
+	case KindTopN:
+		col := q.Table.Schema().MustIndex(q.OrderCol)
+		return func(r int, vals []uint64) {
+			vals[0] = uint64(q.Table.Int64At(col, r))
+		}, 1, nil
+	case KindGroupByMax:
+		kc := q.Table.Schema().MustIndex(q.KeyCol)
+		vc := q.Table.Schema().MustIndex(q.AggCol)
+		return func(r int, vals []uint64) {
+			vals[0] = fingerprintRow(q.Table, []int{kc}, r, seed)
+			vals[1] = uint64(q.Table.Int64At(vc, r))
+		}, 2, nil
+	case KindSkyline:
+		cols := make([]int, len(q.SkylineCols))
+		for i, c := range q.SkylineCols {
+			cols[i] = q.Table.Schema().MustIndex(c)
+		}
+		return func(r int, vals []uint64) {
+			for i, c := range cols {
+				vals[i] = uint64(q.Table.Int64At(c, r))
+			}
+		}, len(cols), nil
+	default:
+		return nil, 0, fmt.Errorf("engine: EncodeEntries does not support %v (multi-pass kind)", q.Kind)
+	}
+}
+
+// DefaultPruner builds the default switch program for a single-pass
+// query kind, matching ExecCheetah's defaults.
+func DefaultPruner(q *Query, seed uint64) (prune.Pruner, error) {
+	switch q.Kind {
+	case KindFilter:
+		sPreds := make([]prune.Predicate, len(q.Predicates))
+		for i, p := range q.Predicates {
+			if p.SwitchSupported() {
+				sPreds[i] = prune.Predicate{ValIdx: i, Op: p.Op, Const: p.Const}
+			} else {
+				sPreds[i] = prune.Predicate{ValIdx: i, Precomputed: true}
+			}
+		}
+		return prune.NewFilter(prune.FilterConfig{Predicates: sPreds, Formula: q.Formula})
+	case KindDistinct:
+		return prune.NewDistinct(prune.DistinctConfig{
+			Rows: 4096, Cols: 2, Policy: cache.LRU, FingerprintBits: 64, Seed: seed,
+		})
+	case KindTopN:
+		w, err := prune.TopNColumnsFor(4096, q.N, 1e-4)
+		if err != nil {
+			w = 4
+		}
+		return prune.NewRandTopN(prune.RandTopNConfig{N: q.N, Rows: 4096, Cols: w, Seed: seed})
+	case KindGroupByMax:
+		return prune.NewGroupBy(prune.GroupByConfig{Rows: 4096, Cols: 8, Seed: seed})
+	case KindSkyline:
+		return prune.NewSkyline(prune.SkylineConfig{
+			Dims: len(q.SkylineCols), Points: 10, Heuristic: prune.SkylineAPH,
+		})
+	default:
+		return nil, fmt.Errorf("engine: no default single-pass pruner for %v", q.Kind)
+	}
+}
+
+// CompleteOnRows finishes a single-pass query at the master given the
+// surviving global row indices (duplicates allowed — the reliability
+// protocol may deliver retransmissions of pruned packets, §7.2).
+func CompleteOnRows(q *Query, rows []int) (*Result, error) {
+	return completeOnRows(q, rows)
+}

@@ -1,0 +1,289 @@
+// Package engine implements the query execution substrate Cheetah plugs
+// into: a Spark-SQL-like engine with columnar partitions, worker tasks
+// and a master that completes queries — plus the Cheetah execution path
+// where workers serialize entries, the switch prunes them, and the master
+// finishes the query on the surviving subset (§3). A calibrated cost
+// model (cost.go) converts measured entry counts into completion times
+// with the paper's bottleneck structure.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cheetah/internal/boolexpr"
+	"cheetah/internal/prune"
+	"cheetah/internal/table"
+)
+
+// QueryKind enumerates the query shapes Cheetah offloads (§4).
+type QueryKind uint8
+
+const (
+	// KindFilter is SELECT * WHERE <formula>.
+	KindFilter QueryKind = iota
+	// KindDistinct is SELECT DISTINCT cols.
+	KindDistinct
+	// KindTopN is SELECT TOP n ... ORDER BY col.
+	KindTopN
+	// KindGroupByMax is SELECT key, MAX(val) GROUP BY key.
+	KindGroupByMax
+	// KindGroupBySum is SELECT key, SUM(val) GROUP BY key.
+	KindGroupBySum
+	// KindHaving is SELECT key GROUP BY key HAVING SUM(val) > c.
+	KindHaving
+	// KindJoin is SELECT * FROM a JOIN b ON a.k = b.k.
+	KindJoin
+	// KindSkyline is SELECT ... SKYLINE OF cols.
+	KindSkyline
+)
+
+// String renders the kind.
+func (k QueryKind) String() string {
+	switch k {
+	case KindFilter:
+		return "filter"
+	case KindDistinct:
+		return "distinct"
+	case KindTopN:
+		return "topn"
+	case KindGroupByMax:
+		return "groupby-max"
+	case KindGroupBySum:
+		return "groupby-sum"
+	case KindHaving:
+		return "having"
+	case KindJoin:
+		return "join"
+	case KindSkyline:
+		return "skyline"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// FilterPred is one WHERE predicate over a named column: either a numeric
+// comparison the switch can evaluate, or a LIKE pattern it cannot (the
+// CWorker precomputes those, §4.1).
+type FilterPred struct {
+	Col   string
+	Op    prune.CmpOp
+	Const int64
+	// Like, when non-empty, makes this a string LIKE predicate with %
+	// wildcards; Op/Const are ignored.
+	Like string
+}
+
+// SwitchSupported reports whether the switch can evaluate the predicate.
+func (p FilterPred) SwitchSupported() bool { return p.Like == "" }
+
+// MatchLike implements SQL LIKE with % wildcards (no escapes, no _).
+func MatchLike(s, pattern string) bool {
+	parts := strings.Split(pattern, "%")
+	if len(parts) == 1 {
+		return s == pattern
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		i := strings.Index(s, mid)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(mid):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// Eval evaluates the predicate against row r of t.
+func (p FilterPred) Eval(t *table.Table, col int, r int) bool {
+	if p.Like != "" {
+		return MatchLike(t.StringAt(col, r), p.Like)
+	}
+	v := t.Int64At(col, r)
+	switch p.Op {
+	case prune.OpGT:
+		return v > p.Const
+	case prune.OpGE:
+		return v >= p.Const
+	case prune.OpLT:
+		return v < p.Const
+	case prune.OpLE:
+		return v <= p.Const
+	case prune.OpEQ:
+		return v == p.Const
+	case prune.OpNE:
+		return v != p.Const
+	default:
+		return false
+	}
+}
+
+// Query is a declarative query spec consumed by both execution paths.
+type Query struct {
+	Kind  QueryKind
+	Table *table.Table
+	// Right is the probe-side table for KindJoin.
+	Right *table.Table
+
+	// Filter fields.
+	Predicates []FilterPred
+	Formula    boolexpr.Expr // leaves index Predicates
+	CountOnly  bool          // SELECT COUNT(*): result is a single count row
+
+	// Distinct fields.
+	DistinctCols []string
+
+	// TopN fields.
+	OrderCol string
+	N        int
+
+	// GroupBy / Having fields.
+	KeyCol    string
+	AggCol    string
+	Threshold int64
+
+	// Join fields.
+	LeftKey, RightKey string
+
+	// Skyline fields.
+	SkylineCols []string
+}
+
+// Validate checks the spec against its table schemas.
+func (q *Query) Validate() error {
+	if q.Table == nil {
+		return fmt.Errorf("engine: query needs a table")
+	}
+	s := q.Table.Schema()
+	need := func(col string) error {
+		if s.Index(col) < 0 {
+			return fmt.Errorf("engine: unknown column %q", col)
+		}
+		return nil
+	}
+	switch q.Kind {
+	case KindFilter:
+		if len(q.Predicates) == 0 || q.Formula == nil {
+			return fmt.Errorf("engine: filter query needs predicates and a formula")
+		}
+		for _, p := range q.Predicates {
+			if err := need(p.Col); err != nil {
+				return err
+			}
+		}
+		for _, v := range boolexpr.Vars(q.Formula) {
+			if v < 0 || v >= len(q.Predicates) {
+				return fmt.Errorf("engine: formula references predicate %d of %d", v, len(q.Predicates))
+			}
+		}
+	case KindDistinct:
+		if len(q.DistinctCols) == 0 {
+			return fmt.Errorf("engine: distinct query needs columns")
+		}
+		for _, c := range q.DistinctCols {
+			if err := need(c); err != nil {
+				return err
+			}
+		}
+	case KindTopN:
+		if q.N <= 0 {
+			return fmt.Errorf("engine: top-n needs N > 0")
+		}
+		if err := need(q.OrderCol); err != nil {
+			return err
+		}
+	case KindGroupByMax, KindGroupBySum:
+		if err := need(q.KeyCol); err != nil {
+			return err
+		}
+		if err := need(q.AggCol); err != nil {
+			return err
+		}
+	case KindHaving:
+		if err := need(q.KeyCol); err != nil {
+			return err
+		}
+		if err := need(q.AggCol); err != nil {
+			return err
+		}
+		if q.Threshold < 0 {
+			return fmt.Errorf("engine: having threshold must be non-negative")
+		}
+	case KindJoin:
+		if q.Right == nil {
+			return fmt.Errorf("engine: join needs a right table")
+		}
+		if err := need(q.LeftKey); err != nil {
+			return err
+		}
+		if q.Right.Schema().Index(q.RightKey) < 0 {
+			return fmt.Errorf("engine: unknown right column %q", q.RightKey)
+		}
+	case KindSkyline:
+		if len(q.SkylineCols) < 2 {
+			return fmt.Errorf("engine: skyline needs at least two dimensions")
+		}
+		for _, c := range q.SkylineCols {
+			if err := need(c); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("engine: unknown query kind %d", q.Kind)
+	}
+	return nil
+}
+
+// Result is a canonical query result: column names plus textual rows,
+// sorted for order-insensitive comparison.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Sort orders rows lexicographically, making results comparable.
+func (r *Result) Sort() {
+	rowKey := func(row []string) string { return strings.Join(row, "\x00") }
+	sort.Slice(r.Rows, func(i, j int) bool { return rowKey(r.Rows[i]) < rowKey(r.Rows[j]) })
+}
+
+// Equal reports whether two sorted results match exactly.
+func (r *Result) Equal(o *Result) bool {
+	if o == nil || len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range r.Rows {
+		if len(r.Rows[i]) != len(o.Rows[i]) {
+			return false
+		}
+		for j := range r.Rows[i] {
+			if r.Rows[i][j] != o.Rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the result compactly for examples and debugging.
+func (r *Result) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Columns, " | "))
+	b.WriteByte('\n')
+	for i, row := range r.Rows {
+		if i >= 20 {
+			fmt.Fprintf(&b, "... (%d rows total)\n", len(r.Rows))
+			break
+		}
+		b.WriteString(strings.Join(row, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

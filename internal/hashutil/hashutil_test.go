@@ -1,0 +1,189 @@
+package hashutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownSequence(t *testing.T) {
+	// Reference values for seed 0 from the SplitMix64 reference
+	// implementation (Vigna). The first output of splitmix64(0) is
+	// 0xe220a8397b1dcdaf.
+	got := SplitMix64(0)
+	const want = uint64(0xe220a8397b1dcdaf)
+	if got != want {
+		t.Fatalf("SplitMix64(0) = %#x, want %#x", got, want)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d) == %#x", i, prev, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestHash64MatchesStringVariant(t *testing.T) {
+	cases := []string{"", "a", "abcd", "abcdefg", "abcdefgh", "hello world",
+		"0123456789abcdef0123456789abcdef-and-more-bytes-to-cross-32"}
+	for _, s := range cases {
+		for _, seed := range []uint64{0, 1, 0xdeadbeef} {
+			if Hash64([]byte(s), seed) != HashString64(s, seed) {
+				t.Errorf("Hash64 != HashString64 for %q seed %d", s, seed)
+			}
+		}
+	}
+}
+
+func TestHash64SeedSensitivity(t *testing.T) {
+	b := []byte("cheetah")
+	if Hash64(b, 1) == Hash64(b, 2) {
+		t.Fatal("different seeds produced identical hashes")
+	}
+}
+
+func TestHash64PropertyDeterministic(t *testing.T) {
+	f := func(b []byte, seed uint64) bool {
+		return Hash64(b, seed) == Hash64(b, seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashString64PropertyMatchesBytes(t *testing.T) {
+	f := func(s string, seed uint64) bool {
+		return HashString64(s, seed) == Hash64([]byte(s), seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFamilyIndependence(t *testing.T) {
+	f := NewFamily(4, 42)
+	if f.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", f.Size())
+	}
+	// Members must differ on a fixed input.
+	seen := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		h := f.Uint64(i, 12345)
+		if seen[h] {
+			t.Fatalf("family members %d collide on fixed input", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestFamilyPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFamily(0) did not panic")
+		}
+	}()
+	NewFamily(0, 1)
+}
+
+func TestReduceRange(t *testing.T) {
+	f := func(h uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := Reduce(h, m)
+		return r >= 0 && r < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceFullRange(t *testing.T) {
+	f := func(h uint64, n uint32) bool {
+		m := uint64(n%100000) + 1
+		r := ReduceFull(h, m)
+		return r < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceUniformity(t *testing.T) {
+	// Chi-squared sanity check: hash 0..N-1 into 16 buckets; each bucket
+	// should be near N/16.
+	const n = 1 << 16
+	const buckets = 16
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[Reduce(HashUint64(uint64(i), 7), buckets)]++
+	}
+	want := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - want
+		chi2 += d * d / want
+	}
+	// 15 degrees of freedom; 99.99% quantile is ~44.3. Allow generous slack.
+	if chi2 > 60 {
+		t.Fatalf("hash distribution too skewed: chi2 = %f", chi2)
+	}
+}
+
+func TestHashUint64AvalancheRough(t *testing.T) {
+	// Flipping one input bit should flip ~32 output bits on average.
+	var totalFlips, trials int
+	for i := uint64(1); i < 64; i++ {
+		base := HashUint64(0xABCDEF, 9)
+		flipped := HashUint64(0xABCDEF^(1<<i), 9)
+		diff := base ^ flipped
+		totalFlips += popcount(diff)
+		trials++
+	}
+	avg := float64(totalFlips) / float64(trials)
+	if math.Abs(avg-32) > 6 {
+		t.Fatalf("weak avalanche: average %.1f bits flipped, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func BenchmarkHashUint64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= HashUint64(uint64(i), 1)
+	}
+	_ = sink
+}
+
+func BenchmarkHashString64Short(b *testing.B) {
+	var sink uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink ^= HashString64("api.example.com/path", 1)
+	}
+	_ = sink
+}
+
+func BenchmarkHash64_64B(b *testing.B) {
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	b.SetBytes(64)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash64(buf, 1)
+	}
+	_ = sink
+}

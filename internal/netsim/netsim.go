@@ -1,0 +1,141 @@
+// Package netsim provides the in-memory network used to exercise
+// Cheetah's communication protocol under controlled loss. Endpoints are
+// named mailboxes connected by a shared Network that applies
+// deterministic, seeded per-link loss — so protocol tests reproduce
+// exactly across runs, the property the reliability protocol of §7.2 is
+// designed around (distinguishing switch-pruned packets from genuinely
+// lost ones).
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"cheetah/internal/hashutil"
+)
+
+// Message is one frame delivered to an endpoint.
+type Message struct {
+	From string
+	Data []byte
+}
+
+// Network connects named endpoints with per-link loss injection.
+type Network struct {
+	mu        sync.Mutex
+	eps       map[string]*Endpoint
+	loss      map[[2]string]float64
+	rng       uint64
+	delivered uint64
+	dropped   uint64
+	overflow  uint64
+}
+
+// New creates a network whose loss decisions derive from seed.
+func New(seed uint64) *Network {
+	return &Network{
+		eps:  make(map[string]*Endpoint),
+		loss: make(map[[2]string]float64),
+		rng:  seed ^ 0x636865657461686e,
+	}
+}
+
+// Endpoint creates (or returns) the named endpoint with the given inbox
+// capacity. Capacity applies only at creation.
+func (n *Network) Endpoint(name string, capacity int) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.eps[name]; ok {
+		return ep
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	ep := &Endpoint{name: name, inbox: make(chan Message, capacity), net: n}
+	n.eps[name] = ep
+	return ep
+}
+
+// SetLoss sets the drop probability for frames from → to (0 ≤ rate ≤ 1).
+func (n *Network) SetLoss(from, to string, rate float64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("netsim: loss rate %v out of [0,1]", rate)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss[[2]string{from, to}] = rate
+	return nil
+}
+
+// SetLossBoth sets loss in both directions between a and b.
+func (n *Network) SetLossBoth(a, b string, rate float64) error {
+	if err := n.SetLoss(a, b, rate); err != nil {
+		return err
+	}
+	return n.SetLoss(b, a, rate)
+}
+
+// Stats reports delivered, loss-dropped and overflow-dropped frames.
+func (n *Network) Stats() (delivered, dropped, overflow uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered, n.dropped, n.overflow
+}
+
+// send routes a frame, applying loss. A full inbox drops the frame
+// (counted separately), modelling receiver queue overflow.
+func (n *Network) send(from, to string, data []byte) error {
+	n.mu.Lock()
+	dst, ok := n.eps[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("netsim: unknown endpoint %q", to)
+	}
+	rate := n.loss[[2]string{from, to}]
+	drop := false
+	if rate > 0 {
+		n.rng = hashutil.SplitMix64(n.rng)
+		drop = float64(n.rng>>11)/float64(1<<53) < rate
+	}
+	if drop {
+		n.dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	// Copy: senders reuse their serialization buffers.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	msg := Message{From: from, Data: cp}
+	n.mu.Unlock()
+
+	select {
+	case dst.inbox <- msg:
+		n.mu.Lock()
+		n.delivered++
+		n.mu.Unlock()
+	default:
+		n.mu.Lock()
+		n.overflow++
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// Endpoint is a named mailbox on a Network.
+type Endpoint struct {
+	name  string
+	inbox chan Message
+	net   *Network
+}
+
+// Name returns the endpoint's address.
+func (e *Endpoint) Name() string { return e.name }
+
+// Send transmits data to the named endpoint, subject to link loss.
+// The data slice is copied and may be reused immediately.
+func (e *Endpoint) Send(to string, data []byte) error {
+	return e.net.send(e.name, to, data)
+}
+
+// Inbox returns the receive channel.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }

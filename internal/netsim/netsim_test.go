@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestSendReceive(t *testing.T) {
+	n := New(1)
+	a := n.Endpoint("a", 4)
+	b := n.Endpoint("b", 4)
+	if err := a.Send("b", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-b.Inbox()
+	if msg.From != "a" || len(msg.Data) != 3 || msg.Data[0] != 1 {
+		t.Fatalf("got %+v", msg)
+	}
+	if a.Name() != "a" {
+		t.Fatal("Name")
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	n := New(1)
+	a := n.Endpoint("a", 4)
+	b := n.Endpoint("b", 4)
+	buf := []byte{7}
+	_ = a.Send("b", buf)
+	buf[0] = 9 // sender reuses its buffer
+	msg := <-b.Inbox()
+	if msg.Data[0] != 7 {
+		t.Fatal("payload not copied")
+	}
+}
+
+func TestUnknownEndpoint(t *testing.T) {
+	n := New(1)
+	a := n.Endpoint("a", 4)
+	if err := a.Send("ghost", []byte{1}); err == nil {
+		t.Fatal("send to unknown endpoint accepted")
+	}
+}
+
+func TestEndpointIdempotent(t *testing.T) {
+	n := New(1)
+	a1 := n.Endpoint("a", 4)
+	a2 := n.Endpoint("a", 99)
+	if a1 != a2 {
+		t.Fatal("same name returned different endpoints")
+	}
+}
+
+func TestLossDeterministic(t *testing.T) {
+	run := func() (delivered uint64) {
+		n := New(42)
+		a := n.Endpoint("a", 10000)
+		_ = a
+		n.Endpoint("b", 10000)
+		if err := n.SetLoss("a", "b", 0.3); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			_ = a.Send("b", []byte{byte(i)})
+		}
+		d, _, _ := n.Stats()
+		return d
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("loss not deterministic: %d vs %d", d1, d2)
+	}
+	if d1 > 800 || d1 < 600 {
+		t.Fatalf("delivered %d of 1000 at 30%% loss", d1)
+	}
+}
+
+func TestLossValidation(t *testing.T) {
+	n := New(1)
+	if err := n.SetLoss("a", "b", 1.5); err == nil {
+		t.Fatal("rate 1.5 accepted")
+	}
+	if err := n.SetLoss("a", "b", -0.1); err == nil {
+		t.Fatal("rate -0.1 accepted")
+	}
+	if err := n.SetLossBoth("a", "b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullLossDropsEverything(t *testing.T) {
+	n := New(3)
+	a := n.Endpoint("a", 16)
+	b := n.Endpoint("b", 16)
+	_ = n.SetLoss("a", "b", 1.0)
+	for i := 0; i < 10; i++ {
+		_ = a.Send("b", []byte{1})
+	}
+	select {
+	case <-b.Inbox():
+		t.Fatal("frame survived 100% loss")
+	default:
+	}
+	_, dropped, _ := n.Stats()
+	if dropped != 10 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}
+
+func TestOverflowCounted(t *testing.T) {
+	n := New(1)
+	a := n.Endpoint("a", 4)
+	n.Endpoint("tiny", 1)
+	for i := 0; i < 5; i++ {
+		_ = a.Send("tiny", []byte{1})
+	}
+	_, _, overflow := n.Stats()
+	if overflow != 4 {
+		t.Fatalf("overflow = %d, want 4", overflow)
+	}
+}
+
+func TestLossDirectional(t *testing.T) {
+	n := New(9)
+	a := n.Endpoint("a", 16)
+	b := n.Endpoint("b", 16)
+	_ = n.SetLoss("a", "b", 1.0)
+	// b → a unaffected.
+	_ = b.Send("a", []byte{5})
+	msg := <-a.Inbox()
+	if msg.Data[0] != 5 {
+		t.Fatal("reverse direction affected")
+	}
+}

@@ -1,0 +1,265 @@
+package prune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cheetah/internal/cache"
+	"cheetah/internal/hashutil"
+	"cheetah/internal/switchsim"
+)
+
+func TestDistinctConstructorValidation(t *testing.T) {
+	if _, err := NewDistinct(DistinctConfig{Rows: 0, Cols: 2}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := NewDistinct(DistinctConfig{Rows: 2, Cols: 0}); err == nil {
+		t.Fatal("w=0 accepted")
+	}
+	if _, err := NewDistinct(DistinctConfig{Rows: 2, Cols: 2, FingerprintBits: 65}); err == nil {
+		t.Fatal("fingerprint 65 bits accepted")
+	}
+	if _, err := NewDistinct(DistinctConfig{Rows: 2, Cols: 2, ALUsPerStage: -1}); err == nil {
+		t.Fatal("negative ALUs accepted")
+	}
+}
+
+func TestDistinctNeverPrunesFirstOccurrence(t *testing.T) {
+	// The pruning invariant for DISTINCT: a pruned entry is always a
+	// duplicate, so the forwarded set contains every distinct value and
+	// Q(A(D)) = Q(D).
+	p, err := NewDistinct(DistinctConfig{Rows: 64, Cols: 2, Policy: cache.FIFO, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(stream []uint16) bool {
+		p.Reset()
+		seen := map[uint64]bool{}
+		forwarded := map[uint64]bool{}
+		for _, x := range stream {
+			v := uint64(x % 512)
+			dec := p.Process([]uint64{v})
+			if dec == switchsim.Prune && !seen[v] {
+				return false // pruned a first occurrence
+			}
+			if dec == switchsim.Forward {
+				forwarded[v] = true
+			}
+			seen[v] = true
+		}
+		// Every distinct value must have been forwarded at least once.
+		for v := range seen {
+			if !forwarded[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctLRUInvariant(t *testing.T) {
+	p, _ := NewDistinct(DistinctConfig{Rows: 16, Cols: 2, Policy: cache.LRU, Seed: 3})
+	f := func(stream []uint16) bool {
+		p.Reset()
+		seen := map[uint64]bool{}
+		for _, x := range stream {
+			v := uint64(x % 256)
+			if p.Process([]uint64{v}) == switchsim.Prune && !seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctPrunesAllDuplicatesWhenFits(t *testing.T) {
+	// Fig. 10a: with w=2, d=4096 Cheetah prunes all duplicates when the
+	// distinct count is far below capacity.
+	run := func(distinct uint64) float64 {
+		p, _ := NewDistinct(DistinctConfig{Rows: 4096, Cols: 2, Policy: cache.LRU, Seed: 5})
+		const total = 200_000
+		s := uint64(99)
+		dupes, prunedDupes := 0, 0
+		seen := map[uint64]bool{}
+		for i := 0; i < total; i++ {
+			s = hashutil.SplitMix64(s)
+			v := s % distinct
+			isDup := seen[v]
+			seen[v] = true
+			dec := p.Process([]uint64{v})
+			if isDup {
+				dupes++
+				if dec == switchsim.Prune {
+					prunedDupes++
+				}
+			}
+		}
+		return float64(prunedDupes) / float64(dupes)
+	}
+	// D=200 into 4096 rows: w.h.p. no row holds >2 distinct values, so
+	// every duplicate is pruned.
+	if rate := run(200); rate < 0.9999 {
+		t.Fatalf("D=200 duplicate prune rate %.5f, want ~1.0", rate)
+	}
+	// D=2000: a few rows exceed w=2 by balls-in-bins and churn, but the
+	// rate stays very high.
+	if rate := run(2000); rate < 0.95 {
+		t.Fatalf("D=2000 duplicate prune rate %.4f, want ≥0.95", rate)
+	}
+}
+
+func TestDistinctTheorem1Bound(t *testing.T) {
+	// Paper example: D=15000, d=1000, w=24 → expected prune of duplicates
+	// ≥ 58%. Random-order stream.
+	const D = 15000
+	const d = 1000
+	const w = 24
+	bound := ExpectedDistinctPruneFraction(D, d, w)
+	if math.Abs(bound-0.5827) > 0.01 {
+		t.Fatalf("Theorem 1 bound = %v, paper says ≈0.58", bound)
+	}
+	p, _ := NewDistinct(DistinctConfig{Rows: d, Cols: w, Policy: cache.LRU, Seed: 11})
+	// Random-order stream: 10 occurrences of each of D values, shuffled.
+	const reps = 10
+	stream := make([]uint64, 0, D*reps)
+	for v := 0; v < D; v++ {
+		for r := 0; r < reps; r++ {
+			stream = append(stream, uint64(v))
+		}
+	}
+	s := uint64(7)
+	for i := len(stream) - 1; i > 0; i-- {
+		s = hashutil.SplitMix64(s)
+		j := int(hashutil.ReduceFull(s, uint64(i+1)))
+		stream[i], stream[j] = stream[j], stream[i]
+	}
+	seen := map[uint64]bool{}
+	dupes, prunedDupes := 0, 0
+	for _, v := range stream {
+		isDup := seen[v]
+		seen[v] = true
+		if p.Process([]uint64{v}) == switchsim.Prune {
+			prunedDupes++
+		}
+		if isDup {
+			dupes++
+		}
+	}
+	rate := float64(prunedDupes) / float64(dupes)
+	if rate < bound-0.05 {
+		t.Fatalf("measured duplicate prune rate %.3f below Theorem 1 bound %.3f", rate, bound)
+	}
+}
+
+func TestDistinctStatsAndName(t *testing.T) {
+	p, _ := NewDistinct(DistinctConfig{Rows: 8, Cols: 2, Policy: cache.FIFO, Seed: 1})
+	p.Process([]uint64{1})
+	p.Process([]uint64{1})
+	st := p.Stats()
+	if st.Processed != 2 || st.Pruned != 1 || st.Forwarded() != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PruneRate() != 0.5 || st.UnprunedRate() != 0.5 {
+		t.Fatalf("rates = %v, %v", st.PruneRate(), st.UnprunedRate())
+	}
+	if p.Name() != "distinct-FIFO" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if p.Guarantee() != Deterministic {
+		t.Fatal("exact distinct should be deterministic")
+	}
+	fp, _ := NewDistinct(DistinctConfig{Rows: 8, Cols: 2, FingerprintBits: 32})
+	if fp.Guarantee() != Randomized {
+		t.Fatal("fingerprinted distinct should be randomized")
+	}
+	var zero Stats
+	if zero.PruneRate() != 0 || zero.UnprunedRate() != 0 {
+		t.Fatal("zero stats rates should be 0")
+	}
+}
+
+func TestDistinctProfileTable2(t *testing.T) {
+	// Table 2, DISTINCT defaults w=2, d=4096:
+	// FIFO*: ⌈w/A⌉ stages, w ALUs, (d·w)×64b SRAM, 0 TCAM.
+	fifo, _ := NewDistinct(DistinctConfig{Rows: 4096, Cols: 2, Policy: cache.FIFO})
+	prof := fifo.Profile()
+	if prof.Stages != 1 { // ceil(2/10)
+		t.Fatalf("FIFO stages = %d, want 1", prof.Stages)
+	}
+	if prof.ALUs != 2 {
+		t.Fatalf("FIFO ALUs = %d, want 2", prof.ALUs)
+	}
+	if prof.SRAMBits != 4096*2*64 {
+		t.Fatalf("FIFO SRAM = %d, want %d", prof.SRAMBits, 4096*2*64)
+	}
+	if prof.TCAMEntries != 0 {
+		t.Fatalf("FIFO TCAM = %d", prof.TCAMEntries)
+	}
+	if !prof.SharedStageMemory {
+		t.Fatal("FIFO row is starred (shared stage memory) in Table 2")
+	}
+	// LRU: w stages, w ALUs.
+	lru, _ := NewDistinct(DistinctConfig{Rows: 4096, Cols: 2, Policy: cache.LRU})
+	prof = lru.Profile()
+	if prof.Stages != 2 || prof.ALUs != 2 {
+		t.Fatalf("LRU stages/ALUs = %d/%d, want 2/2", prof.Stages, prof.ALUs)
+	}
+	if prof.SharedStageMemory {
+		t.Fatal("LRU must not claim shared stage memory")
+	}
+}
+
+func TestDistinctInstallsOnTofino(t *testing.T) {
+	pl, err := switchsim.NewPipeline(switchsim.Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewDistinct(DistinctConfig{Rows: 4096, Cols: 2, Policy: cache.LRU})
+	if err := pl.Install(1, p); err != nil {
+		t.Fatalf("paper-default DISTINCT does not fit Tofino model: %v", err)
+	}
+	if pl.Process(1, []uint64{9}) != switchsim.Forward {
+		t.Fatal("first value through pipeline should forward")
+	}
+	if pl.Process(1, []uint64{9}) != switchsim.Prune {
+		t.Fatal("duplicate through pipeline should prune")
+	}
+}
+
+func TestExpectedDistinctPruneFractionEdges(t *testing.T) {
+	if ExpectedDistinctPruneFraction(0, 1, 1) != 0 {
+		t.Fatal("D=0")
+	}
+	// Saturates at 0.99 when capacity exceeds distinct·e.
+	if got := ExpectedDistinctPruneFraction(10, 1000, 24); got != 0.99 {
+		t.Fatalf("saturated bound = %v", got)
+	}
+}
+
+func TestDistinctFingerprintBitsDelegates(t *testing.T) {
+	bits, err := DistinctFingerprintBits(500_000_000, 1000, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits == 0 || bits > 64 {
+		t.Fatalf("bits = %d", bits)
+	}
+}
+
+func BenchmarkDistinctProcess(b *testing.B) {
+	p, _ := NewDistinct(DistinctConfig{Rows: 4096, Cols: 2, Policy: cache.LRU, Seed: 1})
+	vals := []uint64{0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vals[0] = uint64(i % 100000)
+		p.Process(vals)
+	}
+}

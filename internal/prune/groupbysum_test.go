@@ -1,0 +1,160 @@
+package prune
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cheetah/internal/hashutil"
+	"cheetah/internal/switchsim"
+)
+
+// masterSums replays a GroupBySum stream and accumulates what the master
+// would see: emitted aggregates plus the end-of-stream drain.
+func masterSums(p *GroupBySum, stream [][2]uint64) map[uint64]int64 {
+	got := map[uint64]int64{}
+	for _, e := range stream {
+		d, out := p.ProcessEmit([]uint64{e[0], e[1]})
+		if d == switchsim.Forward {
+			got[out[0]] += int64(out[1])
+		}
+	}
+	for _, e := range p.Drain() {
+		got[e[0]] += int64(e[1])
+	}
+	return got
+}
+
+func TestGroupBySumValidation(t *testing.T) {
+	if _, err := NewGroupBySum(GroupBySumConfig{Rows: 0, Cols: 1}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestGroupBySumConservation(t *testing.T) {
+	// Core invariant: master-side totals equal true per-key sums exactly,
+	// regardless of eviction pressure.
+	p, err := NewGroupBySum(GroupBySumConfig{Rows: 4, Cols: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint16) bool {
+		p.Reset()
+		stream := make([][2]uint64, len(raw))
+		truth := map[uint64]int64{}
+		for i, x := range raw {
+			key := uint64(x % 43)
+			val := uint64(x % 17)
+			stream[i] = [2]uint64{key, val}
+			truth[key] += int64(val)
+		}
+		got := masterSums(p, stream)
+		if len(got) > len(truth) {
+			return false
+		}
+		for k, want := range truth {
+			if got[k] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupBySumHeavyPruning(t *testing.T) {
+	// With few keys relative to capacity, nearly everything is absorbed.
+	p, _ := NewGroupBySum(GroupBySumConfig{Rows: 1024, Cols: 8, Seed: 1})
+	s := uint64(5)
+	const n = 100_000
+	stream := make([][2]uint64, n)
+	for i := range stream {
+		s = hashutil.SplitMix64(s)
+		stream[i] = [2]uint64{s % 500, s >> 32 % 100}
+	}
+	truth := map[uint64]int64{}
+	for _, e := range stream {
+		truth[e[0]] += int64(e[1])
+	}
+	got := masterSums(p, stream)
+	for k, want := range truth {
+		if got[k] != want {
+			t.Fatalf("key %d: got %d want %d", k, got[k], want)
+		}
+	}
+	if rate := p.Stats().PruneRate(); rate < 0.99 {
+		t.Fatalf("prune rate %.4f, want ≥0.99 when keys fit", rate)
+	}
+}
+
+func TestGroupBySumProcessCompatibleDecision(t *testing.T) {
+	p, _ := NewGroupBySum(GroupBySumConfig{Rows: 1, Cols: 1, Seed: 1})
+	if p.Process([]uint64{1, 10}) != switchsim.Prune {
+		t.Fatal("first entry should be absorbed")
+	}
+	if p.Process([]uint64{2, 10}) != switchsim.Forward {
+		t.Fatal("eviction should forward")
+	}
+}
+
+func TestGroupBySumDrainClears(t *testing.T) {
+	p, _ := NewGroupBySum(GroupBySumConfig{Rows: 2, Cols: 2, Seed: 1})
+	p.ProcessEmit([]uint64{1, 5})
+	if n := len(p.Drain()); n != 1 {
+		t.Fatalf("drained %d", n)
+	}
+	if n := len(p.Drain()); n != 0 {
+		t.Fatalf("second drain returned %d", n)
+	}
+}
+
+func TestGroupBySumProfile(t *testing.T) {
+	p, _ := NewGroupBySum(GroupBySumConfig{Rows: 4096, Cols: 8})
+	prof := p.Profile()
+	if prof.Stages != 8 || prof.SRAMBits != 4096*8*2*64 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if p.Name() != "groupby-sum" || p.Guarantee() != Deterministic {
+		t.Fatal("identity")
+	}
+}
+
+func TestSkylineDrainCarriesIDs(t *testing.T) {
+	p, _ := NewSkyline(SkylineConfig{Dims: 2, Points: 2, Heuristic: SkylineSum})
+	// Entries carry (x, y, id).
+	p.Process([]uint64{10, 10, 100})
+	p.Process([]uint64{20, 20, 200}) // fills second slot
+	p.Process([]uint64{30, 30, 300}) // swaps out one stored point
+	drained := p.Drain()
+	if len(drained) != 2 {
+		t.Fatalf("drained %d points", len(drained))
+	}
+	ids := map[uint64]bool{}
+	for _, e := range drained {
+		if len(e) != 3 {
+			t.Fatalf("drained entry %v wrong arity", e)
+		}
+		ids[e[2]] = true
+	}
+	// The two highest-score points are 300 and 200; their ids must have
+	// ridden along through the swap.
+	if !ids[300] || !ids[200] {
+		t.Fatalf("drained ids %v, want {200,300}", ids)
+	}
+	if len(p.Drain()) != 0 {
+		t.Fatal("drain did not clear state")
+	}
+}
+
+func BenchmarkGroupBySumProcessEmit(b *testing.B) {
+	p, _ := NewGroupBySum(GroupBySumConfig{Rows: 4096, Cols: 8, Seed: 1})
+	s := uint64(1)
+	vals := []uint64{0, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s = hashutil.SplitMix64(s)
+		vals[0], vals[1] = s%100000, s>>32%100
+		p.ProcessEmit(vals)
+	}
+}

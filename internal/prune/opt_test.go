@@ -1,0 +1,216 @@
+package prune
+
+import (
+	"testing"
+
+	"cheetah/internal/cache"
+	"cheetah/internal/hashutil"
+	"cheetah/internal/switchsim"
+)
+
+func TestOptDistinctExactlyFirstOccurrences(t *testing.T) {
+	p := NewOptDistinct()
+	stream := []uint64{1, 2, 1, 3, 2, 1}
+	want := []switchsim.Decision{
+		switchsim.Forward, switchsim.Forward, switchsim.Prune,
+		switchsim.Forward, switchsim.Prune, switchsim.Prune,
+	}
+	for i, v := range stream {
+		if got := p.Process([]uint64{v}); got != want[i] {
+			t.Fatalf("entry %d: %v, want %v", i, got, want[i])
+		}
+	}
+	if p.Stats().Forwarded() != 3 {
+		t.Fatal("forwarded count")
+	}
+	p.Reset()
+	if p.Process([]uint64{1}) != switchsim.Forward {
+		t.Fatal("reset")
+	}
+}
+
+func TestOptTopNForwardsPrefixTopN(t *testing.T) {
+	p := NewOptTopN(2)
+	// Stream 5,3,4,2,6: prefix-top-2 membership at arrival:
+	// 5 yes; 3 yes; 4 yes (beats 3); 2 no; 6 yes.
+	stream := []int64{5, 3, 4, 2, 6}
+	want := []switchsim.Decision{
+		switchsim.Forward, switchsim.Forward, switchsim.Forward,
+		switchsim.Prune, switchsim.Forward,
+	}
+	for i, v := range stream {
+		if got := p.Process([]uint64{uint64(v)}); got != want[i] {
+			t.Fatalf("entry %d (%d): %v, want %v", i, v, got, want[i])
+		}
+	}
+}
+
+func TestOptTopNLowerBoundsAllPruners(t *testing.T) {
+	// OPT must forward no more than the constrained pruners on the same
+	// stream (it is the upper bound on pruning).
+	const m = 100_000
+	stream := shuffledInt64s(m, 5)
+	opt := NewOptTopN(250)
+	det, _ := NewDetTopN(DetTopNConfig{N: 250, Thresholds: 4})
+	rnd, _ := NewRandTopN(RandTopNConfig{N: 250, Rows: 4096, Cols: 4, Seed: 2})
+	for _, v := range stream {
+		u := uint64(v)
+		opt.Process([]uint64{u})
+		det.Process([]uint64{u})
+		rnd.Process([]uint64{u})
+	}
+	if opt.Stats().Forwarded() > det.Stats().Forwarded() {
+		t.Fatal("OPT forwarded more than deterministic")
+	}
+	if opt.Stats().Forwarded() > rnd.Stats().Forwarded() {
+		t.Fatal("OPT forwarded more than randomized")
+	}
+}
+
+func TestOptSkylineMatchesTrueSkyline(t *testing.T) {
+	pts := randomPoints(2000, 2, 9, 1000)
+	p := NewOptSkyline(2)
+	forwarded := map[[2]uint64]bool{}
+	for _, pt := range pts {
+		if p.Process(pt) == switchsim.Forward {
+			forwarded[[2]uint64{pt[0], pt[1]}] = true
+		}
+	}
+	for _, sk := range trueSkyline(pts) {
+		if !forwarded[[2]uint64{sk[0], sk[1]}] {
+			t.Fatalf("OPT skyline lost true skyline point %v", sk)
+		}
+	}
+	// OPT lower-bounds the constrained skyline pruner.
+	cp, _ := NewSkyline(SkylineConfig{Dims: 2, Points: 10, Heuristic: SkylineAPH})
+	p.Reset()
+	for _, pt := range pts {
+		p.Process(pt)
+		cp.Process(append([]uint64(nil), pt...))
+	}
+	if p.Stats().Forwarded() > cp.Stats().Forwarded()+uint64(len(cp.StoredPoints())) {
+		t.Fatal("OPT skyline forwarded more than the constrained pruner")
+	}
+}
+
+func TestOptGroupByForwardsOnlyImprovements(t *testing.T) {
+	p := NewOptGroupBy()
+	seq := []struct {
+		k, v uint64
+		want switchsim.Decision
+	}{
+		{1, 10, switchsim.Forward},
+		{1, 10, switchsim.Prune},
+		{1, 11, switchsim.Forward},
+		{2, 1, switchsim.Forward},
+		{1, 5, switchsim.Prune},
+	}
+	for i, s := range seq {
+		if got := p.Process([]uint64{s.k, s.v}); got != s.want {
+			t.Fatalf("step %d: %v, want %v", i, got, s.want)
+		}
+	}
+	// Lower-bounds the constrained GROUP BY pruner.
+	gb, _ := NewGroupBy(GroupByConfig{Rows: 4, Cols: 1, Seed: 1})
+	p.Reset()
+	s := uint64(3)
+	for i := 0; i < 20000; i++ {
+		s = hashutil.SplitMix64(s)
+		vals := []uint64{s % 100, s >> 32 % 1000}
+		p.Process(vals)
+		gb.Process(vals)
+	}
+	if p.Stats().Forwarded() > gb.Stats().Forwarded() {
+		t.Fatal("OPT group-by forwarded more than constrained pruner")
+	}
+}
+
+func TestOptJoinExact(t *testing.T) {
+	p := NewOptJoin()
+	a, b := joinStream(50, 500, 500, 3)
+	for _, k := range a {
+		p.Process([]uint64{uint64(SideA), k})
+	}
+	for _, k := range b {
+		p.Process([]uint64{uint64(SideB), k})
+	}
+	p.StartProbe()
+	matched := map[uint64]bool{}
+	for _, k := range a[:50] {
+		matched[k] = true
+	}
+	for _, k := range a {
+		dec := p.Process([]uint64{uint64(SideA), k})
+		if matched[k] != (dec == switchsim.Forward) {
+			t.Fatalf("OPT join wrong verdict for key %d", k)
+		}
+	}
+}
+
+func TestOptHavingExactOneSided(t *testing.T) {
+	p := NewOptHaving(10)
+	// key 1 sums: 4, 8, 13 → forwarded only once sum crosses 10.
+	if p.Process([]uint64{1, 4}) != switchsim.Prune {
+		t.Fatal("sum 4 should prune")
+	}
+	if p.Process([]uint64{1, 4}) != switchsim.Prune {
+		t.Fatal("sum 8 should prune")
+	}
+	if p.Process([]uint64{1, 5}) != switchsim.Forward {
+		t.Fatal("sum 13 should forward")
+	}
+	// OPT forwards no more than the sketched pruner.
+	hv, _ := NewHaving(HavingConfig{Agg: HavingSum, Threshold: 10, Rows: 3, CountersPerRow: 16, Seed: 1})
+	p.Reset()
+	s := uint64(9)
+	for i := 0; i < 20000; i++ {
+		s = hashutil.SplitMix64(s)
+		vals := []uint64{s % 500, s >> 48 % 8}
+		p.Process(vals)
+		hv.Process(vals)
+	}
+	if p.Stats().Forwarded() > hv.Stats().Forwarded() {
+		t.Fatal("OPT having forwarded more than sketch pruner")
+	}
+}
+
+func TestOptDistinctLowerBoundsMatrix(t *testing.T) {
+	opt := NewOptDistinct()
+	m, _ := NewDistinct(DistinctConfig{Rows: 64, Cols: 2, Policy: cache.FIFO, Seed: 1})
+	s := uint64(13)
+	for i := 0; i < 50000; i++ {
+		s = hashutil.SplitMix64(s)
+		v := []uint64{s % 3000}
+		opt.Process(v)
+		m.Process(v)
+	}
+	if opt.Stats().Forwarded() > m.Stats().Forwarded() {
+		t.Fatal("OPT distinct forwarded more than matrix pruner")
+	}
+}
+
+func TestOptResets(t *testing.T) {
+	prs := []Pruner{NewOptDistinct(), NewOptTopN(3), NewOptSkyline(2), NewOptGroupBy(), NewOptJoin(), NewOptHaving(5)}
+	for _, p := range prs {
+		switch p.Name() {
+		case "opt-join":
+			p.Process([]uint64{0, 1})
+		case "opt-groupby", "opt-having":
+			p.Process([]uint64{1, 2})
+		case "opt-skyline":
+			p.Process([]uint64{1, 2})
+		default:
+			p.Process([]uint64{1})
+		}
+		p.Reset()
+		if p.Stats().Processed != 0 {
+			t.Fatalf("%s: reset incomplete", p.Name())
+		}
+		if p.Guarantee() != Deterministic {
+			t.Fatalf("%s: OPT streams are deterministic", p.Name())
+		}
+		if p.Profile().Name != p.Name() {
+			t.Fatalf("%s: profile name mismatch", p.Name())
+		}
+	}
+}

@@ -1,0 +1,543 @@
+package prune
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cheetah/internal/boolexpr"
+	"cheetah/internal/hashutil"
+	"cheetah/internal/switchsim"
+)
+
+// --- GROUP BY ---
+
+func TestGroupByValidation(t *testing.T) {
+	if _, err := NewGroupBy(GroupByConfig{Rows: 0, Cols: 8}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestGroupByMaxInvariant(t *testing.T) {
+	// Pruning invariant: per-key max over forwarded entries equals the
+	// true per-key max.
+	p, _ := NewGroupBy(GroupByConfig{Rows: 16, Cols: 2, Seed: 7})
+	f := func(stream []uint32) bool {
+		p.Reset()
+		truth := map[uint64]int64{}
+		fwd := map[uint64]int64{}
+		for _, x := range stream {
+			key := uint64(x % 61)
+			val := int64(x / 61)
+			if cur, ok := truth[key]; !ok || val > cur {
+				truth[key] = val
+			}
+			if p.Process([]uint64{key, uint64(val)}) == switchsim.Forward {
+				if cur, ok := fwd[key]; !ok || val > cur {
+					fwd[key] = val
+				}
+			}
+		}
+		for k, want := range truth {
+			got, ok := fwd[k]
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupByMinInvariant(t *testing.T) {
+	p, _ := NewGroupBy(GroupByConfig{Rows: 16, Cols: 2, Min: true, Seed: 7})
+	truth := map[uint64]int64{}
+	fwd := map[uint64]int64{}
+	s := uint64(3)
+	for i := 0; i < 10000; i++ {
+		s = hashutil.SplitMix64(s)
+		key := s % 50
+		val := int64(s>>32%1000) - 500
+		if cur, ok := truth[key]; !ok || val < cur {
+			truth[key] = val
+		}
+		if p.Process([]uint64{key, uint64(val)}) == switchsim.Forward {
+			if cur, ok := fwd[key]; !ok || val < cur {
+				fwd[key] = val
+			}
+		}
+	}
+	for k, want := range truth {
+		if got, ok := fwd[k]; !ok || got != want {
+			t.Fatalf("key %d: forwarded min %d (ok=%v), true min %d", k, got, ok, want)
+		}
+	}
+	if p.Name() != "groupby-min" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestGroupByProfileTable2(t *testing.T) {
+	// Table 2: GROUP BY default w=8 → w stages, w ALUs, d·w×64b SRAM.
+	p, _ := NewGroupBy(GroupByConfig{Rows: 4096, Cols: 8})
+	prof := p.Profile()
+	if prof.Stages != 8 || prof.ALUs != 8 || prof.SRAMBits != 4096*8*64 || prof.TCAMEntries != 0 {
+		t.Fatalf("profile = %+v", prof)
+	}
+}
+
+// --- JOIN ---
+
+func TestJoinValidation(t *testing.T) {
+	if _, err := NewJoin(JoinConfig{FilterBits: 0, Hashes: 3}); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	if _, err := NewJoin(JoinConfig{FilterBits: 64, Hashes: 0}); err == nil {
+		t.Fatal("H=0 accepted")
+	}
+}
+
+func joinStream(overlap, onlyA, onlyB int, seed uint64) (a, b []uint64) {
+	s := seed
+	next := func() uint64 { s = hashutil.SplitMix64(s); return s }
+	for i := 0; i < overlap; i++ {
+		k := next()
+		a = append(a, k)
+		b = append(b, k)
+	}
+	for i := 0; i < onlyA; i++ {
+		a = append(a, next())
+	}
+	for i := 0; i < onlyB; i++ {
+		b = append(b, next())
+	}
+	return a, b
+}
+
+func testJoinNoMatchedEntryPruned(t *testing.T, kind JoinFilterKind) {
+	t.Helper()
+	p, err := NewJoin(JoinConfig{FilterBits: 1 << 16, Hashes: 3, Kind: kind, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := joinStream(500, 2000, 2000, 11)
+	// Pass 1: build. All build packets are consumed by the switch.
+	for _, k := range a {
+		if p.Process([]uint64{uint64(SideA), k}) != switchsim.Prune {
+			t.Fatal("build-pass packet escaped the switch")
+		}
+	}
+	for _, k := range b {
+		p.Process([]uint64{uint64(SideB), k})
+	}
+	p.StartProbe()
+	if p.Phase() != PhaseProbe {
+		t.Fatal("phase did not advance")
+	}
+	// Pass 2: matched keys must never be pruned (Bloom has no false
+	// negatives), on either side.
+	matched := map[uint64]bool{}
+	for _, k := range a[:500] {
+		matched[k] = true
+	}
+	for _, k := range a {
+		dec := p.Process([]uint64{uint64(SideA), k})
+		if matched[k] && dec == switchsim.Prune {
+			t.Fatalf("%v: matched key pruned from side A", kind)
+		}
+	}
+	for _, k := range b {
+		dec := p.Process([]uint64{uint64(SideB), k})
+		if matched[k] && dec == switchsim.Prune {
+			t.Fatalf("%v: matched key pruned from side B", kind)
+		}
+	}
+}
+
+func TestJoinBloomNoMatchedEntryPruned(t *testing.T) {
+	testJoinNoMatchedEntryPruned(t, BloomFilter)
+}
+
+func TestJoinRegisterBloomNoMatchedEntryPruned(t *testing.T) {
+	testJoinNoMatchedEntryPruned(t, RegisterBloomFilter)
+}
+
+func TestJoinPrunesNonMatching(t *testing.T) {
+	p, _ := NewJoin(JoinConfig{FilterBits: 1 << 20, Hashes: 3, Seed: 5})
+	a, b := joinStream(100, 5000, 5000, 13)
+	for _, k := range a {
+		p.Process([]uint64{uint64(SideA), k})
+	}
+	for _, k := range b {
+		p.Process([]uint64{uint64(SideB), k})
+	}
+	p.StartProbe()
+	prunedNonMatch := 0
+	for _, k := range a[100:] { // A-only keys
+		if p.Process([]uint64{uint64(SideA), k}) == switchsim.Prune {
+			prunedNonMatch++
+		}
+	}
+	if rate := float64(prunedNonMatch) / 5000; rate < 0.95 {
+		t.Fatalf("non-matching prune rate %.3f too low with a roomy filter", rate)
+	}
+}
+
+func TestJoinAsymmetric(t *testing.T) {
+	// Small table A streams unpruned in pass 1; large table B pruned
+	// against A's filter in pass 2. No matching B entry may be pruned.
+	p, _ := NewJoin(JoinConfig{FilterBits: 1 << 16, Hashes: 3, Asymmetric: true, Seed: 5})
+	a, b := joinStream(200, 300, 20000, 17)
+	for _, k := range a {
+		if p.Process([]uint64{uint64(SideA), k}) != switchsim.Forward {
+			t.Fatal("asymmetric build pass must forward the small table")
+		}
+	}
+	p.StartProbe()
+	inA := map[uint64]bool{}
+	for _, k := range a {
+		inA[k] = true
+	}
+	pruned := 0
+	for _, k := range b {
+		dec := p.Process([]uint64{uint64(SideB), k})
+		if inA[k] && dec == switchsim.Prune {
+			t.Fatal("asymmetric probe pruned a matching key")
+		}
+		if dec == switchsim.Prune {
+			pruned++
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("asymmetric probe pruned nothing")
+	}
+}
+
+func TestJoinProfileTable2(t *testing.T) {
+	// Table 2: JOIN BF* defaults M=4MB, H=3 → 2 stages, H ALUs, M (per
+	// filter; two filters) SRAM; RBF → 1 stage, 1 ALU, M + ⌈64/H⌉×64b.
+	const m4 = 4 << 23 // 4MB in bits
+	bf, _ := NewJoin(JoinConfig{FilterBits: m4, Hashes: 3, Kind: BloomFilter})
+	prof := bf.Profile()
+	if prof.Stages != 2 || prof.ALUs != 3 || prof.SRAMBits != 2*m4 {
+		t.Fatalf("BF profile = %+v", prof)
+	}
+	if !prof.SharedStageMemory {
+		t.Fatal("BF row is starred in Table 2")
+	}
+	rbf, _ := NewJoin(JoinConfig{FilterBits: m4, Hashes: 3, Kind: RegisterBloomFilter})
+	prof = rbf.Profile()
+	wantSpill := ((64 + 3 - 1) / 3) * 64
+	// Table 2's "1 stage, 1 ALU" is per filter; the profile covers both.
+	if prof.Stages != 2 || prof.ALUs != 2 || prof.SRAMBits != 2*m4+wantSpill {
+		t.Fatalf("RBF profile = %+v (want spill %d)", prof, wantSpill)
+	}
+	if bf.Name() != "join-BF" || rbf.Name() != "join-RBF" {
+		t.Fatal("names")
+	}
+}
+
+func TestJoinReset(t *testing.T) {
+	p, _ := NewJoin(JoinConfig{FilterBits: 1 << 12, Hashes: 2, Seed: 1})
+	p.Process([]uint64{uint64(SideA), 42})
+	p.StartProbe()
+	p.Reset()
+	if p.Phase() != PhaseBuild {
+		t.Fatal("phase not reset")
+	}
+	if p.Stats().Processed != 0 {
+		t.Fatal("stats not reset")
+	}
+	// After reset, key 42 must be gone from the filters.
+	p.StartProbe()
+	if p.Process([]uint64{uint64(SideB), 42}) != switchsim.Prune {
+		t.Fatal("stale filter state after reset")
+	}
+}
+
+// --- HAVING ---
+
+func TestHavingValidation(t *testing.T) {
+	if _, err := NewHaving(HavingConfig{Rows: 0, CountersPerRow: 8}); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+	if _, err := NewHaving(HavingConfig{Rows: 3, CountersPerRow: 8, Threshold: -1}); err == nil {
+		t.Fatal("negative threshold accepted (paper defers < c)")
+	}
+}
+
+func TestHavingSumOneSided(t *testing.T) {
+	// Invariant: every key whose true SUM exceeds c has at least one
+	// forwarded entry — the master's candidate set is a superset of the
+	// true output.
+	const c = 500
+	p, _ := NewHaving(HavingConfig{Agg: HavingSum, Threshold: c, Rows: 3, CountersPerRow: 64, Seed: 3})
+	f := func(stream []uint16) bool {
+		p.Reset()
+		sums := map[uint64]int64{}
+		fwd := map[uint64]bool{}
+		for _, x := range stream {
+			key := uint64(x % 29)
+			val := int64(x%97) + 1
+			sums[key] += val
+			if p.Process([]uint64{key, uint64(val)}) == switchsim.Forward {
+				fwd[key] = true
+			}
+		}
+		for k, s := range sums {
+			if s > c && !fwd[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHavingCount(t *testing.T) {
+	const c = 10
+	p, _ := NewHaving(HavingConfig{Agg: HavingCount, Threshold: c, Rows: 3, CountersPerRow: 1024, Seed: 3})
+	counts := map[uint64]int64{}
+	fwd := map[uint64]bool{}
+	s := uint64(5)
+	for i := 0; i < 30000; i++ {
+		s = hashutil.SplitMix64(s)
+		key := s % 200
+		counts[key]++
+		if p.Process([]uint64{key, 1}) == switchsim.Forward {
+			fwd[key] = true
+		}
+	}
+	for k, n := range counts {
+		if n > c && !fwd[k] {
+			t.Fatalf("key %d count %d > %d but never forwarded", k, n, c)
+		}
+	}
+	if p.Name() != "having-COUNT" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestHavingNegativeSummandSafe(t *testing.T) {
+	p, _ := NewHaving(HavingConfig{Agg: HavingSum, Threshold: 100, Rows: 3, CountersPerRow: 64, Seed: 1})
+	// Negative summand (as int64 reinterpreted) must be forwarded, never
+	// pruned, to preserve one-sidedness.
+	neg := int64(-5)
+	if p.Process([]uint64{1, uint64(neg)}) != switchsim.Forward {
+		t.Fatal("negative summand pruned")
+	}
+}
+
+func TestHavingProfileTable2(t *testing.T) {
+	// Table 2: HAVING defaults w=1024, d=3 → ⌈d/A⌉ stages, d ALUs,
+	// (d·w)×64b SRAM.
+	p, _ := NewHaving(HavingConfig{Agg: HavingSum, Threshold: 1, Rows: 3, CountersPerRow: 1024})
+	prof := p.Profile()
+	if prof.Stages != 1 || prof.ALUs != 3 || prof.SRAMBits != 3*1024*64 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if p.Guarantee() != Deterministic {
+		t.Fatal("one-sided sketch error keeps HAVING deterministic")
+	}
+}
+
+func TestHavingEstimateUpperBounds(t *testing.T) {
+	p, _ := NewHaving(HavingConfig{Agg: HavingSum, Threshold: 0, Rows: 3, CountersPerRow: 256, Seed: 9})
+	truth := map[uint64]int64{}
+	s := uint64(1)
+	for i := 0; i < 5000; i++ {
+		s = hashutil.SplitMix64(s)
+		key := s % 100
+		v := int64(s >> 40 % 50)
+		truth[key] += v
+		p.Process([]uint64{key, uint64(v)})
+	}
+	for k, want := range truth {
+		if got := p.Estimate(k); got < want {
+			t.Fatalf("estimate %d < true %d for key %d", got, want, k)
+		}
+	}
+}
+
+// --- Filter ---
+
+func TestFilterValidation(t *testing.T) {
+	if _, err := NewFilter(FilterConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := NewFilter(FilterConfig{Predicates: []Predicate{{ValIdx: -1}}, Formula: boolexpr.Leaf{V: 0}}); err == nil {
+		t.Fatal("negative value index accepted")
+	}
+	if _, err := NewFilter(FilterConfig{Predicates: []Predicate{{ValIdx: 0}}}); err == nil {
+		t.Fatal("nil formula accepted")
+	}
+}
+
+func TestFilterPaperExample(t *testing.T) {
+	// §4.1: (taste > 5) OR (texture > 4 AND name LIKE e%s); the LIKE is
+	// precomputed by the CWorker into value slot 2.
+	preds := []Predicate{
+		{ValIdx: 0, Op: OpGT, Const: 5},
+		{ValIdx: 1, Op: OpGT, Const: 4},
+		{ValIdx: 2, Precomputed: true},
+	}
+	formula := boolexpr.Or{boolexpr.Leaf{V: 0}, boolexpr.And{boolexpr.Leaf{V: 1}, boolexpr.Leaf{V: 2}}}
+	p, err := NewFilter(FilterConfig{Predicates: preds, Formula: formula})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratings rows: (taste, texture, likeBit) per Table 1 with LIKE e%s.
+	rows := []struct {
+		vals []uint64
+		want switchsim.Decision
+	}{
+		{[]uint64{7, 5, 0}, switchsim.Forward}, // Pizza: taste>5
+		{[]uint64{8, 6, 1}, switchsim.Forward}, // Cheetos: both branches
+		{[]uint64{9, 4, 0}, switchsim.Forward}, // Jello: taste>5
+		{[]uint64{5, 7, 0}, switchsim.Prune},   // Burger: texture>4 but no LIKE
+		{[]uint64{3, 3, 0}, switchsim.Prune},   // Fries: neither
+	}
+	for i, r := range rows {
+		if got := p.Process(r.vals); got != r.want {
+			t.Errorf("row %d: %v, want %v", i, got, r.want)
+		}
+	}
+}
+
+func TestFilterDecomposedIsSuperset(t *testing.T) {
+	// Pruning with the decomposed formula must forward a superset of the
+	// rows the full formula accepts.
+	full := boolexpr.Or{boolexpr.Leaf{V: 0}, boolexpr.And{boolexpr.Leaf{V: 1}, boolexpr.Leaf{V: 2}}}
+	sw, _ := boolexpr.Decompose(full, func(v int) bool { return v != 2 })
+	preds := []Predicate{
+		{ValIdx: 0, Op: OpGT, Const: 5},
+		{ValIdx: 1, Op: OpGT, Const: 4},
+		{ValIdx: 2, Precomputed: true},
+	}
+	pFull, _ := NewFilter(FilterConfig{Predicates: preds, Formula: full})
+	pSw, _ := NewFilter(FilterConfig{Predicates: preds, Formula: sw})
+	f := func(taste, texture uint8, like bool) bool {
+		vals := []uint64{uint64(taste % 12), uint64(texture % 12), 0}
+		if like {
+			vals[2] = 1
+		}
+		fullDec := pFull.Process(vals)
+		swDec := pSw.Process(vals)
+		// If the full query accepts, the switch must not prune.
+		return !(fullDec == switchsim.Forward && swDec == switchsim.Prune)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterAllOps(t *testing.T) {
+	ops := []struct {
+		op   CmpOp
+		c    int64
+		v    int64
+		want bool
+	}{
+		{OpGT, 5, 6, true}, {OpGT, 5, 5, false},
+		{OpGE, 5, 5, true}, {OpGE, 5, 4, false},
+		{OpLT, 5, 4, true}, {OpLT, 5, 5, false},
+		{OpLE, 5, 5, true}, {OpLE, 5, 6, false},
+		{OpEQ, 5, 5, true}, {OpEQ, 5, 4, false},
+		{OpNE, 5, 4, true}, {OpNE, 5, 5, false},
+		{OpGT, 0, -1, false}, // signed comparison
+	}
+	for _, c := range ops {
+		pr := Predicate{ValIdx: 0, Op: c.op, Const: c.c}
+		if got := pr.Eval([]uint64{uint64(c.v)}); got != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.v, c.op, c.c, got, c.want)
+		}
+	}
+	if (CmpOp(99)).String() == "" {
+		t.Fatal("unknown op string empty")
+	}
+	if (Predicate{ValIdx: 0, Op: CmpOp(99)}).Eval([]uint64{1}) {
+		t.Fatal("unknown op must evaluate false (safe direction is... forward)")
+	}
+}
+
+func TestFilterProfileAndReset(t *testing.T) {
+	preds := []Predicate{{ValIdx: 0, Op: OpGT, Const: 1}}
+	p, _ := NewFilter(FilterConfig{Predicates: preds, Formula: boolexpr.Leaf{V: 0}})
+	prof := p.Profile()
+	if prof.Stages < 2 || prof.ALUs != 2 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	p.Process([]uint64{0})
+	p.Reset()
+	if p.Stats().Processed != 0 {
+		t.Fatal("reset")
+	}
+	if p.Name() != "filter" || p.Guarantee() != Deterministic {
+		t.Fatal("identity")
+	}
+}
+
+// --- multi-query packing (§6) ---
+
+func TestMultiQueryPackingOnTofino(t *testing.T) {
+	// §6 / Fig. 5 "A+B": a filter query and a group-by query packed on the
+	// pipeline concurrently, sharing stages.
+	pl, err := switchsim.NewPipeline(switchsim.Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, _ := NewFilter(FilterConfig{
+		Predicates: []Predicate{{ValIdx: 0, Op: OpLT, Const: 10}},
+		Formula:    boolexpr.Leaf{V: 0},
+	})
+	groupBy, _ := NewGroupBy(GroupByConfig{Rows: 4096, Cols: 8, Seed: 1})
+	if err := pl.Install(1, filter); err != nil {
+		t.Fatalf("filter install: %v", err)
+	}
+	if err := pl.Install(2, groupBy); err != nil {
+		t.Fatalf("group-by install: %v", err)
+	}
+	// Both queries answer on their own flows.
+	if pl.Process(1, []uint64{5}) != switchsim.Forward {
+		t.Fatal("filter flow broken")
+	}
+	if pl.Process(2, []uint64{1, 100}) != switchsim.Forward {
+		t.Fatal("group-by flow broken")
+	}
+	if pl.Process(2, []uint64{1, 50}) != switchsim.Prune {
+		t.Fatal("group-by flow should prune dominated value")
+	}
+	u := pl.Utilization()
+	if u.StagesUsed > 9 {
+		t.Fatalf("packing used %d stages; filter should share group-by's stages", u.StagesUsed)
+	}
+}
+
+func TestAllPaperDefaultsFitTofinoTogether(t *testing.T) {
+	// The prototype packs DISTINCT, TOP N, GROUP BY, JOIN, HAVING and
+	// filtering concurrently (§7.1 "we also support combining these
+	// queries and running them in parallel without reprogramming the
+	// switch"). Verify the Table 2 default configurations co-install on
+	// one Tofino2-scale pipeline.
+	pl, err := switchsim.NewPipeline(switchsim.Tofino2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, _ := NewDistinct(DistinctConfig{Rows: 4096, Cols: 2})
+	topn, _ := NewRandTopN(RandTopNConfig{N: 250, Rows: 4096, Cols: 4})
+	groupBy, _ := NewGroupBy(GroupByConfig{Rows: 4096, Cols: 8})
+	join, _ := NewJoin(JoinConfig{FilterBits: 4 << 23, Hashes: 3})
+	having, _ := NewHaving(HavingConfig{Agg: HavingSum, Threshold: 1_000_000, Rows: 3, CountersPerRow: 1024})
+	filter, _ := NewFilter(FilterConfig{
+		Predicates: []Predicate{{ValIdx: 0, Op: OpLT, Const: 10}},
+		Formula:    boolexpr.Leaf{V: 0},
+	})
+	for i, p := range []Pruner{distinct, topn, groupBy, join, having, filter} {
+		if err := pl.Install(uint32(i+1), p); err != nil {
+			t.Fatalf("install %s: %v", p.Name(), err)
+		}
+	}
+}

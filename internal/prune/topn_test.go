@@ -1,0 +1,341 @@
+package prune
+
+import (
+	"sort"
+	"testing"
+
+	"cheetah/internal/hashutil"
+	"cheetah/internal/switchsim"
+)
+
+func shuffledInt64s(n int, seed uint64) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i + 1)
+	}
+	s := seed
+	for i := n - 1; i > 0; i-- {
+		s = hashutil.SplitMix64(s)
+		j := int(hashutil.ReduceFull(s, uint64(i+1)))
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	return vals
+}
+
+// topNOf returns the n largest values of vals.
+func topNOf(vals []int64, n int) []int64 {
+	cp := append([]int64(nil), vals...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] > cp[j] })
+	if n > len(cp) {
+		n = len(cp)
+	}
+	return cp[:n]
+}
+
+func TestDetTopNValidation(t *testing.T) {
+	if _, err := NewDetTopN(DetTopNConfig{N: 0, Thresholds: 4}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := NewDetTopN(DetTopNConfig{N: 1, Thresholds: 0}); err == nil {
+		t.Fatal("w=0 accepted")
+	}
+	if _, err := NewDetTopN(DetTopNConfig{N: 1, Thresholds: 63}); err == nil {
+		t.Fatal("w=63 accepted")
+	}
+}
+
+func TestDetTopNCorrectness(t *testing.T) {
+	// Deterministic guarantee: forwarded set always contains the true
+	// top N, for several stream orders and sizes.
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		const n = 250
+		const m = 50_000
+		p, err := NewDetTopN(DetTopNConfig{N: n, Thresholds: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := shuffledInt64s(m, seed)
+		forwarded := map[int64]bool{}
+		for _, v := range stream {
+			if p.Process([]uint64{uint64(v)}) == switchsim.Forward {
+				forwarded[v] = true
+			}
+		}
+		for _, v := range topNOf(stream, n) {
+			if !forwarded[v] {
+				t.Fatalf("seed %d: top-N value %d was pruned", seed, v)
+			}
+		}
+	}
+}
+
+func TestDetTopNPrunesSubstantially(t *testing.T) {
+	// The deterministic algorithm's pruning point is capped at
+	// t0·2^(w-1) (§4.3), so on a uniform stream with t0 ≈ m/N the prune
+	// rate grows with w. With w=10 the cap reaches half the value range
+	// and beyond; expect a substantial (but far from total) prune rate —
+	// exactly the Det-vs-Rand gap of Fig. 10c.
+	const n = 250
+	const m = 200_000
+	small, _ := NewDetTopN(DetTopNConfig{N: n, Thresholds: 4})
+	large, _ := NewDetTopN(DetTopNConfig{N: n, Thresholds: 10})
+	for _, v := range shuffledInt64s(m, 42) {
+		small.Process([]uint64{uint64(v)})
+		large.Process([]uint64{uint64(v)})
+	}
+	if rate := large.Stats().PruneRate(); rate < 0.30 {
+		t.Fatalf("w=10 deterministic top-n prune rate %.3f too low", rate)
+	}
+	if small.Stats().PruneRate() >= large.Stats().PruneRate() {
+		t.Fatal("more thresholds must not reduce deterministic pruning")
+	}
+}
+
+func TestDetTopNMonotoneStreamSafe(t *testing.T) {
+	// Worst case (§5): monotonically increasing stream — nothing above the
+	// current threshold may be pruned; all true top-N must survive.
+	const n = 10
+	const m = 1000
+	p, _ := NewDetTopN(DetTopNConfig{N: n, Thresholds: 4})
+	forwarded := map[int64]bool{}
+	stream := make([]int64, m)
+	for i := range stream {
+		stream[i] = int64(i + 1)
+	}
+	for _, v := range stream {
+		if p.Process([]uint64{uint64(v)}) == switchsim.Forward {
+			forwarded[v] = true
+		}
+	}
+	for _, v := range topNOf(stream, n) {
+		if !forwarded[v] {
+			t.Fatalf("monotone stream: top value %d pruned", v)
+		}
+	}
+}
+
+func TestDetTopNNegativeT0Safe(t *testing.T) {
+	// Values can be ≤ 0; thresholds must not advance incorrectly.
+	const n = 5
+	p, _ := NewDetTopN(DetTopNConfig{N: n, Thresholds: 3})
+	stream := []int64{-10, -5, -7, -1, -3, 2, 8, -2, 6, 4, -8, 10, 1, -4}
+	forwarded := map[int64]bool{}
+	for _, v := range stream {
+		if p.Process([]uint64{uint64(v)}) == switchsim.Forward {
+			forwarded[v] = true
+		}
+	}
+	for _, v := range topNOf(stream, n) {
+		if !forwarded[v] {
+			t.Fatalf("negative-value stream: top value %d pruned", v)
+		}
+	}
+}
+
+func TestDetTopNProfileTable2(t *testing.T) {
+	// Table 2: TOP N Det, defaults N=250, w=4 → w+1 stages, w+1 ALUs,
+	// (w+1)×64b SRAM, 0 TCAM.
+	p, _ := NewDetTopN(DetTopNConfig{N: 250, Thresholds: 4})
+	prof := p.Profile()
+	if prof.Stages != 5 || prof.ALUs != 5 || prof.SRAMBits != 5*64 || prof.TCAMEntries != 0 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if p.Name() != "topn-det" || p.Guarantee() != Deterministic {
+		t.Fatal("identity")
+	}
+}
+
+func TestRandTopNValidation(t *testing.T) {
+	if _, err := NewRandTopN(RandTopNConfig{N: 0, Rows: 1, Cols: 1}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := NewRandTopN(RandTopNConfig{N: 1, Rows: 0, Cols: 1}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestRandTopNSuccessWithTheoremConfig(t *testing.T) {
+	// Configure per Theorem 2 for N=100, δ=1e-4 and verify the guarantee
+	// empirically across several seeds: no top-N element pruned.
+	const n = 100
+	const m = 100_000
+	d := 600
+	w, err := TopNColumnsFor(d, n, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 13, 99} {
+		p, err := NewRandTopN(RandTopNConfig{N: n, Rows: d, Cols: w, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := shuffledInt64s(m, seed*31)
+		forwarded := map[int64]bool{}
+		for _, v := range stream {
+			if p.Process([]uint64{uint64(v)}) == switchsim.Forward {
+				forwarded[v] = true
+			}
+		}
+		for _, v := range topNOf(stream, n) {
+			if !forwarded[v] {
+				t.Fatalf("seed %d: top-N value %d pruned (δ=1e-4 config)", seed, v)
+			}
+		}
+	}
+}
+
+func TestRandTopNPruningBeatsDeterministic(t *testing.T) {
+	// Fig. 10c's headline: the randomized algorithm prunes far more than
+	// the deterministic one at equal w.
+	const n = 250
+	const m = 500_000
+	const w = 4
+	det, _ := NewDetTopN(DetTopNConfig{N: n, Thresholds: w})
+	rnd, _ := NewRandTopN(RandTopNConfig{N: n, Rows: 4096, Cols: w, Seed: 3})
+	stream := shuffledInt64s(m, 17)
+	for _, v := range stream {
+		det.Process([]uint64{uint64(v)})
+		rnd.Process([]uint64{uint64(v)})
+	}
+	if rnd.Stats().UnprunedRate() >= det.Stats().UnprunedRate() {
+		t.Fatalf("randomized unpruned %.5f not better than deterministic %.5f",
+			rnd.Stats().UnprunedRate(), det.Stats().UnprunedRate())
+	}
+}
+
+func TestRandTopNTheorem3Bound(t *testing.T) {
+	// Expected unpruned ≤ w·d·ln(m·e/(w·d)); verify with slack on a
+	// random stream.
+	const m = 1_000_000
+	const d = 600
+	const w = 8
+	bound := ExpectedTopNUnpruned(m, d, w)
+	p, _ := NewRandTopN(RandTopNConfig{N: 100, Rows: d, Cols: w, Seed: 5})
+	for _, v := range shuffledInt64s(m, 23) {
+		p.Process([]uint64{uint64(v)})
+	}
+	unpruned := float64(p.Stats().Forwarded())
+	if unpruned > bound*1.15 {
+		t.Fatalf("unpruned %.0f exceeds Theorem 3 bound %.0f by >15%%", unpruned, bound)
+	}
+}
+
+func TestTopNColumnsForPaperExamples(t *testing.T) {
+	// §5/Appendix E worked examples for N=1000, δ=1e-4.
+	cases := []struct {
+		d    int
+		want int
+	}{
+		{600, 16},
+		{8000, 5},
+		{200, 288},
+	}
+	for _, c := range cases {
+		got, err := TopNColumnsFor(c.d, 1000, 1e-4)
+		if err != nil {
+			t.Fatalf("d=%d: %v", c.d, err)
+		}
+		if got != c.want {
+			t.Errorf("TopNColumnsFor(d=%d) = %d, paper says %d", c.d, got, c.want)
+		}
+	}
+	if _, err := TopNColumnsFor(0, 10, 0.1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	// Below the theorem's feasibility threshold the function must error,
+	// not return garbage.
+	if _, err := TopNColumnsFor(10, 1000, 1e-4); err == nil {
+		t.Fatal("infeasible d accepted")
+	}
+}
+
+func TestOptimalTopNRowsPaperExample(t *testing.T) {
+	// §5: "for finding TOP 1000 with probability 99.99% we should use
+	// d = 481 rows and w = 19 matrix columns".
+	d, w, err := OptimalTopNRows(1000, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 450 || d > 510 {
+		t.Fatalf("optimal d = %d, paper says 481", d)
+	}
+	if w < 18 || w > 20 {
+		t.Fatalf("optimal w = %d, paper says 19", w)
+	}
+	// The optimum must beat the paper's d=600 configuration on w·d.
+	w600, _ := TopNColumnsFor(600, 1000, 1e-4)
+	if d*w >= 600*w600 {
+		t.Fatalf("optimal d·w = %d not below d=600's %d", d*w, 600*w600)
+	}
+	if _, _, err := OptimalTopNRows(0, 0.1); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestExpectedTopNUnprunedShape(t *testing.T) {
+	// Paper: d=600, N=1000 config, m=8M → ≥99% pruned; m=100M → ≥99.9%.
+	w, _ := TopNColumnsFor(600, 1000, 1e-4)
+	m8 := 8_000_000.0
+	if frac := ExpectedTopNUnpruned(int(m8), 600, w) / m8; frac > 0.01 {
+		t.Fatalf("m=8M unpruned fraction bound %.4f, paper says ≤1%%", frac)
+	}
+	m100 := 100_000_000.0
+	if frac := ExpectedTopNUnpruned(int(m100), 600, w) / m100; frac > 0.001 {
+		t.Fatalf("m=100M unpruned fraction bound %.5f, paper says ≤0.1%%", frac)
+	}
+	// Degenerate: capacity above stream size.
+	if got := ExpectedTopNUnpruned(10, 100, 100); got != 10 {
+		t.Fatalf("capacity-dominated bound = %v", got)
+	}
+	if ExpectedTopNUnpruned(0, 1, 1) != 0 {
+		t.Fatal("m=0")
+	}
+}
+
+func TestRandTopNProfileTable2(t *testing.T) {
+	// Table 2: TOP N Rand defaults N=250, w=4, d=4096 → w stages, w ALUs,
+	// (d·w)×64b SRAM.
+	p, _ := NewRandTopN(RandTopNConfig{N: 250, Rows: 4096, Cols: 4})
+	prof := p.Profile()
+	if prof.Stages != 4 || prof.ALUs != 4 || prof.SRAMBits != 4096*4*64 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if p.Guarantee() != Randomized {
+		t.Fatal("guarantee")
+	}
+}
+
+func TestRandTopNResetDeterminism(t *testing.T) {
+	p, _ := NewRandTopN(RandTopNConfig{N: 10, Rows: 32, Cols: 2, Seed: 9})
+	stream := shuffledInt64s(5000, 3)
+	run := func() uint64 {
+		p.Reset()
+		for _, v := range stream {
+			p.Process([]uint64{uint64(v)})
+		}
+		return p.Stats().Pruned
+	}
+	if run() != run() {
+		t.Fatal("Reset does not restore the RNG: runs differ")
+	}
+}
+
+func BenchmarkDetTopNProcess(b *testing.B) {
+	p, _ := NewDetTopN(DetTopNConfig{N: 250, Thresholds: 4})
+	s := uint64(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s = hashutil.SplitMix64(s)
+		p.Process([]uint64{s % 1_000_000})
+	}
+}
+
+func BenchmarkRandTopNProcess(b *testing.B) {
+	p, _ := NewRandTopN(RandTopNConfig{N: 250, Rows: 4096, Cols: 4, Seed: 1})
+	s := uint64(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s = hashutil.SplitMix64(s)
+		p.Process([]uint64{s % 1_000_000})
+	}
+}

@@ -1,0 +1,182 @@
+// Package stats implements the mathematical helpers used by Cheetah's
+// algorithm-configuration formulas and by the evaluation harness:
+// the Lambert W function (optimal TOP N matrix sizing, §5), harmonic
+// numbers (Theorem 10's pruning bound), Student-t 95% confidence intervals
+// (the paper runs each randomized algorithm five times), and
+// Chernoff/binomial tail helpers used by the analytical cross-checks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LambertW0 computes the principal branch W0 of the Lambert W function,
+// the inverse of g(z) = z·e^z, for x ≥ -1/e. It uses Halley iteration and
+// converges to ~1e-12 relative error in a handful of steps.
+func LambertW0(x float64) (float64, error) {
+	if math.IsNaN(x) || x < -1/math.E {
+		return 0, fmt.Errorf("stats: LambertW0 undefined for x = %v", x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	// Initial guess: for large x use log-based asymptotic, otherwise a
+	// series start near the branch point.
+	var w float64
+	switch {
+	case x > math.E:
+		l1 := math.Log(x)
+		l2 := math.Log(l1)
+		w = l1 - l2 + l2/l1
+	case x > 0:
+		w = x / math.E
+	default:
+		// -1/e <= x <= 0
+		p := math.Sqrt(2 * (math.E*x + 1))
+		w = -1 + p - p*p/3
+	}
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		denom := ew*(w+1) - (w+2)*f/(2*w+2)
+		if denom == 0 {
+			break
+		}
+		dw := f / denom
+		w -= dw
+		if math.Abs(dw) <= 1e-13*(1+math.Abs(w)) {
+			return w, nil
+		}
+	}
+	return w, nil
+}
+
+// Harmonic returns the n-th harmonic number H_n = sum_{i=1..n} 1/i.
+// For large n it switches to the asymptotic expansion, which is accurate
+// to well below 1e-10 for n ≥ 64.
+func Harmonic(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n < 64 {
+		h := 0.0
+		for i := 1; i <= n; i++ {
+			h += 1 / float64(i)
+		}
+		return h
+	}
+	const gamma = 0.5772156649015329
+	fn := float64(n)
+	return math.Log(fn) + gamma + 1/(2*fn) - 1/(12*fn*fn)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample (n-1) standard deviation of xs.
+// It returns 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tCritical95 holds two-tailed 95% Student-t critical values indexed by
+// degrees of freedom (index 0 unused). Values beyond the table fall back
+// to the normal approximation 1.96.
+var tCritical95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+	2.042,
+}
+
+// ConfidenceInterval95 returns the mean and the half-width of the two-tailed
+// 95% Student-t confidence interval for the mean of xs, matching the
+// methodology in §8.3 ("two-tailed Student t-test to determine the 95%
+// confidence intervals" over five runs).
+func ConfidenceInterval95(xs []float64) (mean, halfWidth float64) {
+	n := len(xs)
+	mean = Mean(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	df := n - 1
+	var tc float64
+	if df < len(tCritical95) {
+		tc = tCritical95[df]
+	} else {
+		tc = 1.96
+	}
+	return mean, tc * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies xs and does not modify it.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// BinomialTailChernoff returns the Chernoff upper bound (Lemma 2 of the
+// paper, Mitzenmacher–Upfal form) on Pr[X > np(1+gamma)] for
+// X ~ Bin(n, p) and gamma > 0:
+//
+//	(e^gamma / (1+gamma)^(1+gamma))^(np)
+func BinomialTailChernoff(n int, p, gamma float64) float64 {
+	if gamma <= 0 || n <= 0 || p <= 0 {
+		return 1
+	}
+	np := float64(n) * p
+	lnBound := np * (gamma - (1+gamma)*math.Log1p(gamma))
+	return math.Exp(lnBound)
+}
+
+// LogChoose returns ln(n choose k) computed via log-gamma, stable for
+// large n.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0KnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0},
+		{math.E, 1},              // W(e) = 1
+		{2 * math.E * math.E, 2}, // W(2e^2) = 2
+		{-1 / math.E, -1},        // branch point
+		{1, 0.5671432904097838},  // omega constant
+		{10, 1.7455280027406994},
+	}
+	for _, c := range cases {
+		got, err := LambertW0(c.x)
+		if err != nil {
+			t.Fatalf("LambertW0(%v): %v", c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("LambertW0(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLambertW0Inverse(t *testing.T) {
+	// Property: W(x)·e^{W(x)} == x for x >= -1/e.
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 1e6)
+		w, err := LambertW0(x)
+		if err != nil {
+			return false
+		}
+		back := w * math.Exp(w)
+		return math.Abs(back-x) <= 1e-6*(1+x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambertW0OutOfDomain(t *testing.T) {
+	if _, err := LambertW0(-1); err == nil {
+		t.Fatal("expected error for x < -1/e")
+	}
+	if _, err := LambertW0(math.NaN()); err == nil {
+		t.Fatal("expected error for NaN")
+	}
+}
+
+func TestHarmonicExactSmall(t *testing.T) {
+	if got := Harmonic(1); got != 1 {
+		t.Fatalf("H_1 = %v", got)
+	}
+	if got := Harmonic(4); math.Abs(got-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatalf("H_4 = %v", got)
+	}
+	if got := Harmonic(0); got != 0 {
+		t.Fatalf("H_0 = %v", got)
+	}
+}
+
+func TestHarmonicAsymptoticContinuity(t *testing.T) {
+	// The exact and asymptotic formulas must agree near the switch point.
+	exact := 0.0
+	for i := 1; i <= 100; i++ {
+		exact += 1 / float64(i)
+	}
+	if got := Harmonic(100); math.Abs(got-exact) > 1e-9 {
+		t.Fatalf("H_100 = %v, want %v", got, exact)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	// Sample stddev of this classic dataset is ~2.138.
+	if s := StdDev(xs); math.Abs(s-2.13809) > 1e-4 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if s := StdDev([]float64{1}); s != 0 {
+		t.Fatalf("StdDev single = %v", s)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	// Five identical runs: zero-width interval.
+	m, hw := ConfidenceInterval95([]float64{3, 3, 3, 3, 3})
+	if m != 3 || hw != 0 {
+		t.Fatalf("CI of constant = (%v, %v)", m, hw)
+	}
+	// Five runs with known spread: hw = t(4)=2.776 * s/sqrt(5).
+	xs := []float64{1, 2, 3, 4, 5}
+	m, hw = ConfidenceInterval95(xs)
+	if m != 3 {
+		t.Fatalf("mean = %v", m)
+	}
+	want := 2.776 * StdDev(xs) / math.Sqrt(5)
+	if math.Abs(hw-want) > 1e-9 {
+		t.Fatalf("halfWidth = %v, want %v", hw, want)
+	}
+	// Single sample: no interval.
+	if _, hw := ConfidenceInterval95([]float64{7}); hw != 0 {
+		t.Fatal("single sample must have zero half-width")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty = %v", p)
+	}
+	// Must not mutate input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestBinomialTailChernoff(t *testing.T) {
+	// The paper's Theorem 7 proof uses gamma = e-1, giving bound e^{-np}
+	// per row: (e^(e-1)/e^e)^np = e^{-np}.
+	got := BinomialTailChernoff(1000, 0.01, math.E-1)
+	want := math.Exp(-10)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("Chernoff(gamma=e-1) = %v, want %v", got, want)
+	}
+	// Degenerate inputs return the trivial bound 1.
+	if BinomialTailChernoff(0, 0.5, 1) != 1 {
+		t.Fatal("n=0 should return 1")
+	}
+	if BinomialTailChernoff(10, 0.5, 0) != 1 {
+		t.Fatal("gamma=0 should return 1")
+	}
+}
+
+func TestBinomialTailChernoffIsUpperBound(t *testing.T) {
+	// Monte-Carlo sanity: empirical tail must not exceed the bound by more
+	// than sampling noise for a few configurations.
+	cfgs := []struct {
+		n     int
+		p     float64
+		gamma float64
+	}{
+		{200, 0.05, 1.0},
+		{500, 0.02, 2.0},
+	}
+	rng := uint64(12345)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>11) / float64(1<<53)
+	}
+	for _, c := range cfgs {
+		bound := BinomialTailChernoff(c.n, c.p, c.gamma)
+		thresh := float64(c.n) * c.p * (1 + c.gamma)
+		const trials = 20000
+		exceed := 0
+		for t := 0; t < trials; t++ {
+			x := 0
+			for i := 0; i < c.n; i++ {
+				if next() < c.p {
+					x++
+				}
+			}
+			if float64(x) > thresh {
+				exceed++
+			}
+		}
+		emp := float64(exceed) / trials
+		if emp > bound+0.01 {
+			t.Errorf("empirical tail %v exceeds Chernoff bound %v for %+v", emp, bound, c)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	// C(10,3) = 120.
+	if got := math.Exp(LogChoose(10, 3)); math.Abs(got-120) > 1e-6 {
+		t.Fatalf("C(10,3) = %v", got)
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) {
+		t.Fatal("C(5,6) should be -inf in log space")
+	}
+	if got := math.Exp(LogChoose(0, 0)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("C(0,0) = %v", got)
+	}
+}

@@ -1,0 +1,431 @@
+// Package table implements the columnar in-memory tables that Cheetah's
+// workers and master operate on. It mirrors the storage model the paper
+// assumes of Spark SQL: columnar memory-optimized storage, with tasks
+// reading only the columns relevant to a query ("metadata" streams) and
+// late materialization fetching full rows afterwards.
+//
+// Tables are append-only. Columns are typed (64-bit integers or strings,
+// which covers every benchmark query in the paper). Partitioning produces
+// zero-copy views that share column storage, the same way Spark partitions
+// reference blocks of a parent dataset.
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"cheetah/internal/hashutil"
+)
+
+// Type is the type of a column.
+type Type uint8
+
+const (
+	// Int64 is a 64-bit signed integer column.
+	Int64 Type = iota
+	// String is a variable-width string column.
+	String
+)
+
+// String returns a human-readable type name.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// ColumnDef describes one column of a schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndex is Index but panics on an unknown column; used when the caller
+// has already validated names against the schema.
+func (s Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("table: unknown column %q", name))
+	}
+	return i
+}
+
+// Validate reports whether the schema has at least one column and no
+// duplicate names.
+func (s Schema) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("table: schema has no columns")
+	}
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if c.Name == "" {
+			return fmt.Errorf("table: empty column name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("table: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// column holds the backing storage for one column. Exactly one of the
+// slices is used, according to typ.
+type column struct {
+	typ  Type
+	ints []int64
+	strs []string
+}
+
+// Table is a columnar table, or a contiguous row-range view of one.
+// The zero value is not usable; construct with New.
+type Table struct {
+	schema Schema
+	cols   []*column
+	// off and n delimit the view into the backing columns. For a table
+	// created by New, off is 0 and n tracks appends.
+	off, n int
+	parent *Table // non-nil for views; appends are disallowed on views
+}
+
+// New creates an empty table with the given schema.
+func New(schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{schema: append(Schema(nil), schema...)}
+	t.cols = make([]*column, len(schema))
+	for i, c := range schema {
+		t.cols[i] = &column{typ: c.Type}
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for statically known-good schemas.
+func MustNew(schema Schema) *Table {
+	t, err := New(schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Schema returns the table's schema. The caller must not modify it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the number of rows visible in this table or view.
+func (t *Table) NumRows() int { return t.n }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// AppendRow appends a row given as one value per column. Values must be
+// int64 for Int64 columns and string for String columns.
+func (t *Table) AppendRow(vals ...any) error {
+	if t.parent != nil {
+		return fmt.Errorf("table: cannot append to a view")
+	}
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("table: AppendRow got %d values, schema has %d columns", len(vals), len(t.cols))
+	}
+	for i, v := range vals {
+		c := t.cols[i]
+		switch c.typ {
+		case Int64:
+			iv, ok := v.(int64)
+			if !ok {
+				if ii, ok2 := v.(int); ok2 {
+					iv = int64(ii)
+				} else {
+					return fmt.Errorf("table: column %q expects int64, got %T", t.schema[i].Name, v)
+				}
+			}
+			c.ints = append(c.ints, iv)
+		case String:
+			sv, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("table: column %q expects string, got %T", t.schema[i].Name, v)
+			}
+			c.strs = append(c.strs, sv)
+		}
+	}
+	t.n++
+	return nil
+}
+
+// AppendInt64Row appends a row to a table whose columns are all Int64.
+// It is the allocation-free fast path used by the workload generators.
+func (t *Table) AppendInt64Row(vals ...int64) error {
+	if t.parent != nil {
+		return fmt.Errorf("table: cannot append to a view")
+	}
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("table: AppendInt64Row got %d values, schema has %d columns", len(vals), len(t.cols))
+	}
+	for i, v := range vals {
+		if t.cols[i].typ != Int64 {
+			return fmt.Errorf("table: column %q is not int64", t.schema[i].Name)
+		}
+		t.cols[i].ints = append(t.cols[i].ints, v)
+	}
+	t.n++
+	return nil
+}
+
+// Grow pre-allocates capacity for n additional rows.
+func (t *Table) Grow(n int) {
+	for _, c := range t.cols {
+		switch c.typ {
+		case Int64:
+			if cap(c.ints)-len(c.ints) < n {
+				ns := make([]int64, len(c.ints), len(c.ints)+n)
+				copy(ns, c.ints)
+				c.ints = ns
+			}
+		case String:
+			if cap(c.strs)-len(c.strs) < n {
+				ns := make([]string, len(c.strs), len(c.strs)+n)
+				copy(ns, c.strs)
+				c.strs = ns
+			}
+		}
+	}
+}
+
+// Int64At returns the integer value at row r of column c.
+func (t *Table) Int64At(c, r int) int64 { return t.cols[c].ints[t.off+r] }
+
+// StringAt returns the string value at row r of column c.
+func (t *Table) StringAt(c, r int) string { return t.cols[c].strs[t.off+r] }
+
+// ValueAt returns the value at row r of column c as an any.
+func (t *Table) ValueAt(c, r int) any {
+	if t.cols[c].typ == Int64 {
+		return t.Int64At(c, r)
+	}
+	return t.StringAt(c, r)
+}
+
+// Int64Col returns the backing int64 slice for column c restricted to this
+// view. The caller must not modify it. It panics if the column is not Int64.
+func (t *Table) Int64Col(c int) []int64 {
+	col := t.cols[c]
+	if col.typ != Int64 {
+		panic(fmt.Sprintf("table: column %q is %v, not int64", t.schema[c].Name, col.typ))
+	}
+	return col.ints[t.off : t.off+t.n]
+}
+
+// StringCol returns the backing string slice for column c restricted to
+// this view. The caller must not modify it.
+func (t *Table) StringCol(c int) []string {
+	col := t.cols[c]
+	if col.typ != String {
+		panic(fmt.Sprintf("table: column %q is %v, not string", t.schema[c].Name, col.typ))
+	}
+	return col.strs[t.off : t.off+t.n]
+}
+
+// View returns a zero-copy view of rows [lo, hi).
+func (t *Table) View(lo, hi int) (*Table, error) {
+	if lo < 0 || hi < lo || hi > t.n {
+		return nil, fmt.Errorf("table: view [%d,%d) out of range (rows=%d)", lo, hi, t.n)
+	}
+	root := t
+	if t.parent != nil {
+		root = t.parent
+	}
+	return &Table{
+		schema: t.schema,
+		cols:   t.cols,
+		off:    t.off + lo,
+		n:      hi - lo,
+		parent: root,
+	}, nil
+}
+
+// Partition splits the table into k contiguous zero-copy views of
+// near-equal size, analogous to Spark data partitions assigned to workers.
+func (t *Table) Partition(k int) ([]*Table, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("table: partition count %d must be positive", k)
+	}
+	parts := make([]*Table, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * t.n / k
+		hi := (i + 1) * t.n / k
+		v, err := t.View(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, v)
+	}
+	return parts, nil
+}
+
+// Project returns a new table (copying only slice headers for the view
+// range, not data, when the table is not a view; otherwise copying data)
+// containing the named columns in order.
+func (t *Table) Project(names ...string) (*Table, error) {
+	defs := make(Schema, 0, len(names))
+	idx := make([]int, 0, len(names))
+	for _, nm := range names {
+		i := t.schema.Index(nm)
+		if i < 0 {
+			return nil, fmt.Errorf("table: unknown column %q", nm)
+		}
+		defs = append(defs, t.schema[i])
+		idx = append(idx, i)
+	}
+	out := &Table{schema: defs, n: t.n}
+	out.cols = make([]*column, len(idx))
+	for j, i := range idx {
+		src := t.cols[i]
+		dst := &column{typ: src.typ}
+		switch src.typ {
+		case Int64:
+			dst.ints = src.ints[t.off : t.off+t.n]
+		case String:
+			dst.strs = src.strs[t.off : t.off+t.n]
+		}
+		out.cols[j] = dst
+	}
+	return out, nil
+}
+
+// SortByInt64 sorts the table in place by the named Int64 column,
+// ascending. Views cannot be sorted. The sort is used to create the
+// "nearly sorted" benchmark tables (Rankings is roughly sorted on
+// pageRank).
+func (t *Table) SortByInt64(name string) error {
+	if t.parent != nil {
+		return fmt.Errorf("table: cannot sort a view")
+	}
+	ci := t.schema.Index(name)
+	if ci < 0 {
+		return fmt.Errorf("table: unknown column %q", name)
+	}
+	if t.cols[ci].typ != Int64 {
+		return fmt.Errorf("table: sort column %q is not int64", name)
+	}
+	perm := make([]int, t.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	key := t.cols[ci].ints
+	sort.SliceStable(perm, func(a, b int) bool { return key[perm[a]] < key[perm[b]] })
+	t.applyPermutation(perm)
+	return nil
+}
+
+// Shuffle permutes the rows of the table in place using a deterministic
+// Fisher–Yates shuffle driven by seed. The paper shuffles nearly sorted
+// tables before filter/skyline queries ("we run the query on a random
+// permutation of the table").
+func (t *Table) Shuffle(seed uint64) error {
+	if t.parent != nil {
+		return fmt.Errorf("table: cannot shuffle a view")
+	}
+	perm := make([]int, t.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	s := seed
+	for i := t.n - 1; i > 0; i-- {
+		s = hashutil.SplitMix64(s)
+		j := int(hashutil.ReduceFull(s, uint64(i+1)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	t.applyPermutation(perm)
+	return nil
+}
+
+// applyPermutation reorders every column so row i becomes old row perm[i].
+func (t *Table) applyPermutation(perm []int) {
+	for _, c := range t.cols {
+		switch c.typ {
+		case Int64:
+			ns := make([]int64, len(c.ints))
+			for i, p := range perm {
+				ns[i] = c.ints[p]
+			}
+			c.ints = ns
+		case String:
+			ns := make([]string, len(c.strs))
+			for i, p := range perm {
+				ns[i] = c.strs[p]
+			}
+			c.strs = ns
+		}
+	}
+}
+
+// Row is a lightweight cursor over one row of a table.
+type Row struct {
+	t *Table
+	r int
+}
+
+// RowAt returns a cursor for row r.
+func (t *Table) RowAt(r int) Row { return Row{t: t, r: r} }
+
+// Int64 returns the integer value of the named column in this row.
+func (r Row) Int64(name string) int64 {
+	return r.t.Int64At(r.t.schema.MustIndex(name), r.r)
+}
+
+// String returns the string value of the named column in this row.
+func (r Row) String(name string) string {
+	return r.t.StringAt(r.t.schema.MustIndex(name), r.r)
+}
+
+// Values returns all column values of the row in schema order.
+func (r Row) Values() []any {
+	out := make([]any, r.t.NumCols())
+	for c := range out {
+		out[c] = r.t.ValueAt(c, r.r)
+	}
+	return out
+}
+
+// AppendRowFrom appends row r of src to t. Schemas must be identical in
+// types (names may differ).
+func (t *Table) AppendRowFrom(src *Table, r int) error {
+	if t.parent != nil {
+		return fmt.Errorf("table: cannot append to a view")
+	}
+	if len(t.cols) != len(src.cols) {
+		return fmt.Errorf("table: column count mismatch %d vs %d", len(t.cols), len(src.cols))
+	}
+	for i := range t.cols {
+		if t.cols[i].typ != src.cols[i].typ {
+			return fmt.Errorf("table: column %d type mismatch", i)
+		}
+		switch t.cols[i].typ {
+		case Int64:
+			t.cols[i].ints = append(t.cols[i].ints, src.Int64At(i, r))
+		case String:
+			t.cols[i].strs = append(t.cols[i].strs, src.StringAt(i, r))
+		}
+	}
+	t.n++
+	return nil
+}

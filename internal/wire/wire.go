@@ -1,0 +1,175 @@
+// Package wire implements the Cheetah communication formats of Figure 4:
+// data packets carrying one entry's flow id, sequence/entry id and a
+// variable-length vector of 64-bit column values (or fingerprints), and
+// the ACK/FIN control messages of the reliability protocol (§7.2).
+//
+// Encoding follows the gopacket idiom for hot paths: DecodeFrom parses
+// into a preallocated struct reusing its value slice (zero allocations at
+// steady state), and AppendTo serializes by appending to a caller-owned
+// buffer. The Cheetah channel runs on its own UDP port with its own
+// header, decoupled from ordinary Spark traffic; the fid field lets one
+// switch serve multiple datasets/queries concurrently.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MsgType discriminates Cheetah messages.
+type MsgType uint8
+
+const (
+	// MsgData carries one entry from a CWorker toward the CMaster.
+	MsgData MsgType = 1
+	// MsgAck acknowledges a sequence number (sent by the switch for
+	// pruned packets and by the master for delivered ones).
+	MsgAck MsgType = 2
+	// MsgFin signals that a worker finished transmitting a flow.
+	MsgFin MsgType = 3
+	// MsgFinAck acknowledges a FIN.
+	MsgFinAck MsgType = 4
+)
+
+// String renders the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgData:
+		return "DATA"
+	case MsgAck:
+		return "ACK"
+	case MsgFin:
+		return "FIN"
+	case MsgFinAck:
+		return "FINACK"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// MaxValues bounds the per-entry value vector; the count travels in an
+// 8-bit field (Fig. 4: "The number of values is specified in an 8-bits
+// field (n)").
+const MaxValues = 255
+
+// headerLen is the fixed part of a data packet:
+// type(1) + fid(4) + seq(8) + n(1).
+const headerLen = 1 + 4 + 8 + 1
+
+// ackLen is the fixed ACK/FIN/FINACK length: type(1) + fid(4) + seq(8).
+const ackLen = 1 + 4 + 8
+
+// Packet is one Cheetah message. For MsgData, Values holds the entry's
+// column values/fingerprints; for control messages Values is empty and
+// Seq is the acknowledged (or final) sequence number.
+type Packet struct {
+	Type   MsgType
+	FlowID uint32
+	Seq    uint64
+	Values []uint64
+}
+
+// Errors returned by DecodeFrom.
+var (
+	ErrTruncated = errors.New("wire: truncated packet")
+	ErrBadType   = errors.New("wire: unknown message type")
+	ErrBadCount  = errors.New("wire: value count disagrees with length")
+)
+
+// AppendTo serializes p, appending to buf and returning the extended
+// slice. It never fails for MaxValues-bounded data; longer vectors are
+// rejected.
+func (p *Packet) AppendTo(buf []byte) ([]byte, error) {
+	if len(p.Values) > MaxValues {
+		return buf, fmt.Errorf("wire: %d values exceed the 8-bit count field", len(p.Values))
+	}
+	switch p.Type {
+	case MsgData:
+		buf = append(buf, byte(p.Type))
+		buf = binary.BigEndian.AppendUint32(buf, p.FlowID)
+		buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+		buf = append(buf, byte(len(p.Values)))
+		for _, v := range p.Values {
+			buf = binary.BigEndian.AppendUint64(buf, v)
+		}
+		return buf, nil
+	case MsgAck, MsgFin, MsgFinAck:
+		buf = append(buf, byte(p.Type))
+		buf = binary.BigEndian.AppendUint32(buf, p.FlowID)
+		buf = binary.BigEndian.AppendUint64(buf, p.Seq)
+		return buf, nil
+	default:
+		return buf, fmt.Errorf("%w: %d", ErrBadType, p.Type)
+	}
+}
+
+// EncodedLen returns the wire size of p.
+func (p *Packet) EncodedLen() int {
+	if p.Type == MsgData {
+		return headerLen + 8*len(p.Values)
+	}
+	return ackLen
+}
+
+// DecodeFrom parses b into p, reusing p.Values' backing array when
+// possible. The parsed Values slice aliases p's internal storage — it is
+// valid until the next DecodeFrom on the same Packet.
+func (p *Packet) DecodeFrom(b []byte) error {
+	if len(b) < ackLen {
+		return ErrTruncated
+	}
+	t := MsgType(b[0])
+	switch t {
+	case MsgAck, MsgFin, MsgFinAck:
+		p.Type = t
+		p.FlowID = binary.BigEndian.Uint32(b[1:5])
+		p.Seq = binary.BigEndian.Uint64(b[5:13])
+		p.Values = p.Values[:0]
+		return nil
+	case MsgData:
+		if len(b) < headerLen {
+			return ErrTruncated
+		}
+		n := int(b[13])
+		if len(b) != headerLen+8*n {
+			return ErrBadCount
+		}
+		p.Type = t
+		p.FlowID = binary.BigEndian.Uint32(b[1:5])
+		p.Seq = binary.BigEndian.Uint64(b[5:13])
+		if cap(p.Values) < n {
+			p.Values = make([]uint64, n)
+		} else {
+			p.Values = p.Values[:n]
+		}
+		off := headerLen
+		for i := 0; i < n; i++ {
+			p.Values[i] = binary.BigEndian.Uint64(b[off : off+8])
+			off += 8
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %d", ErrBadType, t)
+	}
+}
+
+// NewData builds a data packet.
+func NewData(flowID uint32, seq uint64, values []uint64) Packet {
+	return Packet{Type: MsgData, FlowID: flowID, Seq: seq, Values: values}
+}
+
+// NewAck builds an ACK for (flowID, seq).
+func NewAck(flowID uint32, seq uint64) Packet {
+	return Packet{Type: MsgAck, FlowID: flowID, Seq: seq}
+}
+
+// NewFin builds a FIN carrying the flow's final sequence number.
+func NewFin(flowID uint32, lastSeq uint64) Packet {
+	return Packet{Type: MsgFin, FlowID: flowID, Seq: lastSeq}
+}
+
+// NewFinAck builds a FIN acknowledgement.
+func NewFinAck(flowID uint32, lastSeq uint64) Packet {
+	return Packet{Type: MsgFinAck, FlowID: flowID, Seq: lastSeq}
+}

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	p := NewData(7, 42, []uint64{1, 2, 3})
+	buf, err := p.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != p.EncodedLen() {
+		t.Fatalf("EncodedLen %d != actual %d", p.EncodedLen(), len(buf))
+	}
+	var q Packet
+	if err := q.DecodeFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != MsgData || q.FlowID != 7 || q.Seq != 42 || len(q.Values) != 3 {
+		t.Fatalf("decoded %+v", q)
+	}
+	for i, v := range []uint64{1, 2, 3} {
+		if q.Values[i] != v {
+			t.Fatalf("value %d = %d", i, q.Values[i])
+		}
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	for _, mk := range []func(uint32, uint64) Packet{NewAck, NewFin, NewFinAck} {
+		p := mk(3, 99)
+		buf, err := p.AppendTo(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q Packet
+		q.Values = []uint64{1, 2, 3} // must be cleared by decode
+		if err := q.DecodeFrom(buf); err != nil {
+			t.Fatal(err)
+		}
+		if q.Type != p.Type || q.FlowID != 3 || q.Seq != 99 || len(q.Values) != 0 {
+			t.Fatalf("decoded %+v want %+v", q, p)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(fid uint32, seq uint64, raw []uint64) bool {
+		if len(raw) > MaxValues {
+			raw = raw[:MaxValues]
+		}
+		p := NewData(fid, seq, raw)
+		buf, err := p.AppendTo(nil)
+		if err != nil {
+			return false
+		}
+		var q Packet
+		if err := q.DecodeFrom(buf); err != nil {
+			return false
+		}
+		if q.FlowID != fid || q.Seq != seq || len(q.Values) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if q.Values[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeReusesBuffer(t *testing.T) {
+	var q Packet
+	big := NewData(1, 1, make([]uint64, 16))
+	buf, _ := big.AppendTo(nil)
+	if err := q.DecodeFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	backing := &q.Values[0]
+	small := NewData(1, 2, []uint64{9})
+	buf2, _ := small.AppendTo(nil)
+	if err := q.DecodeFrom(buf2); err != nil {
+		t.Fatal(err)
+	}
+	if &q.Values[0] != backing {
+		t.Fatal("DecodeFrom reallocated despite sufficient capacity")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var q Packet
+	if err := q.DecodeFrom([]byte{1, 2}); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	// Unknown type.
+	bad := make([]byte, ackLen)
+	bad[0] = 200
+	if err := q.DecodeFrom(bad); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	// Data with count mismatch.
+	p := NewData(1, 1, []uint64{1, 2})
+	buf, _ := p.AppendTo(nil)
+	buf[13] = 3 // claim 3 values
+	if err := q.DecodeFrom(buf); err != ErrBadCount {
+		t.Fatalf("count mismatch: %v", err)
+	}
+	// Data header truncated between ackLen and headerLen.
+	if err := q.DecodeFrom(buf[:13]); err != ErrTruncated {
+		t.Fatalf("truncated data: %v", err)
+	}
+	// Encode unknown type.
+	bp := Packet{Type: MsgType(77)}
+	if _, err := bp.AppendTo(nil); err == nil {
+		t.Fatal("unknown type encoded")
+	}
+	// Oversized vector.
+	huge := NewData(1, 1, make([]uint64, MaxValues+1))
+	if _, err := huge.AppendTo(nil); err == nil {
+		t.Fatal("oversized vector encoded")
+	}
+}
+
+func TestAppendToAppends(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	p := NewAck(1, 2)
+	buf, err := p.AppendTo(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Fatal("AppendTo overwrote the prefix")
+	}
+	var q Packet
+	if err := q.DecodeFrom(buf[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != MsgAck {
+		t.Fatal("decode after prefix")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgData.String() != "DATA" || MsgAck.String() != "ACK" ||
+		MsgFin.String() != "FIN" || MsgFinAck.String() != "FINACK" {
+		t.Fatal("type strings")
+	}
+	if MsgType(9).String() == "" {
+		t.Fatal("unknown type string")
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	p := NewData(1, 0, []uint64{1, 2})
+	buf := make([]byte, 0, 64)
+	var q Packet
+	q.Values = make([]uint64, 0, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seq = uint64(i)
+		var err error
+		buf, err = p.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := q.DecodeFrom(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestRankingsShape(t *testing.T) {
+	r := Rankings(1000, 1)
+	if r.NumRows() != 1000 || r.NumCols() != 3 {
+		t.Fatalf("dims %dx%d", r.NumRows(), r.NumCols())
+	}
+	// Nearly sorted: long-range inversions must be rare.
+	ranks := r.Int64Col(1)
+	inversions := 0
+	for i := 100; i < len(ranks); i += 100 {
+		if ranks[i] < ranks[i-100] {
+			inversions++
+		}
+	}
+	if inversions > 0 {
+		t.Fatalf("rankings not nearly sorted: %d long-range inversions", inversions)
+	}
+	// Determinism.
+	r2 := Rankings(1000, 1)
+	for i := 0; i < 1000; i++ {
+		if r.Int64At(1, i) != r2.Int64At(1, i) {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestUserVisitsShape(t *testing.T) {
+	cfg := DefaultUserVisits(5000, 3)
+	uv, err := UserVisits(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uv.NumRows() != 5000 || uv.NumCols() != 9 {
+		t.Fatalf("dims %dx%d", uv.NumRows(), uv.NumCols())
+	}
+	// Agent cardinality bounded by config; language codes within range.
+	agents := map[string]bool{}
+	langs := map[string]bool{}
+	ac := uv.Schema().MustIndex("userAgent")
+	lc := uv.Schema().MustIndex("languageCode")
+	for r := 0; r < uv.NumRows(); r++ {
+		agents[uv.StringAt(ac, r)] = true
+		langs[uv.StringAt(lc, r)] = true
+	}
+	if len(langs) > cfg.Languages {
+		t.Fatalf("%d languages > %d", len(langs), cfg.Languages)
+	}
+	// Zipf skew: duplication must be heavy.
+	if len(agents) > uv.NumRows()/2 {
+		t.Fatalf("agents barely repeat: %d distinct of %d", len(agents), uv.NumRows())
+	}
+	if _, err := UserVisits(UserVisitsConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestTPCHQ3Shape(t *testing.T) {
+	orders, lineitem, err := TPCHQ3(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders.NumRows() != 500 || lineitem.NumRows() != 2000 {
+		t.Fatalf("dims %d / %d", orders.NumRows(), lineitem.NumRows())
+	}
+	// Referential integrity: every lineitem orderkey exists in orders.
+	keys := map[int64]bool{}
+	for r := 0; r < orders.NumRows(); r++ {
+		keys[orders.Int64At(0, r)] = true
+	}
+	for r := 0; r < lineitem.NumRows(); r++ {
+		if !keys[lineitem.Int64At(0, r)] {
+			t.Fatalf("dangling lineitem orderkey %d", lineitem.Int64At(0, r))
+		}
+	}
+	if _, _, err := TPCHQ3(0, 1); err == nil {
+		t.Fatal("0 orders accepted")
+	}
+}
+
+func TestDistinctStream(t *testing.T) {
+	s := DistinctStream(1000, 50, 1)
+	if len(s) != 1000 {
+		t.Fatal("length")
+	}
+	counts := map[uint64]int{}
+	for _, v := range s {
+		if v >= 50 {
+			t.Fatalf("value %d out of range", v)
+		}
+		counts[v]++
+	}
+	if len(counts) != 50 {
+		t.Fatalf("distinct = %d", len(counts))
+	}
+	for v, c := range counts {
+		if c != 20 {
+			t.Fatalf("value %d appears %d times, want 20", v, c)
+		}
+	}
+	// Shuffled: the first 50 entries must not be 0..49 in order.
+	ordered := true
+	for i := 0; i < 50; i++ {
+		if s[i] != uint64(i%50) {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		t.Fatal("stream not shuffled")
+	}
+}
+
+func TestUniformStreamIsPermutation(t *testing.T) {
+	s := UniformStream(500, 3)
+	seen := make([]bool, 501)
+	for _, v := range s {
+		if v < 1 || v > 500 || seen[v] {
+			t.Fatalf("not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPoints2DRanges(t *testing.T) {
+	pts := Points2D(200, 256, 65536, 5)
+	for _, p := range pts {
+		if p[0] >= 256 || p[1] >= 65536 {
+			t.Fatalf("point %v out of range", p)
+		}
+	}
+}
+
+func TestZipfKeysSkewed(t *testing.T) {
+	keys := ZipfKeys(10_000, 1.3, 1000, 9)
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	// Zipf: the most frequent key dominates.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Fatalf("top key count %d too small for Zipf(1.3)", max)
+	}
+	// Degenerate parameters fall back safely.
+	if got := ZipfKeys(10, 0.5, 1, 1); len(got) != 10 {
+		t.Fatal("fallback length")
+	}
+}
+
+func TestJoinKeyStreams(t *testing.T) {
+	a, b := JoinKeyStreams(100, 50, 70, 3)
+	if len(a) != 150 || len(b) != 170 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	inA := map[uint64]bool{}
+	for _, k := range a {
+		inA[k] = true
+	}
+	shared := 0
+	for _, k := range b {
+		if inA[k] {
+			shared++
+		}
+	}
+	if shared != 100 {
+		t.Fatalf("shared keys = %d, want 100", shared)
+	}
+}
