@@ -2,14 +2,20 @@
 //
 // Usage:
 //
-//	cheetah-bench [-scale N] [-seeds K] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all]
+//	cheetah-bench [-scale N] [-seeds K] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|all]
 //
 // Scale divides the paper's dataset sizes (scale=1 reproduces paper
 // scale and takes minutes; the default 50 finishes in seconds). Output
 // is aligned text, one block per table/figure.
+//
+// The baseline target measures the ExecCheetah micro-benchmarks (batch
+// and scalar paths) and writes machine-readable JSON to -baseline-out,
+// giving future changes a perf trajectory to compare against. It is not
+// part of "all".
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,8 @@ func main() {
 	scale := flag.Int("scale", 50, "divide paper dataset sizes by this factor (1 = paper scale)")
 	seeds := flag.Int("seeds", 5, "runs per randomized algorithm (95% CIs)")
 	seed := flag.Uint64("seed", 0xc0ffee, "base RNG seed")
+	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output file for the baseline target")
+	baselineRows := flag.Int("baseline-rows", 100_000, "benchmark table rows for the baseline target")
 	flag.Parse()
 
 	o := bench.Options{Scale: *scale, Seeds: *seeds, BaseSeed: *seed}
@@ -38,6 +46,19 @@ func main() {
 		"fig9":   func() error { _, err := bench.Fig9(os.Stdout, o); return err },
 		"fig10":  func() error { _, err := bench.Fig10(os.Stdout, o); return err },
 		"fig11":  func() error { _, err := bench.Fig11(os.Stdout, o); return err },
+		"baseline": func() error {
+			// Measure first, write after: a failed run must not clobber
+			// an existing baseline file.
+			var buf bytes.Buffer
+			if err := bench.Baseline(&buf, *baselineRows); err != nil {
+				return err
+			}
+			if err := os.WriteFile(*baselineOut, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("baseline written to %s\n", *baselineOut)
+			return nil
+		},
 	}
 	order := []string{"table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	for _, t := range targets {
@@ -53,7 +74,7 @@ func main() {
 		}
 		f, ok := run[t]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v)\n", t, order)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, or baseline)\n", t, order)
 			os.Exit(2)
 		}
 		if err := f(); err != nil {

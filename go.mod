@@ -1,0 +1,3 @@
+module cheetah
+
+go 1.24

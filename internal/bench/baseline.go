@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"cheetah/internal/boolexpr"
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/workload"
+)
+
+// BaselineEntry is one benchmark's machine-readable measurement.
+type BaselineEntry struct {
+	Name          string  `json:"name"`
+	Path          string  `json:"path"` // "batch" or "scalar"
+	Rows          int     `json:"rows"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	EntriesPerSec float64 `json:"entries_per_sec"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+}
+
+// BaselineReport is the file format of BENCH_baseline.json: enough
+// context to compare runs across commits plus the per-benchmark entries.
+type BaselineReport struct {
+	GoVersion  string          `json:"go_version"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	Rows       int             `json:"rows"`
+	Benchmarks []BaselineEntry `json:"benchmarks"`
+}
+
+// Baseline measures the ExecCheetah micro-benchmarks (both the batched
+// and the legacy scalar path) with testing.Benchmark and writes the
+// results as JSON, giving future changes a perf trajectory to compare
+// against. rows sizes the benchmark table (the tracked benchmarks use
+// 100k).
+func Baseline(w io.Writer, rows int) error {
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(rows, 1))
+	if err != nil {
+		return err
+	}
+	queries := []struct {
+		name string
+		q    *engine.Query
+	}{
+		{"ExecCheetahDistinct", &engine.Query{Kind: engine.KindDistinct, Table: uv, DistinctCols: []string{"userAgent"}}},
+		{"ExecCheetahTopN", &engine.Query{Kind: engine.KindTopN, Table: uv, OrderCol: "adRevenue", N: 250}},
+		{"ExecCheetahFilter", &engine.Query{
+			Kind:  engine.KindFilter,
+			Table: uv,
+			Predicates: []engine.FilterPred{
+				{Col: "adRevenue", Op: prune.OpGT, Const: 500_000},
+				{Col: "duration", Op: prune.OpLE, Const: 120},
+			},
+			Formula:   boolexpr.And{boolexpr.Leaf{V: 0}, boolexpr.Leaf{V: 1}},
+			CountOnly: true,
+		}},
+	}
+	report := BaselineReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Rows:      rows,
+	}
+	for _, qc := range queries {
+		for _, path := range []struct {
+			name   string
+			scalar bool
+		}{{"batch", false}, {"scalar", true}} {
+			q, scalar := qc.q, path.scalar
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := engine.ExecCheetah(q, engine.CheetahOptions{Workers: 5, Seed: uint64(i), Scalar: scalar}); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if benchErr != nil {
+				return fmt.Errorf("bench: %s/%s: %w", qc.name, path.name, benchErr)
+			}
+			nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+			report.Benchmarks = append(report.Benchmarks, BaselineEntry{
+				Name:          qc.name,
+				Path:          path.name,
+				Rows:          rows,
+				NsPerOp:       nsPerOp,
+				EntriesPerSec: float64(rows) / (nsPerOp / 1e9),
+				AllocsPerOp:   r.AllocsPerOp(),
+				BytesPerOp:    r.AllocedBytesPerOp(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

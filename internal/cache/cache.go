@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math"
 
 	"cheetah/internal/hashutil"
 )
@@ -149,15 +150,34 @@ type RollingMin struct {
 	d, w int
 	vals []int64
 	fill []int
+	// mins caches each full row's minimum (its last column) and holds
+	// MinSentinel while the row is filling, giving batch loops a
+	// single-load prune test that avoids touching the row matrix for
+	// pruned entries. Maintained by Offer.
+	mins []int64
 }
+
+// MinSentinel marks a not-yet-full row in the Mins cache. A row's true
+// minimum can also legitimately be MinSentinel, so a batch loop seeing
+// value ≤ mins[row] == MinSentinel must confirm with FullMin before
+// pruning; every other value of mins[row] proves the row is full.
+const MinSentinel = math.MinInt64
 
 // NewRollingMin creates the matrix.
 func NewRollingMin(d, w int) (*RollingMin, error) {
 	if d <= 0 || w <= 0 {
 		return nil, fmt.Errorf("cache: rolling-min dimensions %dx%d must be positive", d, w)
 	}
-	return &RollingMin{d: d, w: w, vals: make([]int64, d*w), fill: make([]int, d)}, nil
+	r := &RollingMin{d: d, w: w, vals: make([]int64, d*w), fill: make([]int, d), mins: make([]int64, d)}
+	for i := range r.mins {
+		r.mins[i] = MinSentinel
+	}
+	return r, nil
 }
+
+// Mins exposes the per-row minimum cache for batch prune tests. The
+// caller must not modify it; see MinSentinel for the not-full marker.
+func (r *RollingMin) Mins() []int64 { return r.mins }
 
 // Rows returns d. Cols returns w.
 func (r *RollingMin) Rows() int { return r.d }
@@ -170,29 +190,57 @@ func (r *RollingMin) Cols() int { return r.w }
 // value in a full row — i.e. the entry can be pruned. Otherwise the value
 // is spliced into its ordered position and the row's minimum falls out.
 //
-// The update is exactly the hardware's rolling scheme: at each stage the
-// packet compares its carried value to the register; if larger, they swap
-// and the displaced value rides along to the next stage.
+// The hardware performs this as a rolling swap — at each stage the packet
+// compares its carried value to the register, swapping when larger — and
+// this implementation computes the identical final row state as a
+// branch-light insertion: a position count over the descending row
+// followed by a shift.
 func (r *RollingMin) Offer(row int, value int64) (prune bool) {
 	base := row * r.w
 	n := r.fill[row]
-	carried := value
-	inserted := false
 	slots := r.vals[base : base+n]
-	for i := range slots {
-		if carried > slots[i] {
-			carried, slots[i] = slots[i], carried
-			inserted = true
+	// Insertion position: the count of slots ≥ value (a descending
+	// prefix), matching the strict-compare swap walk.
+	pos := 0
+	for _, s := range slots {
+		if s >= value {
+			pos++
 		}
 	}
 	if n < r.w {
-		r.vals[base+n] = carried
+		for i := n; i > pos; i-- {
+			r.vals[base+i] = r.vals[base+i-1]
+		}
+		r.vals[base+pos] = value
 		r.fill[row] = n + 1
+		if n+1 == r.w {
+			r.mins[row] = r.vals[base+r.w-1]
+		}
 		return false
 	}
-	// Row is full: if the offered value never displaced anything, it is
-	// smaller than all w cached values and the entry is pruned.
-	return !inserted
+	if pos == r.w {
+		// The value is smaller than all w cached values: prune.
+		return true
+	}
+	for i := r.w - 1; i > pos; i-- {
+		r.vals[base+i] = r.vals[base+i-1]
+	}
+	r.vals[base+pos] = value
+	r.mins[row] = r.vals[base+r.w-1]
+	return false
+}
+
+// FullMin returns the minimum cached value of row and whether the row is
+// full. It is the branch-light prune test hoisted into batch loops: for a
+// full row the minimum sits in the last column (splicing keeps columns in
+// descending order), so a value ≤ it can be pruned without running the
+// splice, and a not-full row can never prune. The method is small enough
+// to inline into callers' inner loops.
+func (r *RollingMin) FullMin(row int) (int64, bool) {
+	if r.fill[row] < r.w {
+		return 0, false
+	}
+	return r.vals[row*r.w+r.w-1], true
 }
 
 // RowMin returns the minimum cached value of a full row, or false when the
@@ -209,6 +257,7 @@ func (r *RollingMin) RowMin(row int) (int64, bool) {
 func (r *RollingMin) Reset() {
 	for i := range r.fill {
 		r.fill[i] = 0
+		r.mins[i] = MinSentinel
 	}
 }
 

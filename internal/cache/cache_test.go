@@ -406,3 +406,81 @@ func BenchmarkKeyedMaxOffer(b *testing.B) {
 		k.Offer(s%5000, int64(s>>32%1000))
 	}
 }
+
+// TestRollingMinMinsCache checks the per-row minimum cache against the
+// ground truth after every Offer, including the not-full sentinel and
+// the FullMin accessor.
+func TestRollingMinMinsCache(t *testing.T) {
+	const d, w = 8, 4
+	r, err := NewRollingMin(d, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(99)
+	next := func(mod int64) int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		v := int64(seed >> 33)
+		return v % mod
+	}
+	for i := 0; i < 2000; i++ {
+		row := int(next(d))
+		if row < 0 {
+			row = -row
+		}
+		r.Offer(row%d, next(1<<20))
+		for q := 0; q < d; q++ {
+			min, full := r.FullMin(q)
+			if !full {
+				if r.Mins()[q] != MinSentinel {
+					t.Fatalf("row %d not full but mins=%d", q, r.Mins()[q])
+				}
+				continue
+			}
+			if got := r.Mins()[q]; got != min {
+				t.Fatalf("row %d: mins cache %d, true min %d", q, got, min)
+			}
+			if rm, ok := r.RowMin(q); !ok || rm != min {
+				t.Fatalf("row %d: RowMin %v/%v vs FullMin %d", q, rm, ok, min)
+			}
+		}
+	}
+	r.Reset()
+	for q := 0; q < d; q++ {
+		if r.Mins()[q] != MinSentinel {
+			t.Fatalf("after reset, row %d mins=%d", q, r.Mins()[q])
+		}
+	}
+}
+
+// TestRollingMinOfferOrder checks that Offer keeps rows in descending
+// order with exact rolling-replacement semantics (the hardware's swap
+// walk), including ties.
+func TestRollingMinOfferOrder(t *testing.T) {
+	r, err := NewRollingMin(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		v     int64
+		prune bool
+		want  []int64
+	}{
+		{5, false, []int64{5}},
+		{7, false, []int64{7, 5}},
+		{5, false, []int64{7, 5, 5}}, // tie inserts after equal values
+		{4, true, []int64{7, 5, 5}},  // full row, below min: pruned
+		{5, true, []int64{7, 5, 5}},  // equal to min, never displaces
+		{6, false, []int64{7, 6, 5}}, // splices mid-row, min falls out
+		{9, false, []int64{9, 7, 6}},
+	}
+	for i, s := range steps {
+		if got := r.Offer(0, s.v); got != s.prune {
+			t.Fatalf("step %d: Offer(%d) prune=%v, want %v", i, s.v, got, s.prune)
+		}
+		for j, want := range s.want {
+			if r.vals[j] != want {
+				t.Fatalf("step %d: slot %d = %d, want %d (row %v)", i, j, r.vals[j], want, r.vals[:r.fill[0]])
+			}
+		}
+	}
+}

@@ -1,0 +1,1064 @@
+package engine
+
+// This file implements the batched Cheetah execution pipeline — the
+// default path of ExecCheetah. The legacy path (cheetah.go) dispatches
+// one closure call and one Program.Process per entry; here each CWorker
+// encodes its partition into reusable column-major batch buffers, a
+// round-robin scatter reproduces the exact arrival order of interleave,
+// and the switch program runs its native batch loop over whole chunks.
+// The master completes queries straight from the encoded columns where
+// it can (late materialization): survivors are collected branchlessly
+// through preallocated index buffers sized from the running prune rate,
+// DISTINCT and GROUP BY dedupe survivors by the fingerprints the workers
+// already computed, and TOP N feeds forwarded values into its heap
+// without materializing a survivor list at all.
+//
+// Results, Traffic and Stats are bit-identical to the scalar path (the
+// equivalence suite in batch_equiv_test.go asserts it for every query
+// kind); the only semantic difference is that fingerprint-assisted
+// master completion merges fingerprint-colliding keys, which has the
+// same 1-δ guarantee (Theorem 4) as the fingerprinting the switch
+// already performs on the stream.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cheetah/internal/hashutil"
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/table"
+)
+
+// The branchless survivor compaction below indexes by the numeric value
+// of a Decision; these declarations fail to compile if the dataplane
+// constants ever move.
+var (
+	_ = [1]struct{}{}[switchsim.Forward] // Forward must be 0
+	_ = [1]struct{}{}[switchsim.Prune-1] // Prune must be 1
+)
+
+// chunkEntries caps one batch so stream buffers stay memory-bounded at
+// paper scale and cache-resident across the encode → process → collect
+// sweeps. It is a variable only so tests can force multi-chunk streams
+// on small tables.
+var chunkEntries = 1 << 18
+
+// parallelEncodeMin is the chunk size below which the per-worker encode
+// runs inline; goroutine handoff costs more than it saves on tiny
+// chunks. A variable only so tests can force the concurrent branch on
+// small tables.
+var parallelEncodeMin = 8192
+
+// encodeInParallel gates the per-chunk worker goroutines: concurrent
+// encoding only pays when the runtime has real parallelism.
+var encodeInParallel = runtime.NumCPU() > 1
+
+// streamBuf holds the reusable buffers of one pass: the pruner-visible
+// value columns, the engine-side row-id column, the decision vector and
+// a compaction scratch.
+type streamBuf struct {
+	all []([]uint64)
+	ids []uint64
+	dec []switchsim.Decision
+	tmp []uint64
+}
+
+var streamBufPool = sync.Pool{New: func() any { return new(streamBuf) }}
+
+func getStreamBuf() *streamBuf  { return streamBufPool.Get().(*streamBuf) }
+func putStreamBuf(b *streamBuf) { streamBufPool.Put(b) }
+
+// columns returns width columns of length n, reusing prior capacity.
+func (b *streamBuf) columns(width, n int) [][]uint64 {
+	for len(b.all) < width {
+		b.all = append(b.all, nil)
+	}
+	for i := 0; i < width; i++ {
+		if cap(b.all[i]) < n {
+			b.all[i] = make([]uint64, n)
+		} else {
+			b.all[i] = b.all[i][:n]
+		}
+	}
+	return b.all[:width:width]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// batchSink consumes one processed chunk: the pruner-visible batch, the
+// per-entry decisions, and the row ids of the chunk's entries (nil when
+// the pass ran without ids).
+type batchSink func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64)
+
+// partEncoder encodes rows [lo, hi) of its table into dst (and ids when
+// non-nil) at positions pos0, pos0+stride, pos0+2·stride, … .
+type partEncoder func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int)
+
+// batchPass streams the n rows of a table through prog in the exact
+// arrival order of interleave: workers encode their partitions
+// concurrently, scattering values into the merged round-robin stream;
+// each chunk is then processed (when prog is non-nil) and handed to
+// sink. pre, when non-nil, sees each encoded chunk before the program
+// runs — needed by emitters that rewrite packets in place.
+func batchPass(n, workers, width int, needIDs bool, buf *streamBuf, enc partEncoder,
+	prog switchsim.Program, pre func(*switchsim.Batch, []uint64), sink batchSink) {
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	// Partition boundaries identical to table.Partition / interleave.
+	starts := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		starts[i] = i * n / workers
+	}
+	// Partitions have size s or s+1; in cycle k < s every worker emits
+	// one entry (stream position k·workers + w), and in the final
+	// partial cycle only the larger partitions emit, in worker order.
+	s := n / workers
+	bigBefore := make([]int, workers+1)
+	for w := 0; w < workers; w++ {
+		bigBefore[w+1] = bigBefore[w] + (starts[w+1] - starts[w] - s)
+	}
+	nBig := bigBefore[workers]
+
+	cyclesPer := chunkEntries / workers
+	if cyclesPer < 1 {
+		cyclesPer = 1
+	}
+	for c0 := 0; ; c0 += cyclesPer {
+		c1 := c0 + cyclesPer
+		last := false
+		if c1 >= s {
+			c1 = s
+			last = true
+		}
+		m := (c1 - c0) * workers
+		if last {
+			m += nBig
+		}
+		if m == 0 {
+			break
+		}
+		cols := buf.columns(width, m)
+		var ids []uint64
+		if needIDs {
+			buf.ids = growU64(buf.ids, m)
+			ids = buf.ids
+		}
+		tailBase := (c1 - c0) * workers
+		encodeChunk := func(w int) {
+			if lo, hi := starts[w]+c0, starts[w]+c1; hi > lo {
+				enc(cols, ids, lo, hi, w, workers)
+			}
+			if last && starts[w+1]-starts[w] > s {
+				r := starts[w] + s
+				enc(cols, ids, r, r+1, tailBase+bigBefore[w], 1)
+			}
+		}
+		if encodeInParallel && workers > 1 && m >= parallelEncodeMin {
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					encodeChunk(w)
+				}(w)
+			}
+			wg.Wait()
+		} else {
+			for w := 0; w < workers; w++ {
+				encodeChunk(w)
+			}
+		}
+		b := &switchsim.Batch{Cols: cols, N: m}
+		if pre != nil {
+			pre(b, ids)
+		}
+		if cap(buf.dec) < m {
+			buf.dec = make([]switchsim.Decision, m)
+		}
+		dec := buf.dec[:m]
+		if prog != nil {
+			switchsim.ProcessBatchOf(prog, b, dec)
+		}
+		sink(b, dec, ids)
+		if last {
+			break
+		}
+	}
+}
+
+// compactForwarded writes, for every forwarded entry j of the chunk,
+// src[j] into buf.tmp, branchlessly (random forward/prune patterns
+// mispredict a conditional append), and returns the compacted slice.
+func (b *streamBuf) compactForwarded(src []uint64, dec []switchsim.Decision, n int) []uint64 {
+	b.tmp = growU64(b.tmp, n)
+	tmp := b.tmp
+	k := 0
+	for j := 0; j < n; j++ {
+		tmp[k] = src[j]
+		k += 1 - int(dec[j])
+	}
+	return tmp[:k]
+}
+
+// compactIndices is compactForwarded for chunk-local indices, for sinks
+// that need several columns of each survivor.
+func (b *streamBuf) compactIndices(dec []switchsim.Decision, n int) []uint64 {
+	b.tmp = growU64(b.tmp, n)
+	tmp := b.tmp
+	k := 0
+	for j := 0; j < n; j++ {
+		tmp[k] = uint64(j)
+		k += 1 - int(dec[j])
+	}
+	return tmp[:k]
+}
+
+// --- per-kind encoders -------------------------------------------------
+
+// colAcc is a hoisted typed accessor for one column.
+type colAcc struct {
+	isStr bool
+	ints  []int64
+	strs  []string
+}
+
+func accessorFor(t *table.Table, c int) colAcc {
+	if t.ColumnType(c) == table.String {
+		return colAcc{isStr: true, strs: t.StringCol(c)}
+	}
+	return colAcc{ints: t.Int64Col(c)}
+}
+
+// fingerprintAccs is fingerprintRow over hoisted accessors; it must stay
+// bit-identical to fingerprintRow.
+func fingerprintAccs(accs []colAcc, r int, seed uint64) uint64 {
+	h := seed ^ 0xfeedface
+	for i := range accs {
+		var cell uint64
+		if accs[i].isStr {
+			cell = hashutil.HashString64(accs[i].strs[r], seed)
+		} else {
+			cell = hashutil.HashUint64(uint64(accs[i].ints[r]), seed)
+		}
+		h = hashutil.Mix64(h ^ cell)
+	}
+	return h
+}
+
+// encFingerprint encodes dst[0] = fingerprintRow over cols, with
+// closure-free inner loops for the dominant single-column cases.
+func encFingerprint(t *table.Table, cols []int, seed uint64) partEncoder {
+	accs := make([]colAcc, len(cols))
+	for i, c := range cols {
+		accs[i] = accessorFor(t, c)
+	}
+	h0 := seed ^ 0xfeedface
+	if len(accs) == 1 && accs[0].isStr {
+		strs := accs[0].strs
+		return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
+			out := dst[0]
+			p := pos0
+			if ids != nil {
+				for r := lo; r < hi; r++ {
+					out[p] = hashutil.Mix64(h0 ^ hashutil.HashString64(strs[r], seed))
+					ids[p] = uint64(r)
+					p += stride
+				}
+				return
+			}
+			for r := lo; r < hi; r++ {
+				out[p] = hashutil.Mix64(h0 ^ hashutil.HashString64(strs[r], seed))
+				p += stride
+			}
+		}
+	}
+	if len(accs) == 1 {
+		ints := accs[0].ints
+		return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
+			out := dst[0]
+			p := pos0
+			if ids != nil {
+				for r := lo; r < hi; r++ {
+					out[p] = hashutil.Mix64(h0 ^ hashutil.HashUint64(uint64(ints[r]), seed))
+					ids[p] = uint64(r)
+					p += stride
+				}
+				return
+			}
+			for r := lo; r < hi; r++ {
+				out[p] = hashutil.Mix64(h0 ^ hashutil.HashUint64(uint64(ints[r]), seed))
+				p += stride
+			}
+		}
+	}
+	return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
+		out := dst[0]
+		p := pos0
+		for r := lo; r < hi; r++ {
+			out[p] = fingerprintAccs(accs, r, seed)
+			p += stride
+		}
+		fillIDs(ids, lo, hi, pos0, stride)
+	}
+}
+
+// fillIDs writes the row-id scatter of one span; a nil ids means the
+// pass does not need row ids.
+func fillIDs(ids []uint64, lo, hi, pos0, stride int) {
+	if ids == nil {
+		return
+	}
+	p := pos0
+	for r := lo; r < hi; r++ {
+		ids[p] = uint64(r)
+		p += stride
+	}
+}
+
+// encInt64 encodes dst[0] = uint64(column value).
+func encInt64(t *table.Table, col int) partEncoder {
+	ints := t.Int64Col(col)
+	return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
+		out := dst[0]
+		p := pos0
+		for r := lo; r < hi; r++ {
+			out[p] = uint64(ints[r])
+			p += stride
+		}
+		fillIDs(ids, lo, hi, pos0, stride)
+	}
+}
+
+// encKeyVal encodes dst[0] = fingerprint(key), dst[1] = uint64(value) —
+// the GROUP BY / HAVING packet layout.
+func encKeyVal(t *table.Table, keyCol, valCol int, seed uint64) partEncoder {
+	fpEnc := encFingerprint(t, []int{keyCol}, seed)
+	vals := t.Int64Col(valCol)
+	return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
+		fpEnc(dst[:1], ids, lo, hi, pos0, stride)
+		out := dst[1]
+		p := pos0
+		for r := lo; r < hi; r++ {
+			out[p] = uint64(vals[r])
+			p += stride
+		}
+	}
+}
+
+// encSide encodes dst[0] = side marker, dst[1] = fingerprint(key) — the
+// join packet layout.
+func encSide(t *table.Table, keyCol int, side prune.JoinSide, seed uint64) partEncoder {
+	fpEnc := encFingerprint(t, []int{keyCol}, seed)
+	return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
+		sides := dst[0]
+		sv := uint64(side)
+		p := pos0
+		for r := lo; r < hi; r++ {
+			sides[p] = sv
+			p += stride
+		}
+		fpEnc(dst[1:2], nil, lo, hi, pos0, stride)
+		fillIDs(ids, lo, hi, pos0, stride)
+	}
+}
+
+// encCols64 encodes dst[i] = uint64(cols[i] value) for D columns and
+// dst[D] = row id — the skyline packet layout, where the id is a real
+// header value riding through swaps.
+func encCols64(t *table.Table, cols []int) partEncoder {
+	ints := make([][]int64, len(cols))
+	for i, c := range cols {
+		ints[i] = t.Int64Col(c)
+	}
+	return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
+		for i, src := range ints {
+			out := dst[i]
+			p := pos0
+			for r := lo; r < hi; r++ {
+				out[p] = uint64(src[r])
+				p += stride
+			}
+		}
+		fillIDs(dst[len(ints)], lo, hi, pos0, stride)
+	}
+}
+
+// encFilter encodes one column per predicate (the raw value for
+// switch-evaluable comparisons, the worker-precomputed bit for LIKE),
+// sweeping column-at-a-time.
+func encFilter(q *Query, cols []int) partEncoder {
+	type predEnc struct {
+		ints []int64
+		strs []string
+		like string
+	}
+	pes := make([]predEnc, len(q.Predicates))
+	for i, p := range q.Predicates {
+		if p.SwitchSupported() {
+			pes[i] = predEnc{ints: q.Table.Int64Col(cols[i])}
+		} else {
+			pes[i] = predEnc{strs: q.Table.StringCol(cols[i]), like: p.Like}
+		}
+	}
+	return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
+		for i := range pes {
+			out := dst[i]
+			if pes[i].like == "" {
+				src := pes[i].ints
+				p := pos0
+				for r := lo; r < hi; r++ {
+					out[p] = uint64(src[r])
+					p += stride
+				}
+			} else {
+				src, pat := pes[i].strs, pes[i].like
+				p := pos0
+				for r := lo; r < hi; r++ {
+					if MatchLike(src[r], pat) {
+						out[p] = 1
+					} else {
+						out[p] = 0
+					}
+					p += stride
+				}
+			}
+		}
+		fillIDs(ids, lo, hi, pos0, stride)
+	}
+}
+
+// --- survivor collection ----------------------------------------------
+
+// survivorSet accumulates forwarded row ids across chunks, growing its
+// buffer from the observed unpruned rate instead of append's doubling.
+type survivorSet struct {
+	rows      []int
+	seen      int // entries processed so far
+	remaining int // entries still to come, for rate projection
+}
+
+// add appends the compacted forwarded ids of one chunk that covered
+// chunkN entries.
+func (s *survivorSet) add(fwd []uint64, chunkN int) {
+	s.seen += chunkN
+	s.remaining -= chunkN
+	if need := len(s.rows) + len(fwd); need > cap(s.rows) {
+		projected := need + int(float64(s.remaining)*float64(need)/float64(s.seen))
+		projected += projected / 8 // headroom against rate drift
+		grown := make([]int, len(s.rows), projected)
+		copy(grown, s.rows)
+		s.rows = grown
+	}
+	for _, id := range fwd {
+		s.rows = append(s.rows, int(id))
+	}
+}
+
+// --- sorted result assembly -------------------------------------------
+
+// lexRows sorts rows in the exact order of Result.Sort (lexicographic on
+// the \x00-joined row key) without allocating per comparison: cells
+// never contain \x00, so element-wise comparison is equivalent.
+type lexRows [][]string
+
+func (r lexRows) Len() int      { return len(r) }
+func (r lexRows) Swap(i, j int) { r[i], r[j] = r[j], r[i] }
+func (r lexRows) Less(i, j int) bool {
+	a, b := r[i], r[j]
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if c := compareStrings(a[k], b[k]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}
+
+// sortedResult builds a Result whose rows are already in Result.Sort
+// order. Cells containing NUL collide with Result.Sort's join
+// separator, where element-wise comparison can disagree; that rare
+// shape falls back to the legacy sort.
+func sortedResult(columns []string, rows [][]string) *Result {
+	res := &Result{Columns: columns, Rows: rows}
+	for _, row := range rows {
+		for _, cell := range row {
+			if strings.IndexByte(cell, 0) >= 0 {
+				res.Sort()
+				return res
+			}
+		}
+	}
+	sort.Sort(lexRows(rows))
+	return res
+}
+
+// singleCellRows wraps already-sorted cell values as single-column
+// result rows backed by one allocation.
+func singleCellRows(cells []string) [][]string {
+	rows := make([][]string, len(cells))
+	for i := range cells {
+		rows[i] = cells[i : i+1 : i+1]
+	}
+	return rows
+}
+
+// --- per-kind batched executions --------------------------------------
+
+// batchRun bundles the state shared by every batched execution.
+type batchRun struct {
+	run *CheetahRun
+	buf *streamBuf
+}
+
+func newBatchRun(pruner prune.Pruner) *batchRun {
+	return &batchRun{
+		run: &CheetahRun{PrunerName: pruner.Name()},
+		buf: getStreamBuf(),
+	}
+}
+
+func (b *batchRun) finish(pruner prune.Pruner, res *Result, masterProcessed int) *CheetahRun {
+	b.run.Result = res
+	b.run.Traffic.MasterProcessed = masterProcessed
+	b.run.Stats = pruner.Stats()
+	putStreamBuf(b.buf)
+	return b.run
+}
+
+func batchFilter(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	cols := make([]int, len(q.Predicates))
+	for i, p := range q.Predicates {
+		cols[i] = q.Table.Schema().MustIndex(p.Col)
+	}
+	pruner := opts.Pruner
+	if pruner == nil {
+		var err error
+		if pruner, err = DefaultPruner(q, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	br := newBatchRun(pruner)
+	// With the engine's own default pruner, every survivor passed the
+	// full switch formula (precomputed bits included) — the same formula
+	// the master would re-check — so the completion materializes rows
+	// (or the count) directly. A caller-supplied pruner may forward
+	// false positives (pruning is best-effort by design), so that case
+	// keeps the scalar path's exact master completion.
+	trusted := opts.Pruner == nil
+	if !trusted {
+		sv := survivorSet{remaining: q.Table.NumRows()}
+		batchPass(q.Table.NumRows(), opts.Workers, len(cols), true, br.buf, encFilter(q, cols), pruner, nil,
+			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+				br.run.Traffic.EntriesSent += b.N
+				fwd := br.buf.compactForwarded(ids, dec, b.N)
+				br.run.Traffic.Forwarded += len(fwd)
+				sv.add(fwd, b.N)
+			})
+		res, err := completeOnRows(q, sv.rows)
+		if err != nil {
+			putStreamBuf(br.buf)
+			return nil, err
+		}
+		return br.finish(pruner, res, len(sv.rows)), nil
+	}
+	if q.CountOnly {
+		// COUNT(*) needs no row ids at all: the forward count is the
+		// answer.
+		count := 0
+		batchPass(q.Table.NumRows(), opts.Workers, len(cols), false, br.buf, encFilter(q, cols), pruner, nil,
+			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+				br.run.Traffic.EntriesSent += b.N
+				n := b.N
+				for _, d := range dec[:b.N] {
+					n -= int(d)
+				}
+				br.run.Traffic.Forwarded += n
+				count += n
+			})
+		res := &Result{Columns: []string{"count"}, Rows: [][]string{{strconv.Itoa(count)}}}
+		return br.finish(pruner, res, count), nil
+	}
+	sv := survivorSet{remaining: q.Table.NumRows()}
+	batchPass(q.Table.NumRows(), opts.Workers, len(cols), true, br.buf, encFilter(q, cols), pruner, nil,
+		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+			br.run.Traffic.EntriesSent += b.N
+			fwd := br.buf.compactForwarded(ids, dec, b.N)
+			br.run.Traffic.Forwarded += len(fwd)
+			sv.add(fwd, b.N)
+		})
+	t := q.Table
+	names := make([]string, t.NumCols())
+	for i, d := range t.Schema() {
+		names[i] = d.Name
+	}
+	rows := make([][]string, len(sv.rows))
+	backing := make([]string, len(sv.rows)*t.NumCols())
+	for i, r := range sv.rows {
+		row := backing[i*t.NumCols() : (i+1)*t.NumCols() : (i+1)*t.NumCols()]
+		for c := range row {
+			row[c] = cellString(t, c, r)
+		}
+		rows[i] = row
+	}
+	return br.finish(pruner, sortedResult(names, rows), len(sv.rows)), nil
+}
+
+// distinctScratch is the pooled master-side dedup state of one DISTINCT
+// run.
+type distinctScratch struct {
+	seen       map[uint64]struct{}
+	uniqueRows []int
+}
+
+var distinctScratchPool = sync.Pool{New: func() any {
+	return &distinctScratch{seen: make(map[uint64]struct{}, 4096)}
+}}
+
+func batchDistinct(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	pruner := opts.Pruner
+	if pruner == nil {
+		var err error
+		if pruner, err = DefaultPruner(q, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	cols := make([]int, len(q.DistinctCols))
+	for i, c := range q.DistinctCols {
+		cols[i] = q.Table.Schema().MustIndex(c)
+	}
+	br := newBatchRun(pruner)
+	// Fused master-side dedup: survivors dedupe on the worker-computed
+	// fingerprint in stream order, so only first-seen rows materialize.
+	ds := distinctScratchPool.Get().(*distinctScratch)
+	clear(ds.seen)
+	ds.uniqueRows = ds.uniqueRows[:0]
+	forwarded := 0
+	batchPass(q.Table.NumRows(), opts.Workers, 1, true, br.buf, encFingerprint(q.Table, cols, opts.Seed), pruner, nil,
+		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+			br.run.Traffic.EntriesSent += b.N
+			fps := b.Cols[0]
+			idx := br.buf.compactIndices(dec, b.N)
+			forwarded += len(idx)
+			for _, j := range idx {
+				fp := fps[j]
+				if _, ok := ds.seen[fp]; !ok {
+					ds.seen[fp] = struct{}{}
+					ds.uniqueRows = append(ds.uniqueRows, int(ids[j]))
+				}
+			}
+		})
+	br.run.Traffic.Forwarded = forwarded
+	var res *Result
+	if len(cols) == 1 {
+		// Single-column DISTINCT: sort the cell values directly (radix
+		// for the string-heavy case) and wrap them as rows.
+		cells := make([]string, len(ds.uniqueRows))
+		for i, r := range ds.uniqueRows {
+			cells[i] = cellString(q.Table, cols[0], r)
+		}
+		radixSortStrings(cells)
+		res = &Result{Columns: append([]string(nil), q.DistinctCols...), Rows: singleCellRows(cells)}
+	} else {
+		rows := make([][]string, len(ds.uniqueRows))
+		backing := make([]string, len(ds.uniqueRows)*len(cols))
+		for i, r := range ds.uniqueRows {
+			row := backing[i*len(cols) : (i+1)*len(cols) : (i+1)*len(cols)]
+			for k, c := range cols {
+				row[k] = cellString(q.Table, c, r)
+			}
+			rows[i] = row
+		}
+		res = sortedResult(append([]string(nil), q.DistinctCols...), rows)
+	}
+	distinctScratchPool.Put(ds)
+	return br.finish(pruner, res, forwarded), nil
+}
+
+func batchTopN(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	pruner := opts.Pruner
+	if pruner == nil {
+		var err error
+		if pruner, err = DefaultPruner(q, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	col := q.Table.Schema().MustIndex(q.OrderCol)
+	br := newBatchRun(pruner)
+	// Fused completion: forwarded values feed the master's N-heap
+	// directly from the stream buffer; no survivor list materializes.
+	h := make(int64Heap, 0, q.N)
+	forwarded := 0
+	batchPass(q.Table.NumRows(), opts.Workers, 1, false, br.buf, encInt64(q.Table, col), pruner, nil,
+		func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+			br.run.Traffic.EntriesSent += b.N
+			fwd := br.buf.compactForwarded(b.Cols[0], dec, b.N)
+			forwarded += len(fwd)
+			for _, raw := range fwd {
+				v := int64(raw)
+				if len(h) < q.N {
+					h.push(v)
+				} else if v > h[0] {
+					h[0] = v
+					h.fixRoot()
+				}
+			}
+		})
+	br.run.Traffic.Forwarded = forwarded
+	// The scalar completion sorts values descending and then re-sorts
+	// the formatted rows lexicographically; only the final order is
+	// observable, so format straight from the heap.
+	cells := make([]string, len(h))
+	for i, v := range h {
+		cells[i] = strconv.FormatInt(v, 10)
+	}
+	radixSortStrings(cells)
+	res := &Result{Columns: []string{q.OrderCol}, Rows: singleCellRows(cells)}
+	return br.finish(pruner, res, forwarded), nil
+}
+
+func batchGroupByMax(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	pruner := opts.Pruner
+	if pruner == nil {
+		var err error
+		if pruner, err = DefaultPruner(q, opts.Seed); err != nil {
+			return nil, err
+		}
+	}
+	kc := q.Table.Schema().MustIndex(q.KeyCol)
+	vc := q.Table.Schema().MustIndex(q.AggCol)
+	br := newBatchRun(pruner)
+	// Fingerprint-keyed master aggregation with one representative row
+	// per key for late materialization of the key string.
+	keyIdx := make(map[uint64]int, 1024)
+	var maxs []int64
+	var reps []int
+	forwarded := 0
+	batchPass(q.Table.NumRows(), opts.Workers, 2, true, br.buf, encKeyVal(q.Table, kc, vc, opts.Seed), pruner, nil,
+		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+			br.run.Traffic.EntriesSent += b.N
+			fps, vals := b.Cols[0], b.Cols[1]
+			idx := br.buf.compactIndices(dec, b.N)
+			forwarded += len(idx)
+			for _, j := range idx {
+				v := int64(vals[j])
+				if i, ok := keyIdx[fps[j]]; ok {
+					if v > maxs[i] {
+						maxs[i] = v
+					}
+				} else {
+					keyIdx[fps[j]] = len(maxs)
+					maxs = append(maxs, v)
+					reps = append(reps, int(ids[j]))
+				}
+			}
+		})
+	br.run.Traffic.Forwarded = forwarded
+	rows := make([][]string, len(maxs))
+	backing := make([]string, len(maxs)*2)
+	for i := range maxs {
+		row := backing[i*2 : i*2+2 : i*2+2]
+		row[0] = cellString(q.Table, kc, reps[i])
+		row[1] = strconv.FormatInt(maxs[i], 10)
+		rows[i] = row
+	}
+	res := sortedResult([]string{q.KeyCol, "max(" + q.AggCol + ")"}, rows)
+	return br.finish(pruner, res, forwarded), nil
+}
+
+func batchGroupBySum(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	var pruner *prune.GroupBySum
+	if opts.Pruner != nil {
+		gs, ok := opts.Pruner.(*prune.GroupBySum)
+		if !ok {
+			return nil, fmt.Errorf("engine: group-by-sum needs a *prune.GroupBySum, got %T", opts.Pruner)
+		}
+		pruner = gs
+	} else {
+		gs, err := prune.NewGroupBySum(prune.GroupBySumConfig{Rows: 4096, Cols: 8, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		pruner = gs
+	}
+	kc := q.Table.Schema().MustIndex(q.KeyCol)
+	vc := q.Table.Schema().MustIndex(q.AggCol)
+	br := newBatchRun(pruner)
+	sums := map[uint64]int64{}
+	fpToKey := map[uint64]string{}
+	batchPass(q.Table.NumRows(), opts.Workers, 2, true, br.buf, encKeyVal(q.Table, kc, vc, opts.Seed), pruner,
+		func(b *switchsim.Batch, ids []uint64) {
+			// The key dictionary must be read before the program rewrites
+			// forwarded slots with evicted aggregates.
+			fps := b.Cols[0]
+			for j := 0; j < b.N; j++ {
+				if _, ok := fpToKey[fps[j]]; !ok {
+					fpToKey[fps[j]] = cellString(q.Table, kc, int(ids[j]))
+				}
+			}
+		},
+		func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+			br.run.Traffic.EntriesSent += b.N
+			fps, vals := b.Cols[0], b.Cols[1]
+			idx := br.buf.compactIndices(dec, b.N)
+			br.run.Traffic.Forwarded += len(idx)
+			for _, j := range idx {
+				sums[fps[j]] += int64(vals[j])
+			}
+		})
+	for _, e := range pruner.Drain() {
+		br.run.Traffic.Forwarded++
+		sums[e[0]] += int64(e[1])
+	}
+	rows := make([][]string, 0, len(sums))
+	for fp, v := range sums {
+		rows = append(rows, []string{fpToKey[fp], strconv.FormatInt(v, 10)})
+	}
+	res := sortedResult([]string{q.KeyCol, "sum(" + q.AggCol + ")"}, rows)
+	return br.finish(pruner, res, len(sums)), nil
+}
+
+func batchHaving(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	var pruner *prune.Having
+	if opts.Pruner != nil {
+		h, ok := opts.Pruner.(*prune.Having)
+		if !ok {
+			return nil, fmt.Errorf("engine: having needs a *prune.Having, got %T", opts.Pruner)
+		}
+		pruner = h
+	} else {
+		h, err := prune.NewHaving(prune.HavingConfig{
+			Agg: prune.HavingSum, Threshold: q.Threshold,
+			Rows: 3, CountersPerRow: 1024, Seed: opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pruner = h
+	}
+	kc := q.Table.Schema().MustIndex(q.KeyCol)
+	vc := q.Table.Schema().MustIndex(q.AggCol)
+	br := newBatchRun(pruner)
+	enc := encKeyVal(q.Table, kc, vc, opts.Seed)
+	// Pass 1: stream through the sketch, collecting candidate key
+	// fingerprints.
+	candidates := map[uint64]bool{}
+	batchPass(q.Table.NumRows(), opts.Workers, 2, false, br.buf, enc, pruner, nil,
+		func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+			br.run.Traffic.EntriesSent += b.N
+			fps := b.Cols[0]
+			idx := br.buf.compactIndices(dec, b.N)
+			br.run.Traffic.Forwarded += len(idx)
+			for _, j := range idx {
+				candidates[fps[j]] = true
+			}
+		})
+	// Pass 2 (partial): only candidate keys' entries re-stream; the
+	// master computes exact sums and drops false positives (§4.3).
+	sums := map[string]int64{}
+	batchPass(q.Table.NumRows(), opts.Workers, 2, true, br.buf, enc, nil, nil,
+		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+			fps, vals := b.Cols[0], b.Cols[1]
+			for j := 0; j < b.N; j++ {
+				if !candidates[fps[j]] {
+					continue
+				}
+				br.run.Traffic.EntriesSent++
+				br.run.Traffic.SecondPassSent++
+				sums[cellString(q.Table, kc, int(ids[j]))] += int64(vals[j])
+			}
+		})
+	rows := make([][]string, 0, len(sums))
+	for k, v := range sums {
+		if v > q.Threshold {
+			rows = append(rows, []string{k})
+		}
+	}
+	res := sortedResult([]string{q.KeyCol}, rows)
+	return br.finish(pruner, res, br.run.Traffic.SecondPassSent), nil
+}
+
+func batchJoin(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	var pruner *prune.Join
+	if opts.Pruner != nil {
+		j, ok := opts.Pruner.(*prune.Join)
+		if !ok {
+			return nil, fmt.Errorf("engine: join needs a *prune.Join, got %T", opts.Pruner)
+		}
+		pruner = j
+	} else {
+		j, err := prune.NewJoin(prune.JoinConfig{FilterBits: 4 << 23, Hashes: 3, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		pruner = j
+	}
+	lc := q.Table.Schema().MustIndex(q.LeftKey)
+	rc := q.Right.Schema().MustIndex(q.RightKey)
+	br := newBatchRun(pruner)
+	encA := encSide(q.Table, lc, prune.SideA, opts.Seed)
+	encB := encSide(q.Right, rc, prune.SideB, opts.Seed)
+
+	pass := func(t *table.Table, enc partEncoder, sv *survivorSet) {
+		batchPass(t.NumRows(), opts.Workers, 2, sv != nil, br.buf, enc, pruner, nil,
+			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+				br.run.Traffic.EntriesSent += b.N
+				if sv == nil {
+					// Build pass: count forwards without collecting.
+					n := b.N
+					for _, d := range dec[:b.N] {
+						n -= int(d)
+					}
+					br.run.Traffic.Forwarded += n
+					return
+				}
+				fwd := br.buf.compactForwarded(ids, dec, b.N)
+				br.run.Traffic.Forwarded += len(fwd)
+				sv.add(fwd, b.N)
+			})
+	}
+	var left, right survivorSet
+	if pruner.Asymmetric() {
+		// §4.3's small-table optimization: side A streams once, unpruned,
+		// while its filter trains; then side B is pruned against it.
+		left.remaining = q.Table.NumRows()
+		pass(q.Table, encA, &left)
+		pruner.StartProbe()
+		right.remaining = q.Right.NumRows()
+		pass(q.Right, encB, &right)
+	} else {
+		// Pass 1: both key columns build the filters; packets terminate
+		// at the switch. Pass 2: full entries, pruned by the other side.
+		pass(q.Table, encA, nil)
+		pass(q.Right, encB, nil)
+		pruner.StartProbe()
+		left.remaining = q.Table.NumRows()
+		pass(q.Table, encA, &left)
+		right.remaining = q.Right.NumRows()
+		pass(q.Right, encB, &right)
+	}
+	res, err := execJoin(q, left.rows, right.rows)
+	if err != nil {
+		putStreamBuf(br.buf)
+		return nil, err
+	}
+	return br.finish(pruner, res, len(left.rows)+len(right.rows)), nil
+}
+
+func batchSkyline(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	var pruner *prune.Skyline
+	if opts.Pruner != nil {
+		s, ok := opts.Pruner.(*prune.Skyline)
+		if !ok {
+			return nil, fmt.Errorf("engine: skyline needs a *prune.Skyline, got %T", opts.Pruner)
+		}
+		pruner = s
+	} else {
+		s, err := prune.NewSkyline(prune.SkylineConfig{
+			Dims: len(q.SkylineCols), Points: 10, Heuristic: prune.SkylineAPH,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pruner = s
+	}
+	cols := make([]int, len(q.SkylineCols))
+	for i, c := range q.SkylineCols {
+		cols[i] = q.Table.Schema().MustIndex(c)
+	}
+	br := newBatchRun(pruner)
+	sv := survivorSet{remaining: q.Table.NumRows()}
+	batchPass(q.Table.NumRows(), opts.Workers, len(cols)+1, false, br.buf, encCols64(q.Table, cols), pruner, nil,
+		func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+			br.run.Traffic.EntriesSent += b.N
+			// The entry id is a real header value (the last column).
+			fwd := br.buf.compactForwarded(b.Cols[len(cols)], dec, b.N)
+			br.run.Traffic.Forwarded += len(fwd)
+			sv.add(fwd, b.N)
+		})
+	// Control-plane drain of the stored points at FIN (ids rode along
+	// through swaps, so the master late-materializes them).
+	for _, e := range pruner.Drain() {
+		br.run.Traffic.Forwarded++
+		sv.rows = append(sv.rows, int(e[len(cols)]))
+	}
+	res, err := completeOnRows(q, sv.rows)
+	if err != nil {
+		putStreamBuf(br.buf)
+		return nil, err
+	}
+	return br.finish(pruner, res, len(sv.rows)), nil
+}
+
+// execCheetahBatch dispatches the batched pipeline.
+func execCheetahBatch(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	switch q.Kind {
+	case KindFilter:
+		return batchFilter(q, opts)
+	case KindDistinct:
+		return batchDistinct(q, opts)
+	case KindTopN:
+		return batchTopN(q, opts)
+	case KindGroupByMax:
+		return batchGroupByMax(q, opts)
+	case KindGroupBySum:
+		return batchGroupBySum(q, opts)
+	case KindHaving:
+		return batchHaving(q, opts)
+	case KindJoin:
+		return batchJoin(q, opts)
+	case KindSkyline:
+		return batchSkyline(q, opts)
+	default:
+		return nil, fmt.Errorf("engine: unknown kind %v", q.Kind)
+	}
+}
+
+// push adds v to the heap (sift-up), replicating container/heap.Push for
+// the master's int64 N-heap without the interface boxing.
+func (h *int64Heap) push(v int64) {
+	*h = append(*h, v)
+	j := len(*h) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if (*h)[parent] <= (*h)[j] {
+			break
+		}
+		(*h)[parent], (*h)[j] = (*h)[j], (*h)[parent]
+		j = parent
+	}
+}
+
+// fixRoot restores heap order after the root was replaced (sift-down),
+// replicating container/heap.Fix(h, 0).
+func (h int64Heap) fixRoot() {
+	n := len(h)
+	j := 0
+	for {
+		l, r := 2*j+1, 2*j+2
+		small := j
+		if l < n && h[l] < h[small] {
+			small = l
+		}
+		if r < n && h[r] < h[small] {
+			small = r
+		}
+		if small == j {
+			return
+		}
+		h[j], h[small] = h[small], h[j]
+		j = small
+	}
+}

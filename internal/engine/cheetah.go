@@ -21,6 +21,11 @@ type CheetahOptions struct {
 	Pruner prune.Pruner
 	// Seed drives fingerprinting and any randomized pruner defaults.
 	Seed uint64
+	// Scalar forces the legacy per-row execution path (one closure call
+	// and one Program.Process per entry). The default is the batched
+	// columnar pipeline (batch.go); the scalar path is kept frozen as
+	// the equivalence-test reference and benchmark baseline.
+	Scalar bool
 }
 
 // Traffic counts the data movement of one Cheetah execution; the cost
@@ -66,6 +71,9 @@ func ExecCheetah(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = 1
+	}
+	if !opts.Scalar {
+		return execCheetahBatch(q, opts)
 	}
 	switch q.Kind {
 	case KindFilter:

@@ -1,0 +1,67 @@
+package switchsim
+
+// This file adds the batched dataplane interface. The per-entry Process
+// call models one packet crossing the pipeline; simulating at that
+// granularity costs an interface dispatch, a slice header and a stats
+// update per entry, which dominates runtime at paper-scale streams. A
+// Batch carries a block of entries in column-major order so programs can
+// run tight per-column loops with configuration and statistics hoisted
+// out of the inner loop, while the per-entry *semantics* (state updates
+// in arrival order) stay exactly those of repeated Process calls.
+
+// Batch is a column-major block of entries flowing through the pipeline.
+// Cols[i][j] holds value i of entry j — the same values, in the same
+// order, that Process would receive as vals[i] for each entry. All
+// columns have length ≥ N; entries 0..N-1 are valid. By the engine's
+// wire convention the last column carries the global row id of each
+// entry (the late-materialization handle appended by EncodeEntries);
+// programs that do not use it simply never index it.
+//
+// Programs with in-flight packet rewriting (switchsim's Emitter-style
+// aggregation) may overwrite a forwarded entry's column values in place:
+// the batch models the packets *after* the pipeline, so a rewritten slot
+// holds what the forwarded packet carries toward the master.
+type Batch struct {
+	Cols [][]uint64
+	N    int
+}
+
+// BatchProgram is the fast-path extension of Program: ProcessBatch must
+// make exactly the same per-entry decisions, state transitions and
+// statistics updates as calling Process on entries 0..N-1 in order,
+// writing each verdict to decisions[j]. decisions has length ≥ N.
+type BatchProgram interface {
+	Program
+	ProcessBatch(b *Batch, decisions []Decision)
+}
+
+// ProcessBatchOf runs prog over the batch, using the native batch loop
+// when prog implements BatchProgram and falling back to a per-entry
+// gather + Process loop otherwise, so third-party Programs keep working
+// unchanged behind the batched engine.
+func ProcessBatchOf(prog Program, b *Batch, decisions []Decision) {
+	if bp, ok := prog.(BatchProgram); ok {
+		bp.ProcessBatch(b, decisions)
+		return
+	}
+	vals := make([]uint64, len(b.Cols))
+	for j := 0; j < b.N; j++ {
+		for i, c := range b.Cols {
+			vals[i] = c[j]
+		}
+		decisions[j] = prog.Process(vals)
+	}
+}
+
+// ProcessBatch runs the program bound to flowID over a batch of entries.
+// Unknown flows forward everything untouched, mirroring Process.
+func (pl *Pipeline) ProcessBatch(flowID uint32, b *Batch, decisions []Decision) {
+	plc, ok := pl.byFlow[flowID]
+	if !ok {
+		for j := 0; j < b.N; j++ {
+			decisions[j] = Forward
+		}
+		return
+	}
+	ProcessBatchOf(plc.Program, b, decisions)
+}

@@ -1,0 +1,113 @@
+package switchsim
+
+import "testing"
+
+// parityProgram prunes entries whose first value is odd; it counts calls
+// so tests can tell the scalar and batch paths apart.
+type parityProgram struct {
+	scalarCalls int
+	batchCalls  int
+}
+
+func (p *parityProgram) Profile() Profile { return Profile{Name: "parity", Stages: 1} }
+func (p *parityProgram) Reset()           {}
+func (p *parityProgram) Process(vals []uint64) Decision {
+	p.scalarCalls++
+	if vals[0]%2 == 1 {
+		return Prune
+	}
+	return Forward
+}
+
+// batchParityProgram adds a native batch loop.
+type batchParityProgram struct{ parityProgram }
+
+func (p *batchParityProgram) ProcessBatch(b *Batch, decisions []Decision) {
+	p.batchCalls++
+	for j, v := range b.Cols[0][:b.N] {
+		if v%2 == 1 {
+			decisions[j] = Prune
+		} else {
+			decisions[j] = Forward
+		}
+	}
+}
+
+func testBatch(n int) (*Batch, []Decision) {
+	col := make([]uint64, n)
+	ids := make([]uint64, n)
+	for i := range col {
+		col[i] = uint64(i * 3)
+		ids[i] = uint64(i)
+	}
+	return &Batch{Cols: [][]uint64{col, ids}, N: n}, make([]Decision, n)
+}
+
+func TestProcessBatchOfScalarFallback(t *testing.T) {
+	b, dec := testBatch(100)
+	p := &parityProgram{}
+	ProcessBatchOf(p, b, dec)
+	if p.scalarCalls != 100 {
+		t.Fatalf("scalar fallback made %d Process calls, want 100", p.scalarCalls)
+	}
+	for j := 0; j < b.N; j++ {
+		want := Forward
+		if b.Cols[0][j]%2 == 1 {
+			want = Prune
+		}
+		if dec[j] != want {
+			t.Fatalf("entry %d: got %v, want %v", j, dec[j], want)
+		}
+	}
+}
+
+func TestProcessBatchOfNativePath(t *testing.T) {
+	b, dec := testBatch(64)
+	p := &batchParityProgram{}
+	ProcessBatchOf(p, b, dec)
+	if p.batchCalls != 1 || p.scalarCalls != 0 {
+		t.Fatalf("native path: batchCalls=%d scalarCalls=%d, want 1/0", p.batchCalls, p.scalarCalls)
+	}
+	for j := 0; j < b.N; j++ {
+		want := Forward
+		if b.Cols[0][j]%2 == 1 {
+			want = Prune
+		}
+		if dec[j] != want {
+			t.Fatalf("entry %d: got %v, want %v", j, dec[j], want)
+		}
+	}
+}
+
+func TestPipelineProcessBatchUnknownFlow(t *testing.T) {
+	pl, err := NewPipeline(Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, dec := testBatch(8)
+	for i := range dec {
+		dec[i] = Prune // must be overwritten
+	}
+	pl.ProcessBatch(99, b, dec)
+	for j, d := range dec {
+		if d != Forward {
+			t.Fatalf("unknown flow entry %d: got %v, want forward", j, d)
+		}
+	}
+}
+
+func TestPipelineProcessBatchInstalledFlow(t *testing.T) {
+	pl, err := NewPipeline(Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &parityProgram{}
+	if err := pl.Install(7, p); err != nil {
+		t.Fatal(err)
+	}
+	b, dec := testBatch(16)
+	pl.ProcessBatch(7, b, dec)
+	if p.scalarCalls != 16 {
+		t.Fatalf("installed flow processed %d entries, want 16", p.scalarCalls)
+	}
+}

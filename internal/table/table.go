@@ -210,6 +210,11 @@ func (t *Table) Grow(n int) {
 	}
 }
 
+// ColumnType returns the type of column c without materializing the
+// schema slice; hot loops use it to pick a typed column accessor once
+// instead of consulting Schema() per row.
+func (t *Table) ColumnType(c int) Type { return t.cols[c].typ }
+
 // Int64At returns the integer value at row r of column c.
 func (t *Table) Int64At(c, r int) int64 { return t.cols[c].ints[t.off+r] }
 
