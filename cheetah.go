@@ -1,6 +1,20 @@
 // Package cheetah is the public API of the Cheetah reproduction: switch
 // pruning for database queries (Tirmazi, Ben Basat, Gao, Yu — SIGCOMM
-// 2019). It re-exports the pieces a downstream user composes:
+// 2019).
+//
+// The front door is the session API: Open a table, build a query with
+// the fluent builder, and Exec it — the planner picks the pruning
+// algorithm, derives its §5 parameters, admission-checks the program
+// against the switch model, and routes execution (falling back to exact
+// direct execution, with an explanation, when the switch cannot host the
+// query):
+//
+//	db, _ := cheetah.Open(visits, cheetah.SessionOptions{Workers: 5})
+//	ex, _ := db.Select().TopN("adRevenue", 250).Exec(ctx)
+//	fmt.Println(ex.Explain())
+//
+// Underneath, the package re-exports the composable substrate for
+// callers that need manual control:
 //
 //   - Queries and tables: declarative query specs over columnar tables.
 //   - Execution: ExecDirect (exact single-node ground truth), ExecCheetah
@@ -19,10 +33,46 @@ import (
 	"cheetah/internal/cache"
 	"cheetah/internal/cluster"
 	"cheetah/internal/engine"
+	"cheetah/internal/plan"
 	"cheetah/internal/prune"
 	"cheetah/internal/switchsim"
 	"cheetah/internal/table"
 )
+
+// The session API: planner-backed query execution.
+type (
+	// DB is an open session over one table: fluent query building,
+	// automatic pruner planning, and one Exec entrypoint.
+	DB = plan.Session
+	// SessionOptions configures a session (switch model, workers, δ,
+	// cluster transport, cost model).
+	SessionOptions = plan.Options
+	// QueryBuilder is the fluent, validating query builder returned by
+	// DB.Select.
+	QueryBuilder = plan.Builder
+	// Plan is the planner's decision: mode, pruner, profile, reason.
+	Plan = plan.Plan
+	// PlanMode discriminates direct / cheetah / cluster execution.
+	PlanMode = plan.Mode
+	// Execution is the unified execution report (result + traffic +
+	// plan + cost estimates) with an Explain rendering.
+	Execution = plan.Execution
+)
+
+// Plan modes.
+const (
+	// ModeDirect is exact single-node execution (the planner's fallback).
+	ModeDirect = plan.ModeDirect
+	// ModeCheetah is the in-process batched pruned path.
+	ModeCheetah = plan.ModeCheetah
+	// ModeCluster is the pruned path over the simulated lossy network.
+	ModeCluster = plan.ModeCluster
+)
+
+// Open opens a planning session over t. It is the recommended entrypoint
+// for running queries; the free functions below remain for manual
+// control of pruner construction and execution paths.
+func Open(t *Table, opts SessionOptions) (*DB, error) { return plan.Open(t, opts) }
 
 // Tables and schemas.
 type (
@@ -61,6 +111,20 @@ type (
 	CostModel = engine.CostModel
 )
 
+// CmpOp is a comparison operator usable in WHERE predicates (and the
+// builder's Where clause).
+type CmpOp = prune.CmpOp
+
+// Comparison operators.
+const (
+	OpGT = prune.OpGT
+	OpGE = prune.OpGE
+	OpLT = prune.OpLT
+	OpLE = prune.OpLE
+	OpEQ = prune.OpEQ
+	OpNE = prune.OpNE
+)
+
 // Query kinds.
 const (
 	KindFilter     = engine.KindFilter
@@ -74,10 +138,18 @@ const (
 )
 
 // ExecDirect runs a query exactly on one node (the ground truth).
+//
+// Deprecated: prefer the session API (Open + DB.Exec), which plans,
+// admission-checks and reports through one entrypoint. ExecDirect stays
+// as the ground-truth reference for equivalence checks.
 func ExecDirect(q *Query) (*Result, error) { return engine.ExecDirect(q) }
 
 // ExecCheetah runs a query along the pruned path: CWorkers serialize the
 // relevant columns, the simulated switch prunes, the master completes.
+//
+// Deprecated: prefer the session API (Open + DB.Exec); use ExecCheetah
+// directly only to pin a hand-constructed pruner or the legacy scalar
+// path.
 func ExecCheetah(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	return engine.ExecCheetah(q, opts)
 }
@@ -95,6 +167,9 @@ type (
 
 // RunCluster executes a single-pass query end-to-end over the simulated
 // lossy network with the reliability protocol of §7.2.
+//
+// Deprecated: prefer the session API with SessionOptions.UseCluster,
+// which plans the pruner and routes automatically.
 func RunCluster(q *Query, p Pruner, cfg ClusterConfig) (*Result, *ClusterReport, error) {
 	return cluster.Run(q, p, cfg)
 }

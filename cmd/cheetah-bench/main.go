@@ -10,12 +10,16 @@
 //
 // The baseline target measures the ExecCheetah micro-benchmarks (batch
 // and scalar paths) and writes machine-readable JSON to -baseline-out,
-// giving future changes a perf trajectory to compare against. It is not
-// part of "all".
+// giving future changes a perf trajectory to compare against. The diff
+// target re-measures the same benchmarks and compares entries/s against
+// the committed reference (-baseline-ref), exiting non-zero when any
+// benchmark regresses more than -regress-threshold. Neither is part of
+// "all".
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +32,9 @@ func main() {
 	seeds := flag.Int("seeds", 5, "runs per randomized algorithm (95% CIs)")
 	seed := flag.Uint64("seed", 0xc0ffee, "base RNG seed")
 	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output file for the baseline target")
-	baselineRows := flag.Int("baseline-rows", 100_000, "benchmark table rows for the baseline target")
+	baselineRows := flag.Int("baseline-rows", 100_000, "benchmark table rows for the baseline target (diff follows the reference's recorded rows)")
+	baselineRef := flag.String("baseline-ref", "BENCH_baseline.json", "reference file for the diff target")
+	regressThreshold := flag.Float64("regress-threshold", 0.15, "entries/s regression fraction that fails the diff target")
 	flag.Parse()
 
 	o := bench.Options{Scale: *scale, Seeds: *seeds, BaseSeed: *seed}
@@ -59,6 +65,32 @@ func main() {
 			fmt.Printf("baseline written to %s\n", *baselineOut)
 			return nil
 		},
+		"diff": func() error {
+			ref, err := bench.LoadBaseline(*baselineRef)
+			if err != nil {
+				return err
+			}
+			// Measure at the reference's recorded row count — entries/s
+			// is only comparable at matching table scale.
+			rows := ref.Rows
+			if rows <= 0 {
+				rows = *baselineRows
+			}
+			var buf bytes.Buffer
+			if err := bench.Baseline(&buf, rows); err != nil {
+				return err
+			}
+			var cur bench.BaselineReport
+			if err := json.Unmarshal(buf.Bytes(), &cur); err != nil {
+				return err
+			}
+			if regressed := bench.Diff(os.Stdout, ref, cur, *regressThreshold); len(regressed) > 0 {
+				return fmt.Errorf("%d benchmark(s) regressed >%.0f%% vs %s: %v",
+					len(regressed), 100**regressThreshold, *baselineRef, regressed)
+			}
+			fmt.Printf("no regressions >%.0f%% vs %s\n", 100**regressThreshold, *baselineRef)
+			return nil
+		},
 	}
 	order := []string{"table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	for _, t := range targets {
@@ -74,7 +106,7 @@ func main() {
 		}
 		f, ok := run[t]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, or baseline)\n", t, order)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, or diff)\n", t, order)
 			os.Exit(2)
 		}
 		if err := f(); err != nil {

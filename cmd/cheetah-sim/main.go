@@ -98,12 +98,12 @@ func main() {
 	fmt.Printf("stream:     %d entries\n", st.Processed)
 	fmt.Printf("pruned:     %d (%.4f%%)\n", st.Pruned, 100*st.PruneRate())
 	fmt.Printf("unpruned:   %d (fraction %.6g)\n", st.Forwarded(), st.UnprunedRate())
-	pl, errNP := cheetah.NewPipeline(cheetah.Tofino())
-	if errNP == nil {
-		if err := pl.Install(1, p); err != nil {
-			fmt.Printf("admission:  DOES NOT FIT tofino: %v\n", err)
+	// The planner's admission query, against both hardware generations.
+	for _, m := range []cheetah.SwitchModel{cheetah.Tofino(), cheetah.Tofino2()} {
+		if err := m.Admits(p.Profile()); err != nil {
+			fmt.Printf("admission:  DOES NOT FIT %s: %v\n", m.Name, err)
 		} else {
-			fmt.Printf("admission:  fits the tofino model\n")
+			fmt.Printf("admission:  fits the %s model\n", m.Name)
 		}
 	}
 }

@@ -1,16 +1,16 @@
 // Command bigdata runs the Big Data benchmark workloads (Appendix B) at
-// a configurable scale and prints, per query, the measured pruning rate
-// and the modelled Spark-vs-Cheetah completion times — a miniature
-// Figure 5.
+// a configurable scale through the session API and prints, per query,
+// the planner's choice, the measured pruning rate and the modelled
+// Spark-vs-Cheetah completion times — a miniature Figure 5.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"cheetah"
-	"cheetah/internal/boolexpr"
 	"cheetah/internal/prune"
 	"cheetah/internal/workload"
 )
@@ -29,61 +29,56 @@ func main() {
 	if err := rank.Shuffle(*seed + 2); err != nil {
 		log.Fatal(err)
 	}
-	cm := cheetah.DefaultCostModel()
+
+	opts := cheetah.SessionOptions{Workers: *workers, Seed: *seed}
+	visits, err := cheetah.Open(uv, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rankings, err := cheetah.Open(rank, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	queries := []struct {
 		label string
-		q     *cheetah.Query
+		b     *cheetah.QueryBuilder
 	}{
-		{"A: COUNT WHERE avgDuration<10", &cheetah.Query{
-			Kind: cheetah.KindFilter, Table: rank,
-			Predicates: []cheetah.FilterPred{{Col: "avgDuration", Op: prune.OpLT, Const: 10}},
-			Formula:    boolexpr.Leaf{V: 0}, CountOnly: true,
-		}},
-		{"B: SUM(adRevenue) GROUP BY lang", &cheetah.Query{
-			Kind: cheetah.KindGroupBySum, Table: uv, KeyCol: "languageCode", AggCol: "adRevenue",
-		}},
-		{"DISTINCT userAgent", &cheetah.Query{
-			Kind: cheetah.KindDistinct, Table: uv, DistinctCols: []string{"userAgent"},
-		}},
-		{"MAX(adRevenue) GROUP BY agent", &cheetah.Query{
-			Kind: cheetah.KindGroupByMax, Table: uv, KeyCol: "userAgent", AggCol: "adRevenue",
-		}},
-		{"TOP 250 BY adRevenue", &cheetah.Query{
-			Kind: cheetah.KindTopN, Table: uv, OrderCol: "adRevenue", N: 250,
-		}},
-		{"SKYLINE OF pageRank,avgDuration", &cheetah.Query{
-			Kind: cheetah.KindSkyline, Table: rank, SkylineCols: []string{"pageRank", "avgDuration"},
-		}},
-		{"HAVING SUM(adRevenue)>1M", &cheetah.Query{
-			Kind: cheetah.KindHaving, Table: uv, KeyCol: "languageCode", AggCol: "adRevenue",
-			Threshold: 1_000_000,
-		}},
+		{"A: COUNT WHERE avgDuration<10", rankings.Select().
+			Where("avgDuration", prune.OpLT, 10).Count()},
+		{"B: SUM(adRevenue) GROUP BY lang", visits.Select().
+			GroupBySum("languageCode", "adRevenue")},
+		{"DISTINCT userAgent", visits.Select().Distinct("userAgent")},
+		{"MAX(adRevenue) GROUP BY agent", visits.Select().
+			GroupByMax("userAgent", "adRevenue")},
+		{"TOP 250 BY adRevenue", visits.Select().TopN("adRevenue", 250)},
+		{"SKYLINE OF pageRank,avgDuration", rankings.Select().
+			Skyline("pageRank", "avgDuration")},
+		{"HAVING SUM(adRevenue)>1M", visits.Select().
+			GroupBySum("languageCode", "adRevenue").Having(1_000_000)},
 	}
 
-	fmt.Printf("%-34s %10s %10s %8s %9s %9s %9s\n",
-		"query", "sent", "forwarded", "pruned%", "spark1st", "spark", "cheetah")
+	ctx := context.Background()
+	fmt.Printf("%-34s %-12s %10s %10s %8s %9s %9s\n",
+		"query", "pruner", "sent", "forwarded", "pruned%", "spark", "cheetah")
 	for _, spec := range queries {
-		direct, err := cheetah.ExecDirect(spec.q)
+		q, err := spec.b.Build()
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := cheetah.ExecCheetah(spec.q, cheetah.CheetahOptions{Workers: *workers, Seed: *seed})
+		ex, err := spec.b.Exec(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !direct.Equal(run.Result) {
+		direct, err := cheetah.ExecDirect(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !direct.Equal(ex.Result) {
 			log.Fatalf("%s: pruned result diverges from ground truth", spec.label)
 		}
-		perWorker := make([]int, *workers)
-		for i := range perWorker {
-			perWorker[i] = spec.q.Table.NumRows() / *workers
-		}
-		spark1 := cm.SparkTime(spec.q.Kind, perWorker, len(direct.Rows), true, 10).Total()
-		spark := cm.SparkTime(spec.q.Kind, perWorker, len(direct.Rows), false, 10).Total()
-		che := cm.CheetahTime(spec.q.Kind, run.Traffic, 10).Total()
-		fmt.Printf("%-34s %10d %10d %7.2f%% %8.3fs %8.3fs %8.3fs\n",
-			spec.label, run.Traffic.EntriesSent, run.Traffic.Forwarded,
-			100*run.Stats.PruneRate(), spark1, spark, che)
+		fmt.Printf("%-34s %-12s %10d %10d %7.2f%% %8.3fs %8.3fs\n",
+			spec.label, ex.Plan.PrunerName, ex.Traffic.EntriesSent, ex.Traffic.Forwarded,
+			100*ex.Stats.PruneRate(), ex.SparkEstimate.Total(), ex.Estimate.Total())
 	}
 }

@@ -1,7 +1,8 @@
 // Command multiquery demonstrates §6: packing several query programs
-// onto one switch pipeline concurrently — a filter, a DISTINCT, a TOP N
-// and a group-by share stages without reprogramming — and printing the
-// pipeline occupancy map.
+// onto one switch pipeline concurrently. Each program comes out of the
+// session planner (which sizes it to fit the model); the pipeline's
+// admission control then packs them onto shared stages and the example
+// prints the occupancy map.
 package main
 
 import (
@@ -9,59 +10,55 @@ import (
 	"log"
 
 	"cheetah"
-	"cheetah/internal/boolexpr"
 	"cheetah/internal/prune"
+	"cheetah/internal/workload"
 )
 
 func main() {
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(10_000, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := cheetah.Open(uv, cheetah.SessionOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	builders := []*cheetah.QueryBuilder{
+		db.Select().Where("adRevenue", prune.OpGT, 500_000),
+		db.Select().Distinct("userAgent"),
+		db.Select().TopN("adRevenue", 250),
+		db.Select().GroupByMax("userAgent", "adRevenue"),
+	}
+
 	pl, err := cheetah.NewPipeline(cheetah.Tofino())
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	filter, err := cheetah.NewDistinct(cheetah.DistinctConfig{Rows: 4096, Cols: 2, Policy: cheetah.LRU})
-	if err != nil {
-		log.Fatal(err)
-	}
-	_ = filter
-	programs := []struct {
-		flow uint32
-		p    cheetah.Pruner
-	}{}
-	mk := func(flow uint32, p cheetah.Pruner, err error) {
+	var pruners []cheetah.Pruner
+	for i, b := range builders {
+		plan, err := b.Plan()
 		if err != nil {
 			log.Fatal(err)
 		}
-		programs = append(programs, struct {
-			flow uint32
-			p    cheetah.Pruner
-		}{flow, p})
-	}
-	f, err := prune.NewFilter(prune.FilterConfig{
-		Predicates: []prune.Predicate{{ValIdx: 0, Op: prune.OpGT, Const: 100}},
-		Formula:    boolexpr.Leaf{V: 0},
-	})
-	mk(1, f, err)
-	d, err := cheetah.NewDistinct(cheetah.DistinctConfig{Rows: 4096, Cols: 2, Policy: cheetah.LRU})
-	mk(2, d, err)
-	tn, err := cheetah.NewRandTopN(cheetah.RandTopNConfig{N: 250, Rows: 4096, Cols: 4, Seed: 1})
-	mk(3, tn, err)
-	gb, err := cheetah.NewGroupBy(cheetah.GroupByConfig{Rows: 4096, Cols: 8, Seed: 2})
-	mk(4, gb, err)
-
-	for _, pr := range programs {
-		if err := pl.Install(pr.flow, pr.p); err != nil {
-			log.Fatalf("install flow %d (%s): %v", pr.flow, pr.p.Name(), err)
+		p, err := plan.NewPruner()
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("installed %-14s on flow %d: %s\n", pr.p.Name(), pr.flow, pr.p.Profile())
+		flow := uint32(i + 1)
+		if err := pl.Install(flow, p); err != nil {
+			log.Fatalf("install flow %d (%s): %v", flow, p.Name(), err)
+		}
+		fmt.Printf("installed %-14s on flow %d: %s\n", p.Name(), flow, p.Profile())
+		pruners = append(pruners, p)
 	}
 
 	// Traffic for all four queries interleaves through one pipeline.
 	for i := uint64(0); i < 10_000; i++ {
-		pl.Process(1, []uint64{i % 200})          // filter
-		pl.Process(2, []uint64{i % 500})          // distinct
-		pl.Process(3, []uint64{i * 2654435761})   // top-n
-		pl.Process(4, []uint64{i % 100, i % 999}) // group-by
+		pl.Process(1, []uint64{i % 1_000_000})
+		pl.Process(2, []uint64{i % 500})
+		pl.Process(3, []uint64{i * 2654435761})
+		pl.Process(4, []uint64{i % 100, i % 999})
 	}
 	fmt.Println()
 	fmt.Print(pl.String())
@@ -69,9 +66,9 @@ func main() {
 	fmt.Printf("\nutilization: %d/%d stages, %d/%d ALUs, %d/%d KB SRAM\n",
 		u.StagesUsed, u.StagesTotal, u.ALUsUsed, u.ALUsTotal,
 		u.SRAMBitsUsed/8192, u.SRAMBitsCap/8192)
-	for _, pr := range programs {
-		st := pr.p.Stats()
+	for i, p := range pruners {
+		st := p.Stats()
 		fmt.Printf("flow %d %-14s processed=%d pruned=%d (%.1f%%)\n",
-			pr.flow, pr.p.Name(), st.Processed, st.Pruned, 100*st.PruneRate())
+			i+1, p.Name(), st.Processed, st.Pruned, 100*st.PruneRate())
 	}
 }

@@ -1,15 +1,16 @@
-// Command quickstart reproduces the paper's running example (Table 1):
-// it builds the Products and Ratings tables, runs DISTINCT, TOP N,
-// HAVING, JOIN and SKYLINE through both execution paths, and shows that
-// the pruned path returns exactly the direct result while the switch
-// drops a measurable share of the traffic.
+// Command quickstart reproduces the paper's running example (Table 1)
+// through the session API: open each table, build queries fluently, and
+// let the planner pick and size the pruning algorithm. Every query is
+// checked against the exact direct execution.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"cheetah"
+	"cheetah/internal/prune"
 )
 
 func main() {
@@ -54,46 +55,51 @@ func main() {
 		}
 	}
 
-	queries := []struct {
-		title string
-		q     *cheetah.Query
-	}{
-		{"SELECT DISTINCT seller FROM Products", &cheetah.Query{
-			Kind: cheetah.KindDistinct, Table: products, DistinctCols: []string{"seller"},
-		}},
-		{"SELECT TOP 3 ... ORDER BY taste", &cheetah.Query{
-			Kind: cheetah.KindTopN, Table: ratings, OrderCol: "taste", N: 3,
-		}},
-		{"GROUP BY seller HAVING SUM(price) > 5", &cheetah.Query{
-			Kind: cheetah.KindHaving, Table: products, KeyCol: "seller", AggCol: "price", Threshold: 5,
-		}},
-		{"Products JOIN Ratings ON name", &cheetah.Query{
-			Kind: cheetah.KindJoin, Table: products, Right: ratings,
-			LeftKey: "name", RightKey: "name",
-		}},
-		{"SKYLINE OF taste, texture", &cheetah.Query{
-			Kind: cheetah.KindSkyline, Table: ratings, SkylineCols: []string{"taste", "texture"},
-		}},
+	opts := cheetah.SessionOptions{Workers: 2, Seed: 1}
+	prod, err := cheetah.Open(products, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate, err := cheetah.Open(ratings, opts)
+	if err != nil {
+		log.Fatal(err)
 	}
 
+	queries := []struct {
+		title string
+		b     *cheetah.QueryBuilder
+	}{
+		{"SELECT DISTINCT seller FROM Products", prod.Select().Distinct("seller")},
+		{"SELECT TOP 3 ... ORDER BY taste", rate.Select().TopN("taste", 3)},
+		{"SELECT * WHERE price > 3 AND name LIKE '_i%'", prod.Select().
+			Where("price", prune.OpGT, 3).WhereLike("name", "_i%")},
+		{"GROUP BY seller HAVING SUM(price) > 5", prod.Select().
+			GroupBySum("seller", "price").Having(5)},
+		{"Products JOIN Ratings ON name", prod.Select().Join(ratings, "name", "name")},
+		{"SKYLINE OF taste, texture", rate.Select().Skyline("taste", "texture")},
+	}
+
+	ctx := context.Background()
 	for _, spec := range queries {
-		direct, err := cheetah.ExecDirect(spec.q)
+		q, err := spec.b.Build()
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := cheetah.ExecCheetah(spec.q, cheetah.CheetahOptions{Workers: 2, Seed: 1})
+		ex, err := spec.b.Exec(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		direct, err := cheetah.ExecDirect(q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		match := "MATCH"
-		if !direct.Equal(run.Result) {
+		if !direct.Equal(ex.Result) {
 			match = "MISMATCH"
 		}
-		fmt.Printf("== %s\n", spec.title)
-		fmt.Printf("   pruner=%s sent=%d forwarded=%d pruned=%d result=%s\n",
-			run.PrunerName, run.Traffic.EntriesSent, run.Traffic.Forwarded,
-			run.Stats.Pruned, match)
-		fmt.Print(indent(direct.String()))
+		fmt.Printf("== %s [%s]\n", spec.title, match)
+		fmt.Print(indent(ex.Explain()))
+		fmt.Print(indent(ex.Result.String()))
 	}
 }
 

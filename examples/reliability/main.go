@@ -2,9 +2,11 @@
 // simulated lossy network — five CWorkers, the switch dataplane, and the
 // CMaster speaking the §7.2 reliability protocol — at increasing loss
 // rates, verifying the result stays exact while retransmissions grow.
+// The session API routes to the cluster path via UseCluster.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,8 +25,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q := &cheetah.Query{Kind: cheetah.KindDistinct, Table: uv, DistinctCols: []string{"userAgent"}}
-	truth, err := cheetah.ExecDirect(q)
+	truth, err := cheetah.ExecDirect(&cheetah.Query{
+		Kind: cheetah.KindDistinct, Table: uv, DistinctCols: []string{"userAgent"},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,17 +35,23 @@ func main() {
 	fmt.Printf("%-8s %8s %8s %10s %12s %8s\n",
 		"loss", "sent", "pruned", "delivered", "retransmits", "exact")
 	for _, loss := range []float64{0, 0.05, 0.15, 0.25} {
-		res, rep, err := cheetah.RunCluster(q, nil, cheetah.ClusterConfig{
-			Workers:  5,
-			LossRate: loss,
-			Seed:     *seed,
-			RTO:      8 * time.Millisecond,
+		db, err := cheetah.Open(uv, cheetah.SessionOptions{
+			Workers:    5,
+			Seed:       *seed,
+			UseCluster: true,
+			LossRate:   loss,
+			RTO:        8 * time.Millisecond,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex, err := db.Select().Distinct("userAgent").Exec(context.Background())
 		if err != nil {
 			log.Fatalf("loss %.2f: %v", loss, err)
 		}
+		rep := ex.ClusterReport
 		exact := "yes"
-		if !truth.Equal(res) {
+		if !truth.Equal(ex.Result) {
 			exact = "NO"
 		}
 		fmt.Printf("%-8.2f %8d %8d %10d %12d %8s\n",

@@ -1,10 +1,12 @@
-// Command tpch runs the TPC-H Q3-shaped join through the Cheetah path,
-// comparing the default symmetric two-pass Bloom join against the
-// asymmetric small-table optimization of §4.3 and the register-Bloom
-// ablation of Table 2.
+// Command tpch runs the TPC-H Q3-shaped join through the session API —
+// the planner sizes the Bloom filters for the key cardinality and picks
+// the symmetric or asymmetric (§4.3) two-pass strategy — then reruns the
+// hand-configured variants of Table 2 through the low-level API as an
+// ablation grid.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,9 +23,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q := &cheetah.Query{
-		Kind: cheetah.KindJoin, Table: ordersT, Right: lineitemT,
-		LeftKey: "o_orderkey", RightKey: "l_orderkey",
+
+	db, err := cheetah.Open(ordersT, cheetah.SessionOptions{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := db.Select().Join(lineitemT, "o_orderkey", "l_orderkey")
+	q, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := b.Exec(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
 	direct, err := cheetah.ExecDirect(q)
 	if err != nil {
@@ -31,7 +43,13 @@ func main() {
 	}
 	fmt.Printf("join of %d orders x %d lineitems: %d joined keys\n",
 		ordersT.NumRows(), lineitemT.NumRows(), len(direct.Rows))
+	fmt.Println()
+	fmt.Print(ex.Explain())
+	if !direct.Equal(ex.Result) {
+		log.Fatal("planned join diverges from ground truth")
+	}
 
+	// Ablation grid: hand-configured variants through the low-level API.
 	variants := []struct {
 		label string
 		cfg   cheetah.JoinConfig
@@ -41,7 +59,7 @@ func main() {
 		{"asymmetric BF 4MB", cheetah.JoinConfig{FilterBits: 4 << 23, Hashes: 3, Seed: *seed, Asymmetric: true}},
 		{"symmetric BF 64KB", cheetah.JoinConfig{FilterBits: 64 << 13, Hashes: 3, Seed: *seed}},
 	}
-	fmt.Printf("%-20s %10s %10s %9s %7s\n", "variant", "sent", "forwarded", "unpruned", "exact")
+	fmt.Printf("\n%-20s %10s %10s %9s %7s\n", "variant", "sent", "forwarded", "unpruned", "exact")
 	for _, v := range variants {
 		j, err := cheetah.NewJoin(v.cfg)
 		if err != nil {

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LoadBaseline reads a BENCH_baseline.json produced by Baseline.
+func LoadBaseline(path string) (BaselineReport, error) {
+	var r BaselineReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Diff compares the current measurements against a reference baseline
+// and writes a per-benchmark table. A benchmark regresses when its
+// entries/s falls more than threshold (a fraction, e.g. 0.15) below the
+// reference; the returned slice names every regressed benchmark. Missing
+// counterparts are reported but never count as regressions (baselines
+// predate newly added benchmarks).
+func Diff(w io.Writer, ref, cur BaselineReport, threshold float64) []string {
+	key := func(e BaselineEntry) string { return e.Name + "/" + e.Path }
+	refBy := make(map[string]BaselineEntry, len(ref.Benchmarks))
+	for _, e := range ref.Benchmarks {
+		refBy[key(e)] = e
+	}
+	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "benchmark", "ref entries/s", "cur entries/s", "delta")
+	var regressed []string
+	for _, e := range cur.Benchmarks {
+		r, ok := refBy[key(e)]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %14s %14.0f %8s\n", key(e), "-", e.EntriesPerSec, "new")
+			continue
+		}
+		delta := 0.0
+		if r.EntriesPerSec > 0 {
+			delta = e.EntriesPerSec/r.EntriesPerSec - 1
+		}
+		mark := ""
+		if delta < -threshold {
+			mark = "  REGRESSED"
+			regressed = append(regressed, key(e))
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+7.1f%%%s\n",
+			key(e), r.EntriesPerSec, e.EntriesPerSec, 100*delta, mark)
+		delete(refBy, key(e))
+	}
+	for k := range refBy {
+		fmt.Fprintf(w, "%-28s %14.0f %14s %8s\n", k, refBy[k].EntriesPerSec, "-", "missing")
+	}
+	return regressed
+}

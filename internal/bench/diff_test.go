@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(name, path string, eps float64) BaselineEntry {
+	return BaselineEntry{Name: name, Path: path, Rows: 1000, EntriesPerSec: eps}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	ref := BaselineReport{Benchmarks: []BaselineEntry{
+		entry("A", "batch", 1000),
+		entry("A", "scalar", 500),
+		entry("Gone", "batch", 100),
+	}}
+	cur := BaselineReport{Benchmarks: []BaselineEntry{
+		entry("A", "batch", 800),  // -20%: beyond the 15% budget
+		entry("A", "scalar", 460), // -8%: within budget
+		entry("New", "batch", 50), // no reference: never a regression
+	}}
+	var out strings.Builder
+	regressed := Diff(&out, ref, cur, 0.15)
+	if len(regressed) != 1 || regressed[0] != "A/batch" {
+		t.Fatalf("regressed = %v, want [A/batch]", regressed)
+	}
+	text := out.String()
+	for _, want := range []string{"REGRESSED", "new", "missing"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diff output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDiffNoRegressions(t *testing.T) {
+	ref := BaselineReport{Benchmarks: []BaselineEntry{entry("A", "batch", 1000)}}
+	cur := BaselineReport{Benchmarks: []BaselineEntry{entry("A", "batch", 980)}}
+	var out strings.Builder
+	if regressed := Diff(&out, ref, cur, 0.15); len(regressed) != 0 {
+		t.Fatalf("regressed = %v, want none", regressed)
+	}
+}
+
+func TestLoadBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, []byte(`{"rows": 7, "benchmarks": [{"name":"A","path":"batch","entries_per_sec":12}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows != 7 || len(r.Benchmarks) != 1 || r.Benchmarks[0].EntriesPerSec != 12 {
+		t.Fatalf("loaded %+v", r)
+	}
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}
+
+// TestCommittedBaselineParses guards the repo's committed baseline file:
+// the diff step in CI depends on it staying loadable.
+func TestCommittedBaselineParses(t *testing.T) {
+	r, err := LoadBaseline("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) == 0 {
+		t.Fatal("committed baseline has no benchmarks")
+	}
+}

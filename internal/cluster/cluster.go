@@ -76,11 +76,7 @@ func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Rep
 	}
 	// Admission-check the program against the hardware model before
 	// going anywhere near the network — the control-plane step of §3.
-	pl, err := switchsim.NewPipeline(cfg.Model)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := pl.Install(1, pruner); err != nil {
+	if err := cfg.Model.Admits(pruner.Profile()); err != nil {
 		return nil, nil, fmt.Errorf("cluster: query does not fit the switch: %w", err)
 	}
 

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"cheetah/internal/cache"
 	"cheetah/internal/hashutil"
 	"cheetah/internal/prune"
 	"cheetah/internal/switchsim"
@@ -215,10 +214,7 @@ func cheetahDistinct(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	if opts.Pruner != nil {
 		pruner = opts.Pruner
 	} else {
-		d, err := prune.NewDistinct(prune.DistinctConfig{
-			Rows: 4096, Cols: 2, Policy: cache.LRU,
-			FingerprintBits: 64, Seed: opts.Seed,
-		})
+		d, err := prune.NewDistinct(prune.DefaultDistinctConfig(opts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -256,11 +252,7 @@ func cheetahTopN(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	} else {
 		// Default: the randomized matrix with the theorem configuration
 		// for δ = 1e-4 at d = 4096 rows.
-		w, err := prune.TopNColumnsFor(4096, q.N, 1e-4)
-		if err != nil {
-			w = 4
-		}
-		r, err := prune.NewRandTopN(prune.RandTopNConfig{N: q.N, Rows: 4096, Cols: w, Seed: opts.Seed})
+		r, err := prune.NewRandTopN(prune.LegacyRandTopNConfig(q.N, 1e-4, opts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -293,7 +285,7 @@ func cheetahGroupByMax(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	if opts.Pruner != nil {
 		pruner = opts.Pruner
 	} else {
-		g, err := prune.NewGroupBy(prune.GroupByConfig{Rows: 4096, Cols: 8, Seed: opts.Seed})
+		g, err := prune.NewGroupBy(prune.DefaultGroupByConfig(opts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +324,7 @@ func cheetahGroupBySum(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		}
 		pruner = gs
 	} else {
-		gs, err := prune.NewGroupBySum(prune.GroupBySumConfig{Rows: 4096, Cols: 8, Seed: opts.Seed})
+		gs, err := prune.NewGroupBySum(prune.DefaultGroupBySumConfig(opts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -384,10 +376,7 @@ func cheetahHaving(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		}
 		pruner = h
 	} else {
-		h, err := prune.NewHaving(prune.HavingConfig{
-			Agg: prune.HavingSum, Threshold: q.Threshold,
-			Rows: 3, CountersPerRow: 1024, Seed: opts.Seed,
-		})
+		h, err := prune.NewHaving(prune.DefaultHavingConfig(q.Threshold, opts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -445,7 +434,7 @@ func cheetahJoin(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		}
 		pruner = j
 	} else {
-		j, err := prune.NewJoin(prune.JoinConfig{FilterBits: 4 << 23, Hashes: 3, Seed: opts.Seed})
+		j, err := prune.NewJoin(prune.DefaultJoinConfig(opts.Seed))
 		if err != nil {
 			return nil, err
 		}
@@ -544,9 +533,7 @@ func cheetahSkyline(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		}
 		pruner = s
 	} else {
-		s, err := prune.NewSkyline(prune.SkylineConfig{
-			Dims: len(q.SkylineCols), Points: 10, Heuristic: prune.SkylineAPH,
-		})
+		s, err := prune.NewSkyline(prune.DefaultSkylineConfig(len(q.SkylineCols)))
 		if err != nil {
 			return nil, err
 		}

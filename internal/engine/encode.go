@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"cheetah/internal/cache"
 	"cheetah/internal/prune"
 )
 
@@ -116,21 +115,13 @@ func DefaultPruner(q *Query, seed uint64) (prune.Pruner, error) {
 		}
 		return prune.NewFilter(prune.FilterConfig{Predicates: sPreds, Formula: q.Formula})
 	case KindDistinct:
-		return prune.NewDistinct(prune.DistinctConfig{
-			Rows: 4096, Cols: 2, Policy: cache.LRU, FingerprintBits: 64, Seed: seed,
-		})
+		return prune.NewDistinct(prune.DefaultDistinctConfig(seed))
 	case KindTopN:
-		w, err := prune.TopNColumnsFor(4096, q.N, 1e-4)
-		if err != nil {
-			w = 4
-		}
-		return prune.NewRandTopN(prune.RandTopNConfig{N: q.N, Rows: 4096, Cols: w, Seed: seed})
+		return prune.NewRandTopN(prune.LegacyRandTopNConfig(q.N, 1e-4, seed))
 	case KindGroupByMax:
-		return prune.NewGroupBy(prune.GroupByConfig{Rows: 4096, Cols: 8, Seed: seed})
+		return prune.NewGroupBy(prune.DefaultGroupByConfig(seed))
 	case KindSkyline:
-		return prune.NewSkyline(prune.SkylineConfig{
-			Dims: len(q.SkylineCols), Points: 10, Heuristic: prune.SkylineAPH,
-		})
+		return prune.NewSkyline(prune.DefaultSkylineConfig(len(q.SkylineCols)))
 	default:
 		return nil, fmt.Errorf("engine: no default single-pass pruner for %v", q.Kind)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 
 	"cheetah/internal/boolexpr"
@@ -69,6 +70,41 @@ func TestMatchLike(t *testing.T) {
 		{"", "%", true},
 		{"abc", "abcd", false},
 		{"xaybzc", "x%y%z%", true},
+		// _ matches exactly one byte.
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "___", true},
+		{"abc", "__", false},
+		{"abc", "____", false},
+		{"abc", "_bc", true},
+		{"abc", "ab_", true},
+		{"", "_", false},
+		// _ and % combine.
+		{"abc", "_%", true},
+		{"abc", "%_", true},
+		{"abc", "_%_", true},
+		{"a", "_%_", false},
+		{"elbows", "e_b%s", true},
+		{"elbows", "e_x%s", false},
+		{"abcdef", "a_c%e_", true},
+		{"abcdef", "a_c%f_", false},
+		// % backtracking past a shorter candidate match.
+		{"aXbYb", "a%b", true},
+		{"mississippi", "m%iss%ppi", true},
+		{"mississippi", "m%iss%ppx", false},
+		{"banana", "%a_a", true},
+		// Empty string and empty pattern edges.
+		{"", "", true},
+		{"", "%%", true},
+		{"a", "", false},
+		{"", "a", false},
+		// Literal '%' bytes in the data never bind a pattern '%': the
+		// pattern wildcard stays a wildcard.
+		{"a%bc", "a%", true},
+		{"%xy", "%", true},
+		{"a%b", "a%b", true},
+		{"100%", "100%", true},
+		{"a_b", "a_b", true},
 	}
 	for _, c := range cases {
 		if got := MatchLike(c.s, c.p); got != c.want {
@@ -219,6 +255,60 @@ func TestQueryValidation(t *testing.T) {
 	for i, q := range bad {
 		if err := q.Validate(); err == nil {
 			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+// TestQueryValidationColumnTypes pins the type checks: String columns in
+// Int64-typed roles (ORDER BY, aggregates, skyline dimensions, numeric
+// comparisons) and Int64 columns under LIKE are rejected at Validate
+// instead of panicking later in encode.
+func TestQueryValidationColumnTypes(t *testing.T) {
+	tbl := productsTable(t) // name, seller: String; price: Int64
+	cases := []struct {
+		label string
+		q     *Query
+		want  string
+	}{
+		{"topn string order col", &Query{Kind: KindTopN, Table: tbl, OrderCol: "seller", N: 3},
+			`ORDER BY column "seller" is string`},
+		{"groupby-max string agg col", &Query{Kind: KindGroupByMax, Table: tbl, KeyCol: "seller", AggCol: "name"},
+			`aggregate column "name" is string`},
+		{"groupby-sum string agg col", &Query{Kind: KindGroupBySum, Table: tbl, KeyCol: "seller", AggCol: "name"},
+			`aggregate column "name" is string`},
+		{"having string agg col", &Query{Kind: KindHaving, Table: tbl, KeyCol: "seller", AggCol: "name", Threshold: 1},
+			`aggregate column "name" is string`},
+		{"skyline string dim", &Query{Kind: KindSkyline, Table: tbl, SkylineCols: []string{"price", "seller"}},
+			`skyline column "seller" is string`},
+		{"comparison on string col", &Query{Kind: KindFilter, Table: tbl,
+			Predicates: []FilterPred{{Col: "name", Op: prune.OpGT, Const: 1}},
+			Formula:    boolexpr.Leaf{V: 0}},
+			`comparison column "name" is string`},
+		{"like on int col", &Query{Kind: KindFilter, Table: tbl,
+			Predicates: []FilterPred{{Col: "price", Like: "4%"}},
+			Formula:    boolexpr.Leaf{V: 0}},
+			`LIKE column "price" is int64`},
+	}
+	for _, c := range cases {
+		err := c.q.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.label, err, c.want)
+		}
+	}
+	// Int64-typed columns in those roles stay accepted.
+	good := []*Query{
+		{Kind: KindTopN, Table: tbl, OrderCol: "price", N: 3},
+		{Kind: KindGroupByMax, Table: tbl, KeyCol: "seller", AggCol: "price"},
+		{Kind: KindGroupBySum, Table: tbl, KeyCol: "seller", AggCol: "price"},
+		{Kind: KindHaving, Table: tbl, KeyCol: "seller", AggCol: "price", Threshold: 1},
+	}
+	for i, q := range good {
+		if err := q.Validate(); err != nil {
+			t.Errorf("good query %d rejected: %v", i, err)
 		}
 	}
 }

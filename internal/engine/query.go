@@ -78,27 +78,38 @@ type FilterPred struct {
 // SwitchSupported reports whether the switch can evaluate the predicate.
 func (p FilterPred) SwitchSupported() bool { return p.Like == "" }
 
-// MatchLike implements SQL LIKE with % wildcards (no escapes, no _).
+// MatchLike implements SQL LIKE with the % (any sequence) and _ (exactly
+// one byte) wildcards; no escapes. Matching is byte-wise, which covers
+// the ASCII workloads the paper benchmarks.
 func MatchLike(s, pattern string) bool {
-	parts := strings.Split(pattern, "%")
-	if len(parts) == 1 {
-		return s == pattern
-	}
-	if !strings.HasPrefix(s, parts[0]) {
-		return false
-	}
-	s = s[len(parts[0]):]
-	for _, mid := range parts[1 : len(parts)-1] {
-		if mid == "" {
-			continue
-		}
-		i := strings.Index(s, mid)
-		if i < 0 {
+	// Greedy match with single-level backtracking to the most recent %:
+	// a mismatch after a % retries the suffix one byte further along.
+	si, pi := 0, 0
+	star, resume := -1, 0
+	for si < len(s) {
+		switch {
+		// The wildcard test precedes the literal test: a '%' in the
+		// pattern is always the any-sequence wildcard, even when the
+		// data byte at this position happens to be a literal '%'.
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			resume = si
+			pi++
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case star >= 0:
+			resume++
+			si = resume
+			pi = star + 1
+		default:
 			return false
 		}
-		s = s[i+len(mid):]
 	}
-	return strings.HasSuffix(s, parts[len(parts)-1])
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
 }
 
 // Eval evaluates the predicate against row r of t.
@@ -168,13 +179,30 @@ func (q *Query) Validate() error {
 		}
 		return nil
 	}
+	// needTyped additionally checks the column's type: the encode path
+	// reads Int64 columns with Int64At (a String column would panic
+	// there) and LIKE patterns only apply to String columns.
+	needTyped := func(col string, want table.Type, role string) error {
+		i := s.Index(col)
+		if i < 0 {
+			return fmt.Errorf("engine: unknown column %q", col)
+		}
+		if s[i].Type != want {
+			return fmt.Errorf("engine: %s column %q is %s, need %s", role, col, s[i].Type, want)
+		}
+		return nil
+	}
 	switch q.Kind {
 	case KindFilter:
 		if len(q.Predicates) == 0 || q.Formula == nil {
 			return fmt.Errorf("engine: filter query needs predicates and a formula")
 		}
 		for _, p := range q.Predicates {
-			if err := need(p.Col); err != nil {
+			if p.Like != "" {
+				if err := needTyped(p.Col, table.String, "LIKE"); err != nil {
+					return err
+				}
+			} else if err := needTyped(p.Col, table.Int64, "comparison"); err != nil {
 				return err
 			}
 		}
@@ -196,21 +224,21 @@ func (q *Query) Validate() error {
 		if q.N <= 0 {
 			return fmt.Errorf("engine: top-n needs N > 0")
 		}
-		if err := need(q.OrderCol); err != nil {
+		if err := needTyped(q.OrderCol, table.Int64, "ORDER BY"); err != nil {
 			return err
 		}
 	case KindGroupByMax, KindGroupBySum:
 		if err := need(q.KeyCol); err != nil {
 			return err
 		}
-		if err := need(q.AggCol); err != nil {
+		if err := needTyped(q.AggCol, table.Int64, "aggregate"); err != nil {
 			return err
 		}
 	case KindHaving:
 		if err := need(q.KeyCol); err != nil {
 			return err
 		}
-		if err := need(q.AggCol); err != nil {
+		if err := needTyped(q.AggCol, table.Int64, "aggregate"); err != nil {
 			return err
 		}
 		if q.Threshold < 0 {
@@ -231,7 +259,7 @@ func (q *Query) Validate() error {
 			return fmt.Errorf("engine: skyline needs at least two dimensions")
 		}
 		for _, c := range q.SkylineCols {
-			if err := need(c); err != nil {
+			if err := needTyped(c, table.Int64, "skyline"); err != nil {
 				return err
 			}
 		}

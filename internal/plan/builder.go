@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cheetah/internal/boolexpr"
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/table"
+)
+
+// Builder is the fluent, validating query builder. Each shaping call
+// fixes the query kind; mixing incompatible clauses, referencing unknown
+// or mistyped columns, or leaving the query empty surfaces as a
+// descriptive error from Build — never as a panic or late failure inside
+// Exec. The zero Builder is not usable; start from Session.Select.
+type Builder struct {
+	s       *Session
+	q       engine.Query
+	kindSet bool
+	errs    []error
+}
+
+// Select starts a new query over the session's table.
+func (s *Session) Select() *Builder {
+	b := &Builder{s: s}
+	b.q.Table = s.table
+	return b
+}
+
+// fail records a build error; the first error does not short-circuit so
+// Build can report every problem at once.
+func (b *Builder) fail(format string, args ...any) *Builder {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+	return b
+}
+
+// setKind fixes the query kind, rejecting clause combinations the engine
+// has no plan for (e.g. DISTINCT plus TOP N in one query).
+func (b *Builder) setKind(k engine.QueryKind, clause string) bool {
+	if b.kindSet && b.q.Kind != k {
+		b.fail("plan: cannot combine %s with an earlier %s clause", clause, b.q.Kind)
+		return false
+	}
+	b.q.Kind = k
+	b.kindSet = true
+	return true
+}
+
+// Where adds a numeric comparison predicate (col <op> const). Multiple
+// Where/WhereLike calls AND together unless Formula overrides the
+// combination.
+func (b *Builder) Where(col string, op prune.CmpOp, c int64) *Builder {
+	if b.setKind(engine.KindFilter, "WHERE") {
+		b.q.Predicates = append(b.q.Predicates, engine.FilterPred{Col: col, Op: op, Const: c})
+	}
+	return b
+}
+
+// WhereLike adds a string LIKE predicate with % and _ wildcards. The
+// CWorker precomputes it host-side (§4.1); the switch sees one bit.
+func (b *Builder) WhereLike(col, pattern string) *Builder {
+	if b.setKind(engine.KindFilter, "WHERE LIKE") {
+		if pattern == "" {
+			b.fail("plan: WHERE LIKE on %q needs a non-empty pattern", col)
+			return b
+		}
+		b.q.Predicates = append(b.q.Predicates, engine.FilterPred{Col: col, Like: pattern})
+	}
+	return b
+}
+
+// Formula overrides the default AND combination of the Where predicates
+// with an arbitrary monotone formula; boolexpr.Leaf{V: i} references the
+// i-th predicate in call order.
+func (b *Builder) Formula(f boolexpr.Expr) *Builder {
+	if b.setKind(engine.KindFilter, "a predicate formula") {
+		b.q.Formula = f
+	}
+	return b
+}
+
+// Count turns the filter into SELECT COUNT(*): the result is one count
+// row.
+func (b *Builder) Count() *Builder {
+	if b.setKind(engine.KindFilter, "COUNT(*)") {
+		b.q.CountOnly = true
+	}
+	return b
+}
+
+// Distinct makes the query SELECT DISTINCT cols.
+func (b *Builder) Distinct(cols ...string) *Builder {
+	if b.setKind(engine.KindDistinct, "DISTINCT") {
+		if len(cols) == 0 {
+			b.fail("plan: DISTINCT needs at least one column")
+		}
+		b.q.DistinctCols = append(b.q.DistinctCols, cols...)
+	}
+	return b
+}
+
+// TopN makes the query SELECT TOP n ... ORDER BY col DESC.
+func (b *Builder) TopN(col string, n int) *Builder {
+	if b.setKind(engine.KindTopN, "TOP N") {
+		b.q.OrderCol = col
+		b.q.N = n
+	}
+	return b
+}
+
+// GroupByMax makes the query SELECT key, MAX(val) GROUP BY key.
+func (b *Builder) GroupByMax(key, val string) *Builder {
+	if b.setKind(engine.KindGroupByMax, "GROUP BY MAX") {
+		b.q.KeyCol = key
+		b.q.AggCol = val
+	}
+	return b
+}
+
+// GroupBySum makes the query SELECT key, SUM(val) GROUP BY key. Chain
+// Having to turn it into the HAVING filter form.
+func (b *Builder) GroupBySum(key, val string) *Builder {
+	if b.setKind(engine.KindGroupBySum, "GROUP BY SUM") {
+		b.q.KeyCol = key
+		b.q.AggCol = val
+	}
+	return b
+}
+
+// Having, after GroupBySum, restricts the output to keys whose sum
+// exceeds threshold: SELECT key GROUP BY key HAVING SUM(val) > threshold.
+func (b *Builder) Having(threshold int64) *Builder {
+	if !b.kindSet || b.q.Kind != engine.KindGroupBySum {
+		return b.fail("plan: HAVING needs a preceding GroupBySum clause")
+	}
+	b.q.Kind = engine.KindHaving
+	b.q.Threshold = threshold
+	return b
+}
+
+// Join makes the query an inner join of the session table with right on
+// leftKey = rightKey.
+func (b *Builder) Join(right *table.Table, leftKey, rightKey string) *Builder {
+	if b.setKind(engine.KindJoin, "JOIN") {
+		if right == nil {
+			b.fail("plan: JOIN needs a right table")
+		}
+		b.q.Right = right
+		b.q.LeftKey = leftKey
+		b.q.RightKey = rightKey
+	}
+	return b
+}
+
+// Skyline makes the query SELECT ... SKYLINE OF cols (all dimensions
+// maximized).
+func (b *Builder) Skyline(cols ...string) *Builder {
+	if b.setKind(engine.KindSkyline, "SKYLINE") {
+		b.q.SkylineCols = append(b.q.SkylineCols, cols...)
+	}
+	return b
+}
+
+// Build validates the accumulated spec and returns the compiled query.
+// Every invalid build — unknown or mistyped column, empty predicate set,
+// N ≤ 0, join without a right table, conflicting clauses — returns a
+// descriptive error here, before any execution work starts.
+func (b *Builder) Build() (*engine.Query, error) {
+	errs := b.errs
+	if !b.kindSet {
+		errs = append(errs, errors.New("plan: empty query: add a Where/Distinct/TopN/GroupByMax/GroupBySum/Join/Skyline clause"))
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	q := b.q // copy: the builder stays reusable for further chaining
+	if q.Kind == engine.KindFilter && q.Formula == nil {
+		// Default combination: AND of all predicates. Built on the copy
+		// so a later Where on the same builder re-derives the formula.
+		and := make(boolexpr.And, len(q.Predicates))
+		for i := range and {
+			and[i] = boolexpr.Leaf{V: i}
+		}
+		q.Formula = boolexpr.Simplify(and)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// Plan builds the query and plans it in one step.
+func (b *Builder) Plan() (*Plan, error) {
+	q, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.s.Plan(q)
+}
+
+// Exec builds, plans and executes the query in one step.
+func (b *Builder) Exec(ctx context.Context) (*Execution, error) {
+	q, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.s.Exec(ctx, q)
+}

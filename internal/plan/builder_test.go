@@ -1,0 +1,199 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/table"
+)
+
+// testTable builds a small mixed-type table: name/seller String,
+// price/stock Int64.
+func testTable(t *testing.T) *table.Table {
+	t.Helper()
+	tbl := table.MustNew(table.Schema{
+		{Name: "name", Type: table.String},
+		{Name: "seller", Type: table.String},
+		{Name: "price", Type: table.Int64},
+		{Name: "stock", Type: table.Int64},
+	})
+	for _, r := range []struct {
+		name, seller string
+		price, stock int64
+	}{
+		{"Burger", "McCheetah", 4, 10},
+		{"Pizza", "Papizza", 7, 3},
+		{"Fries", "McCheetah", 2, 50},
+		{"Jello", "JellyFish", 5, 8},
+	} {
+		if err := tbl.AppendRow(r.name, r.seller, r.price, r.stock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func openTest(t *testing.T) *Session {
+	t.Helper()
+	s, err := Open(testTable(t), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestBuilderErrorSurface pins the satellite requirement: every invalid
+// build returns a descriptive error at Build time, not at Exec.
+func TestBuilderErrorSurface(t *testing.T) {
+	s := openTest(t)
+	cases := []struct {
+		label string
+		build func() *Builder
+		want  string
+	}{
+		{"empty query", func() *Builder { return s.Select() },
+			"empty query"},
+		{"unknown column in Where", func() *Builder {
+			return s.Select().Where("ghost", prune.OpGT, 1)
+		}, `unknown column "ghost"`},
+		{"unknown column in Distinct", func() *Builder {
+			return s.Select().Distinct("ghost")
+		}, `unknown column "ghost"`},
+		{"distinct with no columns", func() *Builder {
+			return s.Select().Distinct()
+		}, "DISTINCT needs at least one column"},
+		{"topn with n=0", func() *Builder {
+			return s.Select().TopN("price", 0)
+		}, "top-n needs N > 0"},
+		{"topn with negative n", func() *Builder {
+			return s.Select().TopN("price", -3)
+		}, "top-n needs N > 0"},
+		{"topn on string column", func() *Builder {
+			return s.Select().TopN("seller", 3)
+		}, `"seller" is string`},
+		{"join without right table", func() *Builder {
+			return s.Select().Join(nil, "name", "name")
+		}, "JOIN needs a right table"},
+		{"having without group-by-sum", func() *Builder {
+			return s.Select().Having(5)
+		}, "HAVING needs a preceding GroupBySum"},
+		{"conflicting clauses", func() *Builder {
+			return s.Select().Distinct("seller").TopN("price", 3)
+		}, "cannot combine TOP N with an earlier distinct clause"},
+		{"where mixed with skyline", func() *Builder {
+			return s.Select().Where("price", prune.OpGT, 1).Skyline("price", "stock")
+		}, "cannot combine SKYLINE"},
+		{"empty like pattern", func() *Builder {
+			return s.Select().WhereLike("name", "")
+		}, "non-empty pattern"},
+		{"like on int column", func() *Builder {
+			return s.Select().WhereLike("price", "4%")
+		}, `"price" is int64`},
+		{"comparison on string column", func() *Builder {
+			return s.Select().Where("name", prune.OpGT, 1)
+		}, `"name" is string`},
+		{"skyline with one dimension", func() *Builder {
+			return s.Select().Skyline("price")
+		}, "at least two dimensions"},
+		{"group-by-sum string aggregate", func() *Builder {
+			return s.Select().GroupBySum("seller", "name")
+		}, `"name" is string`},
+		{"count with no predicates", func() *Builder {
+			return s.Select().Count()
+		}, "needs predicates"},
+	}
+	for _, c := range cases {
+		q, err := c.build().Build()
+		if err == nil {
+			t.Errorf("%s: Build accepted (query %+v)", c.label, q)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.label, err, c.want)
+		}
+	}
+}
+
+// TestBuilderErrorsAccumulate checks Build reports every problem, not
+// just the first.
+func TestBuilderErrorsAccumulate(t *testing.T) {
+	s := openTest(t)
+	_, err := s.Select().Distinct().Having(3).Build()
+	if err == nil {
+		t.Fatal("bad build accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"DISTINCT needs at least one column", "HAVING needs a preceding GroupBySum"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("joined error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestBuilderReuseAfterBuild: Build must not freeze the builder — a
+// predicate added after a first Build participates in the next Build's
+// default AND formula.
+func TestBuilderReuseAfterBuild(t *testing.T) {
+	s := openTest(t)
+	b := s.Select().Where("price", prune.OpGT, 3)
+	q1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Where("stock", prune.OpGT, 9)
+	q2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := engine.ExecDirect(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := engine.ExecDirect(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// price>3 matches Burger, Pizza, Jello; AND stock>9 leaves Burger.
+	if len(r1.Rows) != 3 || len(r2.Rows) != 1 {
+		t.Fatalf("reused builder: first build %d rows (want 3), second %d rows (want 1)",
+			len(r1.Rows), len(r2.Rows))
+	}
+}
+
+// TestBuilderValidBuilds checks the happy paths compile to validated
+// queries of the right kind.
+func TestBuilderValidBuilds(t *testing.T) {
+	s := openTest(t)
+	right := testTable(t)
+	cases := []struct {
+		label string
+		build func() *Builder
+		kind  string
+	}{
+		{"filter", func() *Builder {
+			return s.Select().Where("price", prune.OpGT, 3).WhereLike("name", "_i%")
+		}, "filter"},
+		{"count", func() *Builder {
+			return s.Select().Where("price", prune.OpGT, 3).Count()
+		}, "filter"},
+		{"distinct", func() *Builder { return s.Select().Distinct("seller") }, "distinct"},
+		{"topn", func() *Builder { return s.Select().TopN("price", 2) }, "topn"},
+		{"groupby-max", func() *Builder { return s.Select().GroupByMax("seller", "price") }, "groupby-max"},
+		{"groupby-sum", func() *Builder { return s.Select().GroupBySum("seller", "price") }, "groupby-sum"},
+		{"having", func() *Builder { return s.Select().GroupBySum("seller", "price").Having(5) }, "having"},
+		{"join", func() *Builder { return s.Select().Join(right, "name", "name") }, "join"},
+		{"skyline", func() *Builder { return s.Select().Skyline("price", "stock") }, "skyline"},
+	}
+	for _, c := range cases {
+		q, err := c.build().Build()
+		if err != nil {
+			t.Errorf("%s: %v", c.label, err)
+			continue
+		}
+		if q.Kind.String() != c.kind {
+			t.Errorf("%s: built kind %v", c.label, q.Kind)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"context"
+	"testing"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/workload"
+)
+
+// TestExecEquivalenceAllKinds is the acceptance criterion: for every
+// QueryKind and several seeds, the session Exec, the direct executor and
+// the legacy free-function ExecCheetah return the same result.
+func TestExecEquivalenceAllKinds(t *testing.T) {
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(4000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := workload.Rankings(3000, 2)
+	orders, lineitem, err := workload.TPCHQ3(800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []uint64{1, 7, 42} {
+		sUV, err := Open(uv, Options{Workers: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sRK, err := Open(rk, Options{Workers: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sOrd, err := Open(orders, Options{Workers: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cases := []struct {
+			label string
+			s     *Session
+			b     *Builder
+		}{
+			{"filter", sUV, sUV.Select().
+				Where("adRevenue", prune.OpGT, 300_000).
+				Where("duration", prune.OpLE, 150).
+				WhereLike("userAgent", "agent/0_%")},
+			{"distinct", sUV, sUV.Select().Distinct("userAgent")},
+			{"topn", sUV, sUV.Select().TopN("adRevenue", 100)},
+			{"groupby-max", sUV, sUV.Select().GroupByMax("userAgent", "adRevenue")},
+			{"groupby-sum", sUV, sUV.Select().GroupBySum("languageCode", "adRevenue")},
+			{"having", sUV, sUV.Select().GroupBySum("languageCode", "adRevenue").Having(500_000)},
+			{"join", sOrd, sOrd.Select().Join(lineitem, "o_orderkey", "l_orderkey")},
+			{"skyline", sRK, sRK.Select().Skyline("pageRank", "avgDuration")},
+		}
+		for _, c := range cases {
+			q, err := c.b.Build()
+			if err != nil {
+				t.Fatalf("seed %d %s: build: %v", seed, c.label, err)
+			}
+			direct, err := engine.ExecDirect(q)
+			if err != nil {
+				t.Fatalf("seed %d %s: direct: %v", seed, c.label, err)
+			}
+			legacy, err := engine.ExecCheetah(q, engine.CheetahOptions{Workers: 3, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d %s: legacy ExecCheetah: %v", seed, c.label, err)
+			}
+			ex, err := c.s.Exec(context.Background(), q)
+			if err != nil {
+				t.Fatalf("seed %d %s: session Exec: %v", seed, c.label, err)
+			}
+			if ex.Plan.Mode != ModeCheetah {
+				t.Fatalf("seed %d %s: planned %v (%s), want cheetah", seed, c.label, ex.Plan.Mode, ex.Plan.Reason)
+			}
+			if !direct.Equal(legacy.Result) {
+				t.Errorf("seed %d %s: legacy ExecCheetah diverges from direct", seed, c.label)
+			}
+			if !direct.Equal(ex.Result) {
+				t.Errorf("seed %d %s: session Exec diverges from direct", seed, c.label)
+			}
+			if ex.Traffic.EntriesSent == 0 || ex.Stats.Processed == 0 {
+				t.Errorf("seed %d %s: pruned run reported no traffic (%+v)", seed, c.label, ex.Traffic)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"cheetah/internal/cluster"
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+)
+
+// Execution is the unified report of one Exec call: the result, the plan
+// that produced it, the measured traffic and pruning statistics (zero
+// for direct execution), the cluster protocol report when the network
+// path ran, and the modelled completion-time estimates.
+type Execution struct {
+	Plan   *Plan
+	Result *engine.Result
+	// Traffic counts the pruned path's data movement; zero for
+	// ModeDirect.
+	Traffic engine.Traffic
+	// Stats is the switch program's pruning statistics; zero for
+	// ModeDirect.
+	Stats prune.Stats
+	// ClusterReport is non-nil only for ModeCluster.
+	ClusterReport *cluster.Report
+	// Estimate is the modelled completion time of the path that ran.
+	Estimate engine.Breakdown
+	// SparkEstimate is the modelled completion time of the Spark-style
+	// baseline on the same data, for comparison (Figure 5's other bar).
+	SparkEstimate engine.Breakdown
+}
+
+// UnprunedFraction is Forwarded/EntriesSent, Figures 10–11's metric; it
+// reports 1 for direct execution (nothing was pruned).
+func (e *Execution) UnprunedFraction() float64 {
+	if e.Traffic.EntriesSent == 0 {
+		return 1
+	}
+	return float64(e.Traffic.Forwarded) / float64(e.Traffic.EntriesSent)
+}
+
+// Explain renders the execution the way EXPLAIN ANALYZE would: the plan,
+// the admission outcome, the measured traffic and the modelled times.
+func (e *Execution) Explain() string {
+	var b strings.Builder
+	p := e.Plan
+	fmt.Fprintf(&b, "query:   %s\n", p.Query.Kind)
+	if p.Mode == ModeDirect {
+		fmt.Fprintf(&b, "mode:    direct (single node)\n")
+		fmt.Fprintf(&b, "reason:  %s\n", p.Reason)
+	} else {
+		fmt.Fprintf(&b, "mode:    %s (%d workers, switch %s)\n", p.Mode, p.Workers, p.Model.Name)
+		fmt.Fprintf(&b, "pruner:  %s (%s guarantee) — %s\n", p.PrunerName, p.Guarantee, p.Reason)
+		fmt.Fprintf(&b, "switch:  %s\n", p.Profile)
+		fmt.Fprintf(&b, "traffic: sent=%d forwarded=%d pruned=%.2f%%\n",
+			e.Traffic.EntriesSent, e.Traffic.Forwarded, 100*e.Stats.PruneRate())
+	}
+	if e.ClusterReport != nil {
+		fmt.Fprintf(&b, "network: delivered=%d retransmits=%d\n",
+			e.ClusterReport.Delivered, e.ClusterReport.Retransmissions)
+	}
+	if e.Result != nil {
+		fmt.Fprintf(&b, "result:  %d rows\n", len(e.Result.Rows))
+	}
+	fmt.Fprintf(&b, "time:    %.3fs modelled (spark baseline %.3fs)\n",
+		e.Estimate.Total(), e.SparkEstimate.Total())
+	return b.String()
+}
+
+// Exec plans and executes the query through the planned path. It is the
+// session API's single execution entrypoint: the same call serves
+// direct, batched-Cheetah and cluster execution, and always returns the
+// full Execution report.
+func (s *Session) Exec(ctx context.Context, q *engine.Query) (*Execution, error) {
+	p, err := s.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecPlan(ctx, p)
+}
+
+// ExecPlan executes a previously computed plan, allowing one plan to be
+// inspected (or rendered) before running and reused across runs.
+func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ex := &Execution{Plan: p}
+	q := p.Query
+	switch p.Mode {
+	case ModeDirect:
+		res, err := engine.ExecDirect(q)
+		if err != nil {
+			return nil, err
+		}
+		ex.Result = res
+		// Direct execution is single-node: all rows on one machine.
+		ex.Estimate = s.cost.SparkTime(q.Kind, []int{queryRows(q)}, len(res.Rows), false, s.opts.NICGbps)
+	case ModeCheetah:
+		pruner, err := p.NewPruner()
+		if err != nil {
+			return nil, err
+		}
+		run, err := engine.ExecCheetah(q, engine.CheetahOptions{
+			Workers: p.Workers, Pruner: pruner, Seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ex.Result = run.Result
+		ex.Traffic = run.Traffic
+		ex.Stats = run.Stats
+		ex.Estimate = s.cost.CheetahTime(q.Kind, run.Traffic, s.opts.NICGbps)
+	case ModeCluster:
+		pruner, err := p.NewPruner()
+		if err != nil {
+			return nil, err
+		}
+		res, rep, err := cluster.Run(q, pruner, cluster.Config{
+			Workers:  p.Workers,
+			LossRate: s.opts.LossRate,
+			Seed:     p.Seed,
+			RTO:      s.opts.RTO,
+			Model:    p.Model,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ex.Result = res
+		ex.ClusterReport = rep
+		ex.Stats = pruner.Stats()
+		ex.Traffic = engine.Traffic{
+			EntriesSent:     rep.EntriesSent,
+			Forwarded:       int(rep.Delivered),
+			MasterProcessed: int(rep.Delivered),
+		}
+		ex.Estimate = s.cost.CheetahTime(q.Kind, ex.Traffic, s.opts.NICGbps)
+	default:
+		return nil, fmt.Errorf("plan: unknown mode %v", p.Mode)
+	}
+	ex.SparkEstimate = s.sparkEstimate(q, len(ex.Result.Rows))
+	return ex, nil
+}
+
+// queryRows counts the rows a query touches across its input tables.
+func queryRows(q *engine.Query) int {
+	rows := q.Table.NumRows()
+	if q.Right != nil {
+		rows += q.Right.NumRows()
+	}
+	return rows
+}
+
+// sparkEstimate models the Spark-style baseline: the table split evenly
+// across the session's workers, warm run.
+func (s *Session) sparkEstimate(q *engine.Query, resultRows int) engine.Breakdown {
+	rows := queryRows(q)
+	perWorker := make([]int, s.opts.Workers)
+	for i := range perWorker {
+		perWorker[i] = rows / s.opts.Workers
+	}
+	return s.cost.SparkTime(q.Kind, perWorker, resultRows, false, s.opts.NICGbps)
+}

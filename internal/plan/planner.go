@@ -1,0 +1,266 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+)
+
+// Mode is the execution path a plan selected.
+type Mode uint8
+
+const (
+	// ModeDirect runs the query exactly on one node — the fallback when
+	// no pruning program fits the switch (or none exists for the kind).
+	ModeDirect Mode = iota
+	// ModeCheetah runs the in-process batched pruned path.
+	ModeCheetah
+	// ModeCluster runs the pruned path over the simulated lossy network
+	// with the §7.2 reliability protocol.
+	ModeCluster
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeCheetah:
+		return "cheetah"
+	case ModeCluster:
+		return "cluster"
+	default:
+		return "direct"
+	}
+}
+
+// Plan is the planner's decision for one query: the execution mode, the
+// chosen pruning program (for pruned modes), its Table 2 resource
+// profile, and a human-readable Reason explaining the choice — including
+// why a query fell back to direct execution when the switch cannot host
+// it.
+type Plan struct {
+	Query   *engine.Query
+	Mode    Mode
+	Model   switchsim.Model
+	Workers int
+	Seed    uint64
+
+	// PrunerName, Guarantee and Profile describe the admitted program;
+	// they are zero-valued for ModeDirect.
+	PrunerName string
+	Guarantee  prune.Guarantee
+	Profile    switchsim.Profile
+	// Reason explains the planning outcome: the parameter derivation for
+	// admitted programs, the admission failure chain for fallbacks.
+	Reason string
+
+	factory func() (prune.Pruner, error)
+	// probe is the instance built for admission checking; its state is
+	// untouched, so the first execution consumes it instead of paying
+	// the construction cost (join Bloom filters are megabytes) twice.
+	mu    sync.Mutex
+	probe prune.Pruner
+}
+
+// NewPruner returns an instance of the planned pruning program with
+// clean switch state: the admission probe on the first call, a fresh
+// build thereafter. Each execution gets its own instance, so one plan
+// can run many times (and concurrently).
+func (p *Plan) NewPruner() (prune.Pruner, error) {
+	p.mu.Lock()
+	if pr := p.probe; pr != nil {
+		p.probe = nil
+		p.mu.Unlock()
+		return pr, nil
+	}
+	p.mu.Unlock()
+	if p.factory == nil {
+		return nil, fmt.Errorf("plan: %v plan has no pruning program", p.Mode)
+	}
+	return p.factory()
+}
+
+// String renders the plan as a one-line summary.
+func (p *Plan) String() string {
+	if p.Mode == ModeDirect {
+		return fmt.Sprintf("plan[%s: direct — %s]", p.Query.Kind, p.Reason)
+	}
+	return fmt.Sprintf("plan[%s: %s via %s (%s) — %s]",
+		p.Query.Kind, p.Mode, p.PrunerName, p.Guarantee, p.Reason)
+}
+
+// candidate is one pruning program the planner may pick: a constructor
+// plus the parameter-derivation note that lands in Plan.Reason.
+type candidate struct {
+	desc string
+	make func() (prune.Pruner, error)
+}
+
+// Plan inspects the query and the session's switch model, picks the
+// pruning algorithm, derives its parameters from the §5 formulas and
+// Table 2 defaults, and performs pipeline admission. Queries no program
+// can serve — or that exceed the model's resources in every derivable
+// configuration — plan as ModeDirect with an explanatory Reason; an
+// invalid query is an error, not a fallback.
+func (s *Session) Plan(q *engine.Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Query:   q,
+		Model:   s.opts.Model,
+		Workers: s.opts.Workers,
+		Seed:    s.opts.Seed,
+	}
+	var rejections []string
+	for _, c := range s.candidates(q) {
+		pruner, err := c.make()
+		if err != nil {
+			rejections = append(rejections, fmt.Sprintf("%s: %v", c.desc, err))
+			continue
+		}
+		prof := pruner.Profile()
+		if err := s.opts.Model.Admits(prof); err != nil {
+			rejections = append(rejections, fmt.Sprintf("%s: %v", c.desc, err))
+			continue
+		}
+		p.Mode = ModeCheetah
+		p.PrunerName = pruner.Name()
+		p.Guarantee = pruner.Guarantee()
+		p.Profile = prof
+		p.Reason = c.desc
+		p.factory = c.make
+		p.probe = pruner
+		break
+	}
+	if p.Mode == ModeDirect {
+		p.Reason = fmt.Sprintf("no pruning program fits %s: %s",
+			s.opts.Model.Name, strings.Join(rejections, "; "))
+		return p, nil
+	}
+	if s.opts.UseCluster {
+		if singlePass(q.Kind) {
+			p.Mode = ModeCluster
+		} else {
+			p.Reason += "; cluster transport supports single-pass kinds only, running in-process"
+		}
+	}
+	return p, nil
+}
+
+// singlePass reports whether the kind streams the table once — the
+// shapes engine.EncodeEntries serializes and the cluster transport can
+// carry (SKYLINE's end-of-stream state drain is handled by the cluster's
+// control plane).
+func singlePass(k engine.QueryKind) bool {
+	switch k {
+	case engine.KindFilter, engine.KindDistinct, engine.KindTopN,
+		engine.KindGroupByMax, engine.KindSkyline:
+		return true
+	}
+	return false
+}
+
+// candidates lists the programs that could serve the query, best first.
+// Orderings encode the paper's preferences: randomized TOP N at the
+// jointly optimized (d, w) before the fixed-d legacy shape before the
+// deterministic thresholds; the asymmetric join optimization when one
+// side is much smaller (§4.3).
+func (s *Session) candidates(q *engine.Query) []candidate {
+	seed, delta := s.opts.Seed, s.opts.Delta
+	switch q.Kind {
+	case engine.KindFilter:
+		n := len(q.Predicates)
+		return []candidate{{
+			desc: fmt.Sprintf("truth-table filter over %d predicates", n),
+			make: func() (prune.Pruner, error) { return engine.DefaultPruner(q, seed) },
+		}}
+	case engine.KindDistinct:
+		cfg := prune.DefaultDistinctConfig(seed)
+		return []candidate{{
+			desc: fmt.Sprintf("distinct cache d=%d w=%d %v over %d-bit fingerprints (Table 2)",
+				cfg.Rows, cfg.Cols, cfg.Policy, cfg.FingerprintBits),
+			make: func() (prune.Pruner, error) { return prune.NewDistinct(cfg) },
+		}}
+	case engine.KindTopN:
+		var cands []candidate
+		if cfg, err := prune.PlannedRandTopNConfig(q.N, delta, seed); err == nil {
+			cands = append(cands, candidate{
+				desc: fmt.Sprintf("randomized top-n d=%d w=%d via OptimalTopNRows(N=%d, δ=%g)",
+					cfg.Rows, cfg.Cols, q.N, delta),
+				make: func() (prune.Pruner, error) { return prune.NewRandTopN(cfg) },
+			})
+		}
+		// The fixed-d legacy shape is only sound while Theorem 2's
+		// premise d ≥ N·e/ln(1/δ) holds; past that the deterministic
+		// thresholds are the principled fallback.
+		if w, err := prune.TopNColumnsFor(4096, q.N, delta); err == nil {
+			legacy := prune.RandTopNConfig{N: q.N, Rows: 4096, Cols: w, Seed: seed}
+			cands = append(cands, candidate{
+				desc: fmt.Sprintf("randomized top-n d=%d w=%d via TopNColumnsFor(N=%d, δ=%g)",
+					legacy.Rows, legacy.Cols, q.N, delta),
+				make: func() (prune.Pruner, error) { return prune.NewRandTopN(legacy) },
+			})
+		}
+		det := prune.DefaultDetTopNConfig(q.N)
+		cands = append(cands, candidate{
+			desc: fmt.Sprintf("deterministic top-n w=%d exponential thresholds (Table 2)", det.Thresholds),
+			make: func() (prune.Pruner, error) { return prune.NewDetTopN(det) },
+		})
+		return cands
+	case engine.KindGroupByMax:
+		cfg := prune.DefaultGroupByConfig(seed)
+		return []candidate{{
+			desc: fmt.Sprintf("group-by rolling-max matrix d=%d w=%d (Table 2)", cfg.Rows, cfg.Cols),
+			make: func() (prune.Pruner, error) { return prune.NewGroupBy(cfg) },
+		}}
+	case engine.KindGroupBySum:
+		cfg := prune.DefaultGroupBySumConfig(seed)
+		return []candidate{{
+			desc: fmt.Sprintf("in-switch sum aggregation d=%d w=%d (§6)", cfg.Rows, cfg.Cols),
+			make: func() (prune.Pruner, error) { return prune.NewGroupBySum(cfg) },
+		}}
+	case engine.KindHaving:
+		cfg := prune.DefaultHavingConfig(q.Threshold, seed)
+		return []candidate{{
+			desc: fmt.Sprintf("count-min sketch %d×%d, threshold %d, partial second pass (Table 2)",
+				cfg.Rows, cfg.CountersPerRow, q.Threshold),
+			make: func() (prune.Pruner, error) { return prune.NewHaving(cfg) },
+		}}
+	case engine.KindJoin:
+		left, right := q.Table.NumRows(), q.Right.NumRows()
+		// §4.3's small-table optimization: when the left (build) side is
+		// much smaller, stream it once unpruned while its filter trains
+		// and prune only the big side. The pruner fixes the left table
+		// as the build side, so a small *right* table stays symmetric.
+		if left*8 <= right {
+			// Only the small build side's keys enter the filter.
+			asym := prune.JoinConfig{
+				FilterBits: prune.JoinFilterBitsFor(left), Hashes: 3,
+				Seed: seed, Asymmetric: true,
+			}
+			return []candidate{{
+				desc: fmt.Sprintf("asymmetric bloom join M=%s H=%d (small left side %d≪%d, §4.3)",
+					switchsim.FormatBits(2*asym.FilterBits), asym.Hashes, left, right),
+				make: func() (prune.Pruner, error) { return prune.NewJoin(asym) },
+			}}
+		}
+		cfg := prune.JoinConfig{FilterBits: prune.JoinFilterBitsFor(max(left, right)), Hashes: 3, Seed: seed}
+		return []candidate{{
+			desc: fmt.Sprintf("two-pass bloom join M=%s H=%d sized for %d keys (Table 2)",
+				switchsim.FormatBits(2*cfg.FilterBits), cfg.Hashes, max(left, right)),
+			make: func() (prune.Pruner, error) { return prune.NewJoin(cfg) },
+		}}
+	case engine.KindSkyline:
+		cfg := prune.DefaultSkylineConfig(len(q.SkylineCols))
+		return []candidate{{
+			desc: fmt.Sprintf("skyline %s heuristic, w=%d stored points, D=%d (§4.4)",
+				cfg.Heuristic, cfg.Points, cfg.Dims),
+			make: func() (prune.Pruner, error) { return prune.NewSkyline(cfg) },
+		}}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package plan is Cheetah's planning layer: the session API that fronts
+// the whole library. A Session binds a table to a switch model and an
+// execution configuration; its fluent builder compiles validated
+// engine.Query specs; its planner picks the pruning algorithm, derives
+// the §5 parameters from Table 2's profiles and the theorems'
+// configuration formulas, and admission-checks the program against the
+// hardware model; and one Exec entrypoint routes the query to direct,
+// batched-Cheetah, or cluster execution behind a single Execution report.
+//
+// The paper's central claim (§5, §6) is that this layer — not the user —
+// owns algorithm choice and tuning; packages engine, prune and switchsim
+// stay the low-level substrate for callers that need manual control.
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/table"
+)
+
+// Options configures a session. The zero value selects the paper's
+// defaults: a Tofino-class switch, one CWorker, in-process transport,
+// δ = 1e-4 for randomized guarantees, and a 10G NIC for cost estimates.
+type Options struct {
+	// Model is the switch hardware the planner admission-checks against.
+	// The zero value selects switchsim.Tofino().
+	Model switchsim.Model
+	// Workers is the CWorker (partition) count; ≤ 0 selects 1.
+	Workers int
+	// Seed drives fingerprinting and randomized pruner defaults.
+	Seed uint64
+	// Delta is the failure probability budget δ for randomized pruners
+	// (TOP N's Theorem 2/3 configuration); ≤ 0 selects 1e-4.
+	Delta float64
+	// UseCluster routes single-pass queries over the simulated lossy
+	// network with the §7.2 reliability protocol instead of the
+	// in-process batched path. Multi-pass kinds (JOIN, HAVING,
+	// GROUP-BY-SUM) fall back to in-process execution with a note in the
+	// plan's Reason.
+	UseCluster bool
+	// LossRate injects packet loss on cluster links (UseCluster only).
+	LossRate float64
+	// RTO overrides the cluster retransmission timeout (UseCluster only).
+	RTO time.Duration
+	// NICGbps is the NIC speed assumed by completion-time estimates;
+	// ≤ 0 selects 10.
+	NICGbps float64
+	// CostModel overrides the calibrated completion-time model.
+	CostModel *engine.CostModel
+}
+
+// Session is an open database handle: a table plus the planning context
+// every query compiled through it shares. Sessions are cheap; open one
+// per table.
+type Session struct {
+	table *table.Table
+	opts  Options
+	cost  engine.CostModel
+}
+
+// Open validates opts, fills defaults and returns a session over t.
+func Open(t *table.Table, opts Options) (*Session, error) {
+	if t == nil {
+		return nil, fmt.Errorf("plan: Open needs a table")
+	}
+	if opts.Model.Stages == 0 {
+		opts.Model = switchsim.Tofino()
+	}
+	if err := opts.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Delta <= 0 {
+		opts.Delta = 1e-4
+	}
+	if opts.NICGbps <= 0 {
+		opts.NICGbps = 10
+	}
+	cost := engine.DefaultCostModel()
+	if opts.CostModel != nil {
+		cost = *opts.CostModel
+	}
+	return &Session{table: t, opts: opts, cost: cost}, nil
+}
+
+// Table returns the session's table.
+func (s *Session) Table() *table.Table { return s.table }
+
+// Model returns the switch model the session plans against.
+func (s *Session) Model() switchsim.Model { return s.opts.Model }
+
+// Options returns the resolved session options (defaults filled in).
+func (s *Session) Options() Options { return s.opts }

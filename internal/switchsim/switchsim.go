@@ -219,41 +219,36 @@ func (pl *Pipeline) Model() Model { return pl.model }
 // Programs returns the admitted placements in installation order.
 func (pl *Pipeline) Programs() []Placement { return pl.placements }
 
-// Install admission-checks prog's profile against the remaining resources
-// and, if it fits, packs its logical stages greedily onto the earliest
-// physical stages with spare capacity (§6's concurrent packing: different
-// queries share stages when their combined ALU/SRAM demand fits). The
-// program becomes the handler for flowID.
-func (pl *Pipeline) Install(flowID uint32, prog Program) error {
-	p := prog.Profile()
+// placeProfile admission-checks p against the pipeline's remaining
+// resources and returns the physical stage each logical stage would land
+// on, without committing anything. It is the planning half of Install and
+// the substrate of the CanInstall/Admits admission queries.
+func (pl *Pipeline) placeProfile(p Profile) (phys []int, perStageALUs, perStageSRAM int, err error) {
 	if err := p.Validate(); err != nil {
-		return err
-	}
-	if _, dup := pl.byFlow[flowID]; dup {
-		return fmt.Errorf("switchsim: flow %d already has a program", flowID)
+		return nil, 0, 0, err
 	}
 	if p.TCAMEntries > pl.model.TCAMEntries-pl.tcamUsed {
-		return fmt.Errorf("switchsim: %s needs %d TCAM entries, %d free",
+		return nil, 0, 0, fmt.Errorf("switchsim: %s needs %d TCAM entries, %d free",
 			p.Name, p.TCAMEntries, pl.model.TCAMEntries-pl.tcamUsed)
 	}
 	if p.MetadataBits > pl.model.MetadataBits-pl.metaUsed {
-		return fmt.Errorf("switchsim: %s needs %d metadata bits, %d free",
+		return nil, 0, 0, fmt.Errorf("switchsim: %s needs %d metadata bits, %d free",
 			p.Name, p.MetadataBits, pl.model.MetadataBits-pl.metaUsed)
 	}
 	// Spread demand evenly over the program's logical stages.
-	perStageALUs := ceilDiv(p.ALUs, p.Stages)
-	perStageSRAM := ceilDiv(p.SRAMBits, p.Stages)
+	perStageALUs = ceilDiv(p.ALUs, p.Stages)
+	perStageSRAM = ceilDiv(p.SRAMBits, p.Stages)
 	if perStageALUs > pl.model.ALUsPerStage {
-		return fmt.Errorf("switchsim: %s needs %d ALUs in one stage, model has %d",
+		return nil, 0, 0, fmt.Errorf("switchsim: %s needs %d ALUs in one stage, model has %d",
 			p.Name, perStageALUs, pl.model.ALUsPerStage)
 	}
 	if perStageSRAM > pl.model.SRAMPerStageBits {
-		return fmt.Errorf("switchsim: %s needs %s SRAM in one stage, model has %s",
+		return nil, 0, 0, fmt.Errorf("switchsim: %s needs %s SRAM in one stage, model has %s",
 			p.Name, FormatBits(perStageSRAM), FormatBits(pl.model.SRAMPerStageBits))
 	}
 	// Greedy in-order packing: logical stage j goes to the earliest
 	// physical stage after logical stage j-1's with enough headroom.
-	phys := make([]int, 0, p.Stages)
+	phys = make([]int, 0, p.Stages)
 	next := 0
 	for l := 0; l < p.Stages; l++ {
 		placed := false
@@ -267,9 +262,46 @@ func (pl *Pipeline) Install(flowID uint32, prog Program) error {
 			}
 		}
 		if !placed {
-			return fmt.Errorf("switchsim: cannot pack %s: logical stage %d/%d finds no physical stage with %d ALUs and %s SRAM free",
+			return nil, 0, 0, fmt.Errorf("switchsim: cannot pack %s: logical stage %d/%d finds no physical stage with %d ALUs and %s SRAM free",
 				p.Name, l+1, p.Stages, perStageALUs, FormatBits(perStageSRAM))
 		}
+	}
+	return phys, perStageALUs, perStageSRAM, nil
+}
+
+// CanInstall reports whether a program with this profile would be
+// admitted given the pipeline's current occupancy, without installing
+// anything. A nil return means a subsequent Install with an unused flow
+// id will succeed.
+func (pl *Pipeline) CanInstall(p Profile) error {
+	_, _, _, err := pl.placeProfile(p)
+	return err
+}
+
+// Admits answers the control-plane admission question for an empty
+// switch: does a program with this profile fit the model at all? It is
+// the planner's pre-flight check before any query state is allocated.
+func (m Model) Admits(p Profile) error {
+	pl, err := NewPipeline(m)
+	if err != nil {
+		return err
+	}
+	return pl.CanInstall(p)
+}
+
+// Install admission-checks prog's profile against the remaining resources
+// and, if it fits, packs its logical stages greedily onto the earliest
+// physical stages with spare capacity (§6's concurrent packing: different
+// queries share stages when their combined ALU/SRAM demand fits). The
+// program becomes the handler for flowID.
+func (pl *Pipeline) Install(flowID uint32, prog Program) error {
+	if _, dup := pl.byFlow[flowID]; dup {
+		return fmt.Errorf("switchsim: flow %d already has a program", flowID)
+	}
+	p := prog.Profile()
+	phys, perStageALUs, perStageSRAM, err := pl.placeProfile(p)
+	if err != nil {
+		return err
 	}
 	// Commit.
 	for _, s := range phys {

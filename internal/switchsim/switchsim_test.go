@@ -284,6 +284,51 @@ func TestProfileString(t *testing.T) {
 	}
 }
 
+func TestModelAdmits(t *testing.T) {
+	m := Tofino()
+	if err := m.Admits(Profile{Name: "ok", Stages: 2, ALUs: 4, SRAMBits: 1 << 20}); err != nil {
+		t.Fatalf("small profile rejected: %v", err)
+	}
+	if err := m.Admits(Profile{Name: "fat", Stages: 1, ALUs: m.ALUsPerStage + 1}); err == nil {
+		t.Fatal("per-stage ALU overflow admitted")
+	}
+	if err := m.Admits(Profile{Name: "hog", Stages: 1, ALUs: 1, SRAMBits: m.SRAMPerStageBits + 1}); err == nil {
+		t.Fatal("per-stage SRAM overflow admitted")
+	}
+	usable := (m.Stages - ReservedStages) * m.Recirculation
+	if err := m.Admits(Profile{Name: "long", Stages: usable + 1, ALUs: 1}); err == nil {
+		t.Fatal("over-length profile admitted")
+	}
+	bad := m
+	bad.Stages = 0
+	if err := bad.Admits(Profile{Name: "any", Stages: 1}); err == nil {
+		t.Fatal("invalid model admitted a profile")
+	}
+}
+
+func TestPipelineCanInstallTracksOccupancy(t *testing.T) {
+	m := Tofino()
+	pl, _ := NewPipeline(m)
+	// A profile that fills every usable stage's ALUs.
+	usable := (m.Stages - ReservedStages) * m.Recirculation
+	full := Profile{Name: "full", Stages: usable, ALUs: usable * m.ALUsPerStage}
+	if err := pl.CanInstall(full); err != nil {
+		t.Fatalf("full-pipe profile rejected on empty pipeline: %v", err)
+	}
+	if err := pl.Install(1, prog("occupant", 1, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.CanInstall(full); err == nil {
+		t.Fatal("full-pipe profile admitted on an occupied pipeline")
+	}
+	// CanInstall must not mutate the pipeline: the occupant still owns
+	// exactly one ALU.
+	u := pl.Utilization()
+	if u.ALUsUsed != 1 {
+		t.Fatalf("CanInstall mutated the pipeline: %+v", u)
+	}
+}
+
 func BenchmarkPipelineProcess(b *testing.B) {
 	pl, _ := NewPipeline(Tofino())
 	p := prog("bench", 2, 2, 1024)
