@@ -35,6 +35,7 @@ import (
 	"cheetah/internal/engine"
 	"cheetah/internal/plan"
 	"cheetah/internal/prune"
+	"cheetah/internal/serve"
 	"cheetah/internal/switchsim"
 	"cheetah/internal/table"
 )
@@ -73,6 +74,26 @@ const (
 // for running queries; the free functions below remain for manual
 // control of pruner construction and execution paths.
 func Open(t *Table, opts SessionOptions) (*DB, error) { return plan.Open(t, opts) }
+
+// The concurrent serving layer (§5's multi-query switch sharing): one
+// switch, many clients.
+type (
+	// Serving is a live multi-query serving handle over the session's
+	// switch, opened with DB.Serve. Any number of goroutines may call
+	// Submit concurrently; each query is admitted into the shared
+	// pipeline under its own QueryID, waits FIFO when the switch is
+	// full, and falls back to exact direct execution when it can never
+	// fit (or the queue limit sheds it).
+	Serving = plan.Serving
+	// ServeOptions configures a serving handle (queue limit).
+	ServeOptions = plan.ServeOptions
+	// ServeCounters are the serving layer's cumulative admission
+	// statistics (admitted, waited, oversized, shed, active, queued).
+	ServeCounters = serve.Counters
+	// Utilization summarizes switch pipeline occupancy (also surfaced
+	// per query in Execution.PipelineUtil).
+	Utilization = switchsim.Utilization
+)
 
 // Tables and schemas.
 type (

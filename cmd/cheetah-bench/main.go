@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cheetah-bench [-scale N] [-seeds K] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|all]
+//	cheetah-bench [-scale N] [-seeds K] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|all]
 //
 // Scale divides the paper's dataset sizes (scale=1 reproduces paper
 // scale and takes minutes; the default 50 finishes in seconds). Output
@@ -13,8 +13,13 @@
 // giving future changes a perf trajectory to compare against. The diff
 // target re-measures the same benchmarks and compares entries/s against
 // the committed reference (-baseline-ref), exiting non-zero when any
-// benchmark regresses more than -regress-threshold. Neither is part of
-// "all".
+// benchmark regresses more than -regress-threshold; when the
+// GITHUB_STEP_SUMMARY environment variable points at a writable file
+// (GitHub Actions sets it), the comparison is also appended there as a
+// markdown table. The serve target drives the multi-tenant mixed
+// workload through the concurrent serving layer at 1/8/64 clients and
+// reports aggregate entries/s and p50/p99 latency. None of the three is
+// part of "all".
 package main
 
 import (
@@ -26,6 +31,19 @@ import (
 
 	"cheetah/internal/bench"
 )
+
+// appendFile appends content to path, creating it if needed.
+func appendFile(path, content string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(content); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	scale := flag.Int("scale", 50, "divide paper dataset sizes by this factor (1 = paper scale)")
@@ -52,6 +70,7 @@ func main() {
 		"fig9":   func() error { _, err := bench.Fig9(os.Stdout, o); return err },
 		"fig10":  func() error { _, err := bench.Fig10(os.Stdout, o); return err },
 		"fig11":  func() error { _, err := bench.Fig11(os.Stdout, o); return err },
+		"serve":  func() error { return bench.Serve(os.Stdout, o) },
 		"baseline": func() error {
 			// Measure first, write after: a failed run must not clobber
 			// an existing baseline file.
@@ -84,6 +103,14 @@ func main() {
 			if err := json.Unmarshal(buf.Bytes(), &cur); err != nil {
 				return err
 			}
+			if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" {
+				md, _ := bench.DiffMarkdown(ref, cur, *regressThreshold)
+				if err := appendFile(summary, md); err != nil {
+					fmt.Fprintf(os.Stderr, "warning: step summary %s: %v\n", summary, err)
+				} else {
+					fmt.Println("bench diff appended to step summary")
+				}
+			}
 			if regressed := bench.Diff(os.Stdout, ref, cur, *regressThreshold); len(regressed) > 0 {
 				return fmt.Errorf("%d benchmark(s) regressed >%.0f%% vs %s: %v",
 					len(regressed), 100**regressThreshold, *baselineRef, regressed)
@@ -106,7 +133,7 @@ func main() {
 		}
 		f, ok := run[t]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, or diff)\n", t, order)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, serve, or diff)\n", t, order)
 			os.Exit(2)
 		}
 		if err := f(); err != nil {

@@ -1,13 +1,18 @@
-// Command multiquery demonstrates §6: packing several query programs
-// onto one switch pipeline concurrently. Each program comes out of the
-// session planner (which sizes it to fit the model); the pipeline's
-// admission control then packs them onto shared stages and the example
-// prints the occupancy map.
+// Command multiquery demonstrates §5/§6: packing several query programs
+// onto one switch pipeline concurrently. The first half does it by hand
+// — each program comes out of the session planner (which sizes it to
+// fit the model); the pipeline's admission control packs them onto
+// shared stages and the example prints the occupancy map. The second
+// half lets the serving layer do the same for real executions: four
+// goroutine clients Submit through one db.Serve handle and the switch
+// multiplexes their traffic by QueryID.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"cheetah"
 	"cheetah/internal/prune"
@@ -71,4 +76,40 @@ func main() {
 		fmt.Printf("flow %d %-14s processed=%d pruned=%d (%.1f%%)\n",
 			i+1, p.Name(), st.Processed, st.Pruned, 100*st.PruneRate())
 	}
+
+	// The serving layer automates all of the above for live traffic:
+	// db.Serve owns the shared pipeline, and concurrent Submit calls
+	// are admitted (FIFO when full), multiplexed by QueryID, executed
+	// end-to-end and uninstalled on completion.
+	fmt.Println("\n--- concurrent clients via db.Serve ---")
+	ctx := context.Background()
+	sv, err := db.Serve(ctx, cheetah.ServeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sv.Close()
+	var wg sync.WaitGroup
+	results := make([]string, len(builders))
+	for i, b := range builders {
+		q, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, q *cheetah.Query) {
+			defer wg.Done()
+			ex, err := sv.Submit(ctx, q)
+			if err != nil {
+				results[i] = fmt.Sprintf("client %d: %v", i, err)
+				return
+			}
+			results[i] = fmt.Sprintf("client %d: %-12s query %d → %5d rows, %5.1f%% pruned",
+				i, ex.Plan.Query.Kind, ex.QueryID, len(ex.Result.Rows), 100*ex.Stats.PruneRate())
+		}(i, q)
+	}
+	wg.Wait()
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	fmt.Printf("serving stats: %+v\n", sv.Stats())
 }

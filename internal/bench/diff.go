@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 )
 
 // LoadBaseline reads a BENCH_baseline.json produced by Baseline.
@@ -20,41 +22,122 @@ func LoadBaseline(path string) (BaselineReport, error) {
 	return r, nil
 }
 
-// Diff compares the current measurements against a reference baseline
-// and writes a per-benchmark table. A benchmark regresses when its
+// diffRow is one benchmark's comparison against the reference baseline.
+type diffRow struct {
+	key      string
+	ref, cur float64 // entries/s; < 0 when the side has no measurement
+	delta    float64 // cur/ref - 1
+	status   string  // "", "REGRESSED", "new", "missing"
+}
+
+// diffRows compares cur against ref. A benchmark regresses when its
 // entries/s falls more than threshold (a fraction, e.g. 0.15) below the
-// reference; the returned slice names every regressed benchmark. Missing
-// counterparts are reported but never count as regressions (baselines
-// predate newly added benchmarks).
-func Diff(w io.Writer, ref, cur BaselineReport, threshold float64) []string {
+// reference. Missing counterparts are reported but never count as
+// regressions (baselines predate newly added benchmarks).
+func diffRows(ref, cur BaselineReport, threshold float64) []diffRow {
 	key := func(e BaselineEntry) string { return e.Name + "/" + e.Path }
 	refBy := make(map[string]BaselineEntry, len(ref.Benchmarks))
 	for _, e := range ref.Benchmarks {
 		refBy[key(e)] = e
 	}
-	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "benchmark", "ref entries/s", "cur entries/s", "delta")
-	var regressed []string
+	var rows []diffRow
 	for _, e := range cur.Benchmarks {
 		r, ok := refBy[key(e)]
 		if !ok {
-			fmt.Fprintf(w, "%-28s %14s %14.0f %8s\n", key(e), "-", e.EntriesPerSec, "new")
+			rows = append(rows, diffRow{key: key(e), ref: -1, cur: e.EntriesPerSec, status: "new"})
 			continue
 		}
 		delta := 0.0
 		if r.EntriesPerSec > 0 {
 			delta = e.EntriesPerSec/r.EntriesPerSec - 1
 		}
-		mark := ""
+		row := diffRow{key: key(e), ref: r.EntriesPerSec, cur: e.EntriesPerSec, delta: delta}
 		if delta < -threshold {
-			mark = "  REGRESSED"
-			regressed = append(regressed, key(e))
+			row.status = "REGRESSED"
 		}
-		fmt.Fprintf(w, "%-28s %14.0f %14.0f %+7.1f%%%s\n",
-			key(e), r.EntriesPerSec, e.EntriesPerSec, 100*delta, mark)
+		rows = append(rows, row)
 		delete(refBy, key(e))
 	}
+	onlyRef := make([]string, 0, len(refBy))
 	for k := range refBy {
-		fmt.Fprintf(w, "%-28s %14.0f %14s %8s\n", k, refBy[k].EntriesPerSec, "-", "missing")
+		onlyRef = append(onlyRef, k)
 	}
-	return regressed
+	sort.Strings(onlyRef)
+	for _, k := range onlyRef {
+		rows = append(rows, diffRow{key: k, ref: refBy[k].EntriesPerSec, cur: -1, status: "missing"})
+	}
+	return rows
+}
+
+// regressions filters the regressed benchmark names out of rows.
+func regressions(rows []diffRow) []string {
+	var out []string
+	for _, r := range rows {
+		if r.status == "REGRESSED" {
+			out = append(out, r.key)
+		}
+	}
+	return out
+}
+
+// Diff compares the current measurements against a reference baseline
+// and writes a per-benchmark text table; the returned slice names every
+// regressed benchmark.
+func Diff(w io.Writer, ref, cur BaselineReport, threshold float64) []string {
+	rows := diffRows(ref, cur, threshold)
+	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "benchmark", "ref entries/s", "cur entries/s", "delta")
+	for _, r := range rows {
+		switch r.status {
+		case "new":
+			fmt.Fprintf(w, "%-28s %14s %14.0f %8s\n", r.key, "-", r.cur, "new")
+		case "missing":
+			fmt.Fprintf(w, "%-28s %14.0f %14s %8s\n", r.key, r.ref, "-", "missing")
+		default:
+			mark := ""
+			if r.status == "REGRESSED" {
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(w, "%-28s %14.0f %14.0f %+7.1f%%%s\n",
+				r.key, r.ref, r.cur, 100*r.delta, mark)
+		}
+	}
+	return regressions(rows)
+}
+
+// DiffMarkdown renders the same comparison as Diff as a GitHub-flavored
+// markdown table — the shape CI writes to the step summary — and returns
+// the regressed benchmark names.
+func DiffMarkdown(ref, cur BaselineReport, threshold float64) (string, []string) {
+	rows := diffRows(ref, cur, threshold)
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Bench diff vs committed baseline (threshold %.0f%%)\n\n", 100*threshold)
+	b.WriteString("| benchmark | ref entries/s | cur entries/s | delta | status |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		refCell, curCell, deltaCell, status := "–", "–", "–", "ok"
+		if r.ref >= 0 {
+			refCell = fmt.Sprintf("%.0f", r.ref)
+		}
+		if r.cur >= 0 {
+			curCell = fmt.Sprintf("%.0f", r.cur)
+		}
+		if r.ref >= 0 && r.cur >= 0 {
+			deltaCell = fmt.Sprintf("%+.1f%%", 100*r.delta)
+		}
+		switch r.status {
+		case "REGRESSED":
+			status = "⚠️ regressed"
+		case "new", "missing":
+			status = r.status
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", r.key, refCell, curCell, deltaCell, status)
+	}
+	reg := regressions(rows)
+	if len(reg) == 0 {
+		fmt.Fprintf(&b, "\nNo regressions beyond %.0f%%.\n", 100*threshold)
+	} else {
+		fmt.Fprintf(&b, "\n**%d benchmark(s) regressed beyond %.0f%%.** CI hardware differs from the"+
+			" baseline machine; re-measure locally before treating this as real.\n", len(reg), 100*threshold)
+	}
+	return b.String(), reg
 }

@@ -1,0 +1,160 @@
+package bench
+
+// The serve target measures the serving layer end to end: a fixed
+// multi-tenant workload (the internal/workload mix cycling over all
+// eight query kinds) is driven open-loop — Poisson arrivals — into a
+// shared Serving handle at 1, 8 and 64 concurrent clients, and each
+// level reports aggregate pruning throughput (entries/s over the wall
+// clock) and per-query p50/p99 latency including admission queueing.
+// The speedup column compares each level against the 1-client row, i.e.
+// the same mixed workload run as sequential single-query executions —
+// the serving layer's reason to exist.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cheetah/internal/plan"
+	"cheetah/internal/stats"
+	"cheetah/internal/workload/multitenant"
+)
+
+// serveQueries is the mixed-workload length per concurrency level:
+// eight full cycles over the eight query kinds.
+const serveQueries = 8 * multitenant.NumKinds
+
+// serveLambda is the open-loop arrival rate (queries/s). It is chosen
+// high enough that arrivals never starve the clients at bench scale —
+// the measurement is queueing + service, not the arrival process.
+const serveLambda = 400.0
+
+// serveLevel is one concurrency level's measurement.
+type serveLevel struct {
+	clients   int
+	wall      time.Duration
+	entries   int       // total worker→switch entries across all queries
+	latencies []float64 // per-query ms, admission wait included
+	fallbacks int       // queries that ran direct (shed or unservable)
+}
+
+// runServeLevel drives the mixed workload through one Serving handle at
+// the given client count.
+func runServeLevel(db *plan.Session, mix *multitenant.Mix, clients int, seed uint64) (*serveLevel, error) {
+	sv, err := db.Serve(context.Background(), plan.ServeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer sv.Close()
+
+	arrivals := multitenant.PoissonArrivals(serveQueries, serveLambda, seed)
+	jobs := make(chan int, serveQueries)
+	start := time.Now()
+	go func() {
+		for i := 0; i < serveQueries; i++ {
+			if d := time.Until(start.Add(arrivals[i])); d > 0 {
+				time.Sleep(d)
+			}
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	lv := &serveLevel{clients: clients, latencies: make([]float64, 0, serveQueries)}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := mix.Query(i)
+				t0 := time.Now()
+				ex, err := sv.Submit(context.Background(), q)
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("query %d (%s): %w", i, q.Kind, err)
+					}
+				} else {
+					lv.latencies = append(lv.latencies, lat)
+					lv.entries += ex.Traffic.EntriesSent
+					if ex.Plan.Mode == plan.ModeDirect {
+						lv.fallbacks++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	lv.wall = time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return lv, nil
+}
+
+// entriesPerSec is the level's aggregate pruning throughput.
+func (lv *serveLevel) entriesPerSec() float64 {
+	if lv.wall <= 0 {
+		return 0
+	}
+	return float64(lv.entries) / lv.wall.Seconds()
+}
+
+// Serve runs the multi-tenant serving benchmark and renders one row per
+// concurrency level.
+func Serve(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	uvRows := userVisitsRows / o.Scale
+	if uvRows < 2000 {
+		uvRows = 2000
+	}
+	rankRows := rankingsRows / o.Scale
+	if rankRows < 1000 {
+		rankRows = 1000
+	}
+	mix, err := multitenant.NewMix(multitenant.MixConfig{
+		VisitRows: uvRows, RankRows: rankRows, Seed: o.BaseSeed,
+	})
+	if err != nil {
+		return err
+	}
+	// One worker per session: cross-query concurrency, not intra-query
+	// encode parallelism, is what this benchmark isolates.
+	db, err := plan.Open(mix.Visits, plan.Options{Workers: 1, Seed: o.BaseSeed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "serving: %d-query mixed workload (%d kinds), visits=%d rows, rankings=%d rows, switch=%s\n",
+		serveQueries, multitenant.NumKinds, uvRows, rankRows, db.Model().Name)
+	fmt.Fprintf(w, "%-8s %-8s %16s %10s %10s %9s %10s\n",
+		"clients", "queries", "agg entries/s", "p50 ms", "p99 ms", "speedup", "fallbacks")
+
+	var base float64
+	for _, clients := range []int{1, 8, 64} {
+		lv, err := runServeLevel(db, mix, clients, o.BaseSeed+uint64(clients))
+		if err != nil {
+			return err
+		}
+		eps := lv.entriesPerSec()
+		if clients == 1 {
+			base = eps
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = eps / base
+		}
+		fmt.Fprintf(w, "%-8d %-8d %16.3g %10.2f %10.2f %8.2fx %10d\n",
+			clients, len(lv.latencies), eps,
+			stats.Percentile(lv.latencies, 50), stats.Percentile(lv.latencies, 99),
+			speedup, lv.fallbacks)
+	}
+	return nil
+}

@@ -30,7 +30,16 @@ type Config struct {
 	// RTO overrides the protocol retransmission timeout.
 	RTO time.Duration
 	// Model is the switch hardware model (zero value selects Tofino).
+	// Ignored when Pipeline is set.
 	Model switchsim.Model
+	// Pipeline, when non-nil, is a shared switch pipeline the run
+	// installs its program into (and uninstalls from on every exit path)
+	// instead of building a dedicated one — the serving layer's reuse
+	// path. Other queries' programs stay untouched.
+	Pipeline *switchsim.Pipeline
+	// FlowID is the query id the program installs under (default 1).
+	// With a shared Pipeline it must be unused.
+	FlowID uint32
 }
 
 // Report summarizes a run's protocol-level behaviour.
@@ -41,20 +50,22 @@ type Report struct {
 	Retransmissions uint64
 	DroppedGaps     uint64
 	PrunerName      string
+	// Util is the pipeline occupancy right after the query's program was
+	// installed (per-query utilization accounting).
+	Util switchsim.Utilization
 }
 
-// flowMux routes every registered flow to one shared pruning program,
-// the way one installed query serves all worker ports.
-type flowMux struct {
-	mu     sync.Mutex
-	pruner prune.Pruner
+// queryFlow routes every worker's transport flow to one query's program
+// in the pipeline, the way the Cheetah header's query id selects the
+// query's register partition regardless of ingress port (§5).
+type queryFlow struct {
+	pipe   *switchsim.Pipeline
+	flowID uint32
 }
 
 // Process implements transport.Dataplane.
-func (m *flowMux) Process(_ uint32, vals []uint64) switchsim.Decision {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.pruner.Process(vals)
+func (f queryFlow) Process(_ uint32, vals []uint64) switchsim.Decision {
+	return f.pipe.Process(f.flowID, vals)
 }
 
 // Run executes a single-pass query end-to-end over the simulated
@@ -74,11 +85,32 @@ func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Rep
 		}
 		pruner = p
 	}
-	// Admission-check the program against the hardware model before
-	// going anywhere near the network — the control-plane step of §3.
-	if err := cfg.Model.Admits(pruner.Profile()); err != nil {
+	// Install into the pipeline before going anywhere near the network —
+	// the control-plane admission step of §3. The deferred uninstall
+	// covers every exit path, so an early error (encode failure, a
+	// mis-wired transport) cannot leave the program behind and poison a
+	// shared pipeline for the queries after it.
+	pipe := cfg.Pipeline
+	if pipe == nil {
+		pl, err := switchsim.NewPipeline(cfg.Model)
+		if err != nil {
+			return nil, nil, err
+		}
+		pipe = pl
+	}
+	flowID := cfg.FlowID
+	if flowID == 0 {
+		flowID = 1
+	}
+	if err := pipe.Install(flowID, pruner); err != nil {
 		return nil, nil, fmt.Errorf("cluster: query does not fit the switch: %w", err)
 	}
+	defer func() {
+		if err := pipe.Uninstall(flowID); err != nil {
+			panic(fmt.Sprintf("cluster: uninstall flow %d: %v", flowID, err))
+		}
+	}()
+	util := pipe.Utilization()
 
 	entries, err := engine.EncodeEntries(q, cfg.Workers, cfg.Seed)
 	if err != nil {
@@ -88,8 +120,7 @@ func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Rep
 	net := netsim.New(cfg.Seed)
 	swEp := net.Endpoint("switch", 1<<16)
 	maEp := net.Endpoint("master", 1<<16)
-	mux := &flowMux{pruner: pruner}
-	sw, err := transport.NewSwitch(swEp, "master", mux)
+	sw, err := transport.NewSwitch(swEp, "master", queryFlow{pipe: pipe, flowID: flowID})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -204,6 +235,7 @@ func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Rep
 		Delivered:   sw.ForwardedOK + sw.ForwardedRetransmit,
 		DroppedGaps: sw.DroppedGap,
 		PrunerName:  pruner.Name(),
+		Util:        util,
 	}
 	for _, w := range workers {
 		report.Retransmissions += w.Retransmissions

@@ -6,6 +6,7 @@ import (
 
 	"cheetah/internal/engine"
 	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
 	"cheetah/internal/workload"
 )
 
@@ -155,5 +156,60 @@ func TestClusterRejectsOversizedProgram(t *testing.T) {
 	}
 	if _, _, err := Run(q, p, Config{Workers: 1}); err == nil {
 		t.Fatal("oversized program admitted")
+	}
+}
+
+// TestRunUninstallsOnEarlyError pins the shared-pipeline contract: a run
+// that fails after its program was installed (here: a multi-pass kind
+// the single-pass encoder rejects) must uninstall on the way out, so a
+// failed query cannot poison a shared pipeline for the ones after it.
+func TestRunUninstallsOnEarlyError(t *testing.T) {
+	pl, err := switchsim.NewPipeline(switchsim.Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{Kind: engine.KindHaving, Table: uv,
+		KeyCol: "languageCode", AggCol: "duration", Threshold: 10}
+	h, err := prune.NewHaving(prune.DefaultHavingConfig(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(q, h, Config{Workers: 2, Pipeline: pl, FlowID: 7}); err == nil {
+		t.Fatal("multi-pass kind accepted")
+	}
+	if u := pl.Utilization(); u.StagesUsed != 0 || u.ALUsUsed != 0 {
+		t.Fatalf("failed run leaked its program: %v", u)
+	}
+}
+
+// TestRunSharedPipelineCleanExit checks the success path over a shared
+// pipeline: the query runs against its own flow, reports the occupancy
+// it saw, and leaves the pipeline empty for the next tenant.
+func TestRunSharedPipelineCleanExit(t *testing.T) {
+	pl, err := switchsim.NewPipeline(switchsim.Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := distinctQuery(t, 1000, 11)
+	want, err := engine.ExecDirect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := Run(q, nil, Config{Workers: 3, Seed: 5, Pipeline: pl, FlowID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res) {
+		t.Fatal("shared-pipeline run diverges from direct")
+	}
+	if rep.Util.StagesUsed == 0 {
+		t.Fatalf("report missing per-query utilization: %v", rep.Util)
+	}
+	if u := pl.Utilization(); u.StagesUsed != 0 {
+		t.Fatalf("successful run left its program installed: %v", u)
 	}
 }

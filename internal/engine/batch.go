@@ -104,14 +104,16 @@ type batchSink func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64)
 // non-nil) at positions pos0, pos0+stride, pos0+2·stride, … .
 type partEncoder func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int)
 
-// batchPass streams the n rows of a table through prog in the exact
-// arrival order of interleave: workers encode their partitions
+// batchPass streams the n rows of a table through the dataplane in the
+// exact arrival order of interleave: workers encode their partitions
 // concurrently, scattering values into the merged round-robin stream;
-// each chunk is then processed (when prog is non-nil) and handed to
-// sink. pre, when non-nil, sees each encoded chunk before the program
-// runs — needed by emitters that rewrite packets in place.
+// each chunk is then processed (when dp is non-nil) and handed to
+// sink. dp is a flow-scoped handle — the execution's own program on the
+// exclusive path, the shared pipeline's per-flow mux when serving. pre,
+// when non-nil, sees each encoded chunk before the program runs —
+// needed by emitters that rewrite packets in place.
 func batchPass(n, workers, width int, needIDs bool, buf *streamBuf, enc partEncoder,
-	prog switchsim.Program, pre func(*switchsim.Batch, []uint64), sink batchSink) {
+	dp BatchDataplane, pre func(*switchsim.Batch, []uint64), sink batchSink) {
 	if n == 0 {
 		return
 	}
@@ -190,8 +192,8 @@ func batchPass(n, workers, width int, needIDs bool, buf *streamBuf, enc partEnco
 			buf.dec = make([]switchsim.Decision, m)
 		}
 		dec := buf.dec[:m]
-		if prog != nil {
-			switchsim.ProcessBatchOf(prog, b, dec)
+		if dp != nil {
+			dp.ProcessBatch(b, dec)
 		}
 		sink(b, dec, ids)
 		if last {
@@ -551,6 +553,7 @@ func batchFilter(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		}
 	}
 	br := newBatchRun(pruner)
+	dp := opts.dataplaneFor(pruner)
 	// With the engine's own default pruner, every survivor passed the
 	// full switch formula (precomputed bits included) — the same formula
 	// the master would re-check — so the completion materializes rows
@@ -560,7 +563,7 @@ func batchFilter(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	trusted := opts.Pruner == nil
 	if !trusted {
 		sv := survivorSet{remaining: q.Table.NumRows()}
-		batchPass(q.Table.NumRows(), opts.Workers, len(cols), true, br.buf, encFilter(q, cols), pruner, nil,
+		batchPass(q.Table.NumRows(), opts.Workers, len(cols), true, br.buf, encFilter(q, cols), dp, nil,
 			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 				br.run.Traffic.EntriesSent += b.N
 				fwd := br.buf.compactForwarded(ids, dec, b.N)
@@ -578,7 +581,7 @@ func batchFilter(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		// COUNT(*) needs no row ids at all: the forward count is the
 		// answer.
 		count := 0
-		batchPass(q.Table.NumRows(), opts.Workers, len(cols), false, br.buf, encFilter(q, cols), pruner, nil,
+		batchPass(q.Table.NumRows(), opts.Workers, len(cols), false, br.buf, encFilter(q, cols), dp, nil,
 			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
 				br.run.Traffic.EntriesSent += b.N
 				n := b.N
@@ -592,7 +595,7 @@ func batchFilter(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		return br.finish(pruner, res, count), nil
 	}
 	sv := survivorSet{remaining: q.Table.NumRows()}
-	batchPass(q.Table.NumRows(), opts.Workers, len(cols), true, br.buf, encFilter(q, cols), pruner, nil,
+	batchPass(q.Table.NumRows(), opts.Workers, len(cols), true, br.buf, encFilter(q, cols), dp, nil,
 		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 			br.run.Traffic.EntriesSent += b.N
 			fwd := br.buf.compactForwarded(ids, dec, b.N)
@@ -640,13 +643,14 @@ func batchDistinct(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		cols[i] = q.Table.Schema().MustIndex(c)
 	}
 	br := newBatchRun(pruner)
+	dp := opts.dataplaneFor(pruner)
 	// Fused master-side dedup: survivors dedupe on the worker-computed
 	// fingerprint in stream order, so only first-seen rows materialize.
 	ds := distinctScratchPool.Get().(*distinctScratch)
 	clear(ds.seen)
 	ds.uniqueRows = ds.uniqueRows[:0]
 	forwarded := 0
-	batchPass(q.Table.NumRows(), opts.Workers, 1, true, br.buf, encFingerprint(q.Table, cols, opts.Seed), pruner, nil,
+	batchPass(q.Table.NumRows(), opts.Workers, 1, true, br.buf, encFingerprint(q.Table, cols, opts.Seed), dp, nil,
 		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 			br.run.Traffic.EntriesSent += b.N
 			fps := b.Cols[0]
@@ -697,11 +701,12 @@ func batchTopN(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	}
 	col := q.Table.Schema().MustIndex(q.OrderCol)
 	br := newBatchRun(pruner)
+	dp := opts.dataplaneFor(pruner)
 	// Fused completion: forwarded values feed the master's N-heap
 	// directly from the stream buffer; no survivor list materializes.
 	h := make(int64Heap, 0, q.N)
 	forwarded := 0
-	batchPass(q.Table.NumRows(), opts.Workers, 1, false, br.buf, encInt64(q.Table, col), pruner, nil,
+	batchPass(q.Table.NumRows(), opts.Workers, 1, false, br.buf, encInt64(q.Table, col), dp, nil,
 		func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
 			br.run.Traffic.EntriesSent += b.N
 			fwd := br.buf.compactForwarded(b.Cols[0], dec, b.N)
@@ -740,13 +745,14 @@ func batchGroupByMax(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	kc := q.Table.Schema().MustIndex(q.KeyCol)
 	vc := q.Table.Schema().MustIndex(q.AggCol)
 	br := newBatchRun(pruner)
+	dp := opts.dataplaneFor(pruner)
 	// Fingerprint-keyed master aggregation with one representative row
 	// per key for late materialization of the key string.
 	keyIdx := make(map[uint64]int, 1024)
 	var maxs []int64
 	var reps []int
 	forwarded := 0
-	batchPass(q.Table.NumRows(), opts.Workers, 2, true, br.buf, encKeyVal(q.Table, kc, vc, opts.Seed), pruner, nil,
+	batchPass(q.Table.NumRows(), opts.Workers, 2, true, br.buf, encKeyVal(q.Table, kc, vc, opts.Seed), dp, nil,
 		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 			br.run.Traffic.EntriesSent += b.N
 			fps, vals := b.Cols[0], b.Cols[1]
@@ -796,9 +802,10 @@ func batchGroupBySum(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	kc := q.Table.Schema().MustIndex(q.KeyCol)
 	vc := q.Table.Schema().MustIndex(q.AggCol)
 	br := newBatchRun(pruner)
+	dp := opts.dataplaneFor(pruner)
 	sums := map[uint64]int64{}
 	fpToKey := map[uint64]string{}
-	batchPass(q.Table.NumRows(), opts.Workers, 2, true, br.buf, encKeyVal(q.Table, kc, vc, opts.Seed), pruner,
+	batchPass(q.Table.NumRows(), opts.Workers, 2, true, br.buf, encKeyVal(q.Table, kc, vc, opts.Seed), dp,
 		func(b *switchsim.Batch, ids []uint64) {
 			// The key dictionary must be read before the program rewrites
 			// forwarded slots with evicted aggregates.
@@ -851,11 +858,12 @@ func batchHaving(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	kc := q.Table.Schema().MustIndex(q.KeyCol)
 	vc := q.Table.Schema().MustIndex(q.AggCol)
 	br := newBatchRun(pruner)
+	dp := opts.dataplaneFor(pruner)
 	enc := encKeyVal(q.Table, kc, vc, opts.Seed)
 	// Pass 1: stream through the sketch, collecting candidate key
 	// fingerprints.
 	candidates := map[uint64]bool{}
-	batchPass(q.Table.NumRows(), opts.Workers, 2, false, br.buf, enc, pruner, nil,
+	batchPass(q.Table.NumRows(), opts.Workers, 2, false, br.buf, enc, dp, nil,
 		func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
 			br.run.Traffic.EntriesSent += b.N
 			fps := b.Cols[0]
@@ -908,11 +916,12 @@ func batchJoin(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	lc := q.Table.Schema().MustIndex(q.LeftKey)
 	rc := q.Right.Schema().MustIndex(q.RightKey)
 	br := newBatchRun(pruner)
+	dp := opts.dataplaneFor(pruner)
 	encA := encSide(q.Table, lc, prune.SideA, opts.Seed)
 	encB := encSide(q.Right, rc, prune.SideB, opts.Seed)
 
 	pass := func(t *table.Table, enc partEncoder, sv *survivorSet) {
-		batchPass(t.NumRows(), opts.Workers, 2, sv != nil, br.buf, enc, pruner, nil,
+		batchPass(t.NumRows(), opts.Workers, 2, sv != nil, br.buf, enc, dp, nil,
 			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 				br.run.Traffic.EntriesSent += b.N
 				if sv == nil {
@@ -979,8 +988,9 @@ func batchSkyline(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 		cols[i] = q.Table.Schema().MustIndex(c)
 	}
 	br := newBatchRun(pruner)
+	dp := opts.dataplaneFor(pruner)
 	sv := survivorSet{remaining: q.Table.NumRows()}
-	batchPass(q.Table.NumRows(), opts.Workers, len(cols)+1, false, br.buf, encCols64(q.Table, cols), pruner, nil,
+	batchPass(q.Table.NumRows(), opts.Workers, len(cols)+1, false, br.buf, encCols64(q.Table, cols), dp, nil,
 		func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
 			br.run.Traffic.EntriesSent += b.N
 			// The entry id is a real header value (the last column).

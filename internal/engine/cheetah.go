@@ -25,6 +25,39 @@ type CheetahOptions struct {
 	// columnar pipeline (batch.go); the scalar path is kept frozen as
 	// the equivalence-test reference and benchmark baseline.
 	Scalar bool
+	// Flow, when non-nil, processes batches through a shared switch
+	// pipeline under the query's assigned QueryID instead of invoking
+	// Pruner directly — the serving layer's multiplexed dataplane, where
+	// the execution no longer owns the pipeline. Pruner must be the very
+	// program installed for that flow: control-plane operations (probe
+	// switchover, end-of-stream drains) still address it directly.
+	// Batched path only; combining Flow with Scalar is an error.
+	Flow BatchDataplane
+}
+
+// BatchDataplane processes one batch of entries for an already-admitted
+// query flow. serve.Lease implements it by routing through the shared
+// pipeline's per-flow program table; the engine's default implementation
+// simply runs the execution's own pruner.
+type BatchDataplane interface {
+	ProcessBatch(b *switchsim.Batch, decisions []switchsim.Decision)
+}
+
+// progDataplane is the exclusive-ownership default: batches run straight
+// on the query's program.
+type progDataplane struct{ prog switchsim.Program }
+
+func (d progDataplane) ProcessBatch(b *switchsim.Batch, decisions []switchsim.Decision) {
+	switchsim.ProcessBatchOf(d.prog, b, decisions)
+}
+
+// dataplaneFor resolves the batch dataplane of one execution: the
+// caller's flow-scoped handle when serving, the pruner itself otherwise.
+func (o CheetahOptions) dataplaneFor(pruner prune.Pruner) BatchDataplane {
+	if o.Flow != nil {
+		return o.Flow
+	}
+	return progDataplane{prog: pruner}
 }
 
 // Traffic counts the data movement of one Cheetah execution; the cost
@@ -73,6 +106,9 @@ func ExecCheetah(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	}
 	if !opts.Scalar {
 		return execCheetahBatch(q, opts)
+	}
+	if opts.Flow != nil {
+		return nil, fmt.Errorf("engine: a flow-scoped dataplane requires the batched path, not Scalar")
 	}
 	switch q.Kind {
 	case KindFilter:

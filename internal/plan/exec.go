@@ -8,6 +8,7 @@ import (
 	"cheetah/internal/cluster"
 	"cheetah/internal/engine"
 	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
 )
 
 // Execution is the unified report of one Exec call: the result, the plan
@@ -25,6 +26,13 @@ type Execution struct {
 	Stats prune.Stats
 	// ClusterReport is non-nil only for ModeCluster.
 	ClusterReport *cluster.Report
+	// QueryID is the flow id the serving layer assigned this execution
+	// (the §5 Cheetah-header query id); 0 outside a Serving handle.
+	QueryID uint32
+	// PipelineUtil is the switch occupancy attributed to this query: the
+	// shared pipeline's snapshot at admission under a Serving handle, a
+	// dedicated pipeline's occupancy otherwise. Zero for ModeDirect.
+	PipelineUtil switchsim.Utilization
 	// Estimate is the modelled completion time of the path that ran.
 	Estimate engine.Breakdown
 	// SparkEstimate is the modelled completion time of the Spark-style
@@ -54,6 +62,12 @@ func (e *Execution) Explain() string {
 		fmt.Fprintf(&b, "mode:    %s (%d workers, switch %s)\n", p.Mode, p.Workers, p.Model.Name)
 		fmt.Fprintf(&b, "pruner:  %s (%s guarantee) — %s\n", p.PrunerName, p.Guarantee, p.Reason)
 		fmt.Fprintf(&b, "switch:  %s\n", p.Profile)
+		if e.QueryID != 0 {
+			fmt.Fprintf(&b, "queryid: %d (shared pipeline)\n", e.QueryID)
+		}
+		if e.PipelineUtil.StagesTotal != 0 {
+			fmt.Fprintf(&b, "util:    %s\n", e.PipelineUtil)
+		}
 		fmt.Fprintf(&b, "traffic: sent=%d forwarded=%d pruned=%.2f%%\n",
 			e.Traffic.EntriesSent, e.Traffic.Forwarded, 100*e.Stats.PruneRate())
 	}
@@ -106,6 +120,7 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 		if err != nil {
 			return nil, err
 		}
+		ex.PipelineUtil = dedicatedUtil(p.Model, pruner)
 		run, err := engine.ExecCheetah(q, engine.CheetahOptions{
 			Workers: p.Workers, Pruner: pruner, Seed: p.Seed,
 		})
@@ -133,6 +148,7 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 		}
 		ex.Result = res
 		ex.ClusterReport = rep
+		ex.PipelineUtil = rep.Util
 		ex.Stats = pruner.Stats()
 		ex.Traffic = engine.Traffic{
 			EntriesSent:     rep.EntriesSent,
@@ -145,6 +161,20 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 	}
 	ex.SparkEstimate = s.sparkEstimate(q, len(ex.Result.Rows))
 	return ex, nil
+}
+
+// dedicatedUtil models the pipeline occupancy of an exclusively-owned
+// switch running just this query's program — the non-serving executions'
+// per-query utilization report.
+func dedicatedUtil(m switchsim.Model, prog switchsim.Program) switchsim.Utilization {
+	pl, err := switchsim.NewPipeline(m)
+	if err != nil {
+		return switchsim.Utilization{}
+	}
+	if err := pl.Install(1, prog); err != nil {
+		return switchsim.Utilization{}
+	}
+	return pl.Utilization()
 }
 
 // queryRows counts the rows a query touches across its input tables.

@@ -1,0 +1,132 @@
+package plan
+
+// This file is the session API's serving front door: Session.Serve opens
+// the session's switch for many concurrent clients, and Serving.Submit
+// plans + admits + executes one query through the shared pipeline. It is
+// the layer between the fluent builder (one query at a time) and
+// internal/serve (admission and QueryID multiplexing): Submit reuses the
+// planner unchanged, then swaps the execution's exclusive pipeline
+// ownership for a flow-scoped lease.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/serve"
+	"cheetah/internal/switchsim"
+)
+
+// ServeOptions configures a serving handle.
+type ServeOptions struct {
+	// QueueLimit caps the admission wait queue (0 = unbounded). Queries
+	// arriving past the cap fall back to exact direct execution instead
+	// of queueing — load shedding, not an error.
+	QueueLimit int
+}
+
+// Serving is a live multi-query serving handle over the session's
+// switch. Any number of goroutines may call Submit concurrently: each
+// submitted query is planned as usual, admitted into the shared pipeline
+// under its own QueryID (waiting FIFO when the switch is full), executed
+// through its flow-scoped dataplane handle, and uninstalled on
+// completion. Queries the switch can never host — and queries shed by
+// the queue limit — run as exact direct executions, mirroring the
+// planner's fallback semantics.
+type Serving struct {
+	s   *Session
+	srv *serve.Server
+}
+
+// Serve opens the session's switch for concurrent serving. The handle
+// closes when ctx is done (or on Close); active queries finish, queued
+// admissions fail over to direct execution.
+func (s *Session) Serve(ctx context.Context, opts ServeOptions) (*Serving, error) {
+	srv, err := serve.New(serve.Options{Model: s.opts.Model, QueueLimit: opts.QueueLimit})
+	if err != nil {
+		return nil, err
+	}
+	sv := &Serving{s: s, srv: srv}
+	if ctx != nil {
+		context.AfterFunc(ctx, sv.Close)
+	}
+	return sv, nil
+}
+
+// Session returns the serving handle's session.
+func (sv *Serving) Session() *Session { return sv.s }
+
+// Stats returns the serving layer's cumulative admission counters.
+func (sv *Serving) Stats() serve.Counters { return sv.srv.Stats() }
+
+// Utilization reports the shared pipeline's current occupancy.
+func (sv *Serving) Utilization() switchsim.Utilization { return sv.srv.Utilization() }
+
+// Close shuts the serving layer down: queued admissions and future
+// Submits fall back to direct execution. Idempotent.
+func (sv *Serving) Close() { sv.srv.Close() }
+
+// Submit plans and executes q through the shared switch. It blocks while
+// the pipeline is full (FIFO admission) unless the query is oversized or
+// shed, in which case it runs direct. Concurrent Submit calls multiplex
+// their batches through per-query programs selected by QueryID.
+func (sv *Serving) Submit(ctx context.Context, q *engine.Query) (*Execution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := sv.s.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	// The planner's own fallback (no program fits the model) bypasses
+	// admission entirely — the oversized-query bypass.
+	if p.Mode == ModeDirect {
+		return sv.s.ExecPlan(ctx, p)
+	}
+	// Serving always executes in-process through the shared pipeline —
+	// the cluster transport has no multiplexed path — so a UseCluster
+	// plan is rewritten to the mode that actually runs (the plan is
+	// fresh from Plan(), not shared).
+	if p.Mode == ModeCluster {
+		p.Mode = ModeCheetah
+		p.Reason += "; serving executes in-process (cluster transport has no multiplexed path)"
+	}
+	pruner, err := p.NewPruner()
+	if err != nil {
+		return nil, err
+	}
+	lease, err := sv.srv.Admit(ctx, pruner)
+	if err != nil {
+		if errors.Is(err, serve.ErrNeverFits) || errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrClosed) {
+			fb := &Plan{
+				Query:   q,
+				Mode:    ModeDirect,
+				Model:   p.Model,
+				Workers: p.Workers,
+				Seed:    p.Seed,
+				Reason:  fmt.Sprintf("serving fallback: %v", err),
+			}
+			return sv.s.ExecPlan(ctx, fb)
+		}
+		return nil, err
+	}
+	defer lease.Release()
+	run, err := engine.ExecCheetah(q, engine.CheetahOptions{
+		Workers: p.Workers, Pruner: pruner, Seed: p.Seed, Flow: lease,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex := &Execution{
+		Plan:         p,
+		Result:       run.Result,
+		Traffic:      run.Traffic,
+		Stats:        run.Stats,
+		QueryID:      lease.QueryID(),
+		PipelineUtil: lease.Utilization(),
+		Estimate:     sv.s.cost.CheetahTime(q.Kind, run.Traffic, sv.s.opts.NICGbps),
+	}
+	ex.SparkEstimate = sv.s.sparkEstimate(q, len(ex.Result.Rows))
+	return ex, nil
+}

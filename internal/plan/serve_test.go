@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/workload/multitenant"
+)
+
+// TestServeConcurrentEquivalence is the serving acceptance bar: N
+// goroutine clients multiplexing the full mixed workload through one
+// shared switch must produce, for every query, exactly the result of
+// exact direct execution.
+func TestServeConcurrentEquivalence(t *testing.T) {
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 4000, RankRows: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(mix.Visits, Options{Workers: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := db.Serve(context.Background(), ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+
+	const clients = 8
+	const total = 3 * multitenant.NumKinds
+	jobs := make(chan int, total)
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sawQueryIDs := false
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := mix.Query(i)
+				ex, err := sv.Submit(context.Background(), q)
+				if err != nil {
+					t.Errorf("query %d (%s): %v", i, q.Kind, err)
+					continue
+				}
+				direct, err := engine.ExecDirect(q)
+				if err != nil {
+					t.Errorf("query %d (%s): direct: %v", i, q.Kind, err)
+					continue
+				}
+				if !direct.Equal(ex.Result) {
+					t.Errorf("query %d (%s): served result diverges from ExecDirect", i, q.Kind)
+				}
+				mu.Lock()
+				if ex.QueryID != 0 {
+					sawQueryIDs = true
+					if ex.PipelineUtil.StagesUsed == 0 {
+						t.Errorf("query %d (%s): served execution reports empty pipeline utilization", i, q.Kind)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if !sawQueryIDs {
+		t.Fatal("no query executed through the shared pipeline")
+	}
+	if st := sv.Stats(); st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("serving handle not drained: %+v", st)
+	}
+	if u := sv.Utilization(); u.ALUsUsed != 0 {
+		t.Fatalf("shared pipeline not empty after serving: %v", u)
+	}
+}
+
+// TestServeOversizedFallsBackDirect pins the oversized-query bypass: on
+// a switch no pruning program fits, Submit must run the exact direct
+// path immediately instead of queueing forever.
+func TestServeOversizedFallsBackDirect(t *testing.T) {
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 1500, RankRows: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := switchsim.Model{
+		Name:             "toosmall",
+		Stages:           4,
+		ALUsPerStage:     1,
+		SRAMPerStageBits: 1 << 10,
+		TCAMEntries:      1,
+		MetadataBits:     64,
+		Recirculation:    1,
+	}
+	db, err := Open(mix.Visits, Options{Workers: 2, Seed: 3, Model: tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := db.Serve(context.Background(), ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	q := mix.Query(1) // DISTINCT
+	ex, err := sv.Submit(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Plan.Mode != ModeDirect {
+		t.Fatalf("mode = %v, want direct fallback", ex.Plan.Mode)
+	}
+	direct, err := engine.ExecDirect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Equal(ex.Result) {
+		t.Fatal("fallback result diverges from ExecDirect")
+	}
+}
+
+// TestServeRewritesClusterPlans pins the Submit contract for UseCluster
+// sessions: serving has no multiplexed cluster transport, so the plan
+// that a served query reports must be the in-process mode that actually
+// ran (with the rewrite recorded in the reason), never a phantom
+// ModeCluster with a nil ClusterReport.
+func TestServeRewritesClusterPlans(t *testing.T) {
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 1500, RankRows: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(mix.Visits, Options{Workers: 2, Seed: 3, UseCluster: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := db.Serve(context.Background(), ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	q := mix.Query(1) // DISTINCT: single-pass, so Plan() picks ModeCluster
+	if p, err := db.Plan(q); err != nil || p.Mode != ModeCluster {
+		t.Fatalf("precondition: Plan mode = %v, err = %v, want cluster", p.Mode, err)
+	}
+	ex, err := sv.Submit(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Plan.Mode != ModeCheetah {
+		t.Fatalf("served mode = %v, want cheetah rewrite", ex.Plan.Mode)
+	}
+	if ex.ClusterReport != nil {
+		t.Fatal("in-process served execution carries a cluster report")
+	}
+	direct, err := engine.ExecDirect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Equal(ex.Result) {
+		t.Fatal("rewritten cluster plan diverges from ExecDirect")
+	}
+}
+
+// TestServeClosedFallsBackDirect pins the post-Close semantics: queries
+// submitted after Close still complete, as exact direct executions.
+func TestServeClosedFallsBackDirect(t *testing.T) {
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 1500, RankRows: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(mix.Visits, Options{Workers: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sv, err := db.Serve(ctx, ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()   // context cancellation closes the handle (async) ...
+	sv.Close() // ... and Close is idempotent, making the test deterministic
+	q := mix.Query(2)
+	ex, err := sv.Submit(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Plan.Mode != ModeDirect {
+		t.Fatalf("mode after close = %v (%s), want direct", ex.Plan.Mode, ex.Plan.Reason)
+	}
+}

@@ -1,0 +1,303 @@
+// Package serve is Cheetah's concurrent serving layer: one switch, many
+// queries. The paper's §5 multiplexes concurrent queries on a single
+// pipeline by carrying a query id in the Cheetah header and giving each
+// admitted query its own register partition; this package reproduces
+// that control plane. A Server owns one shared switchsim.Pipeline and
+// admits pruning programs on behalf of many concurrent clients: each
+// admitted query gets a fresh QueryID (flow id), its program is packed
+// into the shared pipeline via the usual CanInstall/Install admission
+// arithmetic, and a Lease hands the execution a flow-scoped dataplane
+// handle — the query never owns the pipeline, it owns a flow.
+//
+// When the pipeline is full, admissions wait in FIFO order and are
+// re-admitted as completing queries release their resources. Two kinds
+// of requests never wait: programs that cannot fit even an empty switch
+// (ErrNeverFits — the caller's cue to fall back to exact direct
+// execution), and requests arriving at a full wait queue when a queue
+// limit is set (ErrQueueFull — shed load instead of building an
+// unbounded backlog).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cheetah/internal/switchsim"
+)
+
+// ErrNeverFits marks a program whose profile exceeds the switch model
+// itself: no amount of waiting frees enough resources, so admission
+// fails immediately (the oversized-query bypass). Callers should run the
+// query without pruning instead.
+var ErrNeverFits = errors.New("serve: program cannot fit the switch model even when idle")
+
+// ErrQueueFull is returned when Options.QueueLimit is set and the wait
+// queue is at capacity.
+var ErrQueueFull = errors.New("serve: admission wait queue is full")
+
+// ErrClosed is returned for admissions against a closed server.
+var ErrClosed = errors.New("serve: server is closed")
+
+// Options configures a Server.
+type Options struct {
+	// Model is the switch hardware the shared pipeline simulates. The
+	// zero value selects switchsim.Tofino().
+	Model switchsim.Model
+	// QueueLimit caps the admission wait queue; 0 means unbounded.
+	// Admissions beyond the cap fail fast with ErrQueueFull.
+	QueueLimit int
+}
+
+// Counters are cumulative serving statistics, read via Server.Stats.
+type Counters struct {
+	Admitted  uint64 // leases granted (immediate + after waiting)
+	Waited    uint64 // admissions that had to queue first
+	Oversized uint64 // ErrNeverFits rejections (direct-execution bypass)
+	Shed      uint64 // ErrQueueFull rejections
+	Active    int    // leases currently held
+	Queued    int    // admissions currently waiting
+}
+
+// waiter is one queued admission.
+type waiter struct {
+	prog  switchsim.Program
+	ready chan *Lease // buffered; receives the lease on admission
+}
+
+// Server owns a shared pipeline and serializes admission to it. All
+// methods are safe for concurrent use.
+type Server struct {
+	pipe *switchsim.Pipeline
+
+	mu       sync.Mutex
+	nextFlow uint32
+	active   map[uint32]*Lease
+	waiters  []*waiter
+	queueCap int
+	closed   bool
+	counters Counters
+}
+
+// New creates a serving layer over a fresh pipeline for opts.Model.
+func New(opts Options) (*Server, error) {
+	if opts.Model.Stages == 0 {
+		opts.Model = switchsim.Tofino()
+	}
+	pl, err := switchsim.NewPipeline(opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	if opts.QueueLimit < 0 {
+		opts.QueueLimit = 0
+	}
+	return &Server{
+		pipe:     pl,
+		nextFlow: 1,
+		active:   make(map[uint32]*Lease),
+		queueCap: opts.QueueLimit,
+	}, nil
+}
+
+// Model returns the shared pipeline's hardware model.
+func (s *Server) Model() switchsim.Model { return s.pipe.Model() }
+
+// Utilization reports the shared pipeline's current occupancy.
+func (s *Server) Utilization() switchsim.Utilization { return s.pipe.Utilization() }
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters
+	c.Active = len(s.active)
+	c.Queued = len(s.waiters)
+	return c
+}
+
+// Admit installs prog into the shared pipeline under a fresh QueryID and
+// returns the lease. When the pipeline is too busy, the call waits in
+// FIFO order until completing queries free enough resources or ctx is
+// done. Programs too large for the model itself fail immediately with
+// ErrNeverFits; when a queue limit is configured, admissions beyond it
+// fail with ErrQueueFull.
+func (s *Server) Admit(ctx context.Context, prog switchsim.Program) (*Lease, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("serve: Admit needs a program")
+	}
+	prof := prog.Profile()
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Oversized bypass: a program the model can never host must not
+	// occupy a queue slot it can never leave successfully.
+	if err := s.pipe.Model().Admits(prof); err != nil {
+		s.counters.Oversized++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrNeverFits, err)
+	}
+	// FIFO fairness: only admit immediately when nobody is waiting.
+	if len(s.waiters) == 0 {
+		if l, err := s.installLocked(prog); err == nil {
+			s.mu.Unlock()
+			return l, nil
+		}
+	}
+	if s.queueCap > 0 && len(s.waiters) >= s.queueCap {
+		s.counters.Shed++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{prog: prog, ready: make(chan *Lease, 1)}
+	s.waiters = append(s.waiters, w)
+	s.counters.Waited++
+	s.mu.Unlock()
+
+	select {
+	case l := <-w.ready:
+		if l == nil {
+			return nil, ErrClosed
+		}
+		return l, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		removed := s.removeWaiterLocked(w)
+		s.mu.Unlock()
+		if !removed {
+			// Admission raced the cancellation: the lease was (or is
+			// being) delivered. Take it and give the resources back.
+			if l := <-w.ready; l != nil {
+				l.Release()
+			}
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// installLocked packs prog into the pipeline under a fresh flow id and
+// records the lease. Callers hold s.mu.
+func (s *Server) installLocked(prog switchsim.Program) (*Lease, error) {
+	flowID := s.nextFlow
+	for {
+		if _, taken := s.active[flowID]; !taken && flowID != 0 {
+			break
+		}
+		flowID++
+	}
+	if err := s.pipe.Install(flowID, prog); err != nil {
+		return nil, err
+	}
+	s.nextFlow = flowID + 1
+	l := &Lease{s: s, flowID: flowID, prog: prog, util: s.pipe.Utilization()}
+	s.active[flowID] = l
+	s.counters.Admitted++
+	return l, nil
+}
+
+// removeWaiterLocked drops w from the queue, reporting whether it was
+// still queued. Callers hold s.mu.
+func (s *Server) removeWaiterLocked(w *waiter) bool {
+	for i, q := range s.waiters {
+		if q == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release uninstalls a lease's program and re-admits waiters.
+func (s *Server) release(l *Lease) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.active[l.flowID]; !ok {
+		return
+	}
+	// Uninstall only needs the lease's own traffic to have stopped, and
+	// it has: a lease is released by the query's execution goroutine
+	// after its last batch. Other flows' in-flight batches are untouched
+	// — they run on their own programs, looked up before this point.
+	if err := s.pipe.Uninstall(l.flowID); err != nil {
+		// The lease is the only installer for its flow id; failure here
+		// means the invariant broke, which the churn tests guard.
+		panic(fmt.Sprintf("serve: uninstall flow %d: %v", l.flowID, err))
+	}
+	delete(s.active, l.flowID)
+	s.admitWaitersLocked()
+}
+
+// admitWaitersLocked grants leases from the head of the FIFO queue while
+// the head fits. Strict head-of-line: a large query at the head blocks
+// smaller ones behind it from jumping ahead, so no query starves.
+// Callers hold s.mu.
+func (s *Server) admitWaitersLocked() {
+	for len(s.waiters) > 0 {
+		head := s.waiters[0]
+		l, err := s.installLocked(head.prog)
+		if err != nil {
+			return
+		}
+		s.waiters = s.waiters[1:]
+		head.ready <- l
+	}
+}
+
+// Close fails all queued admissions and future Admit calls with
+// ErrClosed. Active leases stay valid; their Release still works.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, w := range s.waiters {
+		w.ready <- nil
+	}
+	s.waiters = nil
+}
+
+// Lease is one admitted query's hold on the shared pipeline: its
+// QueryID, its installed program, and the flow-scoped dataplane handle
+// the batched engine executes through. Release returns the resources
+// and wakes queued admissions; it is idempotent.
+type Lease struct {
+	s      *Server
+	flowID uint32
+	prog   switchsim.Program
+	util   switchsim.Utilization
+	once   sync.Once
+}
+
+// QueryID returns the flow id the serving layer assigned this query —
+// the value the Cheetah header would carry to select the query's
+// register partition (§5).
+func (l *Lease) QueryID() uint32 { return l.flowID }
+
+// Program returns the installed program, for control-plane operations
+// (probe switchover, end-of-stream drains) that address the program
+// directly.
+func (l *Lease) Program() switchsim.Program { return l.prog }
+
+// Utilization returns the shared pipeline's occupancy snapshot taken at
+// this query's admission — the per-query utilization surfaced in
+// execution reports.
+func (l *Lease) Utilization() switchsim.Utilization { return l.util }
+
+// ProcessBatch routes one batch through the shared pipeline under the
+// lease's QueryID. It implements engine.BatchDataplane.
+func (l *Lease) ProcessBatch(b *switchsim.Batch, decisions []switchsim.Decision) {
+	l.s.pipe.ProcessBatch(l.flowID, b, decisions)
+}
+
+// Release uninstalls the program and re-admits queued waiters.
+func (l *Lease) Release() {
+	l.once.Do(func() { l.s.release(l) })
+}

@@ -54,14 +54,22 @@ func ProcessBatchOf(prog Program, b *Batch, decisions []Decision) {
 }
 
 // ProcessBatch runs the program bound to flowID over a batch of entries.
-// Unknown flows forward everything untouched, mirroring Process.
+// Unknown flows forward everything untouched, mirroring Process. Only
+// the flow lookup is under the read lock — holding it across a whole
+// batch would convoy every flow's traffic behind any pending Install
+// (Go's write-preferring RWMutex blocks new readers then), serializing
+// exactly the concurrency §5 promises. The caller owns its flow's
+// lifecycle: a flow is only uninstalled after its own batches are done,
+// so the program cannot be torn down mid-batch.
 func (pl *Pipeline) ProcessBatch(flowID uint32, b *Batch, decisions []Decision) {
-	plc, ok := pl.byFlow[flowID]
-	if !ok {
+	pl.mu.RLock()
+	prog := pl.programOf(flowID)
+	pl.mu.RUnlock()
+	if prog == nil {
 		for j := 0; j < b.N; j++ {
 			decisions[j] = Forward
 		}
 		return
 	}
-	ProcessBatchOf(plc.Program, b, decisions)
+	ProcessBatchOf(prog, b, decisions)
 }

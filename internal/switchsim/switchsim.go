@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Model describes a switch's hardware resources. The defaults follow the
@@ -179,7 +180,21 @@ type Placement struct {
 // for the per-query prune-bit mux of §6, and two stages for the
 // reliability protocol (§7.1: "our reliability protocol ... takes two
 // pipeline stages on the hardware switch").
+//
+// A Pipeline is safe for concurrent use under a per-flow ownership
+// discipline: control-plane mutations (Install, Uninstall, Reset) take
+// the write lock, dataplane and inspection paths the read lock — the §5
+// concurrency model, where many queries' traffic crosses the switch
+// while the control plane installs and removes programs. Distinct flows
+// may process batches in parallel. One flow's traffic must stay
+// single-threaded (as one query's packets arrive in order on the wire),
+// and the flow's owner must stop sending before uninstalling it. The
+// lock protects the placement tables, not program state: Process and
+// ProcessBatch run the program after releasing the read lock, so Reset
+// — which touches every program — must not run concurrently with
+// dataplane traffic (it models a switch reboot, not a hot path).
 type Pipeline struct {
+	mu          sync.RWMutex
 	model       Model
 	stages      []stageUse
 	tcamUsed    int
@@ -216,8 +231,13 @@ func NewPipeline(m Model) (*Pipeline, error) {
 // Model returns the pipeline's hardware model.
 func (pl *Pipeline) Model() Model { return pl.model }
 
-// Programs returns the admitted placements in installation order.
-func (pl *Pipeline) Programs() []Placement { return pl.placements }
+// Programs returns a snapshot of the admitted placements in installation
+// order.
+func (pl *Pipeline) Programs() []Placement {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return append([]Placement(nil), pl.placements...)
+}
 
 // placeProfile admission-checks p against the pipeline's remaining
 // resources and returns the physical stage each logical stage would land
@@ -274,6 +294,8 @@ func (pl *Pipeline) placeProfile(p Profile) (phys []int, perStageALUs, perStageS
 // anything. A nil return means a subsequent Install with an unused flow
 // id will succeed.
 func (pl *Pipeline) CanInstall(p Profile) error {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
 	_, _, _, err := pl.placeProfile(p)
 	return err
 }
@@ -295,6 +317,8 @@ func (m Model) Admits(p Profile) error {
 // queries share stages when their combined ALU/SRAM demand fits). The
 // program becomes the handler for flowID.
 func (pl *Pipeline) Install(flowID uint32, prog Program) error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	if _, dup := pl.byFlow[flowID]; dup {
 		return fmt.Errorf("switchsim: flow %d already has a program", flowID)
 	}
@@ -318,6 +342,8 @@ func (pl *Pipeline) Install(flowID uint32, prog Program) error {
 // Uninstall removes the program bound to flowID and releases its
 // resources.
 func (pl *Pipeline) Uninstall(flowID uint32) error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	plc, ok := pl.byFlow[flowID]
 	if !ok {
 		return fmt.Errorf("switchsim: flow %d has no program", flowID)
@@ -350,16 +376,29 @@ func (pl *Pipeline) Uninstall(flowID uint32) error {
 // are forwarded untouched — the switch stays transparent to traffic it has
 // no rules for (§3: "fully compatible with other network functions").
 func (pl *Pipeline) Process(flowID uint32, vals []uint64) Decision {
-	plc, ok := pl.byFlow[flowID]
-	if !ok {
+	pl.mu.RLock()
+	prog := pl.programOf(flowID)
+	pl.mu.RUnlock()
+	if prog == nil {
 		return Forward
 	}
-	return plc.Program.Process(vals)
+	return prog.Process(vals)
+}
+
+// programOf returns the program bound to flowID, or nil. Callers hold at
+// least the read lock.
+func (pl *Pipeline) programOf(flowID uint32) Program {
+	if plc, ok := pl.byFlow[flowID]; ok {
+		return plc.Program
+	}
+	return nil
 }
 
 // Reset clears all program state (the "reboot the switch with empty
 // states" failure-recovery path of §3) while keeping installations.
 func (pl *Pipeline) Reset() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	for _, plc := range pl.placements {
 		plc.Program.Reset()
 	}
@@ -379,8 +418,18 @@ type Utilization struct {
 	MetaTotal    int
 }
 
+// String renders the utilization as one line of used/total pairs.
+func (u Utilization) String() string {
+	return fmt.Sprintf("stages %d/%d ALUs %d/%d SRAM %s/%s TCAM %d/%d meta %d/%d",
+		u.StagesUsed, u.StagesTotal, u.ALUsUsed, u.ALUsTotal,
+		FormatBits(u.SRAMBitsUsed), FormatBits(u.SRAMBitsCap),
+		u.TCAMUsed, u.TCAMTotal, u.MetaUsed, u.MetaTotal)
+}
+
 // Utilization reports current resource consumption.
 func (pl *Pipeline) Utilization() Utilization {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
 	u := Utilization{
 		StagesTotal: len(pl.stages),
 		ALUsTotal:   len(pl.stages) * pl.model.ALUsPerStage,
@@ -402,6 +451,8 @@ func (pl *Pipeline) Utilization() Utilization {
 
 // String renders a per-stage occupancy map.
 func (pl *Pipeline) String() string {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "pipeline(%s): %d usable stages (+%d reserved)\n",
 		pl.model.Name, len(pl.stages), pl.reservedTop)

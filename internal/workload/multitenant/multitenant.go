@@ -1,0 +1,157 @@
+// Package multitenant is the multi-tenant serving driver: the query mix
+// and the open-loop arrival process behind `cheetah-bench serve` and the
+// serving equivalence tests. One Mix holds the benchmark tables
+// (UserVisits + Rankings) and deterministically derives, for any query
+// index i, one of the eight offloadable query shapes with per-instance
+// parameter jitter — many concurrent clients drawing from the same mix
+// exercise every pruner family against the shared switch at once.
+//
+// It lives as a subpackage of workload because, unlike the raw table
+// generators, the driver builds engine.Query values (engine's own tests
+// consume the generators, so the parent package must not import engine).
+package multitenant
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cheetah/internal/boolexpr"
+	"cheetah/internal/engine"
+	"cheetah/internal/hashutil"
+	"cheetah/internal/prune"
+	"cheetah/internal/table"
+	"cheetah/internal/workload"
+)
+
+// MixConfig shapes a multi-tenant query mix.
+type MixConfig struct {
+	// VisitRows sizes the UserVisits table (most kinds run over it).
+	VisitRows int
+	// RankRows sizes the Rankings table (the join's right side).
+	RankRows int
+	// Seed drives table generation and per-query parameter jitter.
+	Seed uint64
+}
+
+// Mix is a deterministic multi-tenant workload: shared tables plus a
+// query generator cycling through the eight kinds.
+type Mix struct {
+	Visits   *table.Table
+	Rankings *table.Table
+	cfg      MixConfig
+}
+
+// NewMix generates the mix's tables.
+func NewMix(cfg MixConfig) (*Mix, error) {
+	if cfg.VisitRows <= 0 || cfg.RankRows <= 0 {
+		return nil, fmt.Errorf("workload: mix needs positive table sizes, got %d/%d", cfg.VisitRows, cfg.RankRows)
+	}
+	visits, err := workload.UserVisits(workload.DefaultUserVisits(cfg.VisitRows, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Mix{
+		Visits:   visits,
+		Rankings: workload.Rankings(cfg.RankRows, cfg.Seed^0x5eed),
+		cfg:      cfg,
+	}, nil
+}
+
+// NumKinds is the number of distinct query shapes the mix cycles over.
+const NumKinds = 8
+
+// Query returns the i-th query of the mix: kind i mod 8, with
+// parameters jittered per index so repeated cycles are not identical
+// queries. The same (cfg, i) always yields the same query.
+func (m *Mix) Query(i int) *engine.Query {
+	jit := hashutil.SplitMix64(m.cfg.Seed ^ uint64(i)*0x9e3779b97f4a7c15)
+	switch i % NumKinds {
+	case 0: // FILTER: duration window scan
+		lo := int64(jit % 300)
+		return &engine.Query{
+			Kind:  engine.KindFilter,
+			Table: m.Visits,
+			Predicates: []engine.FilterPred{
+				{Col: "duration", Op: prune.OpGT, Const: lo},
+				{Col: "adRevenue", Op: prune.OpLT, Const: 9_000},
+			},
+			Formula:   boolexpr.And{boolexpr.Leaf{V: 0}, boolexpr.Leaf{V: 1}},
+			CountOnly: true,
+		}
+	case 1: // DISTINCT user agents
+		return &engine.Query{
+			Kind:         engine.KindDistinct,
+			Table:        m.Visits,
+			DistinctCols: []string{"userAgent"},
+		}
+	case 2: // TOP N ad revenues
+		return &engine.Query{
+			Kind:     engine.KindTopN,
+			Table:    m.Visits,
+			OrderCol: "adRevenue",
+			N:        50 + int(jit%200),
+		}
+	case 3: // GROUP BY MAX revenue per agent
+		return &engine.Query{
+			Kind:   engine.KindGroupByMax,
+			Table:  m.Visits,
+			KeyCol: "userAgent",
+			AggCol: "adRevenue",
+		}
+	case 4: // GROUP BY SUM revenue per country
+		return &engine.Query{
+			Kind:   engine.KindGroupBySum,
+			Table:  m.Visits,
+			KeyCol: "countryCode",
+			AggCol: "adRevenue",
+		}
+	case 5: // HAVING: languages with heavy total duration
+		return &engine.Query{
+			Kind:      engine.KindHaving,
+			Table:     m.Visits,
+			KeyCol:    "languageCode",
+			AggCol:    "duration",
+			Threshold: int64(m.cfg.VisitRows),
+		}
+	case 6: // JOIN visits ⋈ rankings on URL
+		return &engine.Query{
+			Kind:     engine.KindJoin,
+			Table:    m.Visits,
+			Right:    m.Rankings,
+			LeftKey:  "destURL",
+			RightKey: "pageURL",
+		}
+	default: // SKYLINE over (adRevenue, duration)
+		return &engine.Query{
+			Kind:        engine.KindSkyline,
+			Table:       m.Visits,
+			SkylineCols: []string{"adRevenue", "duration"},
+		}
+	}
+}
+
+// PoissonArrivals returns n arrival offsets of an open-loop Poisson
+// process with rate lambda (arrivals per second): exponential
+// interarrival gaps, deterministic in seed, non-decreasing offsets.
+// The open-loop property — arrivals do not wait for completions — is
+// what distinguishes a serving benchmark from a closed-loop one.
+func PoissonArrivals(n int, lambda float64, seed uint64) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	if lambda <= 0 {
+		lambda = 1
+	}
+	out := make([]time.Duration, n)
+	var t float64 // seconds
+	s := seed | 1
+	for i := 0; i < n; i++ {
+		s = hashutil.SplitMix64(s)
+		// Uniform in (0,1]: avoid log(0).
+		u := (float64(s>>11) + 1) / (1 << 53)
+		t += -math.Log(u) / lambda
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
