@@ -75,16 +75,23 @@ const (
 // control of pruner construction and execution paths.
 func Open(t *Table, opts SessionOptions) (*DB, error) { return plan.Open(t, opts) }
 
-// The concurrent serving layer (§5's multi-query switch sharing): one
-// switch, many clients.
+// The concurrent serving layer (§5's multi-query switch sharing) and
+// the multi-switch fabric: with SessionOptions.Switches > 1, Exec
+// shards each query across N pipelines (scatter/gather with an exact
+// two-level merge — see Execution.PerSwitch) and Serve places whole
+// concurrent queries on the least-loaded switch.
 type (
 	// Serving is a live multi-query serving handle over the session's
-	// switch, opened with DB.Serve. Any number of goroutines may call
-	// Submit concurrently; each query is admitted into the shared
-	// pipeline under its own QueryID, waits FIFO when the switch is
-	// full, and falls back to exact direct execution when it can never
-	// fit (or the queue limit sheds it).
+	// switch fabric, opened with DB.Serve. Any number of goroutines may
+	// call Submit concurrently; each query is placed on the least-loaded
+	// switch, admitted into its shared pipeline under its own QueryID,
+	// waits FIFO when every switch is full, and falls back to exact
+	// direct execution when it can never fit (or the queue limit sheds
+	// it).
 	Serving = plan.Serving
+	// SwitchReport is one fabric switch's share of a scatter/gather
+	// execution (per-shard traffic + pipeline occupancy).
+	SwitchReport = plan.SwitchReport
 	// ServeOptions configures a serving handle (queue limit).
 	ServeOptions = plan.ServeOptions
 	// ServeCounters are the serving layer's cumulative admission
@@ -128,8 +135,23 @@ type (
 	CheetahOptions = engine.CheetahOptions
 	// CheetahRun reports a pruned execution's result and traffic.
 	CheetahRun = engine.CheetahRun
+	// ShardedOptions configures the multi-switch scatter/gather path.
+	ShardedOptions = engine.ShardedOptions
+	// ShardedRun reports a scatter/gather execution (aggregate plus
+	// per-switch traffic).
+	ShardedRun = engine.ShardedRun
+	// ShardStrategy selects how a sharded execution splits the table.
+	ShardStrategy = engine.ShardStrategy
 	// CostModel converts traffic into completion-time estimates.
 	CostModel = engine.CostModel
+)
+
+// Shard strategies for ExecSharded (the session API picks automatically).
+const (
+	ShardAuto       = engine.ShardAuto
+	ShardContiguous = engine.ShardContiguous
+	ShardHash       = engine.ShardHash
+	ShardRange      = engine.ShardRange
 )
 
 // CmpOp is a comparison operator usable in WHERE predicates (and the
@@ -173,6 +195,17 @@ func ExecDirect(q *Query) (*Result, error) { return engine.ExecDirect(q) }
 // path.
 func ExecCheetah(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	return engine.ExecCheetah(q, opts)
+}
+
+// ExecSharded runs a query across a fabric of N switches: the table is
+// sharded (hash-on-key for joins, so matching keys co-locate), each
+// shard streams through its own switch program concurrently, and the
+// master's two-level merge reproduces ExecDirect exactly. Prefer the
+// session API (Open with SessionOptions.Switches + DB.Exec), which
+// additionally sizes one program per switch; call ExecSharded directly
+// to pin per-switch pruners, flows, or a shard strategy.
+func ExecSharded(q *Query, opts ShardedOptions) (*ShardedRun, error) {
+	return engine.ExecSharded(q, opts)
 }
 
 // DefaultCostModel returns the calibrated completion-time model.

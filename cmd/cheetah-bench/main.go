@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cheetah-bench [-scale N] [-seeds K] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|all]
+//	cheetah-bench [-scale N] [-seeds K] [-switches W] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|all]
 //
 // Scale divides the paper's dataset sizes (scale=1 reproduces paper
 // scale and takes minutes; the default 50 finishes in seconds). Output
@@ -17,9 +17,10 @@
 // GITHUB_STEP_SUMMARY environment variable points at a writable file
 // (GitHub Actions sets it), the comparison is also appended there as a
 // markdown table. The serve target drives the multi-tenant mixed
-// workload through the concurrent serving layer at 1/8/64 clients and
-// reports aggregate entries/s and p50/p99 latency. None of the three is
-// part of "all".
+// workload through the concurrent serving layer and prints a scaling
+// table over fabric widths (1/2/4 switches, capped by -switches) ×
+// client counts (1/8/64), reporting aggregate entries/s and p50/p99
+// latency per row. None of the three is part of "all".
 package main
 
 import (
@@ -49,6 +50,7 @@ func main() {
 	scale := flag.Int("scale", 50, "divide paper dataset sizes by this factor (1 = paper scale)")
 	seeds := flag.Int("seeds", 5, "runs per randomized algorithm (95% CIs)")
 	seed := flag.Uint64("seed", 0xc0ffee, "base RNG seed")
+	switches := flag.Int("switches", 4, "fabric width for the serve target (scaling table measures 1, 2, 4, ... up to this)")
 	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output file for the baseline target")
 	baselineRows := flag.Int("baseline-rows", 100_000, "benchmark table rows for the baseline target (diff follows the reference's recorded rows)")
 	baselineRef := flag.String("baseline-ref", "BENCH_baseline.json", "reference file for the diff target")
@@ -70,7 +72,7 @@ func main() {
 		"fig9":   func() error { _, err := bench.Fig9(os.Stdout, o); return err },
 		"fig10":  func() error { _, err := bench.Fig10(os.Stdout, o); return err },
 		"fig11":  func() error { _, err := bench.Fig11(os.Stdout, o); return err },
-		"serve":  func() error { return bench.Serve(os.Stdout, o) },
+		"serve":  func() error { return bench.Serve(os.Stdout, o, *switches) },
 		"baseline": func() error {
 			// Measure first, write after: a failed run must not clobber
 			// an existing baseline file.

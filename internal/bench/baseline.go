@@ -10,7 +10,9 @@ import (
 	"cheetah/internal/boolexpr"
 	"cheetah/internal/engine"
 	"cheetah/internal/prune"
+	"cheetah/internal/stats"
 	"cheetah/internal/workload"
+	"cheetah/internal/workload/multitenant"
 )
 
 // BaselineEntry is one benchmark's machine-readable measurement.
@@ -24,6 +26,19 @@ type BaselineEntry struct {
 	BytesPerOp    int64   `json:"bytes_per_op"`
 }
 
+// ServeBaselineEntry is one serving-fabric measurement: the mixed
+// workload at a fabric width and client count. These rows are
+// informational context (wall-clock serving throughput is too
+// scheduler-dependent to gate CI on); the diff target compares only
+// Benchmarks.
+type ServeBaselineEntry struct {
+	Switches      int     `json:"switches"`
+	Clients       int     `json:"clients"`
+	EntriesPerSec float64 `json:"entries_per_sec"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
 // BaselineReport is the file format of BENCH_baseline.json: enough
 // context to compare runs across commits plus the per-benchmark entries.
 type BaselineReport struct {
@@ -32,6 +47,8 @@ type BaselineReport struct {
 	NumCPU     int             `json:"num_cpu"`
 	Rows       int             `json:"rows"`
 	Benchmarks []BaselineEntry `json:"benchmarks"`
+	// Serve is the fabric scaling snapshot (switches × clients).
+	Serve []ServeBaselineEntry `json:"serve,omitempty"`
 }
 
 // Baseline measures the ExecCheetah micro-benchmarks (both the batched
@@ -97,6 +114,25 @@ func Baseline(w io.Writer, rows int) error {
 				BytesPerOp:    r.AllocedBytesPerOp(),
 			})
 		}
+	}
+	// Fabric serving snapshot: the mixed workload at 8 clients across
+	// fabric widths, on a small mix so the baseline stays quick.
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 10_000, RankRows: 5_000, Seed: 1})
+	if err != nil {
+		return err
+	}
+	for _, switches := range []int{1, 2, 4} {
+		lv, err := runServeLevel(mix, switches, 8, 1)
+		if err != nil {
+			return err
+		}
+		report.Serve = append(report.Serve, ServeBaselineEntry{
+			Switches:      switches,
+			Clients:       8,
+			EntriesPerSec: lv.EntriesPerSec(),
+			P50MS:         stats.Percentile(lv.LatencyMS, 50),
+			P99MS:         stats.Percentile(lv.LatencyMS, 99),
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

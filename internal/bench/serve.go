@@ -1,29 +1,30 @@
 package bench
 
-// The serve target measures the serving layer end to end: a fixed
-// multi-tenant workload (the internal/workload mix cycling over all
-// eight query kinds) is driven open-loop — Poisson arrivals — into a
-// shared Serving handle at 1, 8 and 64 concurrent clients, and each
-// level reports aggregate pruning throughput (entries/s over the wall
+// The serve target measures the serving layer end to end across fabric
+// widths: a fixed multi-tenant workload (the internal/workload mix
+// cycling over all eight query kinds) is driven open-loop — Poisson
+// arrivals — into a Serving handle, for every combination of switch
+// count (1/2/4, capped by -switches) and client count (1/8/64). Each
+// row reports aggregate pruning throughput (entries/s over the wall
 // clock) and per-query p50/p99 latency including admission queueing.
-// The speedup column compares each level against the 1-client row, i.e.
-// the same mixed workload run as sequential single-query executions —
-// the serving layer's reason to exist.
+// The speedup column compares each row against the single-switch row at
+// the same client count — the fabric's scaling claim: with enough
+// concurrent clients, aggregate throughput grows with switch count on
+// multi-core hosts (switches serve disjoint queries in parallel).
 
 import (
 	"context"
 	"fmt"
 	"io"
-	"sync"
-	"time"
 
+	"cheetah/internal/engine"
 	"cheetah/internal/plan"
 	"cheetah/internal/stats"
 	"cheetah/internal/workload/multitenant"
 )
 
-// serveQueries is the mixed-workload length per concurrency level:
-// eight full cycles over the eight query kinds.
+// serveQueries is the mixed-workload length per measurement: eight full
+// cycles over the eight query kinds.
 const serveQueries = 8 * multitenant.NumKinds
 
 // serveLambda is the open-loop arrival rate (queries/s). It is chosen
@@ -31,85 +32,53 @@ const serveQueries = 8 * multitenant.NumKinds
 // the measurement is queueing + service, not the arrival process.
 const serveLambda = 400.0
 
-// serveLevel is one concurrency level's measurement.
-type serveLevel struct {
-	clients   int
-	wall      time.Duration
-	entries   int       // total worker→switch entries across all queries
-	latencies []float64 // per-query ms, admission wait included
-	fallbacks int       // queries that ran direct (shed or unservable)
+// serveClientLevels are the concurrency levels measured per fabric
+// width.
+var serveClientLevels = []int{1, 8, 64}
+
+// serveSwitchLevels returns the fabric widths to measure: doubling from
+// 1 up to maxSwitches (the -switches flag), always including
+// maxSwitches itself.
+func serveSwitchLevels(maxSwitches int) []int {
+	if maxSwitches < 1 {
+		maxSwitches = 1
+	}
+	var out []int
+	for s := 1; s < maxSwitches; s *= 2 {
+		out = append(out, s)
+	}
+	return append(out, maxSwitches)
 }
 
 // runServeLevel drives the mixed workload through one Serving handle at
-// the given client count.
-func runServeLevel(db *plan.Session, mix *multitenant.Mix, clients int, seed uint64) (*serveLevel, error) {
+// the given fabric width and client count.
+func runServeLevel(mix *multitenant.Mix, switches, clients int, seed uint64) (*multitenant.DriveResult, error) {
+	// One worker per session: cross-query concurrency, not intra-query
+	// encode parallelism, is what this benchmark isolates.
+	db, err := plan.Open(mix.Visits, plan.Options{Workers: 1, Seed: seed, Switches: switches})
+	if err != nil {
+		return nil, err
+	}
 	sv, err := db.Serve(context.Background(), plan.ServeOptions{})
 	if err != nil {
 		return nil, err
 	}
 	defer sv.Close()
-
-	arrivals := multitenant.PoissonArrivals(serveQueries, serveLambda, seed)
-	jobs := make(chan int, serveQueries)
-	start := time.Now()
-	go func() {
-		for i := 0; i < serveQueries; i++ {
-			if d := time.Until(start.Add(arrivals[i])); d > 0 {
-				time.Sleep(d)
-			}
-			jobs <- i
+	return mix.Drive(context.Background(), multitenant.DriveConfig{
+		Clients: clients, Queries: serveQueries, Lambda: serveLambda, Seed: seed,
+	}, func(ctx context.Context, q *engine.Query) (int, bool, error) {
+		ex, err := sv.Submit(ctx, q)
+		if err != nil {
+			return 0, false, err
 		}
-		close(jobs)
-	}()
-
-	lv := &serveLevel{clients: clients, latencies: make([]float64, 0, serveQueries)}
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				q := mix.Query(i)
-				t0 := time.Now()
-				ex, err := sv.Submit(context.Background(), q)
-				lat := float64(time.Since(t0)) / float64(time.Millisecond)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("query %d (%s): %w", i, q.Kind, err)
-					}
-				} else {
-					lv.latencies = append(lv.latencies, lat)
-					lv.entries += ex.Traffic.EntriesSent
-					if ex.Plan.Mode == plan.ModeDirect {
-						lv.fallbacks++
-					}
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	lv.wall = time.Since(start)
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return lv, nil
+		return ex.Traffic.EntriesSent, ex.Plan.Mode == plan.ModeDirect, nil
+	})
 }
 
-// entriesPerSec is the level's aggregate pruning throughput.
-func (lv *serveLevel) entriesPerSec() float64 {
-	if lv.wall <= 0 {
-		return 0
-	}
-	return float64(lv.entries) / lv.wall.Seconds()
-}
-
-// Serve runs the multi-tenant serving benchmark and renders one row per
-// concurrency level.
-func Serve(w io.Writer, o Options) error {
+// Serve runs the multi-tenant serving benchmark and renders the scaling
+// table: one row per (switches, clients) combination, with speedup
+// relative to the single-switch row at the same client count.
+func Serve(w io.Writer, o Options, maxSwitches int) error {
 	o = o.withDefaults()
 	uvRows := userVisitsRows / o.Scale
 	if uvRows < 2000 {
@@ -125,36 +94,35 @@ func Serve(w io.Writer, o Options) error {
 	if err != nil {
 		return err
 	}
-	// One worker per session: cross-query concurrency, not intra-query
-	// encode parallelism, is what this benchmark isolates.
-	db, err := plan.Open(mix.Visits, plan.Options{Workers: 1, Seed: o.BaseSeed})
-	if err != nil {
-		return err
-	}
 
-	fmt.Fprintf(w, "serving: %d-query mixed workload (%d kinds), visits=%d rows, rankings=%d rows, switch=%s\n",
-		serveQueries, multitenant.NumKinds, uvRows, rankRows, db.Model().Name)
-	fmt.Fprintf(w, "%-8s %-8s %16s %10s %10s %9s %10s\n",
-		"clients", "queries", "agg entries/s", "p50 ms", "p99 ms", "speedup", "fallbacks")
+	switchLevels := serveSwitchLevels(maxSwitches)
+	fmt.Fprintf(w, "serving: %d-query mixed workload (%d kinds) per row, visits=%d rows, rankings=%d rows\n",
+		serveQueries, multitenant.NumKinds, uvRows, rankRows)
+	fmt.Fprintf(w, "scaling table: %v switches × %v clients (speedup vs 1 switch at the same client count)\n",
+		switchLevels, serveClientLevels)
+	fmt.Fprintf(w, "%-9s %-8s %-8s %16s %10s %10s %9s %10s\n",
+		"switches", "clients", "queries", "agg entries/s", "p50 ms", "p99 ms", "speedup", "fallbacks")
 
-	var base float64
-	for _, clients := range []int{1, 8, 64} {
-		lv, err := runServeLevel(db, mix, clients, o.BaseSeed+uint64(clients))
-		if err != nil {
-			return err
+	base := map[int]float64{} // client count → 1-switch entries/s
+	for _, switches := range switchLevels {
+		for _, clients := range serveClientLevels {
+			lv, err := runServeLevel(mix, switches, clients, o.BaseSeed+uint64(64*switches+clients))
+			if err != nil {
+				return err
+			}
+			eps := lv.EntriesPerSec()
+			if switches == 1 {
+				base[clients] = eps
+			}
+			speedup := 0.0
+			if b := base[clients]; b > 0 {
+				speedup = eps / b
+			}
+			fmt.Fprintf(w, "%-9d %-8d %-8d %16.3g %10.2f %10.2f %8.2fx %10d\n",
+				switches, clients, len(lv.LatencyMS), eps,
+				stats.Percentile(lv.LatencyMS, 50), stats.Percentile(lv.LatencyMS, 99),
+				speedup, lv.Fallbacks)
 		}
-		eps := lv.entriesPerSec()
-		if clients == 1 {
-			base = eps
-		}
-		speedup := 0.0
-		if base > 0 {
-			speedup = eps / base
-		}
-		fmt.Fprintf(w, "%-8d %-8d %16.3g %10.2f %10.2f %8.2fx %10d\n",
-			clients, len(lv.latencies), eps,
-			stats.Percentile(lv.latencies, 50), stats.Percentile(lv.latencies, 99),
-			speedup, lv.fallbacks)
 	}
 	return nil
 }

@@ -72,6 +72,50 @@ func (f queryFlow) Process(_ uint32, vals []uint64) switchsim.Decision {
 // network and returns the master's result. The pruner defaults to the
 // query kind's standard configuration; pass one explicitly to ablate.
 func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Report, error) {
+	survivors, report, err := runSurvivors(q, pruner, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := engine.CompleteOnRows(q, dedupeInts(survivors))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, report, nil
+}
+
+// resolveFlow validates the Config.Pipeline/FlowID pairing and returns
+// the pipeline and flow id a run installs under. A dedicated pipeline
+// defaults to flow 1; a shared pipeline never derives a flow id — the
+// caller owns the id space there, so a missing or already-occupied id
+// is a descriptive error instead of a silent collision (or a confusing
+// "does not fit" from the duplicate install).
+func resolveFlow(cfg *Config) (*switchsim.Pipeline, uint32, error) {
+	if cfg.Pipeline == nil {
+		flowID := cfg.FlowID
+		if flowID == 0 {
+			flowID = 1
+		}
+		pl, err := switchsim.NewPipeline(cfg.Model)
+		if err != nil {
+			return nil, 0, err
+		}
+		return pl, flowID, nil
+	}
+	if cfg.FlowID == 0 {
+		return nil, 0, fmt.Errorf("cluster: a shared Pipeline requires an explicit FlowID " +
+			"(the dedicated-pipeline default of 1 would collide with other queries' flows)")
+	}
+	if cfg.Pipeline.FlowInstalled(cfg.FlowID) {
+		return nil, 0, fmt.Errorf("cluster: flow %d already carries a program on the shared pipeline; "+
+			"choose an unused flow id per concurrent query", cfg.FlowID)
+	}
+	return cfg.Pipeline, cfg.FlowID, nil
+}
+
+// runSurvivors executes the worker → switch → master protocol and
+// returns the surviving row ids (of q.Table's row space) before master
+// completion — the shared core of Run and RunSharded.
+func runSurvivors(q *engine.Query, pruner prune.Pruner, cfg Config) ([]int, *Report, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 5
 	}
@@ -90,17 +134,9 @@ func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Rep
 	// covers every exit path, so an early error (encode failure, a
 	// mis-wired transport) cannot leave the program behind and poison a
 	// shared pipeline for the queries after it.
-	pipe := cfg.Pipeline
-	if pipe == nil {
-		pl, err := switchsim.NewPipeline(cfg.Model)
-		if err != nil {
-			return nil, nil, err
-		}
-		pipe = pl
-	}
-	flowID := cfg.FlowID
-	if flowID == 0 {
-		flowID = 1
+	pipe, flowID, err := resolveFlow(&cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	if err := pipe.Install(flowID, pruner); err != nil {
 		return nil, nil, fmt.Errorf("cluster: query does not fit the switch: %w", err)
@@ -216,19 +252,25 @@ func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Rep
 	survivors := <-rowsCh
 
 	// Control-plane drain for pruners holding switch state (SKYLINE).
+	// The entry width comes from the first non-empty worker stream; when
+	// every stream is empty the program stored nothing to drain.
 	if dr, ok := pruner.(prune.Drainer); ok {
-		width := len(entries[0][0]) - 1
-		for _, e := range dr.Drain() {
-			if len(e) > width {
-				survivors = append(survivors, int(e[width]))
+		width := -1
+		for _, part := range entries {
+			if len(part) > 0 {
+				width = len(part[0]) - 1
+				break
+			}
+		}
+		if width >= 0 {
+			for _, e := range dr.Drain() {
+				if len(e) > width {
+					survivors = append(survivors, int(e[width]))
+				}
 			}
 		}
 	}
 
-	res, err := engine.CompleteOnRows(q, dedupeInts(survivors))
-	if err != nil {
-		return nil, nil, err
-	}
 	report := &Report{
 		EntriesSent: total,
 		Pruned:      sw.Pruned,
@@ -240,7 +282,82 @@ func Run(q *engine.Query, pruner prune.Pruner, cfg Config) (*engine.Result, *Rep
 	for _, w := range workers {
 		report.Retransmissions += w.Retransmissions
 	}
-	return res, report, nil
+	return survivors, report, nil
+}
+
+// RunSharded executes a single-pass query across a fabric of N racks:
+// the table is split contiguously, each shard runs the full worker →
+// ToR-switch → master protocol on its own simulated network and
+// pipeline concurrently, and the master completes the query exactly on
+// the union of the shards' survivors. pruners supplies one program per
+// switch (nil selects each kind's default); per-shard reports come back
+// indexed by switch.
+func RunSharded(q *engine.Query, pruners []prune.Pruner, cfg Config, switches int) (*engine.Result, []*Report, error) {
+	if switches <= 0 {
+		switches = 1
+	}
+	if cfg.Pipeline != nil {
+		return nil, nil, fmt.Errorf("cluster: RunSharded builds one pipeline per switch; Config.Pipeline must be nil")
+	}
+	if pruners != nil && len(pruners) != switches {
+		return nil, nil, fmt.Errorf("cluster: got %d pruners for %d switches", len(pruners), switches)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	shards, err := q.Table.Partition(switches)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := q.Table.NumRows()
+	reports := make([]*Report, switches)
+	perShard := make([][]int, switches)
+	errs := make([]error, switches)
+	var wg sync.WaitGroup
+	wg.Add(switches)
+	for s := 0; s < switches; s++ {
+		go func(s int) {
+			defer wg.Done()
+			qs := *q
+			qs.Table = shards[s]
+			cfgs := cfg
+			// Independent loss/retransmission randomness per rack; the
+			// pruner seed stays the caller's.
+			cfgs.Seed = cfg.Seed + uint64(s)*0x9e3779b97f4a7c15
+			var pruner prune.Pruner
+			if pruners != nil {
+				pruner = pruners[s]
+			}
+			local, rep, err := runSurvivors(&qs, pruner, cfgs)
+			if err != nil {
+				errs[s] = fmt.Errorf("cluster: switch %d: %w", s, err)
+				return
+			}
+			// Contiguous shard s covers global rows [s·n/k, (s+1)·n/k).
+			off := s * n / switches
+			global := make([]int, len(local))
+			for i, r := range local {
+				global[i] = off + r
+			}
+			perShard[s] = global
+			reports[s] = rep
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var survivors []int
+	for _, rows := range perShard {
+		survivors = append(survivors, rows...)
+	}
+	res, err := engine.CompleteOnRows(q, dedupeInts(survivors))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, reports, nil
 }
 
 // dedupeInts removes duplicate row ids (retransmissions of pruned packets

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -211,5 +212,128 @@ func TestRunSharedPipelineCleanExit(t *testing.T) {
 	}
 	if u := pl.Utilization(); u.StagesUsed != 0 {
 		t.Fatalf("successful run left its program installed: %v", u)
+	}
+}
+
+// TestSharedPipelineFlowValidation pins the descriptive errors of the
+// Config.Pipeline/FlowID pairing: a shared pipeline never derives a
+// flow id, and an occupied id is rejected before install.
+func TestSharedPipelineFlowValidation(t *testing.T) {
+	q := distinctQuery(t, 200, 11)
+	pl, err := switchsim.NewPipeline(switchsim.Tofino())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared pipeline without an explicit flow id.
+	_, _, err = Run(q, nil, Config{Workers: 2, Pipeline: pl})
+	if err == nil || !strings.Contains(err.Error(), "explicit FlowID") {
+		t.Fatalf("shared pipeline without FlowID: got %v", err)
+	}
+
+	// Shared pipeline with an already-occupied flow id.
+	resident, err := engine.DefaultPruner(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Install(7, resident); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Run(q, nil, Config{Workers: 2, Pipeline: pl, FlowID: 7})
+	if err == nil || !strings.Contains(err.Error(), "already carries a program") {
+		t.Fatalf("occupied flow id: got %v", err)
+	}
+	// The resident program must be untouched by the rejected run.
+	if !pl.FlowInstalled(7) {
+		t.Fatal("validation removed the resident program")
+	}
+
+	// An unused explicit id works and cleans up after itself.
+	res, _, err := Run(q, nil, Config{Workers: 2, Pipeline: pl, FlowID: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := engine.ExecDirect(q)
+	if !want.Equal(res) {
+		t.Fatal("shared-pipeline run diverges")
+	}
+	if pl.FlowInstalled(8) {
+		t.Fatal("run leaked its program on the shared pipeline")
+	}
+
+	// Dedicated pipelines still accept an external id without re-deriving.
+	if _, _, err := Run(q, nil, Config{Workers: 2, FlowID: 42}); err != nil {
+		t.Fatalf("dedicated pipeline with explicit FlowID: %v", err)
+	}
+}
+
+// TestRunShardedMatchesDirect runs every single-pass kind across 1, 2
+// and 4 switches (own network + pipeline each) and checks the merged
+// completion against ground truth, clean and lossy.
+func TestRunShardedMatchesDirect(t *testing.T) {
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(2400, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := map[string]*engine.Query{
+		"distinct":    {Kind: engine.KindDistinct, Table: uv, DistinctCols: []string{"userAgent"}},
+		"topn":        {Kind: engine.KindTopN, Table: uv, OrderCol: "adRevenue", N: 60},
+		"groupby-max": {Kind: engine.KindGroupByMax, Table: uv, KeyCol: "countryCode", AggCol: "adRevenue"},
+		"skyline":     {Kind: engine.KindSkyline, Table: uv, SkylineCols: []string{"adRevenue", "duration"}},
+	}
+	for name, q := range queries {
+		want, err := engine.ExecDirect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, switches := range []int{1, 2, 4} {
+			res, reps, err := RunSharded(q, nil, Config{Workers: 2, Seed: 13, RTO: 10 * time.Millisecond}, switches)
+			if err != nil {
+				t.Fatalf("%s switches=%d: %v", name, switches, err)
+			}
+			if !want.Equal(res) {
+				t.Fatalf("%s switches=%d: sharded cluster run diverges", name, switches)
+			}
+			if len(reps) != switches {
+				t.Fatalf("%s: %d reports for %d switches", name, len(reps), switches)
+			}
+			sent := 0
+			for _, r := range reps {
+				sent += r.EntriesSent
+			}
+			if sent != q.Table.NumRows() {
+				t.Fatalf("%s switches=%d: per-switch EntriesSent sums to %d, want %d",
+					name, switches, sent, q.Table.NumRows())
+			}
+		}
+	}
+
+	// Lossy fabric: retransmissions per rack, result still exact.
+	q := queries["distinct"]
+	want, _ := engine.ExecDirect(q)
+	res, reps, err := RunSharded(q, nil, Config{
+		Workers: 2, Seed: 17, LossRate: 0.08, RTO: 8 * time.Millisecond,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res) {
+		t.Fatal("lossy sharded run diverges from ground truth")
+	}
+	retrans := uint64(0)
+	for _, r := range reps {
+		retrans += r.Retransmissions
+	}
+	if retrans == 0 {
+		t.Fatal("8% loss across 3 racks with no retransmissions")
+	}
+
+	// Config misuse is rejected descriptively.
+	pl, _ := switchsim.NewPipeline(switchsim.Tofino())
+	if _, _, err := RunSharded(q, nil, Config{Pipeline: pl, FlowID: 1}, 2); err == nil {
+		t.Fatal("RunSharded with a shared pipeline: want error")
+	}
+	if _, _, err := RunSharded(q, make([]prune.Pruner, 3), Config{}, 2); err == nil {
+		t.Fatal("RunSharded pruner count mismatch: want error")
 	}
 }

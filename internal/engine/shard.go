@@ -1,0 +1,909 @@
+package engine
+
+// This file implements the multi-switch scatter/gather execution path:
+// the table is sharded across N switches (the paper's deployment shape,
+// where each rack's ToR switch prunes its own workers' streams), each
+// shard runs the batched pruning pipeline concurrently on its own
+// switch program, and the master performs a two-level merge — shard-
+// local partials first (fingerprint dedupe, TOP N heaps, aggregate
+// maps), then a global combine — that reproduces ExecDirect's result
+// exactly for every query kind.
+//
+// Correctness per kind under arbitrary sharding:
+//
+//   - FILTER / SKYLINE: each switch forwards a superset of its shard's
+//     matching/non-dominated rows; the master gathers survivors and
+//     re-runs the exact completion over the union. skyline(S) =
+//     skyline(T) whenever skyline(T) ⊆ S ⊆ T.
+//   - TOP N: every global top-N value is in its shard's local top N, so
+//     per-shard N-heaps followed by a tightened global N-heap re-check
+//     lose nothing.
+//   - DISTINCT / GROUP BY: partials merge by the worker-computed
+//     fingerprint, which is seed-consistent across shards; merging is
+//     dedupe / max / sum respectively.
+//   - HAVING: a key with global sum S > T has some shard with local sum
+//     ≥ ⌈S/k⌉ > ⌊T/k⌋, so per-shard sketches thresholded at ⌊T/k⌋
+//     surface every true positive; the global second pass re-computes
+//     exact sums and drops the extra false positives (the same
+//     guarantee shape as §4.3's partial second pass).
+//   - JOIN: the executor hash-shards both tables on the join keys, so
+//     matching keys are co-located and per-switch Bloom joins compose
+//     by concatenation.
+
+import (
+	"fmt"
+
+	"strconv"
+	"sync"
+
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/table"
+)
+
+// ShardStrategy selects how ExecSharded splits the table across
+// switches.
+type ShardStrategy uint8
+
+const (
+	// ShardAuto hash-shards JOIN inputs on their keys (required for
+	// co-location) and splits everything else contiguously — the
+	// cheapest correct default.
+	ShardAuto ShardStrategy = iota
+	// ShardContiguous splits into contiguous row ranges (zero-copy
+	// views), like assigning Spark partitions to racks in file order.
+	ShardContiguous
+	// ShardHash hash-shards on the query's key column (DISTINCT's first
+	// column, GROUP BY/HAVING's key, TOP N's order column, FILTER's
+	// first predicate column, SKYLINE's first dimension).
+	ShardHash
+	// ShardRange range-shards on the query's key column (Int64 only).
+	ShardRange
+)
+
+// String renders the strategy.
+func (s ShardStrategy) String() string {
+	switch s {
+	case ShardContiguous:
+		return "contiguous"
+	case ShardHash:
+		return "hash"
+	case ShardRange:
+		return "range"
+	default:
+		return "auto"
+	}
+}
+
+// ShardedOptions configures the multi-switch scatter/gather path.
+type ShardedOptions struct {
+	// Shards is the switch count; ≤ 0 selects 1.
+	Shards int
+	// Workers is the CWorker (partition) count per shard.
+	Workers int
+	// Seed drives fingerprinting and randomized pruner defaults. All
+	// shards share it, so fingerprints agree at the global combine.
+	Seed uint64
+	// Pruners, when non-nil, supplies one program per shard (len must
+	// equal Shards) — the planner's per-switch sizing. Defaults follow
+	// the batched path's per-kind configurations, with HAVING's sketch
+	// threshold tightened to ⌊threshold/Shards⌋.
+	Pruners []prune.Pruner
+	// Flows, when non-nil, routes shard i's batches through Flows[i] (a
+	// flow-scoped handle on shard i's shared pipeline) instead of
+	// invoking the shard's pruner directly. Requires Pruners: control-
+	// plane operations still address the programs directly.
+	Flows []BatchDataplane
+	// Strategy selects the sharding scheme; see ShardAuto.
+	Strategy ShardStrategy
+}
+
+// ShardedRun is the outcome of a scatter/gather execution.
+type ShardedRun struct {
+	Result *Result
+	// Traffic aggregates all switches (MasterProcessed is the global
+	// combine's input size).
+	Traffic Traffic
+	// PerSwitch is each switch's own traffic (MasterProcessed is that
+	// shard's contribution to the combine).
+	PerSwitch []Traffic
+	// Stats sums the shard programs' pruning statistics.
+	Stats prune.Stats
+	// PrunerName records the per-switch algorithm.
+	PrunerName string
+}
+
+// UnprunedFraction is Forwarded/EntriesSent over the whole fabric.
+func (s *ShardedRun) UnprunedFraction() float64 {
+	if s.Traffic.EntriesSent == 0 {
+		return 0
+	}
+	return float64(s.Traffic.Forwarded) / float64(s.Traffic.EntriesSent)
+}
+
+// shardKeyCol picks the column ShardHash/ShardRange split on.
+func shardKeyCol(q *Query) (string, error) {
+	switch q.Kind {
+	case KindFilter:
+		return q.Predicates[0].Col, nil
+	case KindDistinct:
+		return q.DistinctCols[0], nil
+	case KindTopN:
+		return q.OrderCol, nil
+	case KindGroupByMax, KindGroupBySum, KindHaving:
+		return q.KeyCol, nil
+	case KindSkyline:
+		return q.SkylineCols[0], nil
+	default:
+		return "", fmt.Errorf("engine: no shard key column for %v", q.Kind)
+	}
+}
+
+// shardTables splits the query's input tables into k shards according to
+// the strategy. For JOIN both sides are hash-sharded on their keys; any
+// other strategy would break key co-location and is rejected.
+func shardTables(q *Query, k int, strategy ShardStrategy) (left, right []*table.Table, err error) {
+	if q.Kind == KindJoin {
+		if strategy != ShardAuto && strategy != ShardHash {
+			return nil, nil, fmt.Errorf("engine: sharded join requires hash sharding on the keys, not %v", strategy)
+		}
+		if k == 1 {
+			// One shard needs no co-location: zero-copy views beat
+			// rebuilding both tables' column storage.
+			if left, err = q.Table.Partition(1); err != nil {
+				return nil, nil, err
+			}
+			if right, err = q.Right.Partition(1); err != nil {
+				return nil, nil, err
+			}
+			return left, right, nil
+		}
+		ls, li := q.Table.Schema(), q.Table.Schema().Index(q.LeftKey)
+		rs, ri := q.Right.Schema(), q.Right.Schema().Index(q.RightKey)
+		if ls[li].Type != rs[ri].Type {
+			return nil, nil, fmt.Errorf("engine: sharded join needs same-typed keys, %q is %s and %q is %s",
+				q.LeftKey, ls[li].Type, q.RightKey, rs[ri].Type)
+		}
+		if left, err = q.Table.ShardBy(q.LeftKey, k); err != nil {
+			return nil, nil, err
+		}
+		if right, err = q.Right.ShardBy(q.RightKey, k); err != nil {
+			return nil, nil, err
+		}
+		return left, right, nil
+	}
+	switch strategy {
+	case ShardAuto, ShardContiguous:
+		left, err = q.Table.Partition(k)
+	case ShardHash:
+		var col string
+		if col, err = shardKeyCol(q); err == nil {
+			left, err = q.Table.ShardBy(col, k)
+		}
+	case ShardRange:
+		var col string
+		if col, err = shardKeyCol(q); err == nil {
+			left, err = q.Table.ShardByRange(col, k)
+		}
+	default:
+		err = fmt.Errorf("engine: unknown shard strategy %d", uint8(strategy))
+	}
+	return left, nil, err
+}
+
+// defaultShardPruner builds shard s's program with the batched path's
+// default configuration, tightened per shard where the merge needs it.
+func defaultShardPruner(q *Query, shards int, seed uint64) (prune.Pruner, error) {
+	switch q.Kind {
+	case KindGroupBySum:
+		return prune.NewGroupBySum(prune.DefaultGroupBySumConfig(seed))
+	case KindHaving:
+		return prune.NewHaving(prune.DefaultHavingConfig(q.Threshold/int64(shards), seed))
+	case KindJoin:
+		return prune.NewJoin(prune.DefaultJoinConfig(seed))
+	case KindTopN:
+		// Each shard's randomized program gets δ/k: a global top-N value
+		// lives in exactly one shard, so the union bound over k
+		// independent programs keeps the fabric-wide miss probability at
+		// the single-switch default δ.
+		return prune.NewRandTopN(prune.LegacyRandTopNConfig(q.N, 1e-4/float64(shards), seed))
+	default:
+		return DefaultPruner(q, seed)
+	}
+}
+
+// shardPruner resolves shard s's program: the caller's when supplied
+// (with a kind-specific type check where the executor needs the concrete
+// interface), a tightened default otherwise.
+func shardPruner(q *Query, opts ShardedOptions, s int) (prune.Pruner, error) {
+	if opts.Pruners != nil {
+		return opts.Pruners[s], nil
+	}
+	return defaultShardPruner(q, opts.Shards, opts.Seed)
+}
+
+// shardExec bundles one shard's execution context.
+type shardExec struct {
+	q       *Query // per-shard query (shard tables substituted)
+	pruner  prune.Pruner
+	dp      BatchDataplane
+	traffic Traffic
+}
+
+// forEachShard runs f concurrently for every shard and returns the first
+// error. Each shard's pruning is one switch's independent dataplane.
+func forEachShard(n int, f func(s int) error) error {
+	if n == 1 {
+		return f(0)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for s := 0; s < n; s++ {
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = f(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newShardExecs shards the tables and builds each shard's context.
+func newShardExecs(q *Query, opts ShardedOptions) ([]*shardExec, error) {
+	left, right, err := shardTables(q, opts.Shards, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	execs := make([]*shardExec, opts.Shards)
+	for s := 0; s < opts.Shards; s++ {
+		qs := *q
+		qs.Table = left[s]
+		if right != nil {
+			qs.Right = right[s]
+		}
+		pruner, err := shardPruner(q, opts, s)
+		if err != nil {
+			return nil, err
+		}
+		se := &shardExec{q: &qs, pruner: pruner}
+		if opts.Flows != nil {
+			se.dp = opts.Flows[s]
+		} else {
+			se.dp = progDataplane{prog: pruner}
+		}
+		execs[s] = se
+	}
+	return execs, nil
+}
+
+// gatherSurvivors copies each shard's surviving rows into one master-
+// side table (late materialization of the gather step), one columnar
+// sweep per shard.
+func gatherSurvivors(execs []*shardExec, survivors [][]int) (*table.Table, error) {
+	g, err := table.New(execs[0].q.Table.Schema())
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, rows := range survivors {
+		total += len(rows)
+	}
+	g.Grow(total)
+	for s, rows := range survivors {
+		if err := g.AppendRowsFrom(execs[s].q.Table, rows); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ExecSharded runs the query across a fabric of Shards switches: the
+// table is sharded, each shard's workers stream through their own switch
+// program concurrently, and the master merges shard partials into the
+// exact global result. The result is identical to ExecDirect for every
+// query kind.
+func ExecSharded(q *Query, opts ShardedOptions) (*ShardedRun, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Pruners != nil {
+		if len(opts.Pruners) != opts.Shards {
+			return nil, fmt.Errorf("engine: got %d pruners for %d shards", len(opts.Pruners), opts.Shards)
+		}
+		// Unlike ExecCheetah's single nil-means-default Pruner, a partial
+		// slice is ambiguous (which shards wanted defaults?) — reject it
+		// before a nil program reaches a shard's dataplane.
+		for i, p := range opts.Pruners {
+			if p == nil {
+				return nil, fmt.Errorf("engine: shard %d has a nil pruner (omit Pruners entirely for defaults)", i)
+			}
+		}
+	}
+	if opts.Flows != nil {
+		if len(opts.Flows) != opts.Shards {
+			return nil, fmt.Errorf("engine: got %d flows for %d shards", len(opts.Flows), opts.Shards)
+		}
+		if opts.Pruners == nil {
+			return nil, fmt.Errorf("engine: shard flows require the matching Pruners (control-plane operations address programs directly)")
+		}
+	}
+	execs, err := newShardExecs(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	var run *ShardedRun
+	switch q.Kind {
+	case KindFilter, KindSkyline:
+		run, err = shardedGather(q, execs, opts)
+	case KindDistinct:
+		run, err = shardedDistinct(q, execs, opts)
+	case KindTopN:
+		run, err = shardedTopN(q, execs, opts)
+	case KindGroupByMax:
+		run, err = shardedGroupByMax(q, execs, opts)
+	case KindGroupBySum:
+		run, err = shardedGroupBySum(q, execs, opts)
+	case KindHaving:
+		run, err = shardedHaving(q, execs, opts)
+	case KindJoin:
+		run, err = shardedJoin(q, execs, opts)
+	default:
+		return nil, fmt.Errorf("engine: unknown kind %v", q.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	run.PrunerName = execs[0].pruner.Name()
+	run.PerSwitch = make([]Traffic, len(execs))
+	for s, se := range execs {
+		run.PerSwitch[s] = se.traffic
+		run.Traffic.EntriesSent += se.traffic.EntriesSent
+		run.Traffic.Forwarded += se.traffic.Forwarded
+		run.Traffic.SecondPassSent += se.traffic.SecondPassSent
+		st := se.pruner.Stats()
+		run.Stats.Processed += st.Processed
+		run.Stats.Pruned += st.Pruned
+	}
+	return run, nil
+}
+
+// shardSurvivors runs shard se's single-pass pruning stream and returns
+// the shard-local surviving row ids, using the pruner's batched
+// execution (ExecCheetah on the shard with the shard's own program).
+// Kinds whose batched completion fuses away the survivor list (TOP N)
+// have their own shard pass below.
+func (se *shardExec) shardSurvivors(opts ShardedOptions, collect func(fwd []uint64, ids []uint64, b int)) error {
+	q := se.q
+	buf := getStreamBuf()
+	defer putStreamBuf(buf)
+	var enc partEncoder
+	var width int
+	needIDs := true
+	switch q.Kind {
+	case KindFilter:
+		cols := make([]int, len(q.Predicates))
+		for i, p := range q.Predicates {
+			cols[i] = q.Table.Schema().MustIndex(p.Col)
+		}
+		width = len(cols)
+		enc = encFilter(q, cols)
+	case KindSkyline:
+		cols := make([]int, len(q.SkylineCols))
+		for i, c := range q.SkylineCols {
+			cols[i] = q.Table.Schema().MustIndex(c)
+		}
+		width = len(cols) + 1
+		needIDs = false
+		enc = encCols64(q.Table, cols)
+	default:
+		return fmt.Errorf("engine: shardSurvivors does not handle %v", q.Kind)
+	}
+	batchPass(q.Table.NumRows(), opts.Workers, width, needIDs, buf, enc, se.dp, nil,
+		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+			se.traffic.EntriesSent += b.N
+			src := ids
+			if q.Kind == KindSkyline {
+				// The entry id rides as the last header column through
+				// swaps.
+				src = b.Cols[width-1]
+			}
+			fwd := buf.compactForwarded(src, dec, b.N)
+			se.traffic.Forwarded += len(fwd)
+			collect(fwd, ids, b.N)
+		})
+	return nil
+}
+
+// shardedGather serves FILTER and SKYLINE: per-shard survivor streams,
+// then an exact master completion over the gathered union.
+func shardedGather(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun, error) {
+	survivors := make([][]int, len(execs))
+	err := forEachShard(len(execs), func(s int) error {
+		se := execs[s]
+		sv := survivorSet{remaining: se.q.Table.NumRows()}
+		if err := se.shardSurvivors(opts, func(fwd []uint64, _ []uint64, chunkN int) {
+			sv.add(fwd, chunkN)
+		}); err != nil {
+			return err
+		}
+		if q.Kind == KindSkyline {
+			// Control-plane drain of the stored points at FIN.
+			dr, ok := se.pruner.(prune.Drainer)
+			if !ok {
+				return fmt.Errorf("engine: skyline needs a draining pruner, got %T", se.pruner)
+			}
+			width := len(q.SkylineCols)
+			for _, e := range dr.Drain() {
+				se.traffic.Forwarded++
+				sv.rows = append(sv.rows, int(e[width]))
+			}
+		}
+		se.traffic.MasterProcessed = len(sv.rows)
+		survivors[s] = sv.rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g, err := gatherSurvivors(execs, survivors)
+	if err != nil {
+		return nil, err
+	}
+	qg := *q
+	qg.Table = g
+	res, err := completeOnRows(&qg, allRows(g))
+	if err != nil {
+		return nil, err
+	}
+	run := &ShardedRun{Result: res}
+	run.Traffic.MasterProcessed = g.NumRows()
+	return run, nil
+}
+
+// shardedDistinct dedupes per shard on the worker-computed fingerprint,
+// then globally across shards.
+func shardedDistinct(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun, error) {
+	type uniq struct {
+		fps  []uint64
+		rows []int
+	}
+	partials := make([]uniq, len(execs))
+	err := forEachShard(len(execs), func(s int) error {
+		se := execs[s]
+		qs := se.q
+		cols := make([]int, len(qs.DistinctCols))
+		for i, c := range qs.DistinctCols {
+			cols[i] = qs.Table.Schema().MustIndex(c)
+		}
+		buf := getStreamBuf()
+		defer putStreamBuf(buf)
+		seen := make(map[uint64]struct{}, 1024)
+		u := &partials[s]
+		batchPass(qs.Table.NumRows(), opts.Workers, 1, true, buf, encFingerprint(qs.Table, cols, opts.Seed), se.dp, nil,
+			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+				se.traffic.EntriesSent += b.N
+				fps := b.Cols[0]
+				idx := buf.compactIndices(dec, b.N)
+				se.traffic.Forwarded += len(idx)
+				for _, j := range idx {
+					if _, ok := seen[fps[j]]; !ok {
+						seen[fps[j]] = struct{}{}
+						u.fps = append(u.fps, fps[j])
+						u.rows = append(u.rows, int(ids[j]))
+					}
+				}
+			})
+		se.traffic.MasterProcessed = se.traffic.Forwarded
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Global combine: first shard to claim a fingerprint keeps it (any
+	// representative row of the same value tuple renders identically).
+	global := make(map[uint64]struct{}, 1024)
+	cols := make([]int, len(q.DistinctCols))
+	for i, c := range q.DistinctCols {
+		cols[i] = q.Table.Schema().MustIndex(c)
+	}
+	var rows [][]string
+	for s := range partials {
+		t := execs[s].q.Table
+		for i, fp := range partials[s].fps {
+			if _, ok := global[fp]; ok {
+				continue
+			}
+			global[fp] = struct{}{}
+			row := make([]string, len(cols))
+			for k, c := range cols {
+				row[k] = cellString(t, c, partials[s].rows[i])
+			}
+			rows = append(rows, row)
+		}
+	}
+	run := &ShardedRun{Result: sortedResult(append([]string(nil), q.DistinctCols...), rows)}
+	for _, se := range execs {
+		run.Traffic.MasterProcessed += se.traffic.Forwarded
+	}
+	return run, nil
+}
+
+// shardedTopN keeps an N-heap per shard (the shard-local threshold),
+// then re-checks the union in a global N-heap at the master.
+func shardedTopN(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun, error) {
+	heaps := make([]int64Heap, len(execs))
+	err := forEachShard(len(execs), func(s int) error {
+		se := execs[s]
+		qs := se.q
+		col := qs.Table.Schema().MustIndex(qs.OrderCol)
+		buf := getStreamBuf()
+		defer putStreamBuf(buf)
+		h := make(int64Heap, 0, qs.N)
+		batchPass(qs.Table.NumRows(), opts.Workers, 1, false, buf, encInt64(qs.Table, col), se.dp, nil,
+			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+				se.traffic.EntriesSent += b.N
+				fwd := buf.compactForwarded(b.Cols[0], dec, b.N)
+				se.traffic.Forwarded += len(fwd)
+				for _, raw := range fwd {
+					v := int64(raw)
+					if len(h) < qs.N {
+						h.push(v)
+					} else if v > h[0] {
+						h[0] = v
+						h.fixRoot()
+					}
+				}
+			})
+		se.traffic.MasterProcessed = len(h)
+		heaps[s] = h
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := make(int64Heap, 0, q.N)
+	forwarded := 0
+	for _, h := range heaps {
+		forwarded += len(h)
+		for _, v := range h {
+			if len(g) < q.N {
+				g.push(v)
+			} else if v > g[0] {
+				g[0] = v
+				g.fixRoot()
+			}
+		}
+	}
+	cells := make([]string, len(g))
+	for i, v := range g {
+		cells[i] = strconv.FormatInt(v, 10)
+	}
+	radixSortStrings(cells)
+	run := &ShardedRun{Result: &Result{Columns: []string{q.OrderCol}, Rows: singleCellRows(cells)}}
+	run.Traffic.MasterProcessed = forwarded
+	return run, nil
+}
+
+// shardedGroupByMax merges per-shard fingerprint-keyed maxima.
+func shardedGroupByMax(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun, error) {
+	type partial struct {
+		fps  []uint64
+		maxs []int64
+		reps []int
+	}
+	partials := make([]partial, len(execs))
+	err := forEachShard(len(execs), func(s int) error {
+		se := execs[s]
+		qs := se.q
+		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
+		vc := qs.Table.Schema().MustIndex(qs.AggCol)
+		buf := getStreamBuf()
+		defer putStreamBuf(buf)
+		keyIdx := make(map[uint64]int, 1024)
+		p := &partials[s]
+		batchPass(qs.Table.NumRows(), opts.Workers, 2, true, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp, nil,
+			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+				se.traffic.EntriesSent += b.N
+				fps, vals := b.Cols[0], b.Cols[1]
+				idx := buf.compactIndices(dec, b.N)
+				se.traffic.Forwarded += len(idx)
+				for _, j := range idx {
+					v := int64(vals[j])
+					if i, ok := keyIdx[fps[j]]; ok {
+						if v > p.maxs[i] {
+							p.maxs[i] = v
+						}
+					} else {
+						keyIdx[fps[j]] = len(p.maxs)
+						p.fps = append(p.fps, fps[j])
+						p.maxs = append(p.maxs, v)
+						p.reps = append(p.reps, int(ids[j]))
+					}
+				}
+			})
+		se.traffic.MasterProcessed = len(p.maxs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		max   int64
+		shard int
+		rep   int
+	}
+	global := make(map[uint64]entry, 1024)
+	var order []uint64
+	for s := range partials {
+		p := &partials[s]
+		for i, fp := range p.fps {
+			if e, ok := global[fp]; ok {
+				if p.maxs[i] > e.max {
+					e.max = p.maxs[i]
+					global[fp] = e
+				}
+			} else {
+				global[fp] = entry{max: p.maxs[i], shard: s, rep: p.reps[i]}
+				order = append(order, fp)
+			}
+		}
+	}
+	rows := make([][]string, 0, len(order))
+	for _, fp := range order {
+		e := global[fp]
+		t := execs[e.shard].q.Table
+		kc := t.Schema().MustIndex(q.KeyCol)
+		rows = append(rows, []string{cellString(t, kc, e.rep), strconv.FormatInt(e.max, 10)})
+	}
+	run := &ShardedRun{Result: sortedResult([]string{q.KeyCol, "max(" + q.AggCol + ")"}, rows)}
+	for _, se := range execs {
+		run.Traffic.MasterProcessed += se.traffic.Forwarded
+	}
+	return run, nil
+}
+
+// shardedGroupBySum adds per-shard fingerprint-keyed partial sums
+// (forwarded evictions plus the end-of-stream drains).
+func shardedGroupBySum(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun, error) {
+	type partial struct {
+		sums    map[uint64]int64
+		fpToKey map[uint64]string
+	}
+	partials := make([]partial, len(execs))
+	err := forEachShard(len(execs), func(s int) error {
+		se := execs[s]
+		gs, ok := se.pruner.(*prune.GroupBySum)
+		if !ok {
+			return fmt.Errorf("engine: group-by-sum needs a *prune.GroupBySum, got %T", se.pruner)
+		}
+		qs := se.q
+		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
+		vc := qs.Table.Schema().MustIndex(qs.AggCol)
+		buf := getStreamBuf()
+		defer putStreamBuf(buf)
+		p := &partials[s]
+		p.sums = make(map[uint64]int64, 1024)
+		p.fpToKey = make(map[uint64]string, 1024)
+		batchPass(qs.Table.NumRows(), opts.Workers, 2, true, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp,
+			func(b *switchsim.Batch, ids []uint64) {
+				// Key dictionary before the program rewrites forwarded
+				// slots with evicted aggregates.
+				fps := b.Cols[0]
+				for j := 0; j < b.N; j++ {
+					if _, ok := p.fpToKey[fps[j]]; !ok {
+						p.fpToKey[fps[j]] = cellString(qs.Table, kc, int(ids[j]))
+					}
+				}
+			},
+			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+				se.traffic.EntriesSent += b.N
+				fps, vals := b.Cols[0], b.Cols[1]
+				idx := buf.compactIndices(dec, b.N)
+				se.traffic.Forwarded += len(idx)
+				for _, j := range idx {
+					p.sums[fps[j]] += int64(vals[j])
+				}
+			})
+		for _, e := range gs.Drain() {
+			se.traffic.Forwarded++
+			p.sums[e[0]] += int64(e[1])
+		}
+		se.traffic.MasterProcessed = len(p.sums)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[uint64]int64, 1024)
+	fpToKey := make(map[uint64]string, 1024)
+	for s := range partials {
+		for fp, v := range partials[s].sums {
+			sums[fp] += v
+		}
+		for fp, k := range partials[s].fpToKey {
+			if _, ok := fpToKey[fp]; !ok {
+				fpToKey[fp] = k
+			}
+		}
+	}
+	rows := make([][]string, 0, len(sums))
+	for fp, v := range sums {
+		rows = append(rows, []string{fpToKey[fp], strconv.FormatInt(v, 10)})
+	}
+	run := &ShardedRun{Result: sortedResult([]string{q.KeyCol, "sum(" + q.AggCol + ")"}, rows)}
+	run.Traffic.MasterProcessed = len(sums)
+	return run, nil
+}
+
+// shardedHaving runs per-shard sketches at the tightened ⌊T/k⌋
+// threshold, unions the candidate fingerprints, and re-streams every
+// shard against the global candidate set for exact sums.
+func shardedHaving(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun, error) {
+	candidateSets := make([]map[uint64]bool, len(execs))
+	err := forEachShard(len(execs), func(s int) error {
+		se := execs[s]
+		if _, ok := se.pruner.(*prune.Having); !ok {
+			return fmt.Errorf("engine: having needs a *prune.Having, got %T", se.pruner)
+		}
+		qs := se.q
+		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
+		vc := qs.Table.Schema().MustIndex(qs.AggCol)
+		buf := getStreamBuf()
+		defer putStreamBuf(buf)
+		cand := make(map[uint64]bool, 1024)
+		batchPass(qs.Table.NumRows(), opts.Workers, 2, false, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp, nil,
+			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+				se.traffic.EntriesSent += b.N
+				fps := b.Cols[0]
+				idx := buf.compactIndices(dec, b.N)
+				se.traffic.Forwarded += len(idx)
+				for _, j := range idx {
+					cand[fps[j]] = true
+				}
+			})
+		candidateSets[s] = cand
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Barrier: the second pass needs the union of every switch's
+	// candidates — a key's sum may cross the global threshold only in
+	// aggregate.
+	candidates := make(map[uint64]bool, 1024)
+	for _, cand := range candidateSets {
+		for fp := range cand {
+			candidates[fp] = true
+		}
+	}
+	sumsPer := make([]map[string]int64, len(execs))
+	err = forEachShard(len(execs), func(s int) error {
+		se := execs[s]
+		qs := se.q
+		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
+		vc := qs.Table.Schema().MustIndex(qs.AggCol)
+		buf := getStreamBuf()
+		defer putStreamBuf(buf)
+		sums := make(map[string]int64, len(candidates))
+		batchPass(qs.Table.NumRows(), opts.Workers, 2, true, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), nil, nil,
+			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+				fps, vals := b.Cols[0], b.Cols[1]
+				for j := 0; j < b.N; j++ {
+					if !candidates[fps[j]] {
+						continue
+					}
+					se.traffic.EntriesSent++
+					se.traffic.SecondPassSent++
+					sums[cellString(qs.Table, kc, int(ids[j]))] += int64(vals[j])
+				}
+			})
+		se.traffic.MasterProcessed = se.traffic.SecondPassSent
+		sumsPer[s] = sums
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[string]int64, len(candidates))
+	for _, m := range sumsPer {
+		for k, v := range m {
+			sums[k] += v
+		}
+	}
+	rows := make([][]string, 0, len(sums))
+	for k, v := range sums {
+		if v > q.Threshold {
+			rows = append(rows, []string{k})
+		}
+	}
+	run := &ShardedRun{Result: sortedResult([]string{q.KeyCol}, rows)}
+	for _, se := range execs {
+		run.Traffic.MasterProcessed += se.traffic.SecondPassSent
+	}
+	return run, nil
+}
+
+// shardedJoin runs one Bloom join per switch over the co-located shard
+// pair and concatenates the per-key summaries (hash co-location means no
+// key spans switches).
+func shardedJoin(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun, error) {
+	results := make([]*Result, len(execs))
+	err := forEachShard(len(execs), func(s int) error {
+		se := execs[s]
+		j, ok := se.pruner.(*prune.Join)
+		if !ok {
+			return fmt.Errorf("engine: join needs a *prune.Join, got %T", se.pruner)
+		}
+		qs := se.q
+		lc := qs.Table.Schema().MustIndex(qs.LeftKey)
+		rc := qs.Right.Schema().MustIndex(qs.RightKey)
+		buf := getStreamBuf()
+		defer putStreamBuf(buf)
+		encA := encSide(qs.Table, lc, prune.SideA, opts.Seed)
+		encB := encSide(qs.Right, rc, prune.SideB, opts.Seed)
+		pass := func(t *table.Table, enc partEncoder, sv *survivorSet) {
+			batchPass(t.NumRows(), opts.Workers, 2, sv != nil, buf, enc, se.dp, nil,
+				func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+					se.traffic.EntriesSent += b.N
+					if sv == nil {
+						n := b.N
+						for _, d := range dec[:b.N] {
+							n -= int(d)
+						}
+						se.traffic.Forwarded += n
+						return
+					}
+					fwd := buf.compactForwarded(ids, dec, b.N)
+					se.traffic.Forwarded += len(fwd)
+					sv.add(fwd, b.N)
+				})
+		}
+		var left, right survivorSet
+		if j.Asymmetric() {
+			left.remaining = qs.Table.NumRows()
+			pass(qs.Table, encA, &left)
+			j.StartProbe()
+			right.remaining = qs.Right.NumRows()
+			pass(qs.Right, encB, &right)
+		} else {
+			pass(qs.Table, encA, nil)
+			pass(qs.Right, encB, nil)
+			j.StartProbe()
+			left.remaining = qs.Table.NumRows()
+			pass(qs.Table, encA, &left)
+			right.remaining = qs.Right.NumRows()
+			pass(qs.Right, encB, &right)
+		}
+		res, err := execJoin(qs, left.rows, right.rows)
+		if err != nil {
+			return err
+		}
+		se.traffic.MasterProcessed = len(left.rows) + len(right.rows)
+		results[s] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, r.Rows...)
+	}
+	run := &ShardedRun{Result: sortedResult([]string{q.LeftKey, "pairs"}, rows)}
+	for _, se := range execs {
+		run.Traffic.MasterProcessed += se.traffic.MasterProcessed
+	}
+	return run, nil
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"cheetah/internal/prune"
+	"cheetah/internal/table"
+)
+
+// TestShardedMatchesDirect is the scatter/gather equivalence suite: for
+// every query kind, shard count and seed, the multi-switch execution
+// must reproduce ExecDirect's result exactly — same rows, same order.
+func TestShardedMatchesDirect(t *testing.T) {
+	tb := equivTable(t, 5000, 0x5eed)
+	rt := equivTable(t, 1777, 0x0dd)
+	queries := equivQueries(tb, rt)
+	for name, q := range queries {
+		direct, err := ExecDirect(q)
+		if err != nil {
+			t.Fatalf("%s direct: %v", name, err)
+		}
+		for _, shards := range []int{1, 2, 4, 7} {
+			for _, seed := range []uint64{1, 0xfeed, 0xc0ffee} {
+				run, err := ExecSharded(q, ShardedOptions{Shards: shards, Workers: 3, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s shards=%d seed=%d: %v", name, shards, seed, err)
+				}
+				assertShardedRun(t, name, shards, run, direct)
+			}
+		}
+	}
+}
+
+// assertShardedRun checks result equality (including row order) and the
+// per-switch traffic bookkeeping of one sharded run.
+func assertShardedRun(t *testing.T, name string, shards int, run *ShardedRun, direct *Result) {
+	t.Helper()
+	if !run.Result.Equal(direct) {
+		t.Fatalf("%s shards=%d: results diverge\ndirect:\n%s\nsharded:\n%s", name, shards, direct, run.Result)
+	}
+	for i := range direct.Rows {
+		for j := range direct.Rows[i] {
+			if run.Result.Rows[i][j] != direct.Rows[i][j] {
+				t.Fatalf("%s shards=%d: row order diverges at %d", name, shards, i)
+			}
+		}
+	}
+	if len(run.PerSwitch) != shards {
+		t.Fatalf("%s: %d per-switch reports for %d shards", name, len(run.PerSwitch), shards)
+	}
+	sent, fwd, second := 0, 0, 0
+	for _, tr := range run.PerSwitch {
+		sent += tr.EntriesSent
+		fwd += tr.Forwarded
+		second += tr.SecondPassSent
+	}
+	if sent != run.Traffic.EntriesSent || fwd != run.Traffic.Forwarded || second != run.Traffic.SecondPassSent {
+		t.Fatalf("%s shards=%d: per-switch traffic does not sum to the aggregate: %+v vs %+v",
+			name, shards, run.PerSwitch, run.Traffic)
+	}
+	if run.Stats.Processed == 0 && run.Traffic.EntriesSent > 0 {
+		t.Fatalf("%s shards=%d: empty aggregate stats", name, shards)
+	}
+}
+
+// TestShardedStrategies pins the hash and range strategies (Auto covers
+// contiguous above) to the same exactness bar.
+func TestShardedStrategies(t *testing.T) {
+	tb := equivTable(t, 3000, 0xabc)
+	rt := equivTable(t, 900, 0xdef)
+	queries := equivQueries(tb, rt)
+	for name, q := range queries {
+		direct, err := ExecDirect(q)
+		if err != nil {
+			t.Fatalf("%s direct: %v", name, err)
+		}
+		for _, strat := range []ShardStrategy{ShardHash, ShardRange} {
+			if q.Kind == KindJoin {
+				continue // joins force hash-on-key; covered by the main suite
+			}
+			if strat == ShardRange {
+				col, err := shardKeyCol(q)
+				if err != nil || q.Table.Schema()[q.Table.Schema().Index(col)].Type != table.Int64 {
+					continue // range sharding is Int64-only
+				}
+			}
+			run, err := ExecSharded(q, ShardedOptions{Shards: 4, Workers: 2, Seed: 7, Strategy: strat})
+			if err != nil {
+				t.Fatalf("%s strategy=%v: %v", name, strat, err)
+			}
+			if !run.Result.Equal(direct) {
+				t.Fatalf("%s strategy=%v: results diverge\ndirect:\n%s\nsharded:\n%s", name, strat, direct, run.Result)
+			}
+		}
+	}
+}
+
+// TestShardedPlannerPruners exercises the caller-supplied per-switch
+// programs path (the planner's sizing) for the kinds needing concrete
+// pruner types.
+func TestShardedPlannerPruners(t *testing.T) {
+	tb := equivTable(t, 2000, 0x111)
+	rt := equivTable(t, 600, 0x222)
+	const shards = 4
+	queries := equivQueries(tb, rt)
+	build := map[string]func() (prune.Pruner, error){
+		"having": func() (prune.Pruner, error) {
+			return prune.NewHaving(prune.DefaultHavingConfig(queries["having"].Threshold/shards, 9))
+		},
+		"join": func() (prune.Pruner, error) {
+			return prune.NewJoin(prune.JoinConfig{FilterBits: 1 << 16, Hashes: 3, Seed: 9})
+		},
+		"groupby-sum": func() (prune.Pruner, error) {
+			return prune.NewGroupBySum(prune.DefaultGroupBySumConfig(9))
+		},
+	}
+	for name, mk := range build {
+		q := queries[name]
+		direct, err := ExecDirect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruners := make([]prune.Pruner, shards)
+		for i := range pruners {
+			if pruners[i], err = mk(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run, err := ExecSharded(q, ShardedOptions{Shards: shards, Workers: 2, Seed: 9, Pruners: pruners})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !run.Result.Equal(direct) {
+			t.Fatalf("%s with planner pruners: results diverge\ndirect:\n%s\nsharded:\n%s", name, direct, run.Result)
+		}
+	}
+}
+
+// TestShardedOptionValidation pins the descriptive error paths.
+func TestShardedOptionValidation(t *testing.T) {
+	tb := equivTable(t, 100, 1)
+	rt := equivTable(t, 50, 2)
+	queries := equivQueries(tb, rt)
+
+	q := queries["distinct-string"]
+	if _, err := ExecSharded(q, ShardedOptions{Shards: 4, Pruners: make([]prune.Pruner, 2)}); err == nil {
+		t.Fatal("pruner/shard count mismatch: want error")
+	}
+	if _, err := ExecSharded(q, ShardedOptions{Shards: 2, Flows: make([]BatchDataplane, 2)}); err == nil {
+		t.Fatal("flows without pruners: want error")
+	}
+	if _, err := ExecSharded(queries["join"], ShardedOptions{Shards: 2, Strategy: ShardContiguous}); err == nil {
+		t.Fatal("contiguous sharded join: want error")
+	}
+	if _, err := ExecSharded(queries["distinct-string"], ShardedOptions{Shards: 2, Strategy: ShardRange}); err == nil {
+		t.Fatal("range sharding a string column: want error")
+	}
+
+	// Shards exceeding the row count still execute exactly.
+	small := equivTable(t, 5, 3)
+	qs := &Query{Kind: KindTopN, Table: small, OrderCol: "score", N: 3}
+	direct, err := ExecDirect(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := ExecSharded(qs, ShardedOptions{Shards: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Result.Equal(direct) {
+		t.Fatalf("shards > rows: results diverge\ndirect:\n%s\nsharded:\n%s", direct, run.Result)
+	}
+}
+
+// TestShardedNilPrunerRejected pins the descriptive error for a partial
+// pruner slice (a nil element must not reach a shard's dataplane).
+func TestShardedNilPrunerRejected(t *testing.T) {
+	tb := equivTable(t, 50, 1)
+	q := &Query{Kind: KindDistinct, Table: tb, DistinctCols: []string{"name"}}
+	good, err := DefaultPruner(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ExecSharded(q, ShardedOptions{Shards: 2, Pruners: []prune.Pruner{good, nil}})
+	if err == nil || !strings.Contains(err.Error(), "nil pruner") {
+		t.Fatalf("nil pruner element: got %v", err)
+	}
+}

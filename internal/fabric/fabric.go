@@ -1,0 +1,207 @@
+// Package fabric is Cheetah's multi-switch execution fabric: N
+// simulated switch pipelines, each fronted by its own serving layer
+// (admission + QueryID multiplexing), behind one placement interface.
+// The paper's deployment is a distributed database where every rack's
+// ToR switch prunes its own workers' streams; a Fabric is that set of
+// ToR switches as one control-plane object.
+//
+// Two usage shapes map onto it:
+//
+//   - Query placement (serving): each concurrent query runs whole on
+//     one switch. Admit picks the least-loaded switch first and, when
+//     every switch is busy, joins the FIFO queue of the least-contended
+//     one — aggregate serving throughput scales with switch count.
+//   - Scatter/gather (scale-out): one query is sharded across all N
+//     switches. AdmitShards installs one program per switch and the
+//     engine's ExecSharded streams each shard through its own lease.
+//
+// Placement is deliberately simple and deterministic given a load
+// snapshot; adaptive placement (Cuttlefish-style learned policies) can
+// swap in behind the same Admit signature.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cheetah/internal/serve"
+	"cheetah/internal/switchsim"
+)
+
+// Options configures a fabric.
+type Options struct {
+	// Switches is the pipeline count; ≤ 0 selects 1.
+	Switches int
+	// Model is the hardware model every switch simulates. The zero
+	// value selects switchsim.Tofino(). Fabrics are homogeneous — the
+	// paper's racks deploy identical ToR switches.
+	Model switchsim.Model
+	// QueueLimit caps each switch's admission wait queue (0 =
+	// unbounded); admissions beyond every queue's cap shed load.
+	QueueLimit int
+}
+
+// Fabric owns N per-switch serving layers. All methods are safe for
+// concurrent use.
+type Fabric struct {
+	servers []*serve.Server
+	model   switchsim.Model
+}
+
+// New builds a fabric of opts.Switches fresh pipelines.
+func New(opts Options) (*Fabric, error) {
+	if opts.Switches <= 0 {
+		opts.Switches = 1
+	}
+	if opts.Model.Stages == 0 {
+		opts.Model = switchsim.Tofino()
+	}
+	f := &Fabric{model: opts.Model}
+	for i := 0; i < opts.Switches; i++ {
+		srv, err := serve.New(serve.Options{Model: opts.Model, QueueLimit: opts.QueueLimit})
+		if err != nil {
+			return nil, err
+		}
+		f.servers = append(f.servers, srv)
+	}
+	return f, nil
+}
+
+// Size returns the switch count.
+func (f *Fabric) Size() int { return len(f.servers) }
+
+// Model returns the per-switch hardware model.
+func (f *Fabric) Model() switchsim.Model { return f.model }
+
+// Server returns switch i's serving layer, for direct (per-switch)
+// control-plane access.
+func (f *Fabric) Server(i int) *serve.Server { return f.servers[i] }
+
+// Stats returns each switch's serving counters, indexed by switch.
+func (f *Fabric) Stats() []serve.Counters {
+	out := make([]serve.Counters, len(f.servers))
+	for i, s := range f.servers {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Utilization returns each switch's pipeline occupancy, indexed by
+// switch.
+func (f *Fabric) Utilization() []switchsim.Utilization {
+	out := make([]switchsim.Utilization, len(f.servers))
+	for i, s := range f.servers {
+		out[i] = s.Utilization()
+	}
+	return out
+}
+
+// Placement is one admitted query's hold on the fabric: the lease plus
+// the switch it landed on.
+type Placement struct {
+	*serve.Lease
+	// Switch is the index of the pipeline the query was placed on.
+	Switch int
+}
+
+// sortedBy returns the switch indices ordered ascending by less over
+// the load snapshot (insertion sort: fabrics are a handful of racks).
+// Ties break toward the lower index for determinism.
+func sortedBy(stats []serve.Counters, less func(a, b serve.Counters) bool) []int {
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && less(stats[order[j]], stats[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// Admit places one query's program on the fabric: switches are tried in
+// ascending load order (active leases, then queue depth, then index for
+// determinism) with non-blocking admission; when every switch is busy
+// the call joins the FIFO wait queue of the least-contended switch
+// (shortest queue, then fewest active, then lowest index), retrying
+// the next-least-contended queue when one is at its cap. ErrNeverFits
+// and ErrClosed propagate from the serving layer; ErrQueueFull is
+// returned only when every switch's queue is at its cap.
+func (f *Fabric) Admit(ctx context.Context, prog switchsim.Program) (*Placement, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("fabric: Admit needs a program")
+	}
+	stats := f.Stats()
+	// Least-loaded first: fewest active leases, breaking ties toward the
+	// shorter queue.
+	var lastErr error
+	for _, i := range sortedBy(stats, func(a, b serve.Counters) bool {
+		if a.Active != b.Active {
+			return a.Active < b.Active
+		}
+		return a.Queued < b.Queued
+	}) {
+		l, err := f.servers[i].TryAdmit(prog)
+		if err == nil {
+			return &Placement{Lease: l, Switch: i}, nil
+		}
+		lastErr = err
+		// A program the model can never host fails on every identical
+		// switch, and a closed server means the fabric is closing.
+		if !errors.Is(err, serve.ErrBusy) {
+			return nil, err
+		}
+	}
+	// Everyone is busy: wait FIFO on the least-contended switch, falling
+	// through to the next-least-contended instead of shedding while some
+	// switch still has queue capacity.
+	for _, i := range sortedBy(stats, func(a, b serve.Counters) bool {
+		if a.Queued != b.Queued {
+			return a.Queued < b.Queued
+		}
+		return a.Active < b.Active
+	}) {
+		l, err := f.servers[i].Admit(ctx, prog)
+		if err == nil {
+			return &Placement{Lease: l, Switch: i}, nil
+		}
+		lastErr = err
+		if !errors.Is(err, serve.ErrQueueFull) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// AdmitShards installs one program per switch — progs[i] on switch i —
+// for a scatter/gather execution, waiting FIFO on each switch as
+// needed. On any failure the already-granted leases are released, so a
+// partially admitted scatter never leaks programs.
+func (f *Fabric) AdmitShards(ctx context.Context, progs []switchsim.Program) ([]*serve.Lease, error) {
+	if len(progs) != len(f.servers) {
+		return nil, fmt.Errorf("fabric: got %d programs for %d switches", len(progs), len(f.servers))
+	}
+	leases := make([]*serve.Lease, len(progs))
+	for i, prog := range progs {
+		l, err := f.servers[i].Admit(ctx, prog)
+		if err != nil {
+			for _, g := range leases[:i] {
+				g.Release()
+			}
+			return nil, fmt.Errorf("fabric: switch %d: %w", i, err)
+		}
+		leases[i] = l
+	}
+	return leases, nil
+}
+
+// Close shuts every switch's serving layer down: queued admissions and
+// future Admit calls fail with serve.ErrClosed. Active leases stay
+// valid. Idempotent.
+func (f *Fabric) Close() {
+	for _, s := range f.servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,302 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cheetah/internal/boolexpr"
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/serve"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/table"
+)
+
+// stubProg is a minimal program with a configurable footprint.
+type stubProg struct{ prof switchsim.Profile }
+
+func (p stubProg) Profile() switchsim.Profile          { return p.prof }
+func (p stubProg) Process([]uint64) switchsim.Decision { return switchsim.Forward }
+func (p stubProg) Reset()                              {}
+
+// tinyModel is a switch with 3 usable stages (3 reserved), no
+// recirculation — small enough that one 3-stage program fills it.
+func tinyModel() switchsim.Model {
+	return switchsim.Model{
+		Name:             "tiny",
+		Stages:           6,
+		ALUsPerStage:     4,
+		SRAMPerStageBits: 1 << 20,
+		TCAMEntries:      1000,
+		MetadataBits:     512,
+		Recirculation:    1,
+	}
+}
+
+// prog returns a stub consuming `stages` full stages' worth of ALUs.
+func prog(stages int) stubProg {
+	return stubProg{prof: switchsim.Profile{Name: "stub", Stages: stages, ALUs: 4 * stages}}
+}
+
+func TestAdmitSpreadsLeastLoaded(t *testing.T) {
+	f, err := New(Options{Switches: 3, Model: tinyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	seen := map[int]int{}
+	var leases []*Placement
+	for i := 0; i < 3; i++ {
+		p, err := f.Admit(context.Background(), prog(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p.Switch]++
+		leases = append(leases, p)
+	}
+	// With equal load the tie breaks by index, so three admissions land
+	// on three distinct switches.
+	for i := 0; i < 3; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("placement skew: %v", seen)
+		}
+	}
+	for _, p := range leases {
+		p.Release()
+	}
+}
+
+func TestAdmitFallsBackToLeastContendedQueue(t *testing.T) {
+	f, err := New(Options{Switches: 2, Model: tinyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Fill both switches completely.
+	a, err := f.Admit(context.Background(), prog(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Admit(context.Background(), prog(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Switch == b.Switch {
+		t.Fatalf("both full-switch programs on switch %d", a.Switch)
+	}
+	// Next admission must queue; releasing a switch should grant it.
+	done := make(chan *Placement, 1)
+	go func() {
+		p, err := f.Admit(context.Background(), prog(3))
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- p
+	}()
+	// Wait until it is queued somewhere, then release that switch.
+	var queuedAt int
+	for {
+		stats := f.Stats()
+		queuedAt = -1
+		for i, st := range stats {
+			if st.Queued > 0 {
+				queuedAt = i
+			}
+		}
+		if queuedAt >= 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if queuedAt == a.Switch {
+		a.Release()
+	} else {
+		b.Release()
+	}
+	p := <-done
+	if p == nil {
+		t.Fatal("queued admission failed")
+	}
+	if p.Switch != queuedAt {
+		t.Fatalf("granted on switch %d, queued on %d", p.Switch, queuedAt)
+	}
+	p.Release()
+	if queuedAt == a.Switch {
+		b.Release()
+	} else {
+		a.Release()
+	}
+}
+
+func TestAdmitNeverFitsAndClosed(t *testing.T) {
+	f, err := New(Options{Switches: 2, Model: tinyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Admit(context.Background(), prog(4)); !errors.Is(err, serve.ErrNeverFits) {
+		t.Fatalf("oversized program: got %v, want ErrNeverFits", err)
+	}
+	f.Close()
+	f.Close() // idempotent
+	if _, err := f.Admit(context.Background(), prog(1)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("closed fabric: got %v, want ErrClosed", err)
+	}
+}
+
+func TestAdmitShardsRollbackOnFailure(t *testing.T) {
+	f, err := New(Options{Switches: 3, Model: tinyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Program 1 can never fit, so the scatter fails after switch 0's
+	// grant — which must be rolled back.
+	_, err = f.AdmitShards(context.Background(), []switchsim.Program{prog(1), prog(4), prog(1)})
+	if !errors.Is(err, serve.ErrNeverFits) {
+		t.Fatalf("got %v, want ErrNeverFits", err)
+	}
+	for i, u := range f.Utilization() {
+		if u.ALUsUsed != 0 {
+			t.Fatalf("switch %d leaked resources after rollback: %v", i, u)
+		}
+	}
+	// Count mismatch errors descriptively.
+	if _, err := f.AdmitShards(context.Background(), []switchsim.Program{prog(1)}); err == nil {
+		t.Fatal("program/switch count mismatch: want error")
+	}
+	// A full scatter admits one program per switch.
+	leases, err := f.AdmitShards(context.Background(), []switchsim.Program{prog(1), prog(1), prog(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range f.Utilization() {
+		if u.ALUsUsed != 4 {
+			t.Fatalf("switch %d utilization %v, want 4 ALUs", i, u)
+		}
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+}
+
+func TestFabricConcurrentChurn(t *testing.T) {
+	f, err := New(Options{Switches: 4, Model: tinyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const goroutines = 16
+	const perG = 25
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p, err := f.Admit(context.Background(), prog(1+(g+i)%3))
+				if err != nil {
+					t.Errorf("admit: %v", err)
+					return
+				}
+				p.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	admitted := uint64(0)
+	for _, st := range f.Stats() {
+		admitted += st.Admitted
+		if st.Active != 0 || st.Queued != 0 {
+			t.Fatalf("leftover load after churn: %+v", st)
+		}
+	}
+	if admitted != goroutines*perG {
+		t.Fatalf("admitted %d, want %d", admitted, goroutines*perG)
+	}
+	for i, u := range f.Utilization() {
+		if u.ALUsUsed != 0 {
+			t.Fatalf("switch %d leaked resources: %v", i, u)
+		}
+	}
+}
+
+// TestScatterGatherThroughFabricLeases wires the full multi-switch
+// dataplane: per-shard programs are admitted into real pipelines via
+// AdmitShards and the engine executes each shard through its lease —
+// the result must still be exactly ExecDirect's.
+func TestScatterGatherThroughFabricLeases(t *testing.T) {
+	tb := table.MustNew(table.Schema{
+		{Name: "name", Type: table.String},
+		{Name: "score", Type: table.Int64},
+	})
+	s := uint64(7)
+	for i := 0; i < 4000; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		if err := tb.AppendRow(fmt.Sprintf("u%03d", s%300), int64(s%100_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := map[string]*engine.Query{
+		"distinct": {Kind: engine.KindDistinct, Table: tb, DistinctCols: []string{"name"}},
+		"topn":     {Kind: engine.KindTopN, Table: tb, OrderCol: "score", N: 40},
+		"filter": {
+			Kind:       engine.KindFilter,
+			Table:      tb,
+			Predicates: []engine.FilterPred{{Col: "score", Op: prune.OpGT, Const: 50_000}},
+			Formula:    boolexpr.Leaf{V: 0},
+		},
+	}
+	const switches = 4
+	f, err := New(Options{Switches: switches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for name, q := range queries {
+		direct, err := engine.ExecDirect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruners := make([]prune.Pruner, switches)
+		progs := make([]switchsim.Program, switches)
+		for i := range pruners {
+			p, err := engine.DefaultPruner(q, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruners[i] = p
+			progs[i] = p
+		}
+		leases, err := f.AdmitShards(context.Background(), progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := make([]engine.BatchDataplane, switches)
+		for i, l := range leases {
+			flows[i] = l
+		}
+		run, err := engine.ExecSharded(q, engine.ShardedOptions{
+			Shards: switches, Workers: 2, Seed: 11, Pruners: pruners, Flows: flows,
+		})
+		for _, l := range leases {
+			l.Release()
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !run.Result.Equal(direct) {
+			t.Fatalf("%s through fabric leases: results diverge\ndirect:\n%s\nsharded:\n%s", name, direct, run.Result)
+		}
+	}
+	for i, u := range f.Utilization() {
+		if u.ALUsUsed != 0 || u.SRAMBitsUsed != 0 {
+			t.Fatalf("switch %d leaked resources: %v", i, u)
+		}
+	}
+}

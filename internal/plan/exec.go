@@ -29,6 +29,13 @@ type Execution struct {
 	// QueryID is the flow id the serving layer assigned this execution
 	// (the §5 Cheetah-header query id); 0 outside a Serving handle.
 	QueryID uint32
+	// Switch is the fabric switch index a served query was placed on;
+	// meaningful only when QueryID is non-zero.
+	Switch int
+	// PerSwitch reports each switch's traffic and occupancy for a
+	// scatter/gather execution (Switches > 1 in the plan); nil for
+	// single-switch and direct runs.
+	PerSwitch []SwitchReport
 	// PipelineUtil is the switch occupancy attributed to this query: the
 	// shared pipeline's snapshot at admission under a Serving handle, a
 	// dedicated pipeline's occupancy otherwise. Zero for ModeDirect.
@@ -38,6 +45,14 @@ type Execution struct {
 	// SparkEstimate is the modelled completion time of the Spark-style
 	// baseline on the same data, for comparison (Figure 5's other bar).
 	SparkEstimate engine.Breakdown
+}
+
+// SwitchReport is one fabric switch's share of a scatter/gather
+// execution: its shard's traffic and the pipeline occupancy of its
+// program.
+type SwitchReport struct {
+	Traffic engine.Traffic
+	Util    switchsim.Utilization
 }
 
 // UnprunedFraction is Forwarded/EntriesSent, Figures 10–11's metric; it
@@ -59,17 +74,26 @@ func (e *Execution) Explain() string {
 		fmt.Fprintf(&b, "mode:    direct (single node)\n")
 		fmt.Fprintf(&b, "reason:  %s\n", p.Reason)
 	} else {
-		fmt.Fprintf(&b, "mode:    %s (%d workers, switch %s)\n", p.Mode, p.Workers, p.Model.Name)
+		if p.Switches > 1 {
+			fmt.Fprintf(&b, "mode:    %s (%d switches × %d workers, %s fabric)\n",
+				p.Mode, p.Switches, p.Workers, p.Model.Name)
+		} else {
+			fmt.Fprintf(&b, "mode:    %s (%d workers, switch %s)\n", p.Mode, p.Workers, p.Model.Name)
+		}
 		fmt.Fprintf(&b, "pruner:  %s (%s guarantee) — %s\n", p.PrunerName, p.Guarantee, p.Reason)
 		fmt.Fprintf(&b, "switch:  %s\n", p.Profile)
 		if e.QueryID != 0 {
-			fmt.Fprintf(&b, "queryid: %d (shared pipeline)\n", e.QueryID)
+			fmt.Fprintf(&b, "queryid: %d (shared pipeline, switch %d)\n", e.QueryID, e.Switch)
 		}
 		if e.PipelineUtil.StagesTotal != 0 {
 			fmt.Fprintf(&b, "util:    %s\n", e.PipelineUtil)
 		}
 		fmt.Fprintf(&b, "traffic: sent=%d forwarded=%d pruned=%.2f%%\n",
 			e.Traffic.EntriesSent, e.Traffic.Forwarded, 100*e.Stats.PruneRate())
+		for i, sw := range e.PerSwitch {
+			fmt.Fprintf(&b, "  switch %d: sent=%d forwarded=%d util %s\n",
+				i, sw.Traffic.EntriesSent, sw.Traffic.Forwarded, sw.Util)
+		}
 	}
 	if e.ClusterReport != nil {
 		fmt.Fprintf(&b, "network: delivered=%d retransmits=%d\n",
@@ -116,6 +140,9 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 		// Direct execution is single-node: all rows on one machine.
 		ex.Estimate = s.cost.SparkTime(q.Kind, []int{queryRows(q)}, len(res.Rows), false, s.opts.NICGbps)
 	case ModeCheetah:
+		if p.Switches > 1 {
+			return s.execShardedCheetah(ex, p)
+		}
 		pruner, err := p.NewPruner()
 		if err != nil {
 			return nil, err
@@ -132,6 +159,9 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 		ex.Stats = run.Stats
 		ex.Estimate = s.cost.CheetahTime(q.Kind, run.Traffic, s.opts.NICGbps)
 	case ModeCluster:
+		if p.Switches > 1 {
+			return s.execShardedCluster(ex, p)
+		}
 		pruner, err := p.NewPruner()
 		if err != nil {
 			return nil, err
@@ -159,8 +189,120 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 	default:
 		return nil, fmt.Errorf("plan: unknown mode %v", p.Mode)
 	}
-	ex.SparkEstimate = s.sparkEstimate(q, len(ex.Result.Rows))
+	// A direct execution ran on one node regardless of the session's
+	// fabric width; its baseline is a single rack's workers (matching
+	// the serving fallback, which pins Switches to 1).
+	sw := p.Switches
+	if p.Mode == ModeDirect {
+		sw = 1
+	}
+	ex.SparkEstimate = s.sparkEstimate(q, len(ex.Result.Rows), sw)
 	return ex, nil
+}
+
+// execShardedCheetah runs the scatter/gather path: one program per
+// switch, per-shard streams pruned concurrently, two-level merge at the
+// master. The completion-time estimate uses the fabric's bottleneck
+// shape — racks stream in parallel (the busiest switch's entries bound
+// the worker→switch leg) while the master still touches every
+// forwarded entry.
+func (s *Session) execShardedCheetah(ex *Execution, p *Plan) (*Execution, error) {
+	q := p.Query
+	pruners, err := p.NewShardPruners()
+	if err != nil {
+		return nil, err
+	}
+	run, err := engine.ExecSharded(q, engine.ShardedOptions{
+		Shards: p.Switches, Workers: p.Workers, Seed: p.Seed, Pruners: pruners,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex.Result = run.Result
+	ex.Traffic = run.Traffic
+	ex.Stats = run.Stats
+	// All N programs are identically configured, so one dedicated-
+	// pipeline model covers every switch.
+	util := dedicatedUtil(p.Model, pruners[0])
+	ex.PerSwitch = make([]SwitchReport, p.Switches)
+	for i := range ex.PerSwitch {
+		ex.PerSwitch[i] = SwitchReport{Traffic: run.PerSwitch[i], Util: util}
+	}
+	ex.PipelineUtil = util
+	ex.Estimate = s.cost.CheetahTime(q.Kind, fabricBottleneck(run.Traffic, run.PerSwitch), s.opts.NICGbps)
+	ex.SparkEstimate = s.sparkEstimate(q, len(ex.Result.Rows), p.Switches)
+	return ex, nil
+}
+
+// execShardedCluster runs the scatter/gather path over the simulated
+// network: one rack (workers + network + pipeline) per switch.
+func (s *Session) execShardedCluster(ex *Execution, p *Plan) (*Execution, error) {
+	q := p.Query
+	pruners, err := p.NewShardPruners()
+	if err != nil {
+		return nil, err
+	}
+	res, reps, err := cluster.RunSharded(q, pruners, cluster.Config{
+		Workers:  p.Workers,
+		LossRate: s.opts.LossRate,
+		Seed:     p.Seed,
+		RTO:      s.opts.RTO,
+		Model:    p.Model,
+	}, p.Switches)
+	if err != nil {
+		return nil, err
+	}
+	ex.Result = res
+	ex.PerSwitch = make([]SwitchReport, p.Switches)
+	perTraffic := make([]engine.Traffic, p.Switches)
+	merged := &cluster.Report{PrunerName: reps[0].PrunerName, Util: reps[0].Util}
+	for i, rep := range reps {
+		tr := engine.Traffic{
+			EntriesSent:     rep.EntriesSent,
+			Forwarded:       int(rep.Delivered),
+			MasterProcessed: int(rep.Delivered),
+		}
+		ex.PerSwitch[i] = SwitchReport{Traffic: tr, Util: rep.Util}
+		perTraffic[i] = tr
+		ex.Traffic.EntriesSent += tr.EntriesSent
+		ex.Traffic.Forwarded += tr.Forwarded
+		ex.Traffic.MasterProcessed += tr.MasterProcessed
+		merged.EntriesSent += rep.EntriesSent
+		merged.Pruned += rep.Pruned
+		merged.Delivered += rep.Delivered
+		merged.Retransmissions += rep.Retransmissions
+		merged.DroppedGaps += rep.DroppedGaps
+	}
+	ex.ClusterReport = merged
+	ex.PipelineUtil = reps[0].Util
+	for _, pr := range pruners {
+		st := pr.Stats()
+		ex.Stats.Processed += st.Processed
+		ex.Stats.Pruned += st.Pruned
+	}
+	ex.Estimate = s.cost.CheetahTime(q.Kind, fabricBottleneck(ex.Traffic, perTraffic), s.opts.NICGbps)
+	ex.SparkEstimate = s.sparkEstimate(q, len(ex.Result.Rows), p.Switches)
+	return ex, nil
+}
+
+// fabricBottleneck reshapes a sharded execution's traffic for the cost
+// model: worker→switch legs run in parallel across racks (take the
+// busiest switch's sent counts), while forwarded entries all converge
+// on the master.
+func fabricBottleneck(total engine.Traffic, perSwitch []engine.Traffic) engine.Traffic {
+	t := engine.Traffic{
+		Forwarded:       total.Forwarded,
+		MasterProcessed: total.MasterProcessed,
+	}
+	for _, sw := range perSwitch {
+		if sw.EntriesSent > t.EntriesSent {
+			t.EntriesSent = sw.EntriesSent
+		}
+		if sw.SecondPassSent > t.SecondPassSent {
+			t.SecondPassSent = sw.SecondPassSent
+		}
+	}
+	return t
 }
 
 // dedicatedUtil models the pipeline occupancy of an exclusively-owned
@@ -186,13 +328,22 @@ func queryRows(q *engine.Query) int {
 	return rows
 }
 
-// sparkEstimate models the Spark-style baseline: the table split evenly
-// across the session's workers, warm run.
-func (s *Session) sparkEstimate(q *engine.Query, resultRows int) engine.Breakdown {
+// sparkEstimate models the Spark-style baseline on the same hardware
+// the execution used: the table split evenly across every rack's
+// workers at the plan's fabric width (served queries run whole on one
+// switch, so their baseline is a single rack's workers), warm run.
+func (s *Session) sparkEstimate(q *engine.Query, resultRows, switches int) engine.Breakdown {
 	rows := queryRows(q)
-	perWorker := make([]int, s.opts.Workers)
+	if switches <= 0 {
+		switches = 1
+	}
+	workers := s.opts.Workers * switches
+	perWorker := make([]int, workers)
 	for i := range perWorker {
-		perWorker[i] = rows / s.opts.Workers
+		perWorker[i] = rows / workers
+		if i < rows%workers {
+			perWorker[i]++
+		}
 	}
 	return s.cost.SparkTime(q.Kind, perWorker, resultRows, false, s.opts.NICGbps)
 }

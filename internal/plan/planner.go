@@ -47,6 +47,10 @@ type Plan struct {
 	Model   switchsim.Model
 	Workers int
 	Seed    uint64
+	// Switches is the fabric width the plan was sized for: the planner
+	// derives one program per switch (Profile is the per-switch demand),
+	// and pruned execution scatters the query across that many pipelines.
+	Switches int
 
 	// PrunerName, Guarantee and Profile describe the admitted program;
 	// they are zero-valued for ModeDirect.
@@ -83,6 +87,28 @@ func (p *Plan) NewPruner() (prune.Pruner, error) {
 	return p.factory()
 }
 
+// NewShardPruners returns one program instance per fabric switch, each
+// with clean state — the per-switch sizing already derived by the
+// planner (per-shard Bloom filters, per-shard HAVING thresholds). Each
+// instance comes from NewPruner, so the first call consumes the
+// planner's state-untouched admission probe instead of paying its
+// construction cost twice.
+func (p *Plan) NewShardPruners() ([]prune.Pruner, error) {
+	n := p.Switches
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]prune.Pruner, n)
+	for i := range out {
+		pr, err := p.NewPruner()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
 // String renders the plan as a one-line summary.
 func (p *Plan) String() string {
 	if p.Mode == ModeDirect {
@@ -101,22 +127,34 @@ type candidate struct {
 
 // Plan inspects the query and the session's switch model, picks the
 // pruning algorithm, derives its parameters from the §5 formulas and
-// Table 2 defaults, and performs pipeline admission. Queries no program
-// can serve — or that exceed the model's resources in every derivable
-// configuration — plan as ModeDirect with an explanatory Reason; an
-// invalid query is an error, not a fallback.
+// Table 2 defaults (sized per switch when the session runs a fabric),
+// and performs pipeline admission. Queries no program can serve — or
+// that exceed the model's resources in every derivable configuration —
+// plan as ModeDirect with an explanatory Reason; an invalid query is an
+// error, not a fallback.
 func (s *Session) Plan(q *engine.Query) (*Plan, error) {
+	return s.planFor(q, s.opts.Switches)
+}
+
+// planFor plans q for a fabric of the given width. The serving layer
+// plans at width 1 — a served query runs whole on its placed switch —
+// while Exec plans at the session's width for scatter/gather.
+func (s *Session) planFor(q *engine.Query, switches int) (*Plan, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if switches <= 0 {
+		switches = 1
+	}
 	p := &Plan{
-		Query:   q,
-		Model:   s.opts.Model,
-		Workers: s.opts.Workers,
-		Seed:    s.opts.Seed,
+		Query:    q,
+		Model:    s.opts.Model,
+		Workers:  s.opts.Workers,
+		Seed:     s.opts.Seed,
+		Switches: switches,
 	}
 	var rejections []string
-	for _, c := range s.candidates(q) {
+	for _, c := range s.candidates(q, switches) {
 		pruner, err := c.make()
 		if err != nil {
 			rejections = append(rejections, fmt.Sprintf("%s: %v", c.desc, err))
@@ -141,6 +179,9 @@ func (s *Session) Plan(q *engine.Query) (*Plan, error) {
 			s.opts.Model.Name, strings.Join(rejections, "; "))
 		return p, nil
 	}
+	if switches > 1 {
+		p.Reason += fmt.Sprintf("; ×%d switches (one program per switch, two-level merge)", switches)
+	}
 	if s.opts.UseCluster {
 		if singlePass(q.Kind) {
 			p.Mode = ModeCluster
@@ -164,13 +205,22 @@ func singlePass(k engine.QueryKind) bool {
 	return false
 }
 
-// candidates lists the programs that could serve the query, best first.
-// Orderings encode the paper's preferences: randomized TOP N at the
-// jointly optimized (d, w) before the fixed-d legacy shape before the
-// deterministic thresholds; the asymmetric join optimization when one
-// side is much smaller (§4.3).
-func (s *Session) candidates(q *engine.Query) []candidate {
+// candidates lists the programs that could serve the query, best first,
+// sized for one switch of a `switches`-wide fabric. Orderings encode
+// the paper's preferences: randomized TOP N at the jointly optimized
+// (d, w) before the fixed-d legacy shape before the deterministic
+// thresholds; the asymmetric join optimization when one side is much
+// smaller (§4.3). Per-switch sizing: join Bloom filters shrink to the
+// per-shard key cardinality, and HAVING's sketch threshold tightens to
+// ⌊c/switches⌋ so the master's exact global re-check still sees every
+// key whose aggregate crosses c only across shards. TOP N keeps the
+// full N per switch — each shard must surface its local top N for the
+// global re-check.
+func (s *Session) candidates(q *engine.Query, switches int) []candidate {
 	seed, delta := s.opts.Seed, s.opts.Delta
+	if switches <= 0 {
+		switches = 1
+	}
 	switch q.Kind {
 	case engine.KindFilter:
 		n := len(q.Predicates)
@@ -186,6 +236,10 @@ func (s *Session) candidates(q *engine.Query) []candidate {
 			make: func() (prune.Pruner, error) { return prune.NewDistinct(cfg) },
 		}}
 	case engine.KindTopN:
+		// A global top-N value lives in exactly one shard, so each of the
+		// k independent per-switch programs gets δ/k — the union bound
+		// keeps the fabric-wide miss probability within the session's δ.
+		delta := delta / float64(switches)
 		var cands []candidate
 		if cfg, err := prune.PlannedRandTopNConfig(q.N, delta, seed); err == nil {
 			cands = append(cands, candidate{
@@ -224,14 +278,23 @@ func (s *Session) candidates(q *engine.Query) []candidate {
 			make: func() (prune.Pruner, error) { return prune.NewGroupBySum(cfg) },
 		}}
 	case engine.KindHaving:
-		cfg := prune.DefaultHavingConfig(q.Threshold, seed)
+		thr := q.Threshold / int64(switches)
+		cfg := prune.DefaultHavingConfig(thr, seed)
+		desc := fmt.Sprintf("count-min sketch %d×%d, threshold %d, partial second pass (Table 2)",
+			cfg.Rows, cfg.CountersPerRow, q.Threshold)
+		if switches > 1 {
+			desc = fmt.Sprintf("count-min sketch %d×%d, per-switch threshold ⌊%d/%d⌋=%d with exact global re-check",
+				cfg.Rows, cfg.CountersPerRow, q.Threshold, switches, thr)
+		}
 		return []candidate{{
-			desc: fmt.Sprintf("count-min sketch %d×%d, threshold %d, partial second pass (Table 2)",
-				cfg.Rows, cfg.CountersPerRow, q.Threshold),
+			desc: desc,
 			make: func() (prune.Pruner, error) { return prune.NewHaving(cfg) },
 		}}
 	case engine.KindJoin:
 		left, right := q.Table.NumRows(), q.Right.NumRows()
+		// Hash sharding splits the key space across switches, so each
+		// switch's filter only has to hold its shard's keys.
+		perShard := func(rows int) int { return (rows + switches - 1) / switches }
 		// §4.3's small-table optimization: when the left (build) side is
 		// much smaller, stream it once unpruned while its filter trains
 		// and prune only the big side. The pruner fixes the left table
@@ -239,19 +302,20 @@ func (s *Session) candidates(q *engine.Query) []candidate {
 		if left*8 <= right {
 			// Only the small build side's keys enter the filter.
 			asym := prune.JoinConfig{
-				FilterBits: prune.JoinFilterBitsFor(left), Hashes: 3,
+				FilterBits: prune.JoinFilterBitsFor(perShard(left)), Hashes: 3,
 				Seed: seed, Asymmetric: true,
 			}
 			return []candidate{{
-				desc: fmt.Sprintf("asymmetric bloom join M=%s H=%d (small left side %d≪%d, §4.3)",
+				desc: fmt.Sprintf("asymmetric bloom join M=%s H=%d per switch (small left side %d≪%d, §4.3)",
 					switchsim.FormatBits(2*asym.FilterBits), asym.Hashes, left, right),
 				make: func() (prune.Pruner, error) { return prune.NewJoin(asym) },
 			}}
 		}
-		cfg := prune.JoinConfig{FilterBits: prune.JoinFilterBitsFor(max(left, right)), Hashes: 3, Seed: seed}
+		keys := perShard(max(left, right))
+		cfg := prune.JoinConfig{FilterBits: prune.JoinFilterBitsFor(keys), Hashes: 3, Seed: seed}
 		return []candidate{{
-			desc: fmt.Sprintf("two-pass bloom join M=%s H=%d sized for %d keys (Table 2)",
-				switchsim.FormatBits(2*cfg.FilterBits), cfg.Hashes, max(left, right)),
+			desc: fmt.Sprintf("two-pass bloom join M=%s H=%d sized for %d keys per switch (Table 2)",
+				switchsim.FormatBits(2*cfg.FilterBits), cfg.Hashes, keys),
 			make: func() (prune.Pruner, error) { return prune.NewJoin(cfg) },
 		}}
 	case engine.KindSkyline:

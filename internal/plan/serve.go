@@ -1,12 +1,14 @@
 package plan
 
 // This file is the session API's serving front door: Session.Serve opens
-// the session's switch for many concurrent clients, and Serving.Submit
-// plans + admits + executes one query through the shared pipeline. It is
-// the layer between the fluent builder (one query at a time) and
-// internal/serve (admission and QueryID multiplexing): Submit reuses the
-// planner unchanged, then swaps the execution's exclusive pipeline
-// ownership for a flow-scoped lease.
+// the session's switch fabric for many concurrent clients, and
+// Serving.Submit plans + admits + executes one query through a shared
+// pipeline. It is the layer between the fluent builder (one query at a
+// time) and internal/fabric (placement) + internal/serve (admission and
+// QueryID multiplexing): Submit reuses the planner unchanged — at fabric
+// width 1, since a served query runs whole on the switch it is placed
+// on — then swaps the execution's exclusive pipeline ownership for a
+// flow-scoped lease on the least-loaded switch.
 
 import (
 	"context"
@@ -14,40 +16,47 @@ import (
 	"fmt"
 
 	"cheetah/internal/engine"
+	"cheetah/internal/fabric"
 	"cheetah/internal/serve"
 	"cheetah/internal/switchsim"
 )
 
 // ServeOptions configures a serving handle.
 type ServeOptions struct {
-	// QueueLimit caps the admission wait queue (0 = unbounded). Queries
-	// arriving past the cap fall back to exact direct execution instead
-	// of queueing — load shedding, not an error.
+	// QueueLimit caps each switch's admission wait queue (0 =
+	// unbounded). Queries arriving past the cap fall back to exact
+	// direct execution instead of queueing — load shedding, not an
+	// error.
 	QueueLimit int
 }
 
 // Serving is a live multi-query serving handle over the session's
-// switch. Any number of goroutines may call Submit concurrently: each
-// submitted query is planned as usual, admitted into the shared pipeline
-// under its own QueryID (waiting FIFO when the switch is full), executed
-// through its flow-scoped dataplane handle, and uninstalled on
-// completion. Queries the switch can never host — and queries shed by
-// the queue limit — run as exact direct executions, mirroring the
-// planner's fallback semantics.
+// switch fabric (Options.Switches pipelines). Any number of goroutines
+// may call Submit concurrently: each submitted query is planned as
+// usual, placed on the least-loaded switch (falling back to the FIFO
+// queue of the least-contended one when every switch is busy), admitted
+// under its own QueryID, executed through its flow-scoped dataplane
+// handle, and uninstalled on completion. Queries no switch can ever
+// host — and queries shed by the queue limit — run as exact direct
+// executions, mirroring the planner's fallback semantics.
 type Serving struct {
 	s   *Session
-	srv *serve.Server
+	fab *fabric.Fabric
 }
 
-// Serve opens the session's switch for concurrent serving. The handle
-// closes when ctx is done (or on Close); active queries finish, queued
-// admissions fail over to direct execution.
+// Serve opens the session's switch fabric for concurrent serving. The
+// handle closes when ctx is done (or on Close); active queries finish,
+// queued admissions fail over to direct execution.
 func (s *Session) Serve(ctx context.Context, opts ServeOptions) (*Serving, error) {
-	srv, err := serve.New(serve.Options{Model: s.opts.Model, QueueLimit: opts.QueueLimit})
+	fab, err := fabric.New(fabric.Options{
+		Switches:   s.opts.Switches,
+		Model:      s.opts.Model,
+		QueueLimit: opts.QueueLimit,
+	})
 	if err != nil {
 		return nil, err
 	}
-	sv := &Serving{s: s, srv: srv}
+	sv := &Serving{s: s, fab: fab}
 	if ctx != nil {
 		context.AfterFunc(ctx, sv.Close)
 	}
@@ -57,25 +66,56 @@ func (s *Session) Serve(ctx context.Context, opts ServeOptions) (*Serving, error
 // Session returns the serving handle's session.
 func (sv *Serving) Session() *Session { return sv.s }
 
-// Stats returns the serving layer's cumulative admission counters.
-func (sv *Serving) Stats() serve.Counters { return sv.srv.Stats() }
+// Switches returns the fabric width.
+func (sv *Serving) Switches() int { return sv.fab.Size() }
 
-// Utilization reports the shared pipeline's current occupancy.
-func (sv *Serving) Utilization() switchsim.Utilization { return sv.srv.Utilization() }
+// Stats returns the serving layer's cumulative admission counters,
+// summed across the fabric's switches.
+func (sv *Serving) Stats() serve.Counters {
+	var total serve.Counters
+	for _, c := range sv.fab.Stats() {
+		total.Add(c)
+	}
+	return total
+}
+
+// StatsPerSwitch returns each switch's admission counters, indexed by
+// switch.
+func (sv *Serving) StatsPerSwitch() []serve.Counters { return sv.fab.Stats() }
+
+// Utilization reports the fabric's occupancy summed across switches
+// (used and capacity both scale with switch count).
+func (sv *Serving) Utilization() switchsim.Utilization {
+	var total switchsim.Utilization
+	for _, u := range sv.fab.Utilization() {
+		total.Add(u)
+	}
+	return total
+}
+
+// UtilizationPerSwitch reports each pipeline's occupancy, indexed by
+// switch.
+func (sv *Serving) UtilizationPerSwitch() []switchsim.Utilization {
+	return sv.fab.Utilization()
+}
 
 // Close shuts the serving layer down: queued admissions and future
 // Submits fall back to direct execution. Idempotent.
-func (sv *Serving) Close() { sv.srv.Close() }
+func (sv *Serving) Close() { sv.fab.Close() }
 
-// Submit plans and executes q through the shared switch. It blocks while
-// the pipeline is full (FIFO admission) unless the query is oversized or
-// shed, in which case it runs direct. Concurrent Submit calls multiplex
-// their batches through per-query programs selected by QueryID.
+// Submit plans and executes q through the fabric. The query is placed
+// whole on one switch — least-loaded first, the least-contended FIFO
+// queue when all are busy — and blocks while that queue is full unless
+// the query is oversized or shed, in which case it runs direct.
+// Concurrent Submit calls multiplex their batches through per-query
+// programs selected by QueryID on their placed switch.
 func (sv *Serving) Submit(ctx context.Context, q *engine.Query) (*Execution, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p, err := sv.s.Plan(q)
+	// A served query runs whole on its placed switch, so plan at fabric
+	// width 1 regardless of the session's Exec width.
+	p, err := sv.s.planFor(q, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -84,10 +124,10 @@ func (sv *Serving) Submit(ctx context.Context, q *engine.Query) (*Execution, err
 	if p.Mode == ModeDirect {
 		return sv.s.ExecPlan(ctx, p)
 	}
-	// Serving always executes in-process through the shared pipeline —
-	// the cluster transport has no multiplexed path — so a UseCluster
-	// plan is rewritten to the mode that actually runs (the plan is
-	// fresh from Plan(), not shared).
+	// Serving always executes in-process through a shared pipeline — the
+	// cluster transport has no multiplexed path — so a UseCluster plan
+	// is rewritten to the mode that actually runs (the plan is fresh
+	// from planFor, not shared).
 	if p.Mode == ModeCluster {
 		p.Mode = ModeCheetah
 		p.Reason += "; serving executes in-process (cluster transport has no multiplexed path)"
@@ -96,24 +136,25 @@ func (sv *Serving) Submit(ctx context.Context, q *engine.Query) (*Execution, err
 	if err != nil {
 		return nil, err
 	}
-	lease, err := sv.srv.Admit(ctx, pruner)
+	placement, err := sv.fab.Admit(ctx, pruner)
 	if err != nil {
 		if errors.Is(err, serve.ErrNeverFits) || errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrClosed) {
 			fb := &Plan{
-				Query:   q,
-				Mode:    ModeDirect,
-				Model:   p.Model,
-				Workers: p.Workers,
-				Seed:    p.Seed,
-				Reason:  fmt.Sprintf("serving fallback: %v", err),
+				Query:    q,
+				Mode:     ModeDirect,
+				Model:    p.Model,
+				Workers:  p.Workers,
+				Seed:     p.Seed,
+				Switches: 1,
+				Reason:   fmt.Sprintf("serving fallback: %v", err),
 			}
 			return sv.s.ExecPlan(ctx, fb)
 		}
 		return nil, err
 	}
-	defer lease.Release()
+	defer placement.Release()
 	run, err := engine.ExecCheetah(q, engine.CheetahOptions{
-		Workers: p.Workers, Pruner: pruner, Seed: p.Seed, Flow: lease,
+		Workers: p.Workers, Pruner: pruner, Seed: p.Seed, Flow: placement.Lease,
 	})
 	if err != nil {
 		return nil, err
@@ -123,10 +164,11 @@ func (sv *Serving) Submit(ctx context.Context, q *engine.Query) (*Execution, err
 		Result:       run.Result,
 		Traffic:      run.Traffic,
 		Stats:        run.Stats,
-		QueryID:      lease.QueryID(),
-		PipelineUtil: lease.Utilization(),
+		QueryID:      placement.QueryID(),
+		Switch:       placement.Switch,
+		PipelineUtil: placement.Utilization(),
 		Estimate:     sv.s.cost.CheetahTime(q.Kind, run.Traffic, sv.s.opts.NICGbps),
 	}
-	ex.SparkEstimate = sv.s.sparkEstimate(q, len(ex.Result.Rows))
+	ex.SparkEstimate = sv.s.sparkEstimate(q, len(ex.Result.Rows), p.Switches)
 	return ex, nil
 }

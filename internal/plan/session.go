@@ -28,8 +28,15 @@ type Options struct {
 	// Model is the switch hardware the planner admission-checks against.
 	// The zero value selects switchsim.Tofino().
 	Model switchsim.Model
-	// Workers is the CWorker (partition) count; ≤ 0 selects 1.
+	// Workers is the CWorker (partition) count; ≤ 0 selects 1. With
+	// multiple switches it is the per-shard worker count.
 	Workers int
+	// Switches is the execution fabric's switch count; ≤ 0 selects 1.
+	// With more than one switch, Exec shards the query across the fabric
+	// (scatter/gather with a two-level merge) and Serve places whole
+	// queries on the least-loaded switch — the paper's rack-scale
+	// deployment, one ToR switch per rack.
+	Switches int
 	// Seed drives fingerprinting and randomized pruner defaults.
 	Seed uint64
 	// Delta is the failure probability budget δ for randomized pruners
@@ -74,6 +81,9 @@ func Open(t *table.Table, opts Options) (*Session, error) {
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = 1
+	}
+	if opts.Switches <= 0 {
+		opts.Switches = 1
 	}
 	if opts.Delta <= 0 {
 		opts.Delta = 1e-4

@@ -40,6 +40,12 @@ var ErrQueueFull = errors.New("serve: admission wait queue is full")
 // ErrClosed is returned for admissions against a closed server.
 var ErrClosed = errors.New("serve: server is closed")
 
+// ErrBusy is returned by TryAdmit when the program fits the model but
+// not the pipeline's current occupancy (or other admissions are already
+// queued) — the caller's cue to try another switch or fall back to the
+// blocking Admit.
+var ErrBusy = errors.New("serve: pipeline is busy")
+
 // Options configures a Server.
 type Options struct {
 	// Model is the switch hardware the shared pipeline simulates. The
@@ -58,6 +64,17 @@ type Counters struct {
 	Shed      uint64 // ErrQueueFull rejections
 	Active    int    // leases currently held
 	Queued    int    // admissions currently waiting
+}
+
+// Add accumulates o into c — the fabric-wide aggregation. Lives next to
+// the struct so a new counter field is summed the day it is added.
+func (c *Counters) Add(o Counters) {
+	c.Admitted += o.Admitted
+	c.Waited += o.Waited
+	c.Oversized += o.Oversized
+	c.Shed += o.Shed
+	c.Active += o.Active
+	c.Queued += o.Queued
 }
 
 // waiter is one queued admission.
@@ -123,25 +140,13 @@ func (s *Server) Stats() Counters {
 // ErrNeverFits; when a queue limit is configured, admissions beyond it
 // fail with ErrQueueFull.
 func (s *Server) Admit(ctx context.Context, prog switchsim.Program) (*Lease, error) {
-	if prog == nil {
-		return nil, fmt.Errorf("serve: Admit needs a program")
-	}
-	prof := prog.Profile()
-	if err := prof.Validate(); err != nil {
+	if err := validateProgram(prog); err != nil {
 		return nil, err
 	}
-
 	s.mu.Lock()
-	if s.closed {
+	if err := s.admitPrologueLocked(prog); err != nil {
 		s.mu.Unlock()
-		return nil, ErrClosed
-	}
-	// Oversized bypass: a program the model can never host must not
-	// occupy a queue slot it can never leave successfully.
-	if err := s.pipe.Model().Admits(prof); err != nil {
-		s.counters.Oversized++
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrNeverFits, err)
+		return nil, err
 	}
 	// FIFO fairness: only admit immediately when nobody is waiting.
 	if len(s.waiters) == 0 {
@@ -179,6 +184,55 @@ func (s *Server) Admit(ctx context.Context, prog switchsim.Program) (*Lease, err
 		}
 		return nil, ctx.Err()
 	}
+}
+
+// validateProgram is the admission pre-flight shared by Admit and
+// TryAdmit: a present program with a well-formed profile.
+func validateProgram(prog switchsim.Program) error {
+	if prog == nil {
+		return fmt.Errorf("serve: admission needs a program")
+	}
+	return prog.Profile().Validate()
+}
+
+// admitPrologueLocked is the shared admission gate: a closed server
+// rejects everything, and a program the model can never host must not
+// occupy a queue slot it can never leave successfully (the oversized
+// bypass, counted once per rejection). Callers hold s.mu.
+func (s *Server) admitPrologueLocked(prog switchsim.Program) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.pipe.Model().Admits(prog.Profile()); err != nil {
+		s.counters.Oversized++
+		return fmt.Errorf("%w: %v", ErrNeverFits, err)
+	}
+	return nil
+}
+
+// TryAdmit is the non-blocking admission used by fabric placement: it
+// grants a lease only when the program can be installed right now.
+// Queued waiters keep FIFO priority — TryAdmit never jumps the queue.
+// It fails with ErrNeverFits for programs the model can never host,
+// ErrClosed on a closed server, and ErrBusy when admission would have
+// to wait.
+func (s *Server) TryAdmit(prog switchsim.Program) (*Lease, error) {
+	if err := validateProgram(prog); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.admitPrologueLocked(prog); err != nil {
+		return nil, err
+	}
+	if len(s.waiters) > 0 {
+		return nil, ErrBusy
+	}
+	l, err := s.installLocked(prog)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBusy, err)
+	}
+	return l, nil
 }
 
 // installLocked packs prog into the pipeline under a fresh flow id and

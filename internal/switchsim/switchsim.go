@@ -372,6 +372,16 @@ func (pl *Pipeline) Uninstall(flowID uint32) error {
 	return nil
 }
 
+// FlowInstalled reports whether flowID currently has a program — the
+// control-plane pre-flight for callers installing into a shared
+// pipeline under an externally chosen flow id.
+func (pl *Pipeline) FlowInstalled(flowID uint32) bool {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	_, ok := pl.byFlow[flowID]
+	return ok
+}
+
 // Process runs the program bound to flowID over one entry. Unknown flows
 // are forwarded untouched — the switch stays transparent to traffic it has
 // no rules for (§3: "fully compatible with other network functions").
@@ -416,6 +426,22 @@ type Utilization struct {
 	TCAMTotal    int
 	MetaUsed     int
 	MetaTotal    int
+}
+
+// Add accumulates o into u — fabric-wide occupancy totals (used and
+// capacity both sum across pipelines). Lives next to the struct so a
+// new resource field is summed the day it is added.
+func (u *Utilization) Add(o Utilization) {
+	u.StagesUsed += o.StagesUsed
+	u.StagesTotal += o.StagesTotal
+	u.ALUsUsed += o.ALUsUsed
+	u.ALUsTotal += o.ALUsTotal
+	u.SRAMBitsUsed += o.SRAMBitsUsed
+	u.SRAMBitsCap += o.SRAMBitsCap
+	u.TCAMUsed += o.TCAMUsed
+	u.TCAMTotal += o.TCAMTotal
+	u.MetaUsed += o.MetaUsed
+	u.MetaTotal += o.MetaTotal
 }
 
 // String renders the utilization as one line of used/total pairs.

@@ -1,0 +1,148 @@
+package table
+
+// Sharding splits a table by *content* rather than by position: each row
+// is routed to one of k shards by its value in a shard column. This is
+// the storage half of the multi-switch fabric — the paper's deployment
+// has each rack's ToR switch pruning its own workers' streams, so a
+// table sharded across racks determines which switch sees which rows.
+// Contiguous Partition stays the single-switch (and per-shard CWorker)
+// split; ShardBy adds hash placement (co-locating equal keys, the
+// property JOIN scatter/gather needs) and ShardByRange adds
+// order-preserving range placement.
+//
+// Unlike Partition's zero-copy views, shards are real tables: rows are
+// scattered, so the column storage must be rebuilt per shard. Sharding
+// is deterministic — the same table, column and k always produce the
+// same shards.
+
+import (
+	"fmt"
+	"sort"
+
+	"cheetah/internal/hashutil"
+)
+
+// shardSeed fixes the hash-sharding placement function. It is a package
+// constant, not a caller seed: two tables sharded on same-typed key
+// columns must agree on placement (JOIN co-location) regardless of which
+// query triggered the sharding.
+const shardSeed = 0x5ca77e12c0ffee42
+
+// ShardBy splits the table into k shards by hashing the named column:
+// row r lands in shard hash(value) mod k. Equal values always land in
+// the same shard, so two tables hash-sharded on same-typed key columns
+// co-locate their matching keys shard-for-shard. k may exceed the row
+// count (the excess shards are empty); k ≤ 0 is an error.
+func (t *Table) ShardBy(col string, k int) ([]*Table, error) {
+	ci := t.schema.Index(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("table: unknown shard column %q", col)
+	}
+	assign, err := t.shardAssignments(ci, k)
+	if err != nil {
+		return nil, err
+	}
+	return t.buildShards(assign, k)
+}
+
+// shardAssignments computes each row's hash-shard index.
+func (t *Table) shardAssignments(ci, k int) ([]int, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("table: shard count %d must be positive", k)
+	}
+	assign := make([]int, t.n)
+	switch t.cols[ci].typ {
+	case Int64:
+		vals := t.Int64Col(ci)
+		for r, v := range vals {
+			assign[r] = int(hashutil.ReduceFull(hashutil.HashUint64(uint64(v), shardSeed), uint64(k)))
+		}
+	case String:
+		vals := t.StringCol(ci)
+		for r, v := range vals {
+			assign[r] = int(hashutil.ReduceFull(hashutil.HashString64(v, shardSeed), uint64(k)))
+		}
+	}
+	return assign, nil
+}
+
+// ShardByRange splits the table into k shards by value ranges of the
+// named Int64 column: boundaries are the column's k-quantiles, so the
+// shards cover contiguous, non-overlapping value ranges of near-equal
+// row count (heavily duplicated values can still skew shard sizes —
+// equal values never split across shards). k may exceed the row count;
+// k ≤ 0 and non-Int64 columns are errors.
+func (t *Table) ShardByRange(col string, k int) ([]*Table, error) {
+	ci := t.schema.Index(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("table: unknown shard column %q", col)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("table: shard count %d must be positive", k)
+	}
+	if t.cols[ci].typ != Int64 {
+		return nil, fmt.Errorf("table: range-shard column %q is %v, need int64", col, t.cols[ci].typ)
+	}
+	vals := t.Int64Col(ci)
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Upper (inclusive) bound of shards 0..k-2; the last shard is
+	// unbounded. Quantile boundaries on the sorted column give near-equal
+	// shard sizes for distinct-heavy columns.
+	bounds := make([]int64, k-1)
+	for i := range bounds {
+		hi := (i + 1) * t.n / k
+		if hi >= t.n {
+			hi = t.n - 1
+		}
+		if t.n == 0 {
+			bounds[i] = 0
+			continue
+		}
+		bounds[i] = sorted[hi]
+	}
+	assign := make([]int, t.n)
+	for r, v := range vals {
+		assign[r] = sort.Search(len(bounds), func(i int) bool { return v <= bounds[i] })
+	}
+	return t.buildShards(assign, k)
+}
+
+// buildShards materializes k shard tables from per-row assignments,
+// copying column storage shard-by-shard (one pre-sized allocation per
+// shard column).
+func (t *Table) buildShards(assign []int, k int) ([]*Table, error) {
+	counts := make([]int, k)
+	for _, s := range assign {
+		counts[s]++
+	}
+	shards := make([]*Table, k)
+	for s := 0; s < k; s++ {
+		sh, err := New(t.schema)
+		if err != nil {
+			return nil, err
+		}
+		sh.Grow(counts[s])
+		shards[s] = sh
+	}
+	for c, src := range t.cols {
+		switch src.typ {
+		case Int64:
+			vals := src.ints[t.off : t.off+t.n]
+			for r, s := range assign {
+				dst := shards[s].cols[c]
+				dst.ints = append(dst.ints, vals[r])
+			}
+		case String:
+			vals := src.strs[t.off : t.off+t.n]
+			for r, s := range assign {
+				dst := shards[s].cols[c]
+				dst.strs = append(dst.strs, vals[r])
+			}
+		}
+	}
+	for s := range shards {
+		shards[s].n = counts[s]
+	}
+	return shards, nil
+}

@@ -1,0 +1,286 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"cheetah/internal/hashutil"
+)
+
+// testTable builds a small mixed-type table with deterministic contents.
+func testTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	tbl := MustNew(Schema{
+		{Name: "id", Type: Int64},
+		{Name: "name", Type: String},
+		{Name: "score", Type: Int64},
+	})
+	s := uint64(42)
+	for i := 0; i < rows; i++ {
+		s = hashutil.SplitMix64(s)
+		if err := tbl.AppendRow(int64(i), fmt.Sprintf("n%d", s%7), int64(s%1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// rowStrings renders every row of t canonically for multiset comparison.
+func rowStrings(t *Table) []string {
+	out := make([]string, 0, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		key := ""
+		for c := 0; c < t.NumCols(); c++ {
+			key += fmt.Sprintf("%v\x00", t.ValueAt(c, r))
+		}
+		out = append(out, key)
+	}
+	return out
+}
+
+// assertMultisetEqual checks that the shards' rows together are exactly
+// the original table's rows (the reassembly property).
+func assertMultisetEqual(t *testing.T, orig *Table, shards []*Table) {
+	t.Helper()
+	want := rowStrings(orig)
+	var got []string
+	total := 0
+	for _, sh := range shards {
+		got = append(got, rowStrings(sh)...)
+		total += sh.NumRows()
+	}
+	if total != orig.NumRows() {
+		t.Fatalf("shards hold %d rows, original has %d", total, orig.NumRows())
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row multiset differs at %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestShardByReassemblesMultiset(t *testing.T) {
+	tbl := testTable(t, 500)
+	for _, k := range []int{1, 2, 4, 7, 16} {
+		for _, col := range []string{"id", "name"} {
+			shards, err := tbl.ShardBy(col, k)
+			if err != nil {
+				t.Fatalf("ShardBy(%q, %d): %v", col, k, err)
+			}
+			if len(shards) != k {
+				t.Fatalf("ShardBy(%q, %d) returned %d shards", col, k, len(shards))
+			}
+			assertMultisetEqual(t, tbl, shards)
+		}
+	}
+}
+
+func TestShardByRangeReassemblesMultiset(t *testing.T) {
+	tbl := testTable(t, 500)
+	for _, k := range []int{1, 2, 4, 7} {
+		shards, err := tbl.ShardByRange("score", k)
+		if err != nil {
+			t.Fatalf("ShardByRange(%d): %v", k, err)
+		}
+		assertMultisetEqual(t, tbl, shards)
+		// Range property: shard i's max ≤ shard j's min for i < j — with
+		// ties allowed at the boundary value only when the boundary value
+		// stays within one shard (equal values never split).
+		var prevMax int64
+		havePrev := false
+		for _, sh := range shards {
+			if sh.NumRows() == 0 {
+				continue
+			}
+			vals := sh.Int64Col(sh.Schema().MustIndex("score"))
+			mn, mx := vals[0], vals[0]
+			for _, v := range vals {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if havePrev && mn <= prevMax {
+				t.Fatalf("range shards overlap: min %d ≤ previous max %d", mn, prevMax)
+			}
+			prevMax, havePrev = mx, true
+		}
+	}
+}
+
+func TestShardByCoLocatesEqualKeys(t *testing.T) {
+	tbl := testTable(t, 300)
+	shards, err := tbl.ShardBy("name", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := map[string]int{}
+	for i, sh := range shards {
+		names := sh.StringCol(sh.Schema().MustIndex("name"))
+		for _, n := range names {
+			if prev, ok := home[n]; ok && prev != i {
+				t.Fatalf("key %q appears in shards %d and %d", n, prev, i)
+			}
+			home[n] = i
+		}
+	}
+}
+
+func TestShardEdgeCases(t *testing.T) {
+	tbl := testTable(t, 3)
+
+	// k ≤ 0 errors for every split flavour.
+	for _, k := range []int{0, -1} {
+		if _, err := tbl.Partition(k); err == nil {
+			t.Fatalf("Partition(%d): want error", k)
+		}
+		if _, err := tbl.ShardBy("id", k); err == nil {
+			t.Fatalf("ShardBy(%d): want error", k)
+		}
+		if _, err := tbl.ShardByRange("id", k); err == nil {
+			t.Fatalf("ShardByRange(%d): want error", k)
+		}
+	}
+
+	// k > rows: every flavour yields k splits, some empty.
+	for name, split := range map[string]func(int) ([]*Table, error){
+		"Partition":    tbl.Partition,
+		"ShardBy":      func(k int) ([]*Table, error) { return tbl.ShardBy("id", k) },
+		"ShardByRange": func(k int) ([]*Table, error) { return tbl.ShardByRange("id", k) },
+	} {
+		parts, err := split(10)
+		if err != nil {
+			t.Fatalf("%s(10) on 3 rows: %v", name, err)
+		}
+		if len(parts) != 10 {
+			t.Fatalf("%s(10) returned %d splits", name, len(parts))
+		}
+		assertMultisetEqual(t, tbl, parts)
+	}
+
+	// Empty table: k empty splits, no error.
+	empty := MustNew(tbl.Schema())
+	for name, split := range map[string]func(int) ([]*Table, error){
+		"Partition":    empty.Partition,
+		"ShardBy":      func(k int) ([]*Table, error) { return empty.ShardBy("id", k) },
+		"ShardByRange": func(k int) ([]*Table, error) { return empty.ShardByRange("id", k) },
+	} {
+		parts, err := split(4)
+		if err != nil {
+			t.Fatalf("%s on empty table: %v", name, err)
+		}
+		if len(parts) != 4 {
+			t.Fatalf("%s on empty table returned %d splits", name, len(parts))
+		}
+		for i, p := range parts {
+			if p.NumRows() != 0 {
+				t.Fatalf("%s empty-table split %d has %d rows", name, i, p.NumRows())
+			}
+		}
+	}
+
+	// Unknown / mistyped columns error descriptively.
+	if _, err := tbl.ShardBy("nope", 2); err == nil {
+		t.Fatal("ShardBy(unknown column): want error")
+	}
+	if _, err := tbl.ShardByRange("name", 2); err == nil {
+		t.Fatal("ShardByRange(string column): want error")
+	}
+	if _, err := tbl.ShardByRange("nope", 2); err == nil {
+		t.Fatal("ShardByRange(unknown column): want error")
+	}
+}
+
+func TestShardByDeterministic(t *testing.T) {
+	tbl := testTable(t, 200)
+	a, err := tbl.ShardBy("name", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tbl.ShardBy("name", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		ra, rb := rowStrings(a[i]), rowStrings(b[i])
+		if len(ra) != len(rb) {
+			t.Fatalf("shard %d sizes differ: %d vs %d", i, len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("shard %d row %d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+// TestPartitionViewsShareStorage pins Partition's zero-copy contract
+// alongside the copying shards.
+func TestPartitionViewsShareStorage(t *testing.T) {
+	tbl := testTable(t, 100)
+	parts, err := tbl.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.NumRows()
+	}
+	if total != tbl.NumRows() {
+		t.Fatalf("partition rows %d != %d", total, tbl.NumRows())
+	}
+	assertMultisetEqual(t, tbl, parts)
+	if err := parts[0].AppendRow(int64(1), "x", int64(2)); err == nil {
+		t.Fatal("append to a view: want error")
+	}
+}
+
+// TestAppendRowsFrom pins the bulk gather against the row-at-a-time
+// reference, including from views and with type-mismatch rejection.
+func TestAppendRowsFrom(t *testing.T) {
+	src := testTable(t, 50)
+	view, err := src.View(10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []int{0, 5, 5, 29, 17}
+	bulk := MustNew(src.Schema())
+	if err := bulk.AppendRowsFrom(view, rows); err != nil {
+		t.Fatal(err)
+	}
+	ref := MustNew(src.Schema())
+	for _, r := range rows {
+		if err := ref.AppendRowFrom(view, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, want := rowStrings(bulk), rowStrings(ref)
+	if len(got) != len(want) {
+		t.Fatalf("bulk appended %d rows, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs: %q vs %q", i, got[i], want[i])
+		}
+	}
+	if err := view.AppendRowsFrom(src, []int{0}); err == nil {
+		t.Fatal("append to a view: want error")
+	}
+	other := MustNew(Schema{{Name: "x", Type: String}})
+	if err := other.AppendRowsFrom(src, []int{0}); err == nil {
+		t.Fatal("column count mismatch: want error")
+	}
+	mistyped := MustNew(Schema{
+		{Name: "id", Type: String},
+		{Name: "name", Type: String},
+		{Name: "score", Type: Int64},
+	})
+	if err := mistyped.AppendRowsFrom(src, []int{0}); err == nil {
+		t.Fatal("type mismatch: want error")
+	}
+}

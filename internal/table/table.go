@@ -411,6 +411,45 @@ func (r Row) Values() []any {
 	return out
 }
 
+// AppendRowsFrom appends the given rows of src to t in order. Schemas
+// must match in types (names may differ). It is the bulk counterpart
+// of AppendRowFrom: the schema is checked once and each column is
+// copied in one sweep — the master-side gather path of sharded
+// executions, where survivor counts reach millions of rows.
+func (t *Table) AppendRowsFrom(src *Table, rows []int) error {
+	if t.parent != nil {
+		return fmt.Errorf("table: cannot append to a view")
+	}
+	if len(t.cols) != len(src.cols) {
+		return fmt.Errorf("table: column count mismatch %d vs %d", len(t.cols), len(src.cols))
+	}
+	for i := range t.cols {
+		if t.cols[i].typ != src.cols[i].typ {
+			return fmt.Errorf("table: column %d type mismatch", i)
+		}
+	}
+	for i := range t.cols {
+		switch t.cols[i].typ {
+		case Int64:
+			from := src.cols[i].ints[src.off : src.off+src.n]
+			dst := t.cols[i].ints
+			for _, r := range rows {
+				dst = append(dst, from[r])
+			}
+			t.cols[i].ints = dst
+		case String:
+			from := src.cols[i].strs[src.off : src.off+src.n]
+			dst := t.cols[i].strs
+			for _, r := range rows {
+				dst = append(dst, from[r])
+			}
+			t.cols[i].strs = dst
+		}
+	}
+	t.n += len(rows)
+	return nil
+}
+
 // AppendRowFrom appends row r of src to t. Schemas must be identical in
 // types (names may differ).
 func (t *Table) AppendRowFrom(src *Table, r int) error {

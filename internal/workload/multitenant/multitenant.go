@@ -12,8 +12,10 @@
 package multitenant
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"cheetah/internal/boolexpr"
@@ -129,6 +131,129 @@ func (m *Mix) Query(i int) *engine.Query {
 			SkylineCols: []string{"adRevenue", "duration"},
 		}
 	}
+}
+
+// DriveConfig shapes one open-loop serving run.
+type DriveConfig struct {
+	// Clients is the concurrent client count draining the arrival queue.
+	Clients int
+	// Queries is the workload length (mix indices 0..Queries-1).
+	Queries int
+	// Lambda is the Poisson arrival rate in queries per second.
+	Lambda float64
+	// Seed drives the arrival process.
+	Seed uint64
+}
+
+// DriveResult is the measurement of one run.
+type DriveResult struct {
+	// Wall is the makespan from first arrival to last completion.
+	Wall time.Duration
+	// Entries counts worker→switch entries across all queries.
+	Entries int
+	// LatencyMS holds one per-query latency (milliseconds, admission
+	// queueing included), in completion order.
+	LatencyMS []float64
+	// Fallbacks counts queries that ran direct (shed or unservable).
+	Fallbacks int
+}
+
+// Submit executes one query of the mix and reports the entries it
+// streamed and whether it fell back to direct execution. The serving
+// benchmark passes a closure over plan.Serving.Submit; tests pass
+// fakes. (A function type keeps this package independent of the
+// planning layer.)
+type Submit func(ctx context.Context, q *engine.Query) (entries int, direct bool, err error)
+
+// Drive runs the mix open-loop: arrivals follow a Poisson process that
+// never waits for completions, cfg.Clients workers drain the arrival
+// queue concurrently, and every query goes through submit. It is the
+// shared driver of `cheetah-bench serve` (at every fabric width) and
+// the serving race smokes.
+func (m *Mix) Drive(ctx context.Context, cfg DriveConfig, submit Submit) (*DriveResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("workload: Drive needs a positive query count, got %d", cfg.Queries)
+	}
+	if submit == nil {
+		return nil, fmt.Errorf("workload: Drive needs a submit function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	arrivals := PoissonArrivals(cfg.Queries, cfg.Lambda, cfg.Seed)
+	jobs := make(chan int, cfg.Queries)
+	start := time.Now()
+	go func() {
+		// Cancellation stops the arrival process mid-schedule; clients
+		// drain whatever already arrived and Drive returns ctx.Err().
+		defer close(jobs)
+		for i := 0; i < cfg.Queries; i++ {
+			if d := time.Until(start.Add(arrivals[i])); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return
+				}
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	res := &DriveResult{LatencyMS: make([]float64, 0, cfg.Queries)}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	wg.Add(cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := m.Query(i)
+				t0 := time.Now()
+				entries, direct, err := submit(ctx, q)
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("workload: query %d (%s): %w", i, q.Kind, err)
+					}
+				} else {
+					res.LatencyMS = append(res.LatencyMS, lat)
+					res.Entries += entries
+					if direct {
+						res.Fallbacks++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// EntriesPerSec is the run's aggregate pruning throughput.
+func (r *DriveResult) EntriesPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Entries) / r.Wall.Seconds()
 }
 
 // PoissonArrivals returns n arrival offsets of an open-loop Poisson
