@@ -36,6 +36,7 @@ import (
 	"cheetah/internal/plan"
 	"cheetah/internal/prune"
 	"cheetah/internal/serve"
+	"cheetah/internal/stream"
 	"cheetah/internal/switchsim"
 	"cheetah/internal/table"
 )
@@ -100,6 +101,39 @@ type (
 	// Utilization summarizes switch pipeline occupancy (also surfaced
 	// per query in Execution.PipelineUtil).
 	Utilization = switchsim.Utilization
+)
+
+// The streaming subsystem: tables as append-able sources, queries as
+// continuous subscriptions executed incrementally over live appends.
+// Open a handle with DB.Stream, append rows through it, and Subscribe
+// planner-built queries — each delta batch runs through the batched
+// engine (scattered across the fabric when Switches > 1) and merges
+// into a standing result that always equals a from-scratch run over
+// the full committed prefix. SubscribeWindow adds tumbling and sliding
+// row-count windows for the aggregate kinds.
+type (
+	// Streaming is a live streaming handle over the session's table,
+	// opened with DB.Stream: an append log plus a switch fabric hosting
+	// the standing programs of its continuous queries.
+	Streaming = plan.Streaming
+	// StreamOptions configures a streaming handle (backlog bound,
+	// block-vs-shed backpressure, placement queue limit).
+	StreamOptions = plan.StreamOptions
+	// StreamSubscription is one registered continuous query: poll
+	// Results or receive Updates; Close releases its standing program.
+	StreamSubscription = plan.Subscription
+	// StreamUpdate is one subscription progress notification.
+	StreamUpdate = stream.Update
+	// IngestStats are the append log's point-in-time gauges.
+	IngestStats = stream.Stats
+)
+
+// Streaming backpressure errors.
+var (
+	// ErrStreamBacklog marks an append shed by the backlog bound.
+	ErrStreamBacklog = stream.ErrBacklog
+	// ErrStreamClosed marks operations on a closed streaming handle.
+	ErrStreamClosed = stream.ErrClosed
 )
 
 // Tables and schemas.

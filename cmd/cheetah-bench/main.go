@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cheetah-bench [-scale N] [-seeds K] [-switches W] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|all]
+//	cheetah-bench [-scale N] [-seeds K] [-switches W] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|all]
 //
 // Scale divides the paper's dataset sizes (scale=1 reproduces paper
 // scale and takes minutes; the default 50 finishes in seconds). Output
@@ -20,7 +20,10 @@
 // workload through the concurrent serving layer and prints a scaling
 // table over fabric widths (1/2/4 switches, capped by -switches) ×
 // client counts (1/8/64), reporting aggregate entries/s and p50/p99
-// latency per row. None of the three is part of "all".
+// latency per row. The stream target drives concurrent appenders
+// (1/8/64) into a streaming session with standing continuous queries,
+// reporting ingest rows/s and result-freshness p50/p99. None of these
+// is part of "all".
 package main
 
 import (
@@ -73,6 +76,7 @@ func main() {
 		"fig10":  func() error { _, err := bench.Fig10(os.Stdout, o); return err },
 		"fig11":  func() error { _, err := bench.Fig11(os.Stdout, o); return err },
 		"serve":  func() error { return bench.Serve(os.Stdout, o, *switches) },
+		"stream": func() error { return bench.Stream(os.Stdout, o, *switches) },
 		"baseline": func() error {
 			// Measure first, write after: a failed run must not clobber
 			// an existing baseline file.
@@ -135,7 +139,7 @@ func main() {
 		}
 		f, ok := run[t]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, serve, or diff)\n", t, order)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, serve, stream, or diff)\n", t, order)
 			os.Exit(2)
 		}
 		if err := f(); err != nil {

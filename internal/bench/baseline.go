@@ -39,6 +39,17 @@ type ServeBaselineEntry struct {
 	P99MS         float64 `json:"p99_ms"`
 }
 
+// StreamBaselineEntry is one streaming-ingest measurement: appender
+// concurrency against ingest throughput and result freshness. Like the
+// serve rows these are informational context only (wall-clock
+// scheduling noise); the diff target compares only Benchmarks.
+type StreamBaselineEntry struct {
+	Appenders  int     `json:"appenders"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	FreshP50MS float64 `json:"fresh_p50_ms"`
+	FreshP99MS float64 `json:"fresh_p99_ms"`
+}
+
 // BaselineReport is the file format of BENCH_baseline.json: enough
 // context to compare runs across commits plus the per-benchmark entries.
 type BaselineReport struct {
@@ -49,6 +60,8 @@ type BaselineReport struct {
 	Benchmarks []BaselineEntry `json:"benchmarks"`
 	// Serve is the fabric scaling snapshot (switches × clients).
 	Serve []ServeBaselineEntry `json:"serve,omitempty"`
+	// Stream is the streaming ingest snapshot (appenders × freshness).
+	Stream []StreamBaselineEntry `json:"stream,omitempty"`
 }
 
 // Baseline measures the ExecCheetah micro-benchmarks (both the batched
@@ -132,6 +145,19 @@ func Baseline(w io.Writer, rows int) error {
 			EntriesPerSec: lv.EntriesPerSec(),
 			P50MS:         stats.Percentile(lv.LatencyMS, 50),
 			P99MS:         stats.Percentile(lv.LatencyMS, 99),
+		})
+	}
+	// Streaming ingest snapshot: the appender levels on a small mix.
+	for _, appenders := range streamAppenderLevels {
+		lv, err := runStreamLevel(mix, 1, appenders, 8_192, 1)
+		if err != nil {
+			return err
+		}
+		report.Stream = append(report.Stream, StreamBaselineEntry{
+			Appenders:  appenders,
+			RowsPerSec: lv.RowsPerSec,
+			FreshP50MS: lv.P50MS,
+			FreshP99MS: lv.P99MS,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,204 @@
+package bench
+
+// The stream target measures the streaming subsystem end to end: N
+// appender goroutines drive row batches open-loop into one Streaming
+// handle while a set of standing queries (one per pruner family that
+// matters for freshness: FILTER count, TOP N, DISTINCT, HAVING) stays
+// subscribed. Each row reports aggregate ingest throughput (rows/s
+// over the wall clock) and result freshness — the delay from a batch's
+// commit until the observed subscription's standing result covers it —
+// as p50/p99, plus the fabric occupancy the standing programs hold.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cheetah/internal/plan"
+	"cheetah/internal/stats"
+	"cheetah/internal/table"
+	"cheetah/internal/workload/multitenant"
+)
+
+// streamAppenderLevels are the concurrency levels measured.
+var streamAppenderLevels = []int{1, 8, 64}
+
+// streamBatchRows is the rows per appended batch.
+const streamBatchRows = 256
+
+// StreamLevel is one measured (appenders) row of the stream benchmark.
+type StreamLevel struct {
+	Appenders  int
+	Rows       int
+	RowsPerSec float64
+	P50MS      float64
+	P99MS      float64
+	// ActiveLeases is the fabric occupancy held by the standing
+	// programs while the level ran (summed across switches).
+	ActiveLeases int
+}
+
+// runStreamLevel ingests totalRows from the mix's visits table with the
+// given appender count and returns the level measurement.
+func runStreamLevel(mix *multitenant.Mix, switches, appenders, totalRows int, seed uint64) (*StreamLevel, error) {
+	target, err := table.New(mix.Visits.Schema())
+	if err != nil {
+		return nil, err
+	}
+	db, err := plan.Open(target, plan.Options{Workers: 1, Seed: seed, Switches: switches})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	ctx := context.Background()
+	st, err := db.Stream(ctx, plan.StreamOptions{})
+	if err != nil {
+		return nil, err
+	}
+	// Standing queries: kinds 0 (FILTER count), 1 (DISTINCT), 2 (TOP N),
+	// 5 (HAVING) of the mix, rebased onto the streaming table.
+	var subs []*plan.Subscription
+	for _, kind := range []int{0, 1, 2, 5} {
+		q := *mix.Query(kind)
+		q.Table = target
+		sub, err := st.Subscribe(ctx, &q)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+	}
+	observed := subs[2] // TOP N: cheap merge, representative freshness
+
+	// Pre-slice the source into batches and deal them to appenders.
+	var batches []*table.Table
+	for lo := 0; lo+streamBatchRows <= totalRows && lo+streamBatchRows <= mix.Visits.NumRows(); lo += streamBatchRows {
+		v, err := mix.Visits.View(lo, lo+streamBatchRows)
+		if err != nil {
+			return nil, err
+		}
+		batches = append(batches, v)
+	}
+	type commit struct {
+		version uint64
+		at      time.Time
+	}
+	var mu sync.Mutex
+	var commits []commit
+
+	start := time.Now()
+	jobs := make(chan *table.Table, len(batches))
+	for _, b := range batches {
+		jobs <- b
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	wg.Add(appenders)
+	errs := make([]error, appenders)
+	for a := 0; a < appenders; a++ {
+		go func(a int) {
+			defer wg.Done()
+			for b := range jobs {
+				if err := st.AppendBatch(b); err != nil {
+					errs[a] = err
+					return
+				}
+				// The commit's version is at least the batch's rows; the
+				// freshness observer matches the next update covering it.
+				mu.Lock()
+				commits = append(commits, commit{version: st.Version(), at: time.Now()})
+				mu.Unlock()
+			}
+		}(a)
+	}
+
+	// Freshness observer: every update of the observed subscription
+	// covers all commits at or below its version.
+	var freshness []float64
+	obsDone := make(chan struct{})
+	go func() {
+		defer close(obsDone)
+		for u := range observed.Updates() {
+			now := time.Now()
+			mu.Lock()
+			kept := commits[:0]
+			for _, c := range commits {
+				if c.version <= u.Version {
+					freshness = append(freshness, float64(now.Sub(c.at))/float64(time.Millisecond))
+				} else {
+					kept = append(kept, c)
+				}
+			}
+			commits = append([]commit(nil), kept...)
+			mu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := len(batches) * streamBatchRows
+	for _, sub := range subs {
+		if err := sub.Flush(ctx); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(start)
+	active := 0
+	for _, c := range st.Stats() {
+		active += c.Active
+	}
+	st.Close()
+	<-obsDone
+	lv := &StreamLevel{
+		Appenders:    appenders,
+		Rows:         rows,
+		RowsPerSec:   float64(rows) / wall.Seconds(),
+		P50MS:        stats.Percentile(freshness, 50),
+		P99MS:        stats.Percentile(freshness, 99),
+		ActiveLeases: active,
+	}
+	// The standing results must reflect every committed row — a cheap
+	// end-to-end sanity check that the bench measured real work.
+	if _, ver := observed.Results(); ver != uint64(rows) {
+		return nil, fmt.Errorf("bench: standing result covers %d of %d rows", ver, rows)
+	}
+	return lv, nil
+}
+
+// Stream runs the streaming ingest benchmark and renders one row per
+// appender level: ingest rows/s, freshness p50/p99, and the fabric
+// occupancy of the standing programs.
+func Stream(w io.Writer, o Options, switches int) error {
+	o = o.withDefaults()
+	if switches < 1 {
+		switches = 1
+	}
+	totalRows := userVisitsRows / (4 * o.Scale) // streams re-execute per delta; keep levels quick
+	if totalRows < 4*streamBatchRows {
+		totalRows = 4 * streamBatchRows
+	}
+	mix, err := multitenant.NewMix(multitenant.MixConfig{
+		VisitRows: totalRows, RankRows: totalRows / 2, Seed: o.BaseSeed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "streaming: %d-row ingest in %d-row batches, 4 standing queries (filter/distinct/topn/having), %d switch(es)\n",
+		totalRows, streamBatchRows, switches)
+	fmt.Fprintf(w, "%-10s %-10s %14s %12s %12s %8s\n",
+		"appenders", "rows", "ingest rows/s", "fresh p50", "fresh p99", "leases")
+	for _, appenders := range streamAppenderLevels {
+		lv, err := runStreamLevel(mix, switches, appenders, totalRows, o.BaseSeed+uint64(appenders))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d %-10d %14.3g %10.2fms %10.2fms %8d\n",
+			lv.Appenders, lv.Rows, lv.RowsPerSec, lv.P50MS, lv.P99MS, lv.ActiveLeases)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"cheetah/internal/engine"
 	"cheetah/internal/fabric"
@@ -40,8 +41,9 @@ type ServeOptions struct {
 // host — and queries shed by the queue limit — run as exact direct
 // executions, mirroring the planner's fallback semantics.
 type Serving struct {
-	s   *Session
-	fab *fabric.Fabric
+	s    *Session
+	fab  *fabric.Fabric
+	once sync.Once
 }
 
 // Serve opens the session's switch fabric for concurrent serving. The
@@ -57,6 +59,10 @@ func (s *Session) Serve(ctx context.Context, opts ServeOptions) (*Serving, error
 		return nil, err
 	}
 	sv := &Serving{s: s, fab: fab}
+	if err := s.addChild(sv); err != nil {
+		fab.Close()
+		return nil, err
+	}
 	if ctx != nil {
 		context.AfterFunc(ctx, sv.Close)
 	}
@@ -101,7 +107,12 @@ func (sv *Serving) UtilizationPerSwitch() []switchsim.Utilization {
 
 // Close shuts the serving layer down: queued admissions and future
 // Submits fall back to direct execution. Idempotent.
-func (sv *Serving) Close() { sv.fab.Close() }
+func (sv *Serving) Close() {
+	sv.once.Do(func() {
+		sv.fab.Close()
+		sv.s.removeChild(sv)
+	})
+}
 
 // Submit plans and executes q through the fabric. The query is placed
 // whole on one switch — least-loaded first, the least-contended FIFO

@@ -14,6 +14,7 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cheetah/internal/engine"
@@ -66,6 +67,11 @@ type Session struct {
 	table *table.Table
 	opts  Options
 	cost  engine.CostModel
+
+	// mu guards the open serving/streaming handles Close must drain.
+	mu       sync.Mutex
+	children map[interface{ Close() }]struct{}
+	closed   bool
 }
 
 // Open validates opts, fills defaults and returns a session over t.
@@ -95,7 +101,56 @@ func Open(t *table.Table, opts Options) (*Session, error) {
 	if opts.CostModel != nil {
 		cost = *opts.CostModel
 	}
-	return &Session{table: t, opts: opts, cost: cost}, nil
+	return &Session{
+		table:    t,
+		opts:     opts,
+		cost:     cost,
+		children: make(map[interface{ Close() }]struct{}),
+	}, nil
+}
+
+// addChild registers an open serving/streaming handle for Close to
+// drain; it fails once the session is closed.
+func (s *Session) addChild(c interface{ Close() }) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("plan: session is closed")
+	}
+	s.children[c] = struct{}{}
+	return nil
+}
+
+// removeChild deregisters a handle that closed on its own.
+func (s *Session) removeChild(c interface{ Close() }) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.children, c)
+}
+
+// Close shuts the session's serving and streaming handles down:
+// registered subscriptions drain their in-flight delta and release
+// their switch programs, queued admissions fail over to direct
+// execution, and in-flight Submits complete (a Submit racing Close
+// falls back to exact direct execution — never an error). One-shot
+// Exec/Plan calls keep working on the closed session; Close is about
+// the long-lived handles. Idempotent: extra Closes are no-ops.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	kids := make([]interface{ Close() }, 0, len(s.children))
+	for c := range s.children {
+		kids = append(kids, c)
+	}
+	s.children = make(map[interface{ Close() }]struct{})
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.Close()
+	}
 }
 
 // Table returns the session's table.

@@ -1,0 +1,392 @@
+package plan
+
+// This file is the session API's streaming front door: Session.Stream
+// opens the session's table as an append-able source, and
+// Streaming.Subscribe registers planner-built queries as continuous
+// queries. It is the layer between internal/stream (the append log and
+// incremental merge state) and the execution substrate: Subscribe plans
+// the delta program exactly like Exec would — same candidates, same
+// per-switch sizing at the session's fabric width — then admits it on
+// the fabric through the existing serve admission and holds the
+// lease(s) for the subscription's lifetime, so the standing program
+// keeps its switch state across deltas (the DISTINCT cache, TOP N
+// minima and GROUP BY maxima it warms on early deltas keep pruning the
+// later ones). Each committed delta batch then runs through the batched
+// engine — engine.ExecSharded across the fabric when Switches > 1 —
+// against only the delta, and the result folds into the standing
+// result.
+//
+// Two deliberate deviations from the one-shot paths:
+//
+//   - HAVING deltas plan and execute as GROUP BY SUM: the sketch path's
+//     candidates-only output cannot be merged incrementally (a key may
+//     cross the threshold only in aggregate), so the subscription keeps
+//     the full per-key sum map and applies the threshold at the
+//     standing result.
+//   - JOIN programs reset at each delta: the build side is the delta
+//     itself, so the Bloom filters must retrain; the lease is still
+//     held across deltas (the switch resources stay reserved for the
+//     standing query).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/fabric"
+	"cheetah/internal/prune"
+	"cheetah/internal/serve"
+	"cheetah/internal/stream"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/table"
+)
+
+// StreamOptions configures a streaming handle.
+type StreamOptions struct {
+	// Backlog bounds the unprocessed rows buffered ahead of the slowest
+	// subscription (0 = unbounded).
+	Backlog int
+	// Shed makes over-backlog appends fail fast with stream.ErrBacklog
+	// instead of blocking until subscriptions drain.
+	Shed bool
+	// QueueLimit caps each switch's admission wait queue for continuous
+	// query placement (0 = unbounded).
+	QueueLimit int
+}
+
+// Streaming is a live streaming handle over the session's table: an
+// append log plus a switch fabric hosting the standing programs of its
+// continuous queries. All methods are safe for concurrent use.
+type Streaming struct {
+	s   *Session
+	ing *stream.Ingestor
+	fab *fabric.Fabric
+
+	mu     sync.Mutex
+	subs   map[*Subscription]struct{}
+	closed bool
+	once   sync.Once
+}
+
+// Stream opens the session's table as a streaming source. The handle
+// closes when ctx is done (or on Close); appends and new subscriptions
+// then fail, standing subscriptions drain and release their programs.
+func (s *Session) Stream(ctx context.Context, opts StreamOptions) (*Streaming, error) {
+	pol := stream.Block
+	if opts.Shed {
+		pol = stream.Shed
+	}
+	ing, err := stream.NewIngestor(s.table, stream.Config{Backlog: opts.Backlog, OnFull: pol})
+	if err != nil {
+		return nil, err
+	}
+	fab, err := fabric.New(fabric.Options{
+		Switches:   s.opts.Switches,
+		Model:      s.opts.Model,
+		QueueLimit: opts.QueueLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := &Streaming{s: s, ing: ing, fab: fab, subs: make(map[*Subscription]struct{})}
+	if err := s.addChild(st); err != nil {
+		fab.Close()
+		ing.Close()
+		return nil, err
+	}
+	if ctx != nil {
+		context.AfterFunc(ctx, st.Close)
+	}
+	return st, nil
+}
+
+// Session returns the streaming handle's session.
+func (st *Streaming) Session() *Session { return st.s }
+
+// Ingest returns the underlying append log, for direct snapshot and
+// stats access.
+func (st *Streaming) Ingest() *stream.Ingestor { return st.ing }
+
+// Append commits one row (values in schema order).
+func (st *Streaming) Append(vals ...any) error { return st.ing.Append(vals...) }
+
+// AppendBatch atomically commits every row of src.
+func (st *Streaming) AppendBatch(src *table.Table) error { return st.ing.AppendBatch(src) }
+
+// Version returns the committed row count (the snapshot version).
+func (st *Streaming) Version() uint64 { return st.ing.Version() }
+
+// Stats returns each switch's admission counters — the standing-
+// program occupancy of the fabric, indexed by switch.
+func (st *Streaming) Stats() []serve.Counters { return st.fab.Stats() }
+
+// Subscription is one continuous query registered through the session:
+// the stream-layer subscription plus its plan and held switch
+// resources. Results/Updates/Wait/Flush are promoted from the embedded
+// subscription.
+type Subscription struct {
+	*stream.Subscription
+	st   *Streaming
+	plan *Plan
+	// leases are the fabric holds backing the standing program: one for
+	// a single-switch placement, one per switch for scatter/gather, nil
+	// for a direct (unpruned) subscription.
+	leases []*serve.Lease
+	// swIdx is the placed switch for single-switch placements (-1 for
+	// sharded and direct subscriptions).
+	swIdx int
+
+	mu      sync.Mutex
+	traffic engine.Traffic
+	once    sync.Once
+}
+
+// Plan returns the plan backing the subscription's delta executions.
+// For HAVING subscriptions it is the GROUP BY SUM delta plan (see the
+// package comment).
+func (ss *Subscription) Plan() *Plan { return ss.plan }
+
+// Switch returns the fabric switch a single-switch subscription was
+// placed on, or -1 (sharded subscriptions own a program on every
+// switch; direct subscriptions own none).
+func (ss *Subscription) Switch() int { return ss.swIdx }
+
+// Traffic returns the cumulative dataplane traffic of the
+// subscription's delta executions.
+func (ss *Subscription) Traffic() engine.Traffic {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.traffic
+}
+
+func (ss *Subscription) addTraffic(t engine.Traffic) {
+	ss.mu.Lock()
+	ss.traffic.EntriesSent += t.EntriesSent
+	ss.traffic.Forwarded += t.Forwarded
+	ss.traffic.SecondPassSent += t.SecondPassSent
+	ss.traffic.MasterProcessed += t.MasterProcessed
+	ss.mu.Unlock()
+}
+
+// Close deregisters the continuous query: the stream subscription
+// drains its in-flight delta, then the standing program's switch
+// resources release. Idempotent.
+func (ss *Subscription) Close() {
+	ss.once.Do(func() {
+		ss.Subscription.Close()
+		for _, l := range ss.leases {
+			l.Release()
+		}
+		ss.st.mu.Lock()
+		delete(ss.st.subs, ss)
+		ss.st.mu.Unlock()
+	})
+}
+
+// Subscribe registers q as a continuous query: the planner picks and
+// sizes the pruning program (per switch at the session's fabric
+// width), the fabric admits it — a standing program holds its switch
+// state across deltas — and every committed delta batch executes
+// incrementally into a standing result that always equals a
+// from-scratch run over the full committed prefix. Queries no switch
+// can host (and placements shed by the queue limit) run their deltas
+// as exact direct executions.
+func (st *Streaming) Subscribe(ctx context.Context, q *engine.Query) (*Subscription, error) {
+	return st.subscribe(ctx, q, 0, 0)
+}
+
+// SubscribeWindow is Subscribe for the windowed variants of the
+// aggregate kinds (TOP N, GROUP BY MAX/SUM, HAVING): the standing
+// result covers the most recently completed window of `window` rows,
+// sliding by `slide` rows with the oldest rows retracted. window ==
+// slide is a tumbling window; window must be a multiple of slide.
+func (st *Streaming) SubscribeWindow(ctx context.Context, q *engine.Query, window, slide int) (*Subscription, error) {
+	return st.subscribe(ctx, q, window, slide)
+}
+
+func (st *Streaming) subscribe(ctx context.Context, q *engine.Query, window, slide int) (*Subscription, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st.mu.Lock()
+	closed := st.closed
+	st.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("plan: streaming handle is closed")
+	}
+	if q == nil {
+		return nil, fmt.Errorf("plan: Subscribe needs a query")
+	}
+	// HAVING deltas aggregate full per-key sums (GROUP BY SUM program);
+	// the threshold applies at the standing result.
+	pq := q
+	if q.Kind == engine.KindHaving {
+		cp := *q
+		cp.Kind = engine.KindGroupBySum
+		pq = &cp
+	}
+	p, err := st.s.planFor(pq, st.s.opts.Switches)
+	if err != nil {
+		return nil, err
+	}
+	if q.Kind == engine.KindHaving && p.Mode != ModeDirect {
+		p.Reason += "; continuous having keeps exact per-key sums (threshold at the standing result)"
+	}
+	// Streaming always executes deltas in-process through the fabric;
+	// the cluster transport has no incremental path.
+	if p.Mode == ModeCluster {
+		p.Mode = ModeCheetah
+		p.Reason += "; streaming executes in-process (cluster transport has no incremental path)"
+	}
+	ss := &Subscription{st: st, plan: p, swIdx: -1}
+	// windowed deltas must not carry switch state across executions: a
+	// value pruned by a cache warmed OUTSIDE the window could be part of
+	// the window's true result, so every windowed delta exec resets the
+	// program(s) first.
+	windowed := window != 0 || slide != 0
+	var exec stream.DeltaExec
+	switch {
+	case p.Mode == ModeDirect:
+		exec = stream.DirectExec
+	case p.Switches > 1:
+		exec, err = st.shardedExec(ctx, ss, p, windowed)
+	default:
+		exec, err = st.placedExec(ctx, ss, p, windowed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sub, err := st.ing.Subscribe(q, stream.SubOptions{Exec: exec, Window: window, Slide: slide})
+	if err != nil {
+		for _, l := range ss.leases {
+			l.Release()
+		}
+		return nil, err
+	}
+	ss.Subscription = sub
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		ss.Close()
+		return nil, fmt.Errorf("plan: streaming handle is closed")
+	}
+	st.subs[ss] = struct{}{}
+	st.mu.Unlock()
+	return ss, nil
+}
+
+// fallbackDirect reports whether a fabric admission failure means "run
+// the deltas unpruned" rather than "fail the subscribe".
+func fallbackDirect(err error) bool {
+	return errors.Is(err, serve.ErrNeverFits) ||
+		errors.Is(err, serve.ErrQueueFull) ||
+		errors.Is(err, serve.ErrClosed)
+}
+
+// placedExec admits one standing program on the least-loaded switch and
+// returns the delta executor running through its lease.
+func (st *Streaming) placedExec(ctx context.Context, ss *Subscription, p *Plan, windowed bool) (stream.DeltaExec, error) {
+	pruner, err := p.NewPruner()
+	if err != nil {
+		return nil, err
+	}
+	placement, err := st.fab.Admit(ctx, pruner)
+	if err != nil {
+		if fallbackDirect(err) {
+			p.Mode = ModeDirect
+			p.Reason = fmt.Sprintf("streaming fallback: %v", err)
+			return stream.DirectExec, nil
+		}
+		return nil, err
+	}
+	ss.leases = []*serve.Lease{placement.Lease}
+	ss.swIdx = placement.Switch
+	workers, seed := p.Workers, p.Seed
+	return func(dq *engine.Query) (*engine.Result, error) {
+		resetForDelta([]prune.Pruner{pruner}, windowed)
+		run, err := engine.ExecCheetah(dq, engine.CheetahOptions{
+			Workers: workers, Pruner: pruner, Seed: seed, Flow: placement.Lease,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ss.addTraffic(run.Traffic)
+		return run.Result, nil
+	}, nil
+}
+
+// shardedExec admits one standing program per switch and returns the
+// delta executor scattering each delta across the fabric.
+func (st *Streaming) shardedExec(ctx context.Context, ss *Subscription, p *Plan, windowed bool) (stream.DeltaExec, error) {
+	pruners, err := p.NewShardPruners()
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]switchsim.Program, len(pruners))
+	for i, pr := range pruners {
+		progs[i] = pr
+	}
+	leases, err := st.fab.AdmitShards(ctx, progs)
+	if err != nil {
+		if fallbackDirect(err) {
+			p.Mode = ModeDirect
+			p.Reason = fmt.Sprintf("streaming fallback: %v", err)
+			return stream.DirectExec, nil
+		}
+		return nil, err
+	}
+	ss.leases = leases
+	flows := make([]engine.BatchDataplane, len(leases))
+	for i, l := range leases {
+		flows[i] = l
+	}
+	shards, workers, seed := p.Switches, p.Workers, p.Seed
+	return func(dq *engine.Query) (*engine.Result, error) {
+		resetForDelta(pruners, windowed)
+		run, err := engine.ExecSharded(dq, engine.ShardedOptions{
+			Shards: shards, Workers: workers, Seed: seed, Pruners: pruners, Flows: flows,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ss.addTraffic(run.Traffic)
+		return run.Result, nil
+	}, nil
+}
+
+// resetForDelta clears switch state before a delta execution where
+// reuse would be wrong: always for JOIN (the delta is the build side —
+// the filters must retrain), and for every program of a windowed
+// subscription (state warmed outside the window must not prune rows
+// inside it). Unwindowed single-pass programs deliberately keep their
+// state — that is the standing-program payoff.
+func resetForDelta(pruners []prune.Pruner, windowed bool) {
+	for _, pr := range pruners {
+		if _, isJoin := pr.(*prune.Join); isJoin || windowed {
+			pr.Reset()
+		}
+	}
+}
+
+// Close shuts the streaming handle down: appends and new subscriptions
+// fail, every continuous query drains its in-flight delta and releases
+// its standing program, and the fabric closes. Idempotent.
+func (st *Streaming) Close() {
+	st.once.Do(func() {
+		st.mu.Lock()
+		st.closed = true
+		subs := make([]*Subscription, 0, len(st.subs))
+		for ss := range st.subs {
+			subs = append(subs, ss)
+		}
+		st.mu.Unlock()
+		st.ing.Close()
+		for _, ss := range subs {
+			ss.Close()
+		}
+		st.fab.Close()
+		st.s.removeChild(st)
+	})
+}

@@ -1,0 +1,510 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/table"
+	"cheetah/internal/workload/multitenant"
+)
+
+// newEmptyLike builds an empty root table with src's schema.
+func newEmptyLike(t *testing.T, src *table.Table) *table.Table {
+	t.Helper()
+	tb, err := table.New(src.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// mustEqual fails unless got is bit-identical to want.
+func mustEqual(t *testing.T, ctx string, got, want *engine.Result) {
+	t.Helper()
+	if got == nil || !want.Equal(got) {
+		t.Fatalf("%s: standing result diverged\n got: %v\nwant: %v", ctx, got, want)
+	}
+}
+
+// schedules enumerates the delta schedules of the property suite: one
+// big batch, many small batches, and small batches with a second
+// subscription registered mid-stream.
+var schedules = []string{"one-big", "many-small", "interleaved"}
+
+// runSchedule drives rows of src into the ingestor per the schedule,
+// stepping subscription(s) between appends, and returns every live
+// subscription (the interleaved schedule registers a second one
+// mid-stream via subscribe).
+func runSchedule(t *testing.T, in *Ingestor, src *table.Table, schedule string,
+	sub *Subscription, subscribe func() *Subscription) []*Subscription {
+	t.Helper()
+	subs := []*Subscription{sub}
+	stepAll := func() {
+		for _, s := range subs {
+			if _, err := s.Step(); err != nil {
+				t.Fatalf("step: %v", err)
+			}
+		}
+	}
+	n := src.NumRows()
+	appendRange := func(lo, hi int) {
+		v, err := src.View(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.AppendBatch(v); err != nil {
+			t.Fatalf("append [%d,%d): %v", lo, hi, err)
+		}
+	}
+	switch schedule {
+	case "one-big":
+		appendRange(0, n)
+		stepAll()
+	case "many-small":
+		const chunk = 97
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			appendRange(lo, hi)
+			stepAll()
+		}
+	case "interleaved":
+		appendRange(0, n/2)
+		stepAll()
+		late := subscribe()
+		subs = append(subs, late)
+		const chunk = 61
+		for lo := n / 2; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			appendRange(lo, hi)
+			stepAll()
+		}
+	default:
+		t.Fatalf("unknown schedule %q", schedule)
+	}
+	return subs
+}
+
+// TestIncrementalEquivalence is the stream-layer half of the property
+// suite: for all 8 kinds × delta schedules × seeds, the standing result
+// after any append schedule is bit-identical to running the query from
+// scratch on the full prefix — with the exact executor and with the
+// batched pruned executor (standing switch state across deltas).
+func TestIncrementalEquivalence(t *testing.T) {
+	execs := map[string]func(seed uint64) DeltaExec{
+		"direct": func(uint64) DeltaExec { return DirectExec },
+		"cheetah": func(seed uint64) DeltaExec {
+			return func(dq *engine.Query) (*engine.Result, error) {
+				run, err := engine.ExecCheetah(dq, engine.CheetahOptions{Workers: 2, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				return run.Result, nil
+			}
+		},
+	}
+	for execName, mkExec := range execs {
+		for _, seed := range []uint64{1, 0xbeef, 42} {
+			mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 1500, RankRows: 700, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for kind := 0; kind < multitenant.NumKinds; kind++ {
+				for _, schedule := range schedules {
+					name := fmt.Sprintf("%s/seed=%#x/%v/%s", execName, seed, mix.Query(kind).Kind, schedule)
+					t.Run(name, func(t *testing.T) {
+						target := newEmptyLike(t, mix.Visits)
+						in, err := NewIngestor(target, Config{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer in.Close()
+						q := *mix.Query(kind)
+						q.Table = target
+						subscribe := func() *Subscription {
+							s, err := in.Subscribe(&q, SubOptions{Exec: mkExec(seed), NoPump: true})
+							if err != nil {
+								t.Fatal(err)
+							}
+							return s
+						}
+						subs := runSchedule(t, in, mix.Visits, schedule, subscribe(), subscribe)
+
+						full := *mix.Query(kind) // from-scratch ground truth on the full prefix
+						want, err := engine.ExecDirect(&full)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i, s := range subs {
+							got, ver := s.Results()
+							if ver != uint64(mix.Visits.NumRows()) {
+								t.Fatalf("sub %d version = %d, want %d", i, ver, mix.Visits.NumRows())
+							}
+							mustEqual(t, fmt.Sprintf("sub %d", i), got, want)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestIngestorSnapshotVersioning(t *testing.T) {
+	tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+	in, err := NewIngestor(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if err := in.Append(int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	snap, ver, err := in.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || snap.NumRows() != 1 {
+		t.Fatalf("snapshot ver=%d rows=%d, want 1/1", ver, snap.NumRows())
+	}
+	// Later appends stay invisible to the captured snapshot.
+	for i := 0; i < 100; i++ {
+		if err := in.Append(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap.NumRows() != 1 || snap.Int64At(0, 0) != 1 {
+		t.Fatalf("snapshot mutated: rows=%d", snap.NumRows())
+	}
+	if got := in.Version(); got != 101 {
+		t.Fatalf("version = %d, want 101", got)
+	}
+}
+
+func TestIngestorRejectsViewsAndExternalMutation(t *testing.T) {
+	tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+	if err := tb.AppendInt64Row(1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tb.View(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIngestor(v, Config{}); err == nil {
+		t.Fatal("ingestor over a view should fail")
+	}
+	in, err := NewIngestor(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	// An append that bypasses the ingestor is detected on the next commit.
+	if err := tb.AppendInt64Row(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Append(int64(3)); err == nil {
+		t.Fatal("append after external mutation should fail")
+	}
+}
+
+func TestBackpressureShed(t *testing.T) {
+	tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+	in, err := NewIngestor(tb, Config{Backlog: 5, OnFull: Shed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	q := &engine.Query{Kind: engine.KindTopN, Table: tb, OrderCol: "v", N: 3}
+	sub, err := in.Subscribe(q, SubOptions{NoPump: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := in.Append(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Append(int64(99)); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("overflow append err = %v, want ErrBacklog", err)
+	}
+	if st := in.Stats(); st.Backlog != 5 || st.Subscriptions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Draining frees capacity; the shed rows were never committed.
+	if _, err := sub.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Append(int64(99)); err != nil {
+		t.Fatalf("append after drain: %v", err)
+	}
+	if got := in.Version(); got != 6 {
+		t.Fatalf("version = %d, want 6 (shed batch not committed)", got)
+	}
+	// A batch bigger than the bound can never be admitted.
+	big := table.MustNew(tb.Schema())
+	for i := 0; i < 6; i++ {
+		if err := big.AppendInt64Row(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.AppendBatch(big); err == nil {
+		t.Fatal("batch above the backlog bound should fail")
+	}
+}
+
+func TestBackpressureBlocks(t *testing.T) {
+	tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+	in, err := NewIngestor(tb, Config{Backlog: 4, OnFull: Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	q := &engine.Query{Kind: engine.KindTopN, Table: tb, OrderCol: "v", N: 2}
+	sub, err := in.Subscribe(q, SubOptions{NoPump: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := in.Append(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- in.Append(int64(4)) }()
+	select {
+	case err := <-unblocked:
+		t.Fatalf("append should have blocked, returned %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := sub.Step(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-unblocked:
+		if err != nil {
+			t.Fatalf("unblocked append: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("append stayed blocked after the backlog drained")
+	}
+}
+
+func TestPumpedSubscriptionAndUpdates(t *testing.T) {
+	tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+	in, err := NewIngestor(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	q := &engine.Query{Kind: engine.KindTopN, Table: tb, OrderCol: "v", N: 3}
+	sub, err := in.Subscribe(q, SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 50; i++ {
+		if err := in.Append(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sub.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, ver := sub.Results()
+	if ver != 50 {
+		t.Fatalf("version = %d, want 50", ver)
+	}
+	want := [][]string{{"47"}, {"48"}, {"49"}}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i, w := range want {
+		if res.Rows[i][0] != w[0] {
+			t.Fatalf("rows = %v, want %v", res.Rows, want)
+		}
+	}
+	// Step is rejected on a pumped subscription.
+	if _, err := sub.Step(); err == nil {
+		t.Fatal("Step on a pumped subscription should fail")
+	}
+	// The updates channel carries the latest advance and closes on Close.
+	select {
+	case u := <-sub.Updates():
+		if u.Version == 0 {
+			t.Fatalf("update = %+v", u)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no update received")
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	// Any residual buffered update drains, then the channel reports
+	// closed — a ranged receive must terminate.
+	for range sub.Updates() {
+	}
+}
+
+func TestIngestorCloseDrainsSubscriptions(t *testing.T) {
+	tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+	in, err := NewIngestor(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &engine.Query{Kind: engine.KindTopN, Table: tb, OrderCol: "v", N: 1}
+	sub, err := in.Subscribe(q, SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Append(int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	in.Close()
+	in.Close() // idempotent
+	if err := in.Append(int64(8)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close err = %v, want ErrClosed", err)
+	}
+	if _, err := in.Subscribe(q, SubOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("subscribe after close err = %v, want ErrClosed", err)
+	}
+	// The subscription's pump has exited and its channel is closed.
+	for range sub.Updates() {
+	}
+}
+
+// TestFailedSubscriptionLeavesBacklog pins that a subscription whose
+// executor fails terminally stops counting against the backlog bound —
+// a wedged continuous query must not block or shed appends forever —
+// and that its updates channel closes so receivers unblock.
+func TestFailedSubscriptionLeavesBacklog(t *testing.T) {
+	tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+	in, err := NewIngestor(tb, Config{Backlog: 4, OnFull: Shed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	q := &engine.Query{Kind: engine.KindTopN, Table: tb, OrderCol: "v", N: 2}
+	boom := fmt.Errorf("executor broke")
+	sub, err := in.Subscribe(q, SubOptions{Exec: func(*engine.Query) (*engine.Result, error) {
+		return nil, boom
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Append(int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The pump hits the terminal error and closes updates.
+	for range sub.Updates() {
+	}
+	if err := sub.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want the executor error", err)
+	}
+	// The failed subscription no longer counts toward the backlog:
+	// appends past its frozen offset keep committing.
+	for i := 0; i < 20; i++ {
+		if err := in.Append(int64(i)); err != nil {
+			t.Fatalf("append %d after subscription failure: %v", i, err)
+		}
+	}
+	// Wait surfaces the terminal error instead of hanging.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sub.Wait(ctx, in.Version()); !errors.Is(err, boom) {
+		t.Fatalf("Wait err = %v, want the executor error", err)
+	}
+	sub.Close()
+}
+
+// TestManualStepCloseRace pins that Close racing an in-flight Step on
+// a NoPump subscription never panics (publish vs channel close).
+func TestManualStepCloseRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+		in, err := NewIngestor(tb, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := &engine.Query{Kind: engine.KindTopN, Table: tb, OrderCol: "v", N: 2}
+		sub, err := in.Subscribe(q, SubOptions{NoPump: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 8; r++ {
+			if err := in.Append(int64(r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); sub.Step() }() //nolint:errcheck
+		go func() { defer wg.Done(); sub.Close() }()
+		wg.Wait()
+		in.Close()
+	}
+}
+
+// TestConcurrentAppendersRace exercises the writer/reader paths the
+// race detector must clear: several appenders, a pumped subscription
+// and snapshot readers all running against one log.
+func TestConcurrentAppendersRace(t *testing.T) {
+	tb := table.MustNew(table.Schema{{Name: "v", Type: table.Int64}})
+	in, err := NewIngestor(tb, Config{Backlog: 10_000, OnFull: Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	q := &engine.Query{Kind: engine.KindTopN, Table: tb, OrderCol: "v", N: 10}
+	sub, err := in.Subscribe(q, SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const appenders, rowsEach = 8, 400
+	var wg sync.WaitGroup
+	wg.Add(appenders + 1)
+	for a := 0; a < appenders; a++ {
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < rowsEach; i++ {
+				if err := in.Append(int64(a*rowsEach + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			snap, _, err := in.Snapshot()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_ = snap.NumRows()
+			sub.Results()
+		}
+	}()
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sub.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, ver := sub.Results()
+	if ver != appenders*rowsEach {
+		t.Fatalf("version = %d, want %d", ver, appenders*rowsEach)
+	}
+	if got, want := res.Rows[len(res.Rows)-1][0], fmt.Sprint(appenders*rowsEach-1); got != want {
+		t.Fatalf("top value = %s, want %s", got, want)
+	}
+}

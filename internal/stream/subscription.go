@@ -1,0 +1,453 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/table"
+)
+
+// DeltaExec executes one fully-formed delta query (the delta table is
+// already substituted in, and HAVING is rewritten to GROUP BY SUM) and
+// returns its canonical result. The planning layer injects an executor
+// that streams the delta through a held switch program; the default is
+// exact direct execution.
+type DeltaExec func(dq *engine.Query) (*engine.Result, error)
+
+// SubOptions shapes one subscription.
+type SubOptions struct {
+	// Exec runs each delta; nil selects DirectExec.
+	Exec DeltaExec
+	// Window and Slide, when non-zero, make the subscription windowed
+	// over row counts: the standing result covers the most recently
+	// completed window of Window rows, advancing every Slide rows with
+	// the oldest Slide rows retracted. Window == Slide is a tumbling
+	// window. Window must be a positive multiple of Slide, and windowing
+	// applies to the aggregate kinds (TOP N, GROUP BY MAX/SUM, HAVING).
+	Window, Slide int
+	// NoPump disables the background pump; deltas are processed only by
+	// explicit Step calls. Deterministic delta schedules — the property
+	// suites — use this.
+	NoPump bool
+}
+
+// Update is one subscription progress notification.
+type Update struct {
+	// Version is the committed row prefix the standing result now
+	// covers (for windowed subscriptions: the rows processed; the
+	// fired window may trail it).
+	Version uint64
+	// Rows is the delta size that produced this update.
+	Rows int
+}
+
+// Subscription is one continuous query: a standing result kept
+// incrementally fresh over the ingestor's append log. Results is
+// polled; Updates streams progress notifications (latest wins).
+type Subscription struct {
+	in   *Ingestor
+	q    *engine.Query
+	exec DeltaExec
+
+	// Unwindowed standing state, or the windowed pane machinery.
+	m   merger
+	win *windowState
+
+	notify  chan struct{}
+	done    chan struct{}
+	pumped  bool
+	pumpEnd chan struct{}
+	updates chan Update
+
+	// stateMu guards the merge state (m / win) and stateVer: the pump
+	// mutates them outside the ingestor lock, Results reads them.
+	stateMu  sync.Mutex
+	stateVer uint64
+
+	// Guarded by in.mu: processed offset, terminal error, closed flag.
+	processed uint64
+	err       error
+	subClosed bool
+
+	// Guarded by resMu: the rendered standing result cache.
+	resMu     sync.Mutex
+	result    *engine.Result
+	resultVer uint64
+	dirty     bool
+
+	// stepMu serializes step with Close for manual (NoPump)
+	// subscriptions, where no pump handshake protects the updates
+	// channel from an in-flight Step's publish.
+	stepMu      sync.Mutex
+	closeOnce   sync.Once
+	updatesOnce sync.Once
+}
+
+// windowState is the pane machinery of a windowed subscription: the
+// current pane accumulates sub-deltas; completed panes keep their
+// rendered partials; the fired window is the fold of the last
+// Window/Slide panes — sliding retracts by dropping the oldest pane.
+type windowState struct {
+	window, slide int
+	panes         int // window / slide
+	cur           merger
+	done          []*engine.Result
+	firedHi       uint64 // end row of the last fired window (0 = none)
+}
+
+func newSubscription(in *Ingestor, q *engine.Query, opts SubOptions) (*Subscription, error) {
+	s := &Subscription{
+		in:      in,
+		q:       q,
+		exec:    opts.Exec,
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		pumpEnd: make(chan struct{}),
+		updates: make(chan Update, 1),
+		pumped:  !opts.NoPump,
+		dirty:   true,
+	}
+	if opts.Window != 0 || opts.Slide != 0 {
+		if err := validateWindow(q, opts.Window, opts.Slide); err != nil {
+			return nil, err
+		}
+		cur, err := paneMerger(q)
+		if err != nil {
+			return nil, err
+		}
+		s.win = &windowState{
+			window: opts.Window,
+			slide:  opts.Slide,
+			panes:  opts.Window / opts.Slide,
+			cur:    cur,
+		}
+	} else {
+		m, err := newMerger(q)
+		if err != nil {
+			return nil, err
+		}
+		s.m = m
+	}
+	return s, nil
+}
+
+// validateWindow checks the window shape and the kind's windowability.
+func validateWindow(q *engine.Query, window, slide int) error {
+	if window <= 0 || slide <= 0 {
+		return fmt.Errorf("stream: window %d / slide %d must both be positive", window, slide)
+	}
+	if window%slide != 0 {
+		return fmt.Errorf("stream: window %d must be a multiple of slide %d (pane-aligned retraction)", window, slide)
+	}
+	switch q.Kind {
+	case engine.KindTopN, engine.KindGroupByMax, engine.KindGroupBySum, engine.KindHaving:
+		return nil
+	default:
+		return fmt.Errorf("stream: %v does not support windows (windowed variants cover the aggregate kinds)", q.Kind)
+	}
+}
+
+// start launches the background pump unless the subscription is manual.
+func (s *Subscription) start() {
+	if !s.pumped {
+		close(s.pumpEnd)
+		// A manual subscription may already be behind a committed
+		// prefix; the first Step picks it up.
+		return
+	}
+	go s.pump()
+	s.wake() // catch up over the already-committed prefix
+}
+
+// wake nudges the pump (nonblocking; coalesces).
+func (s *Subscription) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Subscription) pump() {
+	defer close(s.pumpEnd)
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.notify:
+		}
+		for {
+			n, err := s.step()
+			if err != nil {
+				// Terminal: fail() already deregistered the
+				// subscription; closing updates unblocks receivers.
+				s.updatesOnce.Do(func() { close(s.updates) })
+				return
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+}
+
+// Step processes the pending delta (all rows committed since the last
+// processed version) synchronously and reports its size. Manual
+// (NoPump) subscriptions are driven exclusively through Step; calling
+// it on a pumped subscription is an error (two drivers would race the
+// merge state).
+func (s *Subscription) Step() (int, error) {
+	if s.pumped {
+		return 0, fmt.Errorf("stream: Step on a pumped subscription (use NoPump for manual draining)")
+	}
+	return s.step()
+}
+
+// step coalesces everything committed past the processed offset into
+// one delta, runs it through the executor and the merge state, then
+// publishes the advance.
+func (s *Subscription) step() (int, error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	s.in.mu.Lock()
+	if s.subClosed {
+		s.in.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if s.err != nil {
+		err := s.err
+		s.in.mu.Unlock()
+		return 0, err
+	}
+	lo, hi := s.processed, s.in.rows
+	if lo == hi {
+		s.in.mu.Unlock()
+		return 0, nil
+	}
+	snap, err := s.in.t.SnapshotPrefix(int(hi))
+	s.in.mu.Unlock()
+	if err != nil {
+		return 0, s.fail(err)
+	}
+
+	s.stateMu.Lock()
+	if s.win != nil {
+		err = s.absorbWindowed(snap, lo, hi)
+	} else {
+		err = s.absorbSpan(snap, lo, hi, s.m)
+	}
+	if err == nil {
+		s.stateVer = hi
+	}
+	s.stateMu.Unlock()
+	if err != nil {
+		return 0, s.fail(err)
+	}
+
+	s.resMu.Lock()
+	s.dirty = true
+	s.resMu.Unlock()
+
+	s.in.mu.Lock()
+	s.processed = hi
+	s.in.cond.Broadcast()
+	s.in.mu.Unlock()
+
+	s.publish(Update{Version: hi, Rows: int(hi - lo)})
+	return int(hi - lo), nil
+}
+
+// absorbSpan executes rows [lo, hi) of the snapshot as one delta and
+// folds the result into m.
+func (s *Subscription) absorbSpan(snap *table.Table, lo, hi uint64, m merger) error {
+	delta, err := snap.View(int(lo), int(hi))
+	if err != nil {
+		return err
+	}
+	res, err := s.exec(deltaQuery(s.q, delta))
+	if err != nil {
+		return err
+	}
+	return m.absorb(res)
+}
+
+// absorbWindowed splits the delta at pane boundaries: each pane-aligned
+// sub-span executes separately into the current pane, and every
+// completed pane slides the window — the oldest pane's contribution is
+// retracted by falling out of the fold.
+func (s *Subscription) absorbWindowed(snap *table.Table, lo, hi uint64) error {
+	w := s.win
+	for a := lo; a < hi; {
+		b := a - a%uint64(w.slide) + uint64(w.slide) // next pane boundary
+		if b > hi {
+			b = hi
+		}
+		if err := s.absorbSpan(snap, a, b, w.cur); err != nil {
+			return err
+		}
+		if b%uint64(w.slide) == 0 {
+			// Pane complete: freeze its partial, slide the window.
+			w.done = append(w.done, w.cur.snapshot())
+			if len(w.done) > w.panes {
+				w.done = w.done[1:]
+			}
+			w.firedHi = b
+			cur, err := paneMerger(s.q)
+			if err != nil {
+				return err
+			}
+			w.cur = cur
+		}
+		a = b
+	}
+	return nil
+}
+
+// fired folds the completed panes into the current window's result; an
+// unfired window renders the query's empty result.
+func (w *windowState) fired(q *engine.Query) *engine.Result {
+	fm, err := newMerger(q)
+	if err != nil {
+		// newMerger already succeeded for this query at subscribe time.
+		panic(err)
+	}
+	for _, pane := range w.done {
+		if err := fm.absorb(pane); err != nil {
+			panic(fmt.Sprintf("stream: window fold over own pane snapshot: %v", err))
+		}
+	}
+	return fm.snapshot()
+}
+
+// WindowBounds returns the committed row range [lo, hi) the last fired
+// window covers (0, 0 before the first pane completes).
+func (s *Subscription) WindowBounds() (lo, hi uint64) {
+	if s.win == nil {
+		return 0, 0
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	w := s.win
+	if w.firedHi == 0 {
+		return 0, 0
+	}
+	return w.firedHi - uint64(len(w.done)*w.slide), w.firedHi
+}
+
+// Window returns the subscription's window shape (0, 0 when
+// unwindowed).
+func (s *Subscription) Window() (window, slide int) {
+	if s.win == nil {
+		return 0, 0
+	}
+	return s.win.window, s.win.slide
+}
+
+// fail records a terminal execution error: the standing result freezes
+// at its last consistent state, and the subscription leaves the
+// ingestor's backlog accounting — a wedged continuous query must not
+// block (or shed) every future append forever.
+func (s *Subscription) fail(err error) error {
+	s.in.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	delete(s.in.subs, s)
+	s.in.cond.Broadcast()
+	s.in.mu.Unlock()
+	return err
+}
+
+// publish pushes an update with latest-wins semantics: a slow receiver
+// never blocks the pump, it just skips intermediate versions.
+func (s *Subscription) publish(u Update) {
+	for {
+		select {
+		case s.updates <- u:
+			return
+		default:
+			select {
+			case <-s.updates:
+			default:
+			}
+		}
+	}
+}
+
+// Results returns the standing result and the version (committed row
+// prefix) it covers. For windowed subscriptions the result is the last
+// fired window and the version its end row. The result is immutable.
+func (s *Subscription) Results() (*engine.Result, uint64) {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	if s.dirty {
+		s.stateMu.Lock()
+		if s.win != nil {
+			s.result = s.win.fired(s.q)
+			s.resultVer = s.win.firedHi
+		} else {
+			s.result = s.m.snapshot()
+			s.resultVer = s.stateVer
+		}
+		s.stateMu.Unlock()
+		s.dirty = false
+	}
+	return s.result, s.resultVer
+}
+
+// Updates returns the progress channel. It carries the latest
+// unconsumed advance (older ones are dropped) and is closed when the
+// subscription closes.
+func (s *Subscription) Updates() <-chan Update { return s.updates }
+
+// Err returns the subscription's terminal execution error, if any.
+func (s *Subscription) Err() error {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	return s.err
+}
+
+// Query returns the subscribed query.
+func (s *Subscription) Query() *engine.Query { return s.q }
+
+// Version returns the committed row prefix the merge state has
+// processed.
+func (s *Subscription) Version() uint64 {
+	s.in.mu.Lock()
+	defer s.in.mu.Unlock()
+	return s.processed
+}
+
+// Wait blocks until the subscription has processed at least version
+// rows (ErrClosed if it closes first, the terminal error if it fails,
+// ctx errors propagate).
+func (s *Subscription) Wait(ctx context.Context, version uint64) error {
+	return s.in.waitVersion(ctx, s, version)
+}
+
+// Flush waits until every row committed before the call is reflected
+// in the standing result.
+func (s *Subscription) Flush(ctx context.Context) error {
+	return s.Wait(ctx, s.in.Version())
+}
+
+// Close deregisters the subscription, stops its pump (draining the
+// delta in flight) and closes the updates channel. Idempotent.
+func (s *Subscription) Close() {
+	s.closeOnce.Do(func() {
+		s.in.mu.Lock()
+		s.subClosed = true
+		delete(s.in.subs, s)
+		s.in.cond.Broadcast()
+		s.in.mu.Unlock()
+		close(s.done)
+		<-s.pumpEnd
+		// Manual subscriptions have no pump handshake: close under
+		// stepMu so an in-flight Step finishes its publish first (later
+		// Steps bail on subClosed before publishing).
+		s.stepMu.Lock()
+		s.updatesOnce.Do(func() { close(s.updates) })
+		s.stepMu.Unlock()
+	})
+}

@@ -1,0 +1,183 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+)
+
+// newKV builds a small two-column (k string, v int64) table.
+func newKV(t *testing.T, rows int) *Table {
+	t.Helper()
+	tb := MustNew(Schema{{Name: "k", Type: String}, {Name: "v", Type: Int64}})
+	for i := 0; i < rows; i++ {
+		if err := tb.AppendRow(fmt.Sprintf("k%d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestVersionCountsMutations(t *testing.T) {
+	tb := newKV(t, 3)
+	if got := tb.Version(); got != 3 {
+		t.Fatalf("after 3 appends Version() = %d, want 3", got)
+	}
+	src := newKV(t, 2)
+	if err := tb.AppendRowsFrom(src, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Version(); got != 4 {
+		t.Fatalf("after batch append Version() = %d, want 4 (one bump per call)", got)
+	}
+	if err := tb.Shuffle(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Version(); got != 5 {
+		t.Fatalf("after shuffle Version() = %d, want 5", got)
+	}
+	v, err := tb.View(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Version(); got != 0 {
+		t.Fatalf("view Version() = %d, want 0", got)
+	}
+	if !v.IsView() || tb.IsView() {
+		t.Fatalf("IsView: view=%v root=%v, want true/false", v.IsView(), tb.IsView())
+	}
+}
+
+func TestSnapshotPrefixIsolatesAppends(t *testing.T) {
+	tb := newKV(t, 4)
+	// Leave spare capacity so the next appends land in place — the case
+	// where a plain zero-copy view would see them.
+	tb.Grow(64)
+	snap, err := tb.SnapshotPrefix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.IsView() {
+		t.Fatal("snapshot should report IsView")
+	}
+	for i := 0; i < 32; i++ {
+		if err := tb.AppendRow(fmt.Sprintf("late%d", i), int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := snap.NumRows(); got != 4 {
+		t.Fatalf("snapshot rows = %d after source appends, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if got, want := snap.StringAt(0, i), fmt.Sprintf("k%d", i); got != want {
+			t.Fatalf("snapshot row %d key = %q, want %q", i, got, want)
+		}
+		if got := snap.Int64At(1, i); got != int64(i) {
+			t.Fatalf("snapshot row %d val = %d, want %d", i, got, i)
+		}
+	}
+	// Appending to a snapshot must fail like any view.
+	if err := snap.AppendRow("x", int64(0)); err == nil {
+		t.Fatal("AppendRow on a snapshot should fail")
+	}
+	// Sub-views of the snapshot stay detached too.
+	dv, err := snap.View(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dv.Int64At(1, 0); got != 1 {
+		t.Fatalf("snapshot sub-view val = %d, want 1", got)
+	}
+	// Column accessors on the snapshot must be bounded by the prefix.
+	if got := len(snap.Int64Col(1)); got != 4 {
+		t.Fatalf("snapshot Int64Col len = %d, want 4", got)
+	}
+}
+
+// TestAppendRowAtomicOnTypeError pins that a mid-row type error leaves
+// the table untouched: a partial append would leave ragged columns
+// silently misaligning every later row.
+func TestAppendRowAtomicOnTypeError(t *testing.T) {
+	tb := newKV(t, 2)
+	if err := tb.AppendRow("key", "not-an-int"); err == nil {
+		t.Fatal("mistyped AppendRow should fail")
+	}
+	if got := tb.Version(); got != 2 {
+		t.Fatalf("version = %d after failed append, want 2", got)
+	}
+	if err := tb.AppendRow("k2", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Columns stayed aligned: the new row reads back whole.
+	if k, v := tb.StringAt(0, 2), tb.Int64At(1, 2); k != "k2" || v != 2 {
+		t.Fatalf("row after failed append = (%q, %d), want (k2, 2)", k, v)
+	}
+	// Int64-only fast path: same atomicity.
+	ints := MustNew(Schema{{Name: "a", Type: Int64}, {Name: "b", Type: String}})
+	if err := ints.AppendInt64Row(1, 2); err == nil {
+		t.Fatal("AppendInt64Row on a string column should fail")
+	}
+	if ints.NumRows() != 0 || len(ints.Int64Col(0)) != 0 {
+		t.Fatal("failed AppendInt64Row mutated the table")
+	}
+}
+
+func TestSnapshotPrefixRange(t *testing.T) {
+	tb := newKV(t, 3)
+	if _, err := tb.SnapshotPrefix(-1); err == nil {
+		t.Fatal("negative prefix should fail")
+	}
+	if _, err := tb.SnapshotPrefix(4); err == nil {
+		t.Fatal("prefix past the row count should fail")
+	}
+	empty, err := tb.SnapshotPrefix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 0 {
+		t.Fatalf("empty snapshot rows = %d", empty.NumRows())
+	}
+}
+
+// TestAppendRowsFromAliasedDestination pins the copy-on-grow contract:
+// bulk-appending rows of a view INTO the view's own backing table must
+// neither corrupt the source rows nor mis-copy — whether the append
+// grows the arrays (copy to a fresh array, old rows untouched) or lands
+// in spare capacity (writes start past the view's clamped range).
+func TestAppendRowsFromAliasedDestination(t *testing.T) {
+	for _, spare := range []int{0, 128} { // force both grow and in-place
+		t.Run(fmt.Sprintf("spare=%d", spare), func(t *testing.T) {
+			tb := newKV(t, 8)
+			if spare > 0 {
+				tb.Grow(spare)
+			}
+			src, err := tb.View(2, 6) // rows 2..5 of the destination itself
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.AppendRowsFrom(src, []int{0, 1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+			if got := tb.NumRows(); got != 12 {
+				t.Fatalf("rows = %d, want 12", got)
+			}
+			// The original 8 rows are intact…
+			for i := 0; i < 8; i++ {
+				if got, want := tb.StringAt(0, i), fmt.Sprintf("k%d", i); got != want {
+					t.Fatalf("source row %d corrupted: key %q, want %q", i, got, want)
+				}
+				if got := tb.Int64At(1, i); got != int64(i) {
+					t.Fatalf("source row %d corrupted: val %d, want %d", i, got, i)
+				}
+			}
+			// …and the appended rows replicate view rows 2..5.
+			for i := 0; i < 4; i++ {
+				if got, want := tb.StringAt(0, 8+i), fmt.Sprintf("k%d", 2+i); got != want {
+					t.Fatalf("appended row %d key = %q, want %q", i, got, want)
+				}
+				if got := tb.Int64At(1, 8+i); got != int64(2+i) {
+					t.Fatalf("appended row %d val = %d, want %d", i, got, int64(2+i))
+				}
+			}
+		})
+	}
+}

@@ -104,6 +104,9 @@ type Table struct {
 	// created by New, off is 0 and n tracks appends.
 	off, n int
 	parent *Table // non-nil for views; appends are disallowed on views
+	// version counts mutations applied through this handle (appends,
+	// sorts, shuffles). Views and snapshots start at 0 and stay there.
+	version uint64
 }
 
 // New creates an empty table with the given schema.
@@ -134,11 +137,57 @@ func (t *Table) Schema() Schema { return t.schema }
 // NumRows returns the number of rows visible in this table or view.
 func (t *Table) NumRows() int { return t.n }
 
+// Version returns the table's mutation counter: it increments once per
+// successful mutating call (row/batch appends, sorts, shuffles) on this
+// handle. A streaming ingestor uses it to detect appends that bypassed
+// it — the table it owns must only change through its own commits.
+// Views and snapshots report 0. Like every Table method, Version
+// requires external synchronization against concurrent mutation.
+func (t *Table) Version() uint64 { return t.version }
+
+// IsView reports whether the table is a row-range view or snapshot of
+// another table (appends and in-place reorders are disallowed on those).
+func (t *Table) IsView() bool { return t.parent != nil }
+
+// SnapshotPrefix returns a read-only snapshot of the first n rows whose
+// column slice headers are detached from the source: later appends to t
+// — even ones that grow the backing arrays in place — are invisible to
+// the snapshot, and reading it needs no further synchronization. The
+// row data is shared, not copied: append's copy-on-grow semantics never
+// rewrite committed rows, and the snapshot's headers are capacity-
+// clamped so they cannot alias new appends. In-place reorders of the
+// source (SortByInt64, Shuffle) are NOT isolated; a snapshotting owner
+// must not reorder. This is the ingestor's consistent-prefix read path:
+// writers never block readers.
+func (t *Table) SnapshotPrefix(n int) (*Table, error) {
+	if n < 0 || n > t.n {
+		return nil, fmt.Errorf("table: snapshot prefix %d out of range (rows=%d)", n, t.n)
+	}
+	root := t
+	if t.parent != nil {
+		root = t.parent
+	}
+	cols := make([]*column, len(t.cols))
+	for i, c := range t.cols {
+		nc := &column{typ: c.typ}
+		switch c.typ {
+		case Int64:
+			nc.ints = c.ints[: t.off+n : t.off+n]
+		case String:
+			nc.strs = c.strs[: t.off+n : t.off+n]
+		}
+		cols[i] = nc
+	}
+	return &Table{schema: t.schema, cols: cols, off: t.off, n: n, parent: root}, nil
+}
+
 // NumCols returns the number of columns.
 func (t *Table) NumCols() int { return len(t.cols) }
 
 // AppendRow appends a row given as one value per column. Values must be
-// int64 for Int64 columns and string for String columns.
+// int64 for Int64 columns and string for String columns. The append is
+// atomic: a type error leaves the table untouched (a partial append
+// would leave ragged columns that misalign every later row).
 func (t *Table) AppendRow(vals ...any) error {
 	if t.parent != nil {
 		return fmt.Errorf("table: cannot append to a view")
@@ -147,27 +196,34 @@ func (t *Table) AppendRow(vals ...any) error {
 		return fmt.Errorf("table: AppendRow got %d values, schema has %d columns", len(vals), len(t.cols))
 	}
 	for i, v := range vals {
+		switch t.cols[i].typ {
+		case Int64:
+			if _, ok := v.(int64); !ok {
+				if _, ok2 := v.(int); !ok2 {
+					return fmt.Errorf("table: column %q expects int64, got %T", t.schema[i].Name, v)
+				}
+			}
+		case String:
+			if _, ok := v.(string); !ok {
+				return fmt.Errorf("table: column %q expects string, got %T", t.schema[i].Name, v)
+			}
+		}
+	}
+	for i, v := range vals {
 		c := t.cols[i]
 		switch c.typ {
 		case Int64:
 			iv, ok := v.(int64)
 			if !ok {
-				if ii, ok2 := v.(int); ok2 {
-					iv = int64(ii)
-				} else {
-					return fmt.Errorf("table: column %q expects int64, got %T", t.schema[i].Name, v)
-				}
+				iv = int64(v.(int))
 			}
 			c.ints = append(c.ints, iv)
 		case String:
-			sv, ok := v.(string)
-			if !ok {
-				return fmt.Errorf("table: column %q expects string, got %T", t.schema[i].Name, v)
-			}
-			c.strs = append(c.strs, sv)
+			c.strs = append(c.strs, v.(string))
 		}
 	}
 	t.n++
+	t.version++
 	return nil
 }
 
@@ -180,13 +236,16 @@ func (t *Table) AppendInt64Row(vals ...int64) error {
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("table: AppendInt64Row got %d values, schema has %d columns", len(vals), len(t.cols))
 	}
-	for i, v := range vals {
+	for i := range vals {
 		if t.cols[i].typ != Int64 {
 			return fmt.Errorf("table: column %q is not int64", t.schema[i].Name)
 		}
+	}
+	for i, v := range vals {
 		t.cols[i].ints = append(t.cols[i].ints, v)
 	}
 	t.n++
+	t.version++
 	return nil
 }
 
@@ -338,6 +397,7 @@ func (t *Table) SortByInt64(name string) error {
 	key := t.cols[ci].ints
 	sort.SliceStable(perm, func(a, b int) bool { return key[perm[a]] < key[perm[b]] })
 	t.applyPermutation(perm)
+	t.version++
 	return nil
 }
 
@@ -360,6 +420,7 @@ func (t *Table) Shuffle(seed uint64) error {
 		perm[i], perm[j] = perm[j], perm[i]
 	}
 	t.applyPermutation(perm)
+	t.version++
 	return nil
 }
 
@@ -447,6 +508,7 @@ func (t *Table) AppendRowsFrom(src *Table, rows []int) error {
 		}
 	}
 	t.n += len(rows)
+	t.version++
 	return nil
 }
 
@@ -471,5 +533,6 @@ func (t *Table) AppendRowFrom(src *Table, r int) error {
 		}
 	}
 	t.n++
+	t.version++
 	return nil
 }
