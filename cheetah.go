@@ -33,6 +33,7 @@ import (
 	"cheetah/internal/cache"
 	"cheetah/internal/cluster"
 	"cheetah/internal/engine"
+	"cheetah/internal/fabric"
 	"cheetah/internal/plan"
 	"cheetah/internal/prune"
 	"cheetah/internal/serve"
@@ -96,8 +97,18 @@ type (
 	// ServeOptions configures a serving handle (queue limit).
 	ServeOptions = plan.ServeOptions
 	// ServeCounters are the serving layer's cumulative admission
-	// statistics (admitted, waited, oversized, shed, active, queued).
+	// statistics (admitted, waited, oversized, shed, revoked, failed-
+	// over, re-placed, deadline-missed, active, queued).
 	ServeCounters = serve.Counters
+	// QoS carries one submission's quality-of-service terms: tenant
+	// identity (per-tenant quotas), admission priority, and an optional
+	// queueing deadline past which the query is shed. Zero value =
+	// best-effort. Pass to Serving.SubmitQoS.
+	QoS = serve.QoS
+	// Fabric is a serving or streaming handle's switch fleet, reached
+	// via Serving.Fabric / Streaming.Fabric: failure lifecycle
+	// (Fail/Restore/Add), per-switch servers, counters, and occupancy.
+	Fabric = fabric.Fabric
 	// Utilization summarizes switch pipeline occupancy (also surfaced
 	// per query in Execution.PipelineUtil).
 	Utilization = switchsim.Utilization

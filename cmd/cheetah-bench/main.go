@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cheetah-bench [-scale N] [-seeds K] [-switches W] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|all]
+//	cheetah-bench [-scale N] [-seeds K] [-switches W] [-chaos] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|all]
 //
 // Scale divides the paper's dataset sizes (scale=1 reproduces paper
 // scale and takes minutes; the default 50 finishes in seconds). Output
@@ -20,7 +20,10 @@
 // workload through the concurrent serving layer and prints a scaling
 // table over fabric widths (1/2/4 switches, capped by -switches) ×
 // client counts (1/8/64), reporting aggregate entries/s and p50/p99
-// latency per row. The stream target drives concurrent appenders
+// latency per row; with -chaos a switch is killed and restored every
+// ~50 submissions and the failover/shed columns show the absorbed
+// fault-tolerance work (results stay exact either way — the run errors
+// out otherwise). The stream target drives concurrent appenders
 // (1/8/64) into a streaming session with standing continuous queries,
 // reporting ingest rows/s and result-freshness p50/p99. None of these
 // is part of "all".
@@ -54,6 +57,7 @@ func main() {
 	seeds := flag.Int("seeds", 5, "runs per randomized algorithm (95% CIs)")
 	seed := flag.Uint64("seed", 0xc0ffee, "base RNG seed")
 	switches := flag.Int("switches", 4, "fabric width for the serve target (scaling table measures 1, 2, 4, ... up to this)")
+	chaos := flag.Bool("chaos", false, "serve target only: kill/restore a switch every ~50 queries (fault-tolerance soak; results stay exact)")
 	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output file for the baseline target")
 	baselineRows := flag.Int("baseline-rows", 100_000, "benchmark table rows for the baseline target (diff follows the reference's recorded rows)")
 	baselineRef := flag.String("baseline-ref", "BENCH_baseline.json", "reference file for the diff target")
@@ -75,7 +79,7 @@ func main() {
 		"fig9":   func() error { _, err := bench.Fig9(os.Stdout, o); return err },
 		"fig10":  func() error { _, err := bench.Fig10(os.Stdout, o); return err },
 		"fig11":  func() error { _, err := bench.Fig11(os.Stdout, o); return err },
-		"serve":  func() error { return bench.Serve(os.Stdout, o, *switches) },
+		"serve":  func() error { return bench.Serve(os.Stdout, o, *switches, *chaos) },
 		"stream": func() error { return bench.Stream(os.Stdout, o, *switches) },
 		"baseline": func() error {
 			// Measure first, write after: a failed run must not clobber

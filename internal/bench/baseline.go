@@ -37,6 +37,14 @@ type ServeBaselineEntry struct {
 	EntriesPerSec float64 `json:"entries_per_sec"`
 	P50MS         float64 `json:"p50_ms"`
 	P99MS         float64 `json:"p99_ms"`
+	// QoS/failover counters summed across the fabric at run end —
+	// informational fields like the rest of the serve rows (zero on a
+	// healthy non-chaos run except Admitted).
+	Admitted       uint64 `json:"admitted"`
+	Shed           uint64 `json:"shed"`
+	FailedOver     uint64 `json:"failed_over"`
+	Replaced       uint64 `json:"replaced"`
+	DeadlineMissed uint64 `json:"deadline_missed"`
 }
 
 // StreamBaselineEntry is one streaming-ingest measurement: appender
@@ -135,16 +143,21 @@ func Baseline(w io.Writer, rows int) error {
 		return err
 	}
 	for _, switches := range []int{1, 2, 4} {
-		lv, err := runServeLevel(mix, switches, 8, 1)
+		lv, sc, err := runServeLevel(mix, switches, 8, 1, false)
 		if err != nil {
 			return err
 		}
 		report.Serve = append(report.Serve, ServeBaselineEntry{
-			Switches:      switches,
-			Clients:       8,
-			EntriesPerSec: lv.EntriesPerSec(),
-			P50MS:         stats.Percentile(lv.LatencyMS, 50),
-			P99MS:         stats.Percentile(lv.LatencyMS, 99),
+			Switches:       switches,
+			Clients:        8,
+			EntriesPerSec:  lv.EntriesPerSec(),
+			P50MS:          stats.Percentile(lv.LatencyMS, 50),
+			P99MS:          stats.Percentile(lv.LatencyMS, 99),
+			Admitted:       sc.Admitted,
+			Shed:           sc.Shed,
+			FailedOver:     sc.FailedOver,
+			Replaced:       sc.Replaced,
+			DeadlineMissed: sc.DeadlineMissed,
 		})
 	}
 	// Streaming ingest snapshot: the appender levels on a small mix.

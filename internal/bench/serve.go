@@ -16,9 +16,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"cheetah/internal/engine"
 	"cheetah/internal/plan"
+	"cheetah/internal/serve"
 	"cheetah/internal/stats"
 	"cheetah/internal/workload/multitenant"
 )
@@ -50,35 +52,87 @@ func serveSwitchLevels(maxSwitches int) []int {
 	return append(out, maxSwitches)
 }
 
+// chaosEvery is the chaos cadence: one switch is killed (and the
+// previous victim restored) every chaosEvery submissions.
+const chaosEvery = 50
+
+// chaosMonkey kills and restores switches on a submission cadence: on
+// every chaosEvery-th query it restores the previous victim and fails
+// the next switch round-robin — so exactly one switch is down at any
+// time and every switch takes a turn dying mid-workload.
+type chaosMonkey struct {
+	fab interface {
+		Fail(int)
+		Restore(int) error
+		Size() int
+	}
+	mu     sync.Mutex
+	n      int
+	victim int // current dead switch, -1 when none
+}
+
+func (c *chaosMonkey) tick() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	if c.n%chaosEvery != 0 {
+		return
+	}
+	if c.victim >= 0 {
+		_ = c.fab.Restore(c.victim)
+	}
+	c.victim = (c.victim + 1) % c.fab.Size()
+	c.fab.Fail(c.victim)
+}
+
 // runServeLevel drives the mixed workload through one Serving handle at
-// the given fabric width and client count.
-func runServeLevel(mix *multitenant.Mix, switches, clients int, seed uint64) (*multitenant.DriveResult, error) {
+// the given fabric width and client count, each query submitted under
+// its tenant's QoS. With chaos, switches are killed and restored on a
+// fixed cadence mid-workload; results stay exact (§7.2), so the run
+// only shows up as failovers and shed load in the counters.
+func runServeLevel(mix *multitenant.Mix, switches, clients int, seed uint64, chaos bool) (*multitenant.DriveResult, serve.Counters, error) {
 	// One worker per session: cross-query concurrency, not intra-query
 	// encode parallelism, is what this benchmark isolates.
 	db, err := plan.Open(mix.Visits, plan.Options{Workers: 1, Seed: seed, Switches: switches})
 	if err != nil {
-		return nil, err
+		return nil, serve.Counters{}, err
 	}
 	sv, err := db.Serve(context.Background(), plan.ServeOptions{})
 	if err != nil {
-		return nil, err
+		return nil, serve.Counters{}, err
 	}
 	defer sv.Close()
-	return mix.Drive(context.Background(), multitenant.DriveConfig{
+	var monkey *chaosMonkey
+	if chaos {
+		monkey = &chaosMonkey{fab: sv.Fabric(), victim: -1}
+	}
+	res, err := mix.Drive(context.Background(), multitenant.DriveConfig{
 		Clients: clients, Queries: serveQueries, Lambda: serveLambda, Seed: seed,
-	}, func(ctx context.Context, q *engine.Query) (int, bool, error) {
-		ex, err := sv.Submit(ctx, q)
+	}, func(ctx context.Context, i int, q *engine.Query) (int, bool, error) {
+		if monkey != nil {
+			monkey.tick()
+		}
+		ex, err := sv.SubmitQoS(ctx, q, serve.QoS{
+			Tenant: mix.Tenant(i), Priority: mix.Priority(i),
+		})
 		if err != nil {
 			return 0, false, err
 		}
 		return ex.Traffic.EntriesSent, ex.Plan.Mode == plan.ModeDirect, nil
 	})
+	if err != nil {
+		return nil, serve.Counters{}, err
+	}
+	return res, sv.Stats(), nil
 }
 
 // Serve runs the multi-tenant serving benchmark and renders the scaling
 // table: one row per (switches, clients) combination, with speedup
-// relative to the single-switch row at the same client count.
-func Serve(w io.Writer, o Options, maxSwitches int) error {
+// relative to the single-switch row at the same client count. With
+// chaos enabled, a chaosMonkey kills and restores a switch every ~50
+// queries and the failover/shed columns show the fault-tolerance work
+// the run absorbed.
+func Serve(w io.Writer, o Options, maxSwitches int, chaos bool) error {
 	o = o.withDefaults()
 	uvRows := userVisitsRows / o.Scale
 	if uvRows < 2000 {
@@ -96,17 +150,20 @@ func Serve(w io.Writer, o Options, maxSwitches int) error {
 	}
 
 	switchLevels := serveSwitchLevels(maxSwitches)
-	fmt.Fprintf(w, "serving: %d-query mixed workload (%d kinds) per row, visits=%d rows, rankings=%d rows\n",
-		serveQueries, multitenant.NumKinds, uvRows, rankRows)
+	fmt.Fprintf(w, "serving: %d-query mixed workload (%d kinds, %d tenants) per row, visits=%d rows, rankings=%d rows\n",
+		serveQueries, multitenant.NumKinds, multitenant.NumTenants, uvRows, rankRows)
 	fmt.Fprintf(w, "scaling table: %v switches × %v clients (speedup vs 1 switch at the same client count)\n",
 		switchLevels, serveClientLevels)
-	fmt.Fprintf(w, "%-9s %-8s %-8s %16s %10s %10s %9s %10s\n",
-		"switches", "clients", "queries", "agg entries/s", "p50 ms", "p99 ms", "speedup", "fallbacks")
+	if chaos {
+		fmt.Fprintf(w, "chaos: one switch killed/restored every %d queries (results stay exact; failovers/shed absorb the faults)\n", chaosEvery)
+	}
+	fmt.Fprintf(w, "%-9s %-8s %-8s %16s %10s %10s %9s %10s %9s %6s\n",
+		"switches", "clients", "queries", "agg entries/s", "p50 ms", "p99 ms", "speedup", "fallbacks", "failover", "shed")
 
 	base := map[int]float64{} // client count → 1-switch entries/s
 	for _, switches := range switchLevels {
 		for _, clients := range serveClientLevels {
-			lv, err := runServeLevel(mix, switches, clients, o.BaseSeed+uint64(64*switches+clients))
+			lv, sc, err := runServeLevel(mix, switches, clients, o.BaseSeed+uint64(64*switches+clients), chaos)
 			if err != nil {
 				return err
 			}
@@ -118,10 +175,10 @@ func Serve(w io.Writer, o Options, maxSwitches int) error {
 			if b := base[clients]; b > 0 {
 				speedup = eps / b
 			}
-			fmt.Fprintf(w, "%-9d %-8d %-8d %16.3g %10.2f %10.2f %8.2fx %10d\n",
+			fmt.Fprintf(w, "%-9d %-8d %-8d %16.3g %10.2f %10.2f %8.2fx %10d %9d %6d\n",
 				switches, clients, len(lv.LatencyMS), eps,
 				stats.Percentile(lv.LatencyMS, 50), stats.Percentile(lv.LatencyMS, 99),
-				speedup, lv.Fallbacks)
+				speedup, lv.Fallbacks, sc.FailedOver, sc.Shed)
 		}
 	}
 	return nil

@@ -43,6 +43,18 @@ type BatchDataplane interface {
 	ProcessBatch(b *switchsim.Batch, decisions []switchsim.Decision)
 }
 
+// HealthDataplane is the optional failure-aware extension of
+// BatchDataplane: Err reports nil while the switch still holds the
+// program and the revocation error once it died. A dead switch's
+// dataplane stays safe to call — it forwards everything — but any pass
+// that crossed the death may have lost program state the completion
+// depends on (§7.2), so executions check Err after each pass and redo
+// the work through a replacement. serve.Lease implements it.
+type HealthDataplane interface {
+	BatchDataplane
+	Err() error
+}
+
 // progDataplane is the exclusive-ownership default: batches run straight
 // on the query's program.
 type progDataplane struct{ prog switchsim.Program }

@@ -35,6 +35,7 @@ import (
 
 	"strconv"
 	"sync"
+	"time"
 
 	"cheetah/internal/prune"
 	"cheetah/internal/switchsim"
@@ -96,6 +97,23 @@ type ShardedOptions struct {
 	Flows []BatchDataplane
 	// Strategy selects the sharding scheme; see ShardAuto.
 	Strategy ShardStrategy
+	// Failover, when non-nil, is consulted after a shard's switch dies
+	// (its Flow implements HealthDataplane and reports failure): it
+	// returns a fresh program and dataplane for the shard — typically a
+	// new lease on a surviving switch — and the shard's whole stream is
+	// redone through them, which is what keeps results §7.2-exact (state
+	// a dead switch held in registers is unrecoverable, so the shard is
+	// replayed from scratch, never patched). attempt counts from 1.
+	// Returning an error, or exhausting maxFailoverAttempts, degrades
+	// the shard to master-side execution of its own (reset) program —
+	// the servers-are-the-backstop guarantee: switch loss costs
+	// performance, never correctness.
+	Failover func(shard, attempt int) (prune.Pruner, BatchDataplane, error)
+	// Backoff, when positive, is the base delay before the first
+	// failover attempt; each further attempt on the same shard doubles
+	// it (capped exponential backoff — the cap is maxFailoverAttempts
+	// itself). Zero retries immediately, which is what tests want.
+	Backoff time.Duration
 }
 
 // ShardedRun is the outcome of a scatter/gather execution.
@@ -111,6 +129,12 @@ type ShardedRun struct {
 	Stats prune.Stats
 	// PrunerName records the per-switch algorithm.
 	PrunerName string
+	// FailedOver counts switch replacements taken via Options.Failover
+	// (shard streams redone on another switch).
+	FailedOver int
+	// Degraded counts shards that fell back to master-side execution of
+	// their program after failover was exhausted or unavailable.
+	Degraded int
 }
 
 // UnprunedFraction is Forwarded/EntriesSent over the whole fabric.
@@ -224,10 +248,76 @@ func shardPruner(q *Query, opts ShardedOptions, s int) (prune.Pruner, error) {
 
 // shardExec bundles one shard's execution context.
 type shardExec struct {
-	q       *Query // per-shard query (shard tables substituted)
-	pruner  prune.Pruner
-	dp      BatchDataplane
-	traffic Traffic
+	idx      int
+	q        *Query // per-shard query (shard tables substituted)
+	pruner   prune.Pruner
+	dp       BatchDataplane
+	traffic  Traffic
+	attempts int  // failover replacements taken
+	degraded bool // fell back to master-side execution
+}
+
+// maxFailoverAttempts caps per-shard switch replacements before the
+// shard degrades to master-side execution.
+const maxFailoverAttempts = 3
+
+// healthErr reports the shard dataplane's failure, when it exposes
+// health at all (a master-side progDataplane never fails).
+func (se *shardExec) healthErr() error {
+	if h, ok := se.dp.(HealthDataplane); ok {
+		return h.Err()
+	}
+	return nil
+}
+
+// ensureHealthy gives the shard a live dataplane before an attempt:
+// while the current one reports a dead switch, the Failover hook is
+// asked for a replacement (capped), and past the cap — or without a
+// hook — the shard degrades to running its own program master-side.
+// The program is Reset first: its register state is treated as lost
+// with the switch, exactly like the real failure it models.
+func (se *shardExec) ensureHealthy(opts ShardedOptions) {
+	for se.healthErr() != nil {
+		if opts.Failover == nil || se.attempts >= maxFailoverAttempts {
+			se.pruner.Reset()
+			se.dp = progDataplane{prog: se.pruner}
+			se.degraded = true
+			return
+		}
+		se.attempts++
+		if opts.Backoff > 0 {
+			time.Sleep(opts.Backoff << (se.attempts - 1))
+		}
+		p, dp, err := opts.Failover(se.idx, se.attempts)
+		if err != nil || p == nil || dp == nil {
+			se.pruner.Reset()
+			se.dp = progDataplane{prog: se.pruner}
+			se.degraded = true
+			return
+		}
+		se.pruner, se.dp = p, dp
+	}
+}
+
+// run executes one shard's whole stream (pass) with §7.2-exact
+// failover: a pass that crossed its switch's death is discarded — the
+// registers backing its pruning decisions are gone, so partial results
+// cannot be trusted — and redone through a replacement dataplane. pass
+// must (re)initialize all per-attempt state it accumulates, including
+// reading se.pruner/se.dp at call time; se.traffic is reset here. The
+// loop terminates: every retry either replaces the switch (capped) or
+// lands on the master-side backstop, which cannot fail.
+func (se *shardExec) run(opts ShardedOptions, pass func() error) error {
+	for {
+		se.ensureHealthy(opts)
+		se.traffic = Traffic{}
+		if err := pass(); err != nil {
+			return err
+		}
+		if se.healthErr() == nil {
+			return nil
+		}
+	}
 }
 
 // forEachShard runs f concurrently for every shard and returns the first
@@ -271,7 +361,7 @@ func newShardExecs(q *Query, opts ShardedOptions) ([]*shardExec, error) {
 		if err != nil {
 			return nil, err
 		}
-		se := &shardExec{q: &qs, pruner: pruner}
+		se := &shardExec{idx: s, q: &qs, pruner: pruner}
 		if opts.Flows != nil {
 			se.dp = opts.Flows[s]
 		} else {
@@ -375,6 +465,10 @@ func ExecSharded(q *Query, opts ShardedOptions) (*ShardedRun, error) {
 		st := se.pruner.Stats()
 		run.Stats.Processed += st.Processed
 		run.Stats.Pruned += st.Pruned
+		run.FailedOver += se.attempts
+		if se.degraded {
+			run.Degraded++
+		}
 	}
 	return run, nil
 }
@@ -432,27 +526,29 @@ func shardedGather(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedR
 	survivors := make([][]int, len(execs))
 	err := forEachShard(len(execs), func(s int) error {
 		se := execs[s]
-		sv := survivorSet{remaining: se.q.Table.NumRows()}
-		if err := se.shardSurvivors(opts, func(fwd []uint64, _ []uint64, chunkN int) {
-			sv.add(fwd, chunkN)
-		}); err != nil {
-			return err
-		}
-		if q.Kind == KindSkyline {
-			// Control-plane drain of the stored points at FIN.
-			dr, ok := se.pruner.(prune.Drainer)
-			if !ok {
-				return fmt.Errorf("engine: skyline needs a draining pruner, got %T", se.pruner)
+		return se.run(opts, func() error {
+			sv := survivorSet{remaining: se.q.Table.NumRows()}
+			if err := se.shardSurvivors(opts, func(fwd []uint64, _ []uint64, chunkN int) {
+				sv.add(fwd, chunkN)
+			}); err != nil {
+				return err
 			}
-			width := len(q.SkylineCols)
-			for _, e := range dr.Drain() {
-				se.traffic.Forwarded++
-				sv.rows = append(sv.rows, int(e[width]))
+			if q.Kind == KindSkyline {
+				// Control-plane drain of the stored points at FIN.
+				dr, ok := se.pruner.(prune.Drainer)
+				if !ok {
+					return fmt.Errorf("engine: skyline needs a draining pruner, got %T", se.pruner)
+				}
+				width := len(q.SkylineCols)
+				for _, e := range dr.Drain() {
+					se.traffic.Forwarded++
+					sv.rows = append(sv.rows, int(e[width]))
+				}
 			}
-		}
-		se.traffic.MasterProcessed = len(sv.rows)
-		survivors[s] = sv.rows
-		return nil
+			se.traffic.MasterProcessed = len(sv.rows)
+			survivors[s] = sv.rows
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -487,26 +583,29 @@ func shardedDistinct(q *Query, execs []*shardExec, opts ShardedOptions) (*Sharde
 		for i, c := range qs.DistinctCols {
 			cols[i] = qs.Table.Schema().MustIndex(c)
 		}
-		buf := getStreamBuf()
-		defer putStreamBuf(buf)
-		seen := make(map[uint64]struct{}, 1024)
-		u := &partials[s]
-		batchPass(qs.Table.NumRows(), opts.Workers, 1, true, buf, encFingerprint(qs.Table, cols, opts.Seed), se.dp, nil,
-			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
-				se.traffic.EntriesSent += b.N
-				fps := b.Cols[0]
-				idx := buf.compactIndices(dec, b.N)
-				se.traffic.Forwarded += len(idx)
-				for _, j := range idx {
-					if _, ok := seen[fps[j]]; !ok {
-						seen[fps[j]] = struct{}{}
-						u.fps = append(u.fps, fps[j])
-						u.rows = append(u.rows, int(ids[j]))
+		return se.run(opts, func() error {
+			buf := getStreamBuf()
+			defer putStreamBuf(buf)
+			seen := make(map[uint64]struct{}, 1024)
+			u := &partials[s]
+			*u = uniq{}
+			batchPass(qs.Table.NumRows(), opts.Workers, 1, true, buf, encFingerprint(qs.Table, cols, opts.Seed), se.dp, nil,
+				func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+					se.traffic.EntriesSent += b.N
+					fps := b.Cols[0]
+					idx := buf.compactIndices(dec, b.N)
+					se.traffic.Forwarded += len(idx)
+					for _, j := range idx {
+						if _, ok := seen[fps[j]]; !ok {
+							seen[fps[j]] = struct{}{}
+							u.fps = append(u.fps, fps[j])
+							u.rows = append(u.rows, int(ids[j]))
+						}
 					}
-				}
-			})
-		se.traffic.MasterProcessed = se.traffic.Forwarded
-		return nil
+				})
+			se.traffic.MasterProcessed = se.traffic.Forwarded
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -548,27 +647,29 @@ func shardedTopN(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun
 		se := execs[s]
 		qs := se.q
 		col := qs.Table.Schema().MustIndex(qs.OrderCol)
-		buf := getStreamBuf()
-		defer putStreamBuf(buf)
-		h := make(int64Heap, 0, qs.N)
-		batchPass(qs.Table.NumRows(), opts.Workers, 1, false, buf, encInt64(qs.Table, col), se.dp, nil,
-			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
-				se.traffic.EntriesSent += b.N
-				fwd := buf.compactForwarded(b.Cols[0], dec, b.N)
-				se.traffic.Forwarded += len(fwd)
-				for _, raw := range fwd {
-					v := int64(raw)
-					if len(h) < qs.N {
-						h.push(v)
-					} else if v > h[0] {
-						h[0] = v
-						h.fixRoot()
+		return se.run(opts, func() error {
+			buf := getStreamBuf()
+			defer putStreamBuf(buf)
+			h := make(int64Heap, 0, qs.N)
+			batchPass(qs.Table.NumRows(), opts.Workers, 1, false, buf, encInt64(qs.Table, col), se.dp, nil,
+				func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+					se.traffic.EntriesSent += b.N
+					fwd := buf.compactForwarded(b.Cols[0], dec, b.N)
+					se.traffic.Forwarded += len(fwd)
+					for _, raw := range fwd {
+						v := int64(raw)
+						if len(h) < qs.N {
+							h.push(v)
+						} else if v > h[0] {
+							h[0] = v
+							h.fixRoot()
+						}
 					}
-				}
-			})
-		se.traffic.MasterProcessed = len(h)
-		heaps[s] = h
-		return nil
+				})
+			se.traffic.MasterProcessed = len(h)
+			heaps[s] = h
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -609,32 +710,35 @@ func shardedGroupByMax(q *Query, execs []*shardExec, opts ShardedOptions) (*Shar
 		qs := se.q
 		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
 		vc := qs.Table.Schema().MustIndex(qs.AggCol)
-		buf := getStreamBuf()
-		defer putStreamBuf(buf)
-		keyIdx := make(map[uint64]int, 1024)
-		p := &partials[s]
-		batchPass(qs.Table.NumRows(), opts.Workers, 2, true, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp, nil,
-			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
-				se.traffic.EntriesSent += b.N
-				fps, vals := b.Cols[0], b.Cols[1]
-				idx := buf.compactIndices(dec, b.N)
-				se.traffic.Forwarded += len(idx)
-				for _, j := range idx {
-					v := int64(vals[j])
-					if i, ok := keyIdx[fps[j]]; ok {
-						if v > p.maxs[i] {
-							p.maxs[i] = v
+		return se.run(opts, func() error {
+			buf := getStreamBuf()
+			defer putStreamBuf(buf)
+			keyIdx := make(map[uint64]int, 1024)
+			p := &partials[s]
+			*p = partial{}
+			batchPass(qs.Table.NumRows(), opts.Workers, 2, true, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp, nil,
+				func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+					se.traffic.EntriesSent += b.N
+					fps, vals := b.Cols[0], b.Cols[1]
+					idx := buf.compactIndices(dec, b.N)
+					se.traffic.Forwarded += len(idx)
+					for _, j := range idx {
+						v := int64(vals[j])
+						if i, ok := keyIdx[fps[j]]; ok {
+							if v > p.maxs[i] {
+								p.maxs[i] = v
+							}
+						} else {
+							keyIdx[fps[j]] = len(p.maxs)
+							p.fps = append(p.fps, fps[j])
+							p.maxs = append(p.maxs, v)
+							p.reps = append(p.reps, int(ids[j]))
 						}
-					} else {
-						keyIdx[fps[j]] = len(p.maxs)
-						p.fps = append(p.fps, fps[j])
-						p.maxs = append(p.maxs, v)
-						p.reps = append(p.reps, int(ids[j]))
 					}
-				}
-			})
-		se.traffic.MasterProcessed = len(p.maxs)
-		return nil
+				})
+			se.traffic.MasterProcessed = len(p.maxs)
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -684,44 +788,46 @@ func shardedGroupBySum(q *Query, execs []*shardExec, opts ShardedOptions) (*Shar
 	partials := make([]partial, len(execs))
 	err := forEachShard(len(execs), func(s int) error {
 		se := execs[s]
-		gs, ok := se.pruner.(*prune.GroupBySum)
-		if !ok {
-			return fmt.Errorf("engine: group-by-sum needs a *prune.GroupBySum, got %T", se.pruner)
-		}
 		qs := se.q
 		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
 		vc := qs.Table.Schema().MustIndex(qs.AggCol)
-		buf := getStreamBuf()
-		defer putStreamBuf(buf)
-		p := &partials[s]
-		p.sums = make(map[uint64]int64, 1024)
-		p.fpToKey = make(map[uint64]string, 1024)
-		batchPass(qs.Table.NumRows(), opts.Workers, 2, true, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp,
-			func(b *switchsim.Batch, ids []uint64) {
-				// Key dictionary before the program rewrites forwarded
-				// slots with evicted aggregates.
-				fps := b.Cols[0]
-				for j := 0; j < b.N; j++ {
-					if _, ok := p.fpToKey[fps[j]]; !ok {
-						p.fpToKey[fps[j]] = cellString(qs.Table, kc, int(ids[j]))
+		return se.run(opts, func() error {
+			gs, ok := se.pruner.(*prune.GroupBySum)
+			if !ok {
+				return fmt.Errorf("engine: group-by-sum needs a *prune.GroupBySum, got %T", se.pruner)
+			}
+			buf := getStreamBuf()
+			defer putStreamBuf(buf)
+			p := &partials[s]
+			p.sums = make(map[uint64]int64, 1024)
+			p.fpToKey = make(map[uint64]string, 1024)
+			batchPass(qs.Table.NumRows(), opts.Workers, 2, true, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp,
+				func(b *switchsim.Batch, ids []uint64) {
+					// Key dictionary before the program rewrites forwarded
+					// slots with evicted aggregates.
+					fps := b.Cols[0]
+					for j := 0; j < b.N; j++ {
+						if _, ok := p.fpToKey[fps[j]]; !ok {
+							p.fpToKey[fps[j]] = cellString(qs.Table, kc, int(ids[j]))
+						}
 					}
-				}
-			},
-			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
-				se.traffic.EntriesSent += b.N
-				fps, vals := b.Cols[0], b.Cols[1]
-				idx := buf.compactIndices(dec, b.N)
-				se.traffic.Forwarded += len(idx)
-				for _, j := range idx {
-					p.sums[fps[j]] += int64(vals[j])
-				}
-			})
-		for _, e := range gs.Drain() {
-			se.traffic.Forwarded++
-			p.sums[e[0]] += int64(e[1])
-		}
-		se.traffic.MasterProcessed = len(p.sums)
-		return nil
+				},
+				func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+					se.traffic.EntriesSent += b.N
+					fps, vals := b.Cols[0], b.Cols[1]
+					idx := buf.compactIndices(dec, b.N)
+					se.traffic.Forwarded += len(idx)
+					for _, j := range idx {
+						p.sums[fps[j]] += int64(vals[j])
+					}
+				})
+			for _, e := range gs.Drain() {
+				se.traffic.Forwarded++
+				p.sums[e[0]] += int64(e[1])
+			}
+			se.traffic.MasterProcessed = len(p.sums)
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -754,27 +860,29 @@ func shardedHaving(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedR
 	candidateSets := make([]map[uint64]bool, len(execs))
 	err := forEachShard(len(execs), func(s int) error {
 		se := execs[s]
-		if _, ok := se.pruner.(*prune.Having); !ok {
-			return fmt.Errorf("engine: having needs a *prune.Having, got %T", se.pruner)
-		}
 		qs := se.q
 		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
 		vc := qs.Table.Schema().MustIndex(qs.AggCol)
-		buf := getStreamBuf()
-		defer putStreamBuf(buf)
-		cand := make(map[uint64]bool, 1024)
-		batchPass(qs.Table.NumRows(), opts.Workers, 2, false, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp, nil,
-			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
-				se.traffic.EntriesSent += b.N
-				fps := b.Cols[0]
-				idx := buf.compactIndices(dec, b.N)
-				se.traffic.Forwarded += len(idx)
-				for _, j := range idx {
-					cand[fps[j]] = true
-				}
-			})
-		candidateSets[s] = cand
-		return nil
+		return se.run(opts, func() error {
+			if _, ok := se.pruner.(*prune.Having); !ok {
+				return fmt.Errorf("engine: having needs a *prune.Having, got %T", se.pruner)
+			}
+			buf := getStreamBuf()
+			defer putStreamBuf(buf)
+			cand := make(map[uint64]bool, 1024)
+			batchPass(qs.Table.NumRows(), opts.Workers, 2, false, buf, encKeyVal(qs.Table, kc, vc, opts.Seed), se.dp, nil,
+				func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+					se.traffic.EntriesSent += b.N
+					fps := b.Cols[0]
+					idx := buf.compactIndices(dec, b.N)
+					se.traffic.Forwarded += len(idx)
+					for _, j := range idx {
+						cand[fps[j]] = true
+					}
+				})
+			candidateSets[s] = cand
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -842,57 +950,63 @@ func shardedJoin(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun
 	results := make([]*Result, len(execs))
 	err := forEachShard(len(execs), func(s int) error {
 		se := execs[s]
-		j, ok := se.pruner.(*prune.Join)
-		if !ok {
-			return fmt.Errorf("engine: join needs a *prune.Join, got %T", se.pruner)
-		}
 		qs := se.q
 		lc := qs.Table.Schema().MustIndex(qs.LeftKey)
 		rc := qs.Right.Schema().MustIndex(qs.RightKey)
-		buf := getStreamBuf()
-		defer putStreamBuf(buf)
-		encA := encSide(qs.Table, lc, prune.SideA, opts.Seed)
-		encB := encSide(qs.Right, rc, prune.SideB, opts.Seed)
-		pass := func(t *table.Table, enc partEncoder, sv *survivorSet) {
-			batchPass(t.NumRows(), opts.Workers, 2, sv != nil, buf, enc, se.dp, nil,
-				func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
-					se.traffic.EntriesSent += b.N
-					if sv == nil {
-						n := b.N
-						for _, d := range dec[:b.N] {
-							n -= int(d)
+		// The build and probe passes share the program's Bloom state, so
+		// the retry unit is the whole build→probe sequence: a switch that
+		// dies anywhere inside it invalidates the filter, never just one
+		// pass.
+		return se.run(opts, func() error {
+			j, ok := se.pruner.(*prune.Join)
+			if !ok {
+				return fmt.Errorf("engine: join needs a *prune.Join, got %T", se.pruner)
+			}
+			buf := getStreamBuf()
+			defer putStreamBuf(buf)
+			encA := encSide(qs.Table, lc, prune.SideA, opts.Seed)
+			encB := encSide(qs.Right, rc, prune.SideB, opts.Seed)
+			pass := func(t *table.Table, enc partEncoder, sv *survivorSet) {
+				batchPass(t.NumRows(), opts.Workers, 2, sv != nil, buf, enc, se.dp, nil,
+					func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
+						se.traffic.EntriesSent += b.N
+						if sv == nil {
+							n := b.N
+							for _, d := range dec[:b.N] {
+								n -= int(d)
+							}
+							se.traffic.Forwarded += n
+							return
 						}
-						se.traffic.Forwarded += n
-						return
-					}
-					fwd := buf.compactForwarded(ids, dec, b.N)
-					se.traffic.Forwarded += len(fwd)
-					sv.add(fwd, b.N)
-				})
-		}
-		var left, right survivorSet
-		if j.Asymmetric() {
-			left.remaining = qs.Table.NumRows()
-			pass(qs.Table, encA, &left)
-			j.StartProbe()
-			right.remaining = qs.Right.NumRows()
-			pass(qs.Right, encB, &right)
-		} else {
-			pass(qs.Table, encA, nil)
-			pass(qs.Right, encB, nil)
-			j.StartProbe()
-			left.remaining = qs.Table.NumRows()
-			pass(qs.Table, encA, &left)
-			right.remaining = qs.Right.NumRows()
-			pass(qs.Right, encB, &right)
-		}
-		res, err := execJoin(qs, left.rows, right.rows)
-		if err != nil {
-			return err
-		}
-		se.traffic.MasterProcessed = len(left.rows) + len(right.rows)
-		results[s] = res
-		return nil
+						fwd := buf.compactForwarded(ids, dec, b.N)
+						se.traffic.Forwarded += len(fwd)
+						sv.add(fwd, b.N)
+					})
+			}
+			var left, right survivorSet
+			if j.Asymmetric() {
+				left.remaining = qs.Table.NumRows()
+				pass(qs.Table, encA, &left)
+				j.StartProbe()
+				right.remaining = qs.Right.NumRows()
+				pass(qs.Right, encB, &right)
+			} else {
+				pass(qs.Table, encA, nil)
+				pass(qs.Right, encB, nil)
+				j.StartProbe()
+				left.remaining = qs.Table.NumRows()
+				pass(qs.Table, encA, &left)
+				right.remaining = qs.Right.NumRows()
+				pass(qs.Right, encB, &right)
+			}
+			res, err := execJoin(qs, left.rows, right.rows)
+			if err != nil {
+				return err
+			}
+			se.traffic.MasterProcessed = len(left.rows) + len(right.rows)
+			results[s] = res
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err

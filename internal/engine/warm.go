@@ -1,0 +1,125 @@
+package engine
+
+// This file implements warm program rebuild for standing-query
+// re-placement (§7.2 recovery). When a switch hosting a continuous
+// query's program dies, the master still holds the exact standing
+// result in its merge state; for monotone query kinds that standing
+// result is a faithful summary of everything the lost register state
+// was allowed to prune with, so replaying it through a fresh program
+// rebuilds equivalent prune state without re-streaming history:
+//
+//   - DISTINCT: the standing rows ARE the seen value set; replaying
+//     their fingerprints re-arms the seen-filter, so already-reported
+//     values prune again instead of surviving to a master-side dedupe.
+//   - GROUP BY MAX: the standing maxima are exactly the aggregates the
+//     registers held (the merge is the same max), so replaying (key,
+//     max) restores the prune threshold per group.
+//   - TOP N: the standing top N are the only values a correct program
+//     may use as prune thresholds; offering them is normal program
+//     operation on an N-value stream.
+//
+// Every other kind is refused: warming a GROUP BY SUM / HAVING sketch
+// from standing sums would double-count on the next drain, a warmed
+// skyline would drain rows ids that don't exist in the delta, JOIN
+// retrains per delta anyway, and windowed state must not outlive its
+// window. Callers admit those cold — the master's merge keeps results
+// exact either way; warmth only buys pruning back.
+
+import (
+	"fmt"
+	"strconv"
+
+	"cheetah/internal/hashutil"
+	"cheetah/internal/prune"
+	"cheetah/internal/table"
+)
+
+// warmCellHash hashes one canonically rendered cell exactly as
+// fingerprintRow hashes the live column value it was rendered from.
+func warmCellHash(typ table.Type, cell string, seed uint64) (uint64, error) {
+	if typ == table.Int64 {
+		v, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("engine: warm rebuild: %q is not an int64 cell: %v", cell, err)
+		}
+		return hashutil.HashUint64(uint64(v), seed), nil
+	}
+	return hashutil.HashString64(cell, seed), nil
+}
+
+// warmFingerprint recomputes fingerprintRow over rendered cells; it
+// must stay bit-identical to fingerprintRow for the same values.
+func warmFingerprint(types []table.Type, cells []string, seed uint64) (uint64, error) {
+	h := seed ^ 0xfeedface
+	for i, c := range cells {
+		ch, err := warmCellHash(types[i], c, seed)
+		if err != nil {
+			return 0, err
+		}
+		h = hashutil.Mix64(h ^ ch)
+	}
+	return h, nil
+}
+
+// WarmPruner replays a standing result through a fresh program p,
+// rebuilding prune state equivalent to what a failed switch lost.
+// Returns true when the query kind supports warm rebuild (DISTINCT,
+// GROUP BY MAX, TOP N) and the replay ran; false means the caller
+// should admit the program cold — results stay exact either way, a cold
+// program just forwards more until it re-learns. seed must be the
+// execution's fingerprint seed and standing the exact current standing
+// result (columns in the query's layout).
+func WarmPruner(q *Query, seed uint64, standing *Result, p prune.Pruner) (bool, error) {
+	if standing == nil || p == nil {
+		return false, nil
+	}
+	switch q.Kind {
+	case KindDistinct:
+		types := make([]table.Type, len(q.DistinctCols))
+		for i, c := range q.DistinctCols {
+			types[i] = q.Table.Schema()[q.Table.Schema().MustIndex(c)].Type
+		}
+		for _, row := range standing.Rows {
+			if len(row) != len(types) {
+				return false, fmt.Errorf("engine: warm rebuild: distinct row has %d cells, want %d", len(row), len(types))
+			}
+			fp, err := warmFingerprint(types, row, seed)
+			if err != nil {
+				return false, err
+			}
+			p.Process([]uint64{fp})
+		}
+		return true, nil
+	case KindGroupByMax:
+		kt := q.Table.Schema()[q.Table.Schema().MustIndex(q.KeyCol)].Type
+		for _, row := range standing.Rows {
+			if len(row) != 2 {
+				return false, fmt.Errorf("engine: warm rebuild: group-by row has %d cells, want 2", len(row))
+			}
+			fp, err := warmFingerprint([]table.Type{kt}, row[:1], seed)
+			if err != nil {
+				return false, err
+			}
+			v, err := strconv.ParseInt(row[1], 10, 64)
+			if err != nil {
+				return false, fmt.Errorf("engine: warm rebuild: bad aggregate %q: %v", row[1], err)
+			}
+			p.Process([]uint64{fp, uint64(v)})
+		}
+		return true, nil
+	case KindTopN:
+		for _, row := range standing.Rows {
+			if len(row) != 1 {
+				return false, fmt.Errorf("engine: warm rebuild: top-n row has %d cells, want 1", len(row))
+			}
+			v, err := strconv.ParseInt(row[0], 10, 64)
+			if err != nil {
+				return false, fmt.Errorf("engine: warm rebuild: bad value %q: %v", row[0], err)
+			}
+			p.Process([]uint64{uint64(v)})
+		}
+		return true, nil
+	default:
+		return false, nil
+	}
+}

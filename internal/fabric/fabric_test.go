@@ -166,10 +166,19 @@ func TestAdmitShardsRollbackOnFailure(t *testing.T) {
 			t.Fatalf("switch %d leaked resources after rollback: %v", i, u)
 		}
 	}
-	// Count mismatch errors descriptively.
-	if _, err := f.AdmitShards(context.Background(), []switchsim.Program{prog(1)}); err == nil {
-		t.Fatal("program/switch count mismatch: want error")
+	// More programs than switches errors descriptively.
+	if _, err := f.AdmitShards(context.Background(), []switchsim.Program{prog(1), prog(1), prog(1), prog(1)}); err == nil {
+		t.Fatal("program/switch count overflow: want error")
 	}
+	// Fewer shards than switches is fine: round-robin from switch 0.
+	narrow, err := f.AdmitShards(context.Background(), []switchsim.Program{prog(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrow) != 1 || narrow[0].Switch != 0 {
+		t.Fatalf("single-shard scatter placed %+v, want switch 0", narrow)
+	}
+	narrow[0].Release()
 	// A full scatter admits one program per switch.
 	leases, err := f.AdmitShards(context.Background(), []switchsim.Program{prog(1), prog(1), prog(1)})
 	if err != nil {
@@ -182,6 +191,129 @@ func TestAdmitShardsRollbackOnFailure(t *testing.T) {
 	}
 	for _, l := range leases {
 		l.Release()
+	}
+}
+
+// TestAdmitShardsRollbackOnSwitchFailure is the mid-sequence failure
+// variant: a shard queued on a switch that then dies — with no
+// survivors left — must roll the earlier grants back without leaking
+// programs, and releasing a revoked lease must be a harmless no-op.
+func TestAdmitShardsRollbackOnSwitchFailure(t *testing.T) {
+	f, err := New(Options{Switches: 2, Model: tinyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Fill switch 1 so the scatter's second shard has to queue there.
+	blocker, err := f.Server(1).TryAdmit(prog(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := f.AdmitShards(context.Background(), []switchsim.Program{prog(1), prog(1)})
+		errc <- err
+	}()
+	for f.Server(1).Stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Kill switch 0 first (revoking shard 0's already-granted lease),
+	// then switch 1: the queued shard fails, no survivors remain, and
+	// AdmitShards must give up and roll back.
+	f.Fail(0)
+	f.Fail(1)
+	if err := <-errc; !errors.Is(err, serve.ErrFailed) {
+		t.Fatalf("scatter across a dead fabric: got %v, want ErrFailed", err)
+	}
+	st := f.Stats()
+	if st[0].Active != 0 || st[0].Revoked != 1 {
+		t.Fatalf("switch 0 after failure: %+v, want 0 active / 1 revoked", st[0])
+	}
+	blocker.Release() // revoked: must be a no-op, not a panic
+	// Restore both switches: the same scatter must now succeed cleanly.
+	if err := f.Restore(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Restore(1); err != nil {
+		t.Fatal(err)
+	}
+	placements, err := f.AdmitShards(context.Background(), []switchsim.Program{prog(1), prog(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range placements {
+		p.Release()
+	}
+	for i, u := range f.Utilization() {
+		if u.ALUsUsed != 0 {
+			t.Fatalf("switch %d leaked resources after restore cycle: %v", i, u)
+		}
+	}
+}
+
+// TestFabricFailureLifecycle drives Fail/Restore/Add through the
+// placement paths: placement routes around dead switches, a fully dead
+// fabric fails with the direct-execution cue, and restored or added
+// switches rejoin the rotation.
+func TestFabricFailureLifecycle(t *testing.T) {
+	f, err := New(Options{Switches: 3, Model: tinyModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Fail(1)
+	if got := f.Healthy(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Healthy() = %v, want [0 2]", got)
+	}
+	for i := 0; i < 4; i++ {
+		p, err := f.Admit(context.Background(), prog(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Switch == 1 {
+			t.Fatal("placed a query on a failed switch")
+		}
+		p.Release()
+	}
+	f.Fail(0)
+	f.Fail(2)
+	if _, err := f.Admit(context.Background(), prog(1)); !errors.Is(err, serve.ErrFailed) {
+		t.Fatalf("fully dead fabric: got %v, want ErrFailed", err)
+	}
+	if err := f.Restore(1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Admit(context.Background(), prog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Switch != 1 {
+		t.Fatalf("placed on switch %d, want the restored switch 1", p.Switch)
+	}
+	p.Release()
+	idx, err := f.Add()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 3 || f.Size() != 4 {
+		t.Fatalf("Add() = %d (size %d), want index 3 of 4", idx, f.Size())
+	}
+	// Occupy the restored switch so the fresh one is least-loaded.
+	hold, err := f.Admit(context.Background(), prog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = f.Admit(context.Background(), prog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Switch != idx {
+		t.Fatalf("placed on switch %d, want the added switch %d", p.Switch, idx)
+	}
+	p.Release()
+	hold.Release()
+	if got := f.Metrics().Total("revoked"); got != 0 {
+		t.Fatalf("revoked metric = %d, want 0 (no active leases died)", got)
 	}
 }
 

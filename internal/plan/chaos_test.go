@@ -1,0 +1,449 @@
+package plan
+
+// The chaos suite is the fault-tolerance acceptance test: switches are
+// killed (control-plane Fail, and fault injectors that die mid-query),
+// restored, and added while all eight query kinds run through each
+// execution mode — one-shot sharded, served, and streaming — and every
+// result must stay bit-identical to ExecDirect (§7.2: the servers are
+// the exactness backstop; a dead switch only costs pruning). Afterwards
+// the fabric must be clean: no active leases, no queued waiters, no
+// flow program left installed.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/fabric"
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/table"
+	"cheetah/internal/workload/multitenant"
+)
+
+// chaosMix builds the small all-kinds workload the chaos tests share.
+func chaosMix(t *testing.T, seed uint64) *multitenant.Mix {
+	t.Helper()
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 1600, RankRows: 700, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mix
+}
+
+// chaosWant is the ground truth: ExecDirect of the mix's kind-th query
+// over the first rows committed rows.
+func chaosWant(t *testing.T, mix *multitenant.Mix, kind, rows int) *engine.Result {
+	t.Helper()
+	q := *mix.Query(kind)
+	if rows < mix.Visits.NumRows() {
+		v, err := mix.Visits.View(0, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Table = v
+	}
+	want, err := engine.ExecDirect(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// assertFabricDrained checks the no-leak invariant after a chaos run:
+// every switch restored, zero active leases, zero queued waiters, and
+// no flow program still occupying pipeline resources.
+func assertFabricDrained(t *testing.T, fab *fabric.Fabric) {
+	t.Helper()
+	for i := 0; i < fab.Size(); i++ {
+		if fab.Failed(i) {
+			if err := fab.Restore(i); err != nil {
+				t.Fatalf("restore switch %d: %v", i, err)
+			}
+		}
+	}
+	for i, c := range fab.Stats() {
+		if c.Active != 0 || c.Queued != 0 {
+			t.Fatalf("switch %d leaked leases after chaos: %+v", i, c)
+		}
+	}
+	for i, u := range fab.Utilization() {
+		if u.ALUsUsed != 0 || u.TCAMUsed != 0 {
+			t.Fatalf("switch %d leaked flow programs after chaos: %+v", i, u)
+		}
+	}
+}
+
+// TestChaosServed kills switches under served queries, for every kind:
+// a fault injector takes the placed switch down in the middle of the
+// query's stream (the result must be discarded and failed over, not
+// patched), then the whole fabric dies (the §7.2 direct backstop), then
+// a hot-added switch takes over. Every answer is exact throughout.
+func TestChaosServed(t *testing.T) {
+	mix := chaosMix(t, 1)
+	for kind := 0; kind < multitenant.NumKinds; kind++ {
+		q := mix.Query(kind)
+		t.Run(fmt.Sprintf("%v", q.Kind), func(t *testing.T) {
+			db, err := Open(mix.Visits, Options{Workers: 2, Seed: 1, Switches: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			sv, err := db.Serve(context.Background(), ServeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sv.Close()
+			fab := sv.Fabric()
+			want := chaosWant(t, mix, kind, mix.Visits.NumRows())
+
+			// One switch dies mid-query: whichever pipeline sees the
+			// query's first batch kills itself. The submit must fail over
+			// to the survivor and still be exact.
+			var killed atomic.Bool
+			for i := 0; i < fab.Size(); i++ {
+				fab.Server(i).Pipeline().SetFaultInjector(func(uint32, int) bool {
+					return killed.CompareAndSwap(false, true)
+				})
+			}
+			ex, err := sv.Submit(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.Plan.Mode != ModeCheetah {
+				t.Fatalf("plan mode = %v (%s), want cheetah", ex.Plan.Mode, ex.Plan.Reason)
+			}
+			if !want.Equal(ex.Result) {
+				t.Fatalf("mid-query death result diverged\n got: %v\nwant: %v", ex.Result, want)
+			}
+			if ex.FailedOver < 1 {
+				t.Fatalf("FailedOver = %d, want >= 1 (injector killed the placed switch)", ex.FailedOver)
+			}
+			if got := sv.Stats().FailedOver; got < 1 {
+				t.Fatalf("fabric FailedOver counter = %d, want >= 1", got)
+			}
+
+			// Restore the victim; a clean submit must not fail over.
+			for i := 0; i < fab.Size(); i++ {
+				if fab.Failed(i) {
+					if err := fab.Restore(i); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			ex, err = sv.Submit(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.FailedOver != 0 || !want.Equal(ex.Result) {
+				t.Fatalf("post-restore submit: FailedOver=%d, exact=%v", ex.FailedOver, want.Equal(ex.Result))
+			}
+
+			// The whole fabric dies: the submit degrades to exact direct
+			// execution — the §7.2 backstop — rather than failing.
+			for i := 0; i < fab.Size(); i++ {
+				fab.Fail(i)
+			}
+			ex, err = sv.Submit(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.Plan.Mode != ModeDirect {
+				t.Fatalf("dead-fabric submit mode = %v, want direct", ex.Plan.Mode)
+			}
+			if !want.Equal(ex.Result) {
+				t.Fatalf("dead-fabric result diverged\n got: %v\nwant: %v", ex.Result, want)
+			}
+
+			// A hot-added switch brings pruning back while the original
+			// switches stay dead.
+			idx, err := fab.Add()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex, err = sv.Submit(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.Plan.Mode != ModeCheetah || ex.Switch != idx {
+				t.Fatalf("post-add submit: mode=%v switch=%d, want cheetah on %d", ex.Plan.Mode, ex.Switch, idx)
+			}
+			if !want.Equal(ex.Result) {
+				t.Fatalf("post-add result diverged\n got: %v\nwant: %v", ex.Result, want)
+			}
+			assertFabricDrained(t, fab)
+		})
+	}
+}
+
+// TestChaosStreamingPlaced drives single-switch subscriptions of every
+// kind through the full failure lifecycle: the placed switch dies with
+// no survivor (deltas degrade to exact direct, one at a time), a
+// hot-added switch picks the program up (warm for the monotone kinds),
+// and a second death re-places it onto the restored original. The
+// standing result equals a from-scratch run at every step.
+func TestChaosStreamingPlaced(t *testing.T) {
+	mix := chaosMix(t, 2)
+	for kind := 0; kind < multitenant.NumKinds; kind++ {
+		base := mix.Query(kind)
+		t.Run(fmt.Sprintf("%v", base.Kind), func(t *testing.T) {
+			ctx := streamCtx(t)
+			target, err := table.New(mix.Visits.Schema())
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := Open(target, Options{Workers: 2, Seed: 2, Switches: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			st, err := db.Stream(ctx, StreamOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			fab := st.Fabric()
+			q := *base
+			q.Table = target
+			sub, err := st.Subscribe(ctx, &q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sub.Plan().Mode != ModeCheetah {
+				t.Fatalf("plan mode = %v (%s), want cheetah", sub.Plan().Mode, sub.Plan().Reason)
+			}
+			if sub.Switch() != 0 {
+				t.Fatalf("initial placement on switch %d, want 0", sub.Switch())
+			}
+			total := mix.Visits.NumRows()
+			marks := []int{total / 3, 2 * total / 3, total - 200, total}
+			appendTo := func(lo, hi int) {
+				t.Helper()
+				v, err := mix.Visits.View(lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				appendInChunks(t, st, v, 113)
+				if err := sub.Flush(ctx); err != nil {
+					t.Fatal(err)
+				}
+				if want := chaosWant(t, mix, kind, hi); !want.Equal(firstResult(sub)) {
+					t.Fatalf("standing result diverged at %d rows\n got: %v\nwant: %v", hi, firstResult(sub), want)
+				}
+			}
+			// Healthy warm-up.
+			appendTo(0, marks[0])
+			// The only switch dies: no survivor, so deltas run exact and
+			// unpruned until capacity returns.
+			fab.Fail(0)
+			appendTo(marks[0], marks[1])
+			if sub.Replaced() != 0 {
+				t.Fatalf("Replaced = %d with no survivor, want 0", sub.Replaced())
+			}
+			// A hot-added switch hosts the replacement program.
+			idx, err := fab.Add()
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendTo(marks[1], marks[2])
+			if sub.Replaced() != 1 || sub.Switch() != idx {
+				t.Fatalf("after add: Replaced=%d Switch=%d, want 1 on %d", sub.Replaced(), sub.Switch(), idx)
+			}
+			// The replacement's switch dies too; the restored original
+			// takes the program back.
+			if err := fab.Restore(0); err != nil {
+				t.Fatal(err)
+			}
+			fab.Fail(idx)
+			appendTo(marks[2], marks[3])
+			if sub.Replaced() != 2 || sub.Switch() != 0 {
+				t.Fatalf("after second death: Replaced=%d Switch=%d, want 2 on 0", sub.Replaced(), sub.Switch())
+			}
+			if got := fab.Metrics().Total("replaced"); got < 2 {
+				t.Fatalf("replaced metric = %d, want >= 2", got)
+			}
+			sub.Close()
+			assertFabricDrained(t, fab)
+		})
+	}
+}
+
+// TestChaosStreamingSharded drives scatter/gather subscriptions of
+// every kind while shards die and move: the engine's Failover hook
+// re-places dead shards on survivors (and on a hot-added switch)
+// between and during deltas, with the standing result exact at every
+// mark.
+func TestChaosStreamingSharded(t *testing.T) {
+	mix := chaosMix(t, 3)
+	for kind := 0; kind < multitenant.NumKinds; kind++ {
+		base := mix.Query(kind)
+		t.Run(fmt.Sprintf("%v", base.Kind), func(t *testing.T) {
+			ctx := streamCtx(t)
+			target, err := table.New(mix.Visits.Schema())
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := Open(target, Options{Workers: 2, Seed: 3, Switches: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			st, err := db.Stream(ctx, StreamOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			fab := st.Fabric()
+			q := *base
+			q.Table = target
+			sub, err := st.Subscribe(ctx, &q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sub.Plan().Mode != ModeCheetah {
+				t.Fatalf("plan mode = %v (%s), want cheetah", sub.Plan().Mode, sub.Plan().Reason)
+			}
+			total := mix.Visits.NumRows()
+			appendTo := func(lo, hi int) {
+				t.Helper()
+				v, err := mix.Visits.View(lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				appendInChunks(t, st, v, 113)
+				if err := sub.Flush(ctx); err != nil {
+					t.Fatal(err)
+				}
+				if want := chaosWant(t, mix, kind, hi); !want.Equal(firstResult(sub)) {
+					t.Fatalf("standing result diverged at %d rows\n got: %v\nwant: %v", hi, firstResult(sub), want)
+				}
+			}
+			appendTo(0, total/3)
+			// One shard's switch dies between deltas: its standing
+			// program re-places onto a survivor.
+			fab.Fail(0)
+			appendTo(total/3, 2*total/3)
+			if sub.Replaced() < 1 {
+				t.Fatalf("Replaced = %d after shard death, want >= 1", sub.Replaced())
+			}
+			// Churn: restore the victim, kill another switch, and add a
+			// fourth — the fabric reshapes under the standing query.
+			if err := fab.Restore(0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fab.Add(); err != nil {
+				t.Fatal(err)
+			}
+			fab.Fail(1)
+			appendTo(2*total/3, total)
+			if sub.Replaced() < 2 {
+				t.Fatalf("Replaced = %d after second death, want >= 2", sub.Replaced())
+			}
+			sub.Close()
+			assertFabricDrained(t, fab)
+		})
+	}
+}
+
+// TestChaosOneShotSharded runs every kind through one scatter/gather
+// execution whose shard programs live on fabric leases, with a fault
+// injector killing one switch in the middle of the shard's stream: the
+// engine's failover (with exponential backoff) must redo the shard on a
+// fresh placement and the merged result must equal ExecDirect.
+func TestChaosOneShotSharded(t *testing.T) {
+	mix := chaosMix(t, 4)
+	for kind := 0; kind < multitenant.NumKinds; kind++ {
+		q := mix.Query(kind)
+		t.Run(fmt.Sprintf("%v", q.Kind), func(t *testing.T) {
+			db, err := Open(mix.Visits, Options{Workers: 2, Seed: 4, Switches: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			p, err := db.planFor(q, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Mode != ModeCheetah {
+				t.Fatalf("plan mode = %v (%s), want cheetah", p.Mode, p.Reason)
+			}
+			fab, err := fabric.New(fabric.Options{Switches: 3, Model: p.Model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fab.Close()
+			pruners, err := p.NewShardPruners()
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs := make([]switchsim.Program, len(pruners))
+			for i, pr := range pruners {
+				progs[i] = pr
+			}
+			placements, err := fab.AdmitShards(context.Background(), progs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flows := make([]engine.BatchDataplane, len(placements))
+			for i, pl := range placements {
+				flows[i] = pl
+			}
+			// Switch 0 dies at the first batch that reaches it.
+			var killed atomic.Bool
+			fab.Server(0).Pipeline().SetFaultInjector(func(uint32, int) bool {
+				return killed.CompareAndSwap(false, true)
+			})
+			var mu sync.Mutex
+			failover := func(shard, attempt int) (prune.Pruner, engine.BatchDataplane, error) {
+				npr, err := p.NewPruner()
+				if err != nil {
+					return nil, nil, err
+				}
+				npl, err := fab.TryAdmit(npr)
+				if err != nil {
+					return nil, nil, err
+				}
+				mu.Lock()
+				old := placements[shard]
+				placements[shard] = npl
+				mu.Unlock()
+				old.Release()
+				return npr, npl, nil
+			}
+			run, err := engine.ExecSharded(q, engine.ShardedOptions{
+				Shards: 3, Workers: p.Workers, Seed: p.Seed,
+				Pruners: pruners, Flows: flows, Failover: failover,
+				Backoff: time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.FailedOver < 1 {
+				t.Fatalf("FailedOver = %d, want >= 1 (injector killed switch 0)", run.FailedOver)
+			}
+			want, err := engine.ExecDirect(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.Equal(run.Result) {
+				t.Fatalf("sharded chaos result diverged\n got: %v\nwant: %v", run.Result, want)
+			}
+			mu.Lock()
+			for _, pl := range placements {
+				pl.Release()
+			}
+			mu.Unlock()
+			assertFabricDrained(t, fab)
+		})
+	}
+}
+
+// firstResult unwraps Results()'s (result, version) pair.
+func firstResult(sub *Subscription) *engine.Result {
+	r, _ := sub.Results()
+	return r
+}

@@ -8,6 +8,7 @@ import (
 	"cheetah/internal/cluster"
 	"cheetah/internal/engine"
 	"cheetah/internal/prune"
+	"cheetah/internal/serve"
 	"cheetah/internal/switchsim"
 )
 
@@ -33,9 +34,14 @@ type Execution struct {
 	// meaningful only when QueryID is non-zero.
 	Switch int
 	// PerSwitch reports each switch's traffic and occupancy for a
-	// scatter/gather execution (Switches > 1 in the plan); nil for
-	// single-switch and direct runs.
+	// scatter/gather execution (Switches > 1 in the plan), and each
+	// fabric switch's serving counters for a served (Serving.Submit)
+	// execution; nil for plain single-switch and direct runs.
 	PerSwitch []SwitchReport
+	// FailedOver counts how many times this execution was redone on a
+	// replacement switch after its placed switch died mid-query (§7.2
+	// failover); only served executions fail over.
+	FailedOver int
 	// PipelineUtil is the switch occupancy attributed to this query: the
 	// shared pipeline's snapshot at admission under a Serving handle, a
 	// dedicated pipeline's occupancy otherwise. Zero for ModeDirect.
@@ -49,10 +55,12 @@ type Execution struct {
 
 // SwitchReport is one fabric switch's share of a scatter/gather
 // execution: its shard's traffic and the pipeline occupancy of its
-// program.
+// program. For served executions, Serve carries the switch's
+// cumulative admission/failure counters at completion time.
 type SwitchReport struct {
 	Traffic engine.Traffic
 	Util    switchsim.Utilization
+	Serve   serve.Counters
 }
 
 // UnprunedFraction is Forwarded/EntriesSent, Figures 10–11's metric; it

@@ -29,6 +29,10 @@ type ServeOptions struct {
 	// direct execution instead of queueing — load shedding, not an
 	// error.
 	QueueLimit int
+	// TenantQuota caps any one tenant's concurrently active leases per
+	// switch (0 = unlimited). Quota-blocked submissions wait without
+	// blocking other tenants' admissions.
+	TenantQuota int
 }
 
 // Serving is a live multi-query serving handle over the session's
@@ -51,9 +55,10 @@ type Serving struct {
 // queued admissions fail over to direct execution.
 func (s *Session) Serve(ctx context.Context, opts ServeOptions) (*Serving, error) {
 	fab, err := fabric.New(fabric.Options{
-		Switches:   s.opts.Switches,
-		Model:      s.opts.Model,
-		QueueLimit: opts.QueueLimit,
+		Switches:    s.opts.Switches,
+		Model:       s.opts.Model,
+		QueueLimit:  opts.QueueLimit,
+		TenantQuota: opts.TenantQuota,
 	})
 	if err != nil {
 		return nil, err
@@ -74,6 +79,10 @@ func (sv *Serving) Session() *Session { return sv.s }
 
 // Switches returns the fabric width.
 func (sv *Serving) Switches() int { return sv.fab.Size() }
+
+// Fabric returns the serving handle's switch fabric, for failure-
+// lifecycle control (Fail/Restore/Add) and per-switch access.
+func (sv *Serving) Fabric() *fabric.Fabric { return sv.fab }
 
 // Stats returns the serving layer's cumulative admission counters,
 // summed across the fabric's switches.
@@ -114,13 +123,43 @@ func (sv *Serving) Close() {
 	})
 }
 
-// Submit plans and executes q through the fabric. The query is placed
-// whole on one switch — least-loaded first, the least-contended FIFO
-// queue when all are busy — and blocks while that queue is full unless
-// the query is oversized or shed, in which case it runs direct.
-// Concurrent Submit calls multiplex their batches through per-query
-// programs selected by QueryID on their placed switch.
+// Submit plans and executes q through the fabric with default QoS. See
+// SubmitQoS.
 func (sv *Serving) Submit(ctx context.Context, q *engine.Query) (*Execution, error) {
+	return sv.SubmitQoS(ctx, q, serve.QoS{})
+}
+
+// maxSubmitFailovers caps how many replacement switches one served
+// query tries after mid-query switch deaths before degrading to exact
+// direct execution (the §7.2 backstop).
+const maxSubmitFailovers = 3
+
+// fallbackServing reports whether a fabric admission failure means
+// "run the query exactly without the switch" rather than "fail the
+// Submit". Deadline misses are deliberately NOT in the list: a
+// deadline-shed query is dropped, not silently retried on the slower
+// path its deadline already couldn't afford.
+func fallbackServing(err error) bool {
+	return errors.Is(err, serve.ErrNeverFits) ||
+		errors.Is(err, serve.ErrQueueFull) ||
+		errors.Is(err, serve.ErrClosed) ||
+		errors.Is(err, serve.ErrFailed)
+}
+
+// SubmitQoS plans and executes q through the fabric under the given
+// QoS. The query is placed whole on one switch — least-loaded first,
+// the least-contended FIFO queue when all are busy — and blocks while
+// that queue is full unless the query is oversized or shed, in which
+// case it runs direct. Within a queue, higher-priority submissions
+// admit first; a tenant at its quota waits without blocking others; a
+// submission whose qos.Deadline passes while queued fails with
+// serve.ErrDeadline (deadline-based shedding — the query is dropped,
+// not degraded). If the placed switch dies mid-query the execution is
+// redone on a replacement switch (capped, then exact direct), so a
+// Submit never returns a result tainted by a failure. Concurrent
+// submissions multiplex their batches through per-query programs
+// selected by QueryID on their placed switch.
+func (sv *Serving) SubmitQoS(ctx context.Context, q *engine.Query, qos serve.QoS) (*Execution, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -143,43 +182,98 @@ func (sv *Serving) Submit(ctx context.Context, q *engine.Query) (*Execution, err
 		p.Mode = ModeCheetah
 		p.Reason += "; serving executes in-process (cluster transport has no multiplexed path)"
 	}
-	pruner, err := p.NewPruner()
-	if err != nil {
-		return nil, err
-	}
-	placement, err := sv.fab.Admit(ctx, pruner)
-	if err != nil {
-		if errors.Is(err, serve.ErrNeverFits) || errors.Is(err, serve.ErrQueueFull) || errors.Is(err, serve.ErrClosed) {
-			fb := &Plan{
-				Query:    q,
-				Mode:     ModeDirect,
-				Model:    p.Model,
-				Workers:  p.Workers,
-				Seed:     p.Seed,
-				Switches: 1,
-				Reason:   fmt.Sprintf("serving fallback: %v", err),
-			}
-			return sv.s.ExecPlan(ctx, fb)
+	for attempt := 0; ; attempt++ {
+		// A fresh program every attempt: register state a dead switch
+		// held is unrecoverable, so a retried query replays its whole
+		// stream through clean state (§7.2).
+		pruner, err := p.NewPruner()
+		if err != nil {
+			return nil, err
 		}
-		return nil, err
+		placement, err := sv.fab.AdmitQoS(ctx, pruner, qos)
+		if err != nil {
+			if fallbackServing(err) {
+				fb := &Plan{
+					Query:    q,
+					Mode:     ModeDirect,
+					Model:    p.Model,
+					Workers:  p.Workers,
+					Seed:     p.Seed,
+					Switches: 1,
+					Reason:   fmt.Sprintf("serving fallback: %v", err),
+				}
+				ex, err := sv.s.ExecPlan(ctx, fb)
+				if ex != nil {
+					// Failovers taken before the fabric ran out of
+					// switches still count.
+					ex.FailedOver = attempt
+				}
+				return ex, err
+			}
+			return nil, err
+		}
+		run, err := engine.ExecCheetah(q, engine.CheetahOptions{
+			Workers: p.Workers, Pruner: pruner, Seed: p.Seed, Flow: placement.Lease,
+		})
+		if err != nil {
+			placement.Release()
+			return nil, err
+		}
+		if placement.Err() != nil {
+			// The placed switch died while the query streamed through it:
+			// the attempt's result cannot be trusted (drained register
+			// state died with the switch), so fail over to another
+			// placement — or to exact direct execution past the cap.
+			sv.fab.Server(placement.Switch).NoteFailedOver(qos.Tenant)
+			placement.Release()
+			if attempt >= maxSubmitFailovers {
+				fb := &Plan{
+					Query:    q,
+					Mode:     ModeDirect,
+					Model:    p.Model,
+					Workers:  p.Workers,
+					Seed:     p.Seed,
+					Switches: 1,
+					Reason:   "serving fallback: failover attempts exhausted",
+				}
+				ex, err := sv.s.ExecPlan(ctx, fb)
+				if ex != nil {
+					ex.FailedOver = attempt + 1
+				}
+				return ex, err
+			}
+			continue
+		}
+		ex := &Execution{
+			Plan:         p,
+			Result:       run.Result,
+			Traffic:      run.Traffic,
+			Stats:        run.Stats,
+			QueryID:      placement.QueryID(),
+			Switch:       placement.Switch,
+			FailedOver:   attempt,
+			PerSwitch:    sv.perSwitch(placement.Switch, run.Traffic),
+			PipelineUtil: placement.Utilization(),
+			Estimate:     sv.s.cost.CheetahTime(q.Kind, run.Traffic, sv.s.opts.NICGbps),
+		}
+		ex.SparkEstimate = sv.s.sparkEstimate(q, len(ex.Result.Rows), p.Switches)
+		placement.Release()
+		return ex, nil
 	}
-	defer placement.Release()
-	run, err := engine.ExecCheetah(q, engine.CheetahOptions{
-		Workers: p.Workers, Pruner: pruner, Seed: p.Seed, Flow: placement.Lease,
-	})
-	if err != nil {
-		return nil, err
+}
+
+// perSwitch snapshots each fabric switch's serving counters and
+// occupancy for an execution report; the placed switch additionally
+// carries the execution's own traffic.
+func (sv *Serving) perSwitch(placed int, t engine.Traffic) []SwitchReport {
+	stats := sv.fab.Stats()
+	utils := sv.fab.Utilization()
+	out := make([]SwitchReport, len(stats))
+	for i := range out {
+		out[i] = SwitchReport{Serve: stats[i], Util: utils[i]}
 	}
-	ex := &Execution{
-		Plan:         p,
-		Result:       run.Result,
-		Traffic:      run.Traffic,
-		Stats:        run.Stats,
-		QueryID:      placement.QueryID(),
-		Switch:       placement.Switch,
-		PipelineUtil: placement.Utilization(),
-		Estimate:     sv.s.cost.CheetahTime(q.Kind, run.Traffic, sv.s.opts.NICGbps),
+	if placed >= 0 && placed < len(out) {
+		out[placed].Traffic = t
 	}
-	ex.SparkEstimate = sv.s.sparkEstimate(q, len(ex.Result.Rows), p.Switches)
-	return ex, nil
+	return out
 }

@@ -27,6 +27,20 @@ package plan
 //     itself, so the Bloom filters must retrain; the lease is still
 //     held across deltas (the switch resources stay reserved for the
 //     standing query).
+//
+// Failure handling (§7.2): a switch death never breaks a subscription —
+// the master's merge state is the exactness backstop. A single-switch
+// subscription whose switch dies is re-placed on the least-loaded
+// survivor before its next delta, warm-rebuilding the replacement
+// program from the standing result for the monotone kinds
+// (engine.WarmPruner); a death in the middle of a delta discards that
+// attempt and redoes the delta (bounded, then exact direct) because
+// register state absorbed by a drained program dies with the switch. A
+// sharded subscription hands engine.ExecSharded a Failover hook that
+// re-places the dead shard the same way. When no switch can host the
+// program right now, the delta (alone) runs exact and unpruned and the
+// next delta retries — continuous-query results stay bit-identical to a
+// from-scratch run throughout.
 
 import (
 	"context"
@@ -122,6 +136,10 @@ func (st *Streaming) Version() uint64 { return st.ing.Version() }
 // program occupancy of the fabric, indexed by switch.
 func (st *Streaming) Stats() []serve.Counters { return st.fab.Stats() }
 
+// Fabric returns the streaming handle's switch fabric, for failure-
+// lifecycle control (Fail/Restore/Add) and per-switch access.
+func (st *Streaming) Fabric() *fabric.Fabric { return st.fab }
+
 // Subscription is one continuous query registered through the session:
 // the stream-layer subscription plus its plan and held switch
 // resources. Results/Updates/Wait/Flush are promoted from the embedded
@@ -130,17 +148,19 @@ type Subscription struct {
 	*stream.Subscription
 	st   *Streaming
 	plan *Plan
-	// leases are the fabric holds backing the standing program: one for
-	// a single-switch placement, one per switch for scatter/gather, nil
-	// for a direct (unpruned) subscription.
-	leases []*serve.Lease
+
+	mu sync.Mutex
+	// placements are the fabric holds backing the standing program: one
+	// for a single-switch placement, one per switch for scatter/gather,
+	// nil for a direct (unpruned) subscription. Entries move between
+	// switches when re-placement routes around a failed switch.
+	placements []*fabric.Placement
 	// swIdx is the placed switch for single-switch placements (-1 for
 	// sharded and direct subscriptions).
-	swIdx int
-
-	mu      sync.Mutex
-	traffic engine.Traffic
-	once    sync.Once
+	swIdx    int
+	replaced int
+	traffic  engine.Traffic
+	once     sync.Once
 }
 
 // Plan returns the plan backing the subscription's delta executions.
@@ -148,10 +168,23 @@ type Subscription struct {
 // package comment).
 func (ss *Subscription) Plan() *Plan { return ss.plan }
 
-// Switch returns the fabric switch a single-switch subscription was
-// placed on, or -1 (sharded subscriptions own a program on every
-// switch; direct subscriptions own none).
-func (ss *Subscription) Switch() int { return ss.swIdx }
+// Switch returns the fabric switch a single-switch subscription is
+// currently placed on, or -1 (sharded subscriptions own a program on
+// every switch; direct subscriptions own none). The value changes when
+// re-placement moves the standing program off a failed switch.
+func (ss *Subscription) Switch() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.swIdx
+}
+
+// Replaced returns how many times the subscription's standing
+// program(s) have been re-placed after a switch failure.
+func (ss *Subscription) Replaced() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.replaced
+}
 
 // Traffic returns the cumulative dataplane traffic of the
 // subscription's delta executions.
@@ -176,8 +209,12 @@ func (ss *Subscription) addTraffic(t engine.Traffic) {
 func (ss *Subscription) Close() {
 	ss.once.Do(func() {
 		ss.Subscription.Close()
-		for _, l := range ss.leases {
-			l.Release()
+		ss.mu.Lock()
+		placements := ss.placements
+		ss.placements = nil
+		ss.mu.Unlock()
+		for _, pl := range placements {
+			pl.Release()
 		}
 		ss.st.mu.Lock()
 		delete(ss.st.subs, ss)
@@ -260,8 +297,8 @@ func (st *Streaming) subscribe(ctx context.Context, q *engine.Query, window, sli
 	}
 	sub, err := st.ing.Subscribe(q, stream.SubOptions{Exec: exec, Window: window, Slide: slide})
 	if err != nil {
-		for _, l := range ss.leases {
-			l.Release()
+		for _, pl := range ss.placements {
+			pl.Release()
 		}
 		return nil, err
 	}
@@ -279,14 +316,57 @@ func (st *Streaming) subscribe(ctx context.Context, q *engine.Query, window, sli
 
 // fallbackDirect reports whether a fabric admission failure means "run
 // the deltas unpruned" rather than "fail the subscribe".
+// serve.ErrFailed is in the list because a fully dead fabric is exactly
+// the §7.2 degraded case: the servers keep results exact on their own.
 func fallbackDirect(err error) bool {
 	return errors.Is(err, serve.ErrNeverFits) ||
 		errors.Is(err, serve.ErrQueueFull) ||
-		errors.Is(err, serve.ErrClosed)
+		errors.Is(err, serve.ErrClosed) ||
+		errors.Is(err, serve.ErrFailed)
+}
+
+// maxDeltaRedos bounds how many times one delta execution is redone
+// after mid-delta switch deaths before it degrades to exact direct
+// execution for that delta.
+const maxDeltaRedos = 3
+
+// replacement builds the successor program for a standing placement
+// whose switch died: a fresh instance of the plan's program,
+// warm-rebuilt from the standing result for the monotone kinds (an
+// unwindowed standing result is a faithful summary of everything the
+// lost register state could prune with), admitted non-blocking on the
+// least-loaded survivor. Windowed subscriptions always re-admit cold —
+// their programs reset every delta anyway.
+func (st *Streaming) replacement(p *Plan, dq *engine.Query, standing func() *engine.Result, windowed bool) (*fabric.Placement, prune.Pruner, error) {
+	pruner, err := p.NewPruner()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !windowed {
+		if _, err := engine.WarmPruner(dq, p.Seed, standing(), pruner); err != nil {
+			return nil, nil, err
+		}
+	}
+	placement, err := st.fab.TryAdmit(pruner)
+	if err != nil {
+		return nil, nil, err
+	}
+	return placement, pruner, nil
+}
+
+// noteReplaced retires a dead placement: the failed switch's counters
+// record the migration and the (already revoked) lease releases.
+func (st *Streaming) noteReplaced(old *fabric.Placement) {
+	st.fab.Server(old.Switch).NoteReplaced(old.Tenant())
+	old.Release()
 }
 
 // placedExec admits one standing program on the least-loaded switch and
-// returns the delta executor running through its lease.
+// returns the delta executor running through its lease. A dead switch
+// is detected before (and after) every delta: the program is re-placed
+// on a survivor — warm for the monotone kinds — and a delta whose
+// execution crossed the death is redone, because drained register state
+// absorbed before the death is lost with the switch.
 func (st *Streaming) placedExec(ctx context.Context, ss *Subscription, p *Plan, windowed bool) (stream.DeltaExec, error) {
 	pruner, err := p.NewPruner()
 	if err != nil {
@@ -301,24 +381,64 @@ func (st *Streaming) placedExec(ctx context.Context, ss *Subscription, p *Plan, 
 		}
 		return nil, err
 	}
-	ss.leases = []*serve.Lease{placement.Lease}
+	ss.mu.Lock()
+	ss.placements = []*fabric.Placement{placement}
 	ss.swIdx = placement.Switch
+	ss.mu.Unlock()
 	workers, seed := p.Workers, p.Seed
-	return func(dq *engine.Query) (*engine.Result, error) {
-		resetForDelta([]prune.Pruner{pruner}, windowed)
-		run, err := engine.ExecCheetah(dq, engine.CheetahOptions{
-			Workers: workers, Pruner: pruner, Seed: seed, Flow: placement.Lease,
-		})
-		if err != nil {
-			return nil, err
+	// cur/curPruner are only touched by the subscription's pump
+	// goroutine (one delta executes at a time); ss.placements mirrors
+	// cur under ss.mu for Close and Switch.
+	cur, curPruner := placement, pruner
+	return func(dq *engine.Query, standing func() *engine.Result) (*engine.Result, error) {
+		for redo := 0; ; redo++ {
+			if cur.Err() != nil {
+				npl, npr, rerr := st.replacement(p, dq, standing, windowed)
+				if rerr != nil {
+					// No survivor can host the program right now: this
+					// delta (alone) runs exact and unpruned; the next
+					// delta retries re-placement.
+					return engine.ExecDirect(dq)
+				}
+				old := cur
+				cur, curPruner = npl, npr
+				ss.mu.Lock()
+				ss.placements = []*fabric.Placement{npl}
+				ss.swIdx = npl.Switch
+				ss.replaced++
+				ss.mu.Unlock()
+				st.noteReplaced(old)
+			}
+			resetForDelta([]prune.Pruner{curPruner}, windowed)
+			run, err := engine.ExecCheetah(dq, engine.CheetahOptions{
+				Workers: workers, Pruner: curPruner, Seed: seed, Flow: cur.Lease,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if cur.Err() == nil {
+				ss.addTraffic(run.Traffic)
+				return run.Result, nil
+			}
+			// The switch died while the delta was streaming through it:
+			// rows absorbed into (drained) register state before the death
+			// are gone, so the attempt's result cannot be trusted — discard
+			// it and redo the delta, degrading to exact direct execution
+			// when deaths keep chasing the re-placements.
+			if redo >= maxDeltaRedos {
+				return engine.ExecDirect(dq)
+			}
 		}
-		ss.addTraffic(run.Traffic)
-		return run.Result, nil
 	}, nil
 }
 
 // shardedExec admits one standing program per switch and returns the
-// delta executor scattering each delta across the fabric.
+// delta executor scattering each delta across the fabric. Shard
+// failover is delegated to engine.ExecSharded: the Failover hook
+// re-places a dead shard's program on a surviving switch (warm for the
+// monotone kinds) and the engine redoes that shard's pass; when no
+// survivor has room the engine falls back to master-side execution of
+// the shard — exact either way.
 func (st *Streaming) shardedExec(ctx context.Context, ss *Subscription, p *Plan, windowed bool) (stream.DeltaExec, error) {
 	pruners, err := p.NewShardPruners()
 	if err != nil {
@@ -328,7 +448,7 @@ func (st *Streaming) shardedExec(ctx context.Context, ss *Subscription, p *Plan,
 	for i, pr := range pruners {
 		progs[i] = pr
 	}
-	leases, err := st.fab.AdmitShards(ctx, progs)
+	placements, err := st.fab.AdmitShards(ctx, progs)
 	if err != nil {
 		if fallbackDirect(err) {
 			p.Mode = ModeDirect
@@ -337,16 +457,41 @@ func (st *Streaming) shardedExec(ctx context.Context, ss *Subscription, p *Plan,
 		}
 		return nil, err
 	}
-	ss.leases = leases
-	flows := make([]engine.BatchDataplane, len(leases))
-	for i, l := range leases {
-		flows[i] = l
+	ss.mu.Lock()
+	ss.placements = placements
+	ss.mu.Unlock()
+	flows := make([]engine.BatchDataplane, len(placements))
+	for i, pl := range placements {
+		flows[i] = pl
 	}
 	shards, workers, seed := p.Switches, p.Workers, p.Seed
-	return func(dq *engine.Query) (*engine.Result, error) {
-		resetForDelta(pruners, windowed)
+	return func(dq *engine.Query, standing func() *engine.Result) (*engine.Result, error) {
+		// The hook runs on the engine's per-shard goroutines; distinct
+		// shards re-place concurrently, so the shared slices and the
+		// subscription's placement list update under ss.mu.
+		failover := func(shard, attempt int) (prune.Pruner, engine.BatchDataplane, error) {
+			npl, npr, rerr := st.replacement(p, dq, standing, windowed)
+			if rerr != nil {
+				return nil, nil, rerr
+			}
+			ss.mu.Lock()
+			old := ss.placements[shard]
+			ss.placements[shard] = npl
+			pruners[shard] = npr
+			flows[shard] = npl
+			ss.replaced++
+			ss.mu.Unlock()
+			st.noteReplaced(old)
+			return npr, npl, nil
+		}
+		ss.mu.Lock()
+		curPruners := append([]prune.Pruner(nil), pruners...)
+		curFlows := append([]engine.BatchDataplane(nil), flows...)
+		ss.mu.Unlock()
+		resetForDelta(curPruners, windowed)
 		run, err := engine.ExecSharded(dq, engine.ShardedOptions{
-			Shards: shards, Workers: workers, Seed: seed, Pruners: pruners, Flows: flows,
+			Shards: shards, Workers: workers, Seed: seed,
+			Pruners: curPruners, Flows: curFlows, Failover: failover,
 		})
 		if err != nil {
 			return nil, err

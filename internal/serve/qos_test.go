@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cheetah/internal/stats"
+)
+
+// admitAsync queues one AdmitQoS call and returns its outcome channel.
+func admitAsync(s *Server, p stubProg, qos QoS) chan admitResult {
+	out := make(chan admitResult, 1)
+	go func() {
+		l, err := s.AdmitQoS(context.Background(), p, qos)
+		out <- admitResult{lease: l, err: err}
+	}()
+	return out
+}
+
+// waitQueued polls until the server reports n queued waiters.
+func waitQueued(t *testing.T, s *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Queued != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters (stats %+v)", n, s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPriorityAdmissionOrder: a higher-priority waiter that arrived
+// later admits first; FIFO holds within a priority level.
+func TestPriorityAdmissionOrder(t *testing.T) {
+	s, err := New(Options{Model: smallModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold, err := s.Admit(context.Background(), prog(3)) // fills the switch
+	if err != nil {
+		t.Fatal(err)
+	}
+	loA := admitAsync(s, prog(3), QoS{Priority: 0})
+	waitQueued(t, s, 1)
+	loB := admitAsync(s, prog(3), QoS{Priority: 0})
+	waitQueued(t, s, 2)
+	hi := admitAsync(s, prog(3), QoS{Priority: 1})
+	waitQueued(t, s, 3)
+
+	next := func(c chan admitResult) *Lease {
+		t.Helper()
+		r := <-c
+		if r.err != nil {
+			t.Fatalf("queued admission failed: %v", r.err)
+		}
+		return r.lease
+	}
+	hold.Release()
+	l := next(hi) // priority 1 overtakes both earlier priority-0 waiters
+	select {
+	case r := <-loA:
+		t.Fatalf("priority-0 waiter admitted before priority-1: %+v", r)
+	default:
+	}
+	l.Release()
+	next(loA).Release() // then FIFO within priority 0
+	next(loB).Release()
+}
+
+// TestTryAdmitRespectsQueuePriority: TryAdmit never overtakes an equal-
+// or higher-priority waiter, but a strictly higher-priority TryAdmit
+// may pass a lower-priority queue.
+func TestTryAdmitRespectsQueuePriority(t *testing.T) {
+	s, err := New(Options{Model: smallModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold, err := s.Admit(context.Background(), prog(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := admitAsync(s, prog(3), QoS{Priority: 1}) // needs the whole switch
+	waitQueued(t, s, 1)
+	// Equal priority must not jump the queue even though 1 stage fits.
+	if _, err := s.TryAdmitQoS(prog(1), QoS{Priority: 1}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("equal-priority TryAdmit err = %v, want ErrBusy", err)
+	}
+	// Strictly higher priority may.
+	l, err := s.TryAdmitQoS(prog(1), QoS{Priority: 2})
+	if err != nil {
+		t.Fatalf("higher-priority TryAdmit: %v", err)
+	}
+	l.Release()
+	hold.Release()
+	if r := <-pending; r.err != nil {
+		t.Fatal(r.err)
+	} else {
+		r.lease.Release()
+	}
+}
+
+// TestTenantQuota: a tenant at its quota queues without blocking other
+// tenants, and unblocks when its own lease releases.
+func TestTenantQuota(t *testing.T) {
+	s, err := New(Options{Model: smallModel(), TenantQuota: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := s.AdmitQoS(context.Background(), prog(1), QoS{Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant a is at quota: its next admission queues even with stages
+	// free…
+	a2 := admitAsync(s, prog(1), QoS{Tenant: "a"})
+	waitQueued(t, s, 1)
+	if _, err := s.TryAdmitQoS(prog(1), QoS{Tenant: "a"}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("at-quota TryAdmit err = %v, want ErrBusy", err)
+	}
+	// …while tenant b sails past the quota-blocked waiter.
+	b1, err := s.TryAdmitQoS(prog(1), QoS{Tenant: "b"})
+	if err != nil {
+		t.Fatalf("tenant b blocked by tenant a's quota: %v", err)
+	}
+	a1.Release() // frees a's quota slot → the queued a admission runs
+	r := <-a2
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if got := r.lease.Tenant(); got != "a" {
+		t.Fatalf("lease tenant = %q", got)
+	}
+	r.lease.Release()
+	b1.Release()
+	if st := s.Stats(); st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// TestDeadlineSheds: a queued admission whose deadline passes fails
+// with ErrDeadline, leaves the queue, and is counted.
+func TestDeadlineSheds(t *testing.T) {
+	s, err := New(Options{Model: smallModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold, err := s.Admit(context.Background(), prog(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.AdmitQoS(context.Background(), prog(3), QoS{
+		Tenant: "t", Deadline: time.Now().Add(20 * time.Millisecond),
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	st := s.Stats()
+	if st.DeadlineMissed != 1 || st.Queued != 0 {
+		t.Fatalf("stats after deadline shed: %+v", st)
+	}
+	hold.Release()
+	if st := s.Stats(); st.Active != 0 {
+		t.Fatalf("active after release: %+v", st)
+	}
+}
+
+// TestFailRevokesAndRestoreRecovers is the switch-death lifecycle:
+// Fail revokes active leases (their handles turn ErrFailed but stay
+// safe to use), sheds waiters, rejects new admissions; Restore brings
+// admission back; releasing a pre-failure lease after Restore is a
+// harmless no-op that cannot disturb post-restore leases.
+func TestFailRevokesAndRestoreRecovers(t *testing.T) {
+	s, err := New(Options{Model: smallModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := s.Admit(context.Background(), prog(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiting := admitAsync(s, prog(1), QoS{})
+	waitQueued(t, s, 1)
+
+	s.Fail()
+	if r := <-waiting; !errors.Is(r.err, ErrFailed) {
+		t.Fatalf("queued waiter err = %v, want ErrFailed", r.err)
+	}
+	if err := l1.Err(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("revoked lease Err = %v, want ErrFailed", err)
+	}
+	if _, err := s.Admit(context.Background(), prog(1)); !errors.Is(err, ErrFailed) {
+		t.Fatalf("admission on failed switch err = %v, want ErrFailed", err)
+	}
+	st := s.Stats()
+	if st.Revoked != 1 || st.Shed != 1 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("stats after failure: %+v", st)
+	}
+
+	if err := s.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := s.Admit(context.Background(), prog(3))
+	if err != nil {
+		t.Fatalf("admission after restore: %v", err)
+	}
+	// The pre-failure lease may share l2's recycled flow id; releasing
+	// it must not panic and must not free l2's program.
+	l1.Release()
+	if u := s.Utilization(); u.ALUsUsed == 0 {
+		t.Fatal("stale release freed the post-restore lease's program")
+	}
+	if err := l2.Err(); err != nil {
+		t.Fatalf("post-restore lease Err = %v", err)
+	}
+	l2.Release()
+	if u := s.Utilization(); u.ALUsUsed != 0 {
+		t.Fatalf("utilization after drain = %v", u)
+	}
+}
+
+// TestReleaseAfterCloseIsIdempotent pins the satellite fix: releasing a
+// lease on a closed (or failed-then-closed) server must be a safe
+// no-op, however many times it runs.
+func TestReleaseAfterCloseIsIdempotent(t *testing.T) {
+	s, err := New(Options{Model: smallModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Admit(context.Background(), prog(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	l.Release()
+	l.Release()
+	s.Fail() // failing a closed server must not panic either
+	l.Release()
+	if st := s.Stats(); st.Active != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestMetricsLabels: counters flow into the shared registry labeled by
+// switch and tenant.
+func TestMetricsLabels(t *testing.T) {
+	reg := stats.NewRegistry()
+	s, err := New(Options{Model: smallModel(), Metrics: reg, Label: "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.AdmitQoS(context.Background(), prog(1), QoS{Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	s.NoteFailedOver("acme")
+	s.NoteReplaced("")
+	if got := reg.Total("admitted"); got != 1 {
+		t.Fatalf("admitted total = %d, want 1", got)
+	}
+	if got := reg.Total("failed_over"); got != 1 {
+		t.Fatalf("failed_over total = %d, want 1", got)
+	}
+	if got := reg.Total("replaced"); got != 1 {
+		t.Fatalf("replaced total = %d, want 1", got)
+	}
+	var sawTenant, sawSwitch bool
+	for series := range reg.Snapshot() {
+		if strings.Contains(series, "tenant=acme") {
+			sawTenant = true
+		}
+		if strings.Contains(series, "switch=3") {
+			sawSwitch = true
+		}
+	}
+	if !sawTenant || !sawSwitch {
+		t.Fatalf("series missing labels (tenant=%v switch=%v): %v", sawTenant, sawSwitch, reg.Snapshot())
+	}
+}

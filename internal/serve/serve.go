@@ -9,13 +9,25 @@
 // arithmetic, and a Lease hands the execution a flow-scoped dataplane
 // handle — the query never owns the pipeline, it owns a flow.
 //
-// When the pipeline is full, admissions wait in FIFO order and are
-// re-admitted as completing queries release their resources. Two kinds
-// of requests never wait: programs that cannot fit even an empty switch
-// (ErrNeverFits — the caller's cue to fall back to exact direct
-// execution), and requests arriving at a full wait queue when a queue
-// limit is set (ErrQueueFull — shed load instead of building an
-// unbounded backlog).
+// When the pipeline is full, admissions wait in a priority queue (FIFO
+// within a priority level) and are re-admitted as completing queries
+// release their resources. Three kinds of requests never wait: programs
+// that cannot fit even an empty switch (ErrNeverFits — the caller's cue
+// to fall back to exact direct execution), requests arriving at a full
+// wait queue when a queue limit is set (ErrQueueFull — shed load
+// instead of building an unbounded backlog), and requests whose QoS
+// deadline passes while queued (ErrDeadline). Per-tenant quotas bound
+// any one tenant's concurrently active leases without letting a
+// quota-blocked request stall other tenants' admissions.
+//
+// The server also models the switch's failure lifecycle (§7.2): Fail
+// marks the switch dead — active leases are revoked (their Release
+// becomes a no-op), queued admissions fail with ErrFailed, and the dead
+// pipeline forwards all traffic unpruned, which is exactly what keeps
+// the master's completion exact. Restore brings the switch back with a
+// fresh, empty pipeline: revoked leases stay revoked, and their
+// standing programs must be re-admitted (with state rebuilt by the
+// owner — the switch's registers did not survive).
 package serve
 
 import (
@@ -23,7 +35,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"cheetah/internal/stats"
 	"cheetah/internal/switchsim"
 )
 
@@ -46,6 +60,16 @@ var ErrClosed = errors.New("serve: server is closed")
 // blocking Admit.
 var ErrBusy = errors.New("serve: pipeline is busy")
 
+// ErrFailed is returned for admissions against a failed switch and by
+// Lease.Err once a lease has been revoked by switch failure. Like
+// ErrNeverFits it is a direct-execution cue: the servers are the
+// exactness backstop when the switch dies (§7.2).
+var ErrFailed = errors.New("serve: switch has failed")
+
+// ErrDeadline is returned when a queued admission's QoS deadline passes
+// before resources free up — deadline-based shedding.
+var ErrDeadline = errors.New("serve: admission deadline exceeded")
+
 // Options configures a Server.
 type Options struct {
 	// Model is the switch hardware the shared pipeline simulates. The
@@ -54,16 +78,42 @@ type Options struct {
 	// QueueLimit caps the admission wait queue; 0 means unbounded.
 	// Admissions beyond the cap fail fast with ErrQueueFull.
 	QueueLimit int
+	// TenantQuota caps any one tenant's concurrently active leases on
+	// this switch; 0 means unlimited. Quota-blocked admissions queue
+	// without stalling other tenants.
+	TenantQuota int
+	// Metrics, when non-nil, receives the per-switch/per-tenant
+	// operational counters (admitted/shed/revoked/deadline_missed/
+	// failed_over/replaced), labeled with Label.
+	Metrics *stats.Registry
+	// Label names this switch in Metrics series (e.g. its fabric index).
+	Label string
+}
+
+// QoS is one admission's quality-of-service envelope.
+type QoS struct {
+	// Tenant attributes the admission for quota accounting and metrics.
+	Tenant string
+	// Priority orders the wait queue: higher admits first, FIFO within a
+	// level. The default 0 reproduces plain FIFO.
+	Priority int
+	// Deadline, when non-zero, sheds the admission with ErrDeadline if
+	// it is still queued at that instant.
+	Deadline time.Time
 }
 
 // Counters are cumulative serving statistics, read via Server.Stats.
 type Counters struct {
-	Admitted  uint64 // leases granted (immediate + after waiting)
-	Waited    uint64 // admissions that had to queue first
-	Oversized uint64 // ErrNeverFits rejections (direct-execution bypass)
-	Shed      uint64 // ErrQueueFull rejections
-	Active    int    // leases currently held
-	Queued    int    // admissions currently waiting
+	Admitted       uint64 // leases granted (immediate + after waiting)
+	Waited         uint64 // admissions that had to queue first
+	Oversized      uint64 // ErrNeverFits rejections (direct-execution bypass)
+	Shed           uint64 // ErrQueueFull rejections + waiters failed by switch death
+	Revoked        uint64 // leases revoked by switch failure
+	FailedOver     uint64 // executions redone elsewhere after this switch failed
+	Replaced       uint64 // standing programs re-admitted away from this switch
+	DeadlineMissed uint64 // queued admissions shed at their QoS deadline
+	Active         int    // leases currently held
+	Queued         int    // admissions currently waiting
 }
 
 // Add accumulates o into c — the fabric-wide aggregation. Lives next to
@@ -73,28 +123,45 @@ func (c *Counters) Add(o Counters) {
 	c.Waited += o.Waited
 	c.Oversized += o.Oversized
 	c.Shed += o.Shed
+	c.Revoked += o.Revoked
+	c.FailedOver += o.FailedOver
+	c.Replaced += o.Replaced
+	c.DeadlineMissed += o.DeadlineMissed
 	c.Active += o.Active
 	c.Queued += o.Queued
+}
+
+// admitResult is a queued admission's outcome.
+type admitResult struct {
+	lease *Lease
+	err   error
 }
 
 // waiter is one queued admission.
 type waiter struct {
 	prog  switchsim.Program
-	ready chan *Lease // buffered; receives the lease on admission
+	qos   QoS
+	ready chan admitResult // buffered; receives the outcome exactly once
 }
 
 // Server owns a shared pipeline and serializes admission to it. All
 // methods are safe for concurrent use.
 type Server struct {
-	pipe *switchsim.Pipeline
+	model   switchsim.Model
+	metrics *stats.Registry
+	label   string
 
-	mu       sync.Mutex
-	nextFlow uint32
-	active   map[uint32]*Lease
-	waiters  []*waiter
-	queueCap int
-	closed   bool
-	counters Counters
+	mu           sync.Mutex
+	pipe         *switchsim.Pipeline // replaced wholesale by Restore
+	nextFlow     uint32
+	active       map[uint32]*Lease
+	tenantActive map[string]int
+	waiters      []*waiter
+	queueCap     int
+	tenantQuota  int
+	closed       bool
+	failed       bool
+	counters     Counters
 }
 
 // New creates a serving layer over a fresh pipeline for opts.Model.
@@ -109,37 +176,80 @@ func New(opts Options) (*Server, error) {
 	if opts.QueueLimit < 0 {
 		opts.QueueLimit = 0
 	}
+	if opts.TenantQuota < 0 {
+		opts.TenantQuota = 0
+	}
 	return &Server{
-		pipe:     pl,
-		nextFlow: 1,
-		active:   make(map[uint32]*Lease),
-		queueCap: opts.QueueLimit,
+		model:        opts.Model,
+		metrics:      opts.Metrics,
+		label:        opts.Label,
+		pipe:         pl,
+		nextFlow:     1,
+		active:       make(map[uint32]*Lease),
+		tenantActive: make(map[string]int),
+		queueCap:     opts.QueueLimit,
+		tenantQuota:  opts.TenantQuota,
 	}, nil
 }
 
 // Model returns the shared pipeline's hardware model.
-func (s *Server) Model() switchsim.Model { return s.pipe.Model() }
+func (s *Server) Model() switchsim.Model { return s.model }
+
+// Pipeline returns the current shared pipeline, for control-plane and
+// chaos-harness access (arming a FaultInjector, inspecting placements).
+// After Restore this is a different object than before the failure.
+func (s *Server) Pipeline() *switchsim.Pipeline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipe
+}
 
 // Utilization reports the shared pipeline's current occupancy.
-func (s *Server) Utilization() switchsim.Utilization { return s.pipe.Utilization() }
+func (s *Server) Utilization() switchsim.Utilization {
+	s.mu.Lock()
+	pipe := s.pipe
+	s.mu.Unlock()
+	return pipe.Utilization()
+}
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Counters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.syncFailureLocked()
 	c := s.counters
 	c.Active = len(s.active)
 	c.Queued = len(s.waiters)
 	return c
 }
 
-// Admit installs prog into the shared pipeline under a fresh QueryID and
-// returns the lease. When the pipeline is too busy, the call waits in
-// FIFO order until completing queries free enough resources or ctx is
-// done. Programs too large for the model itself fail immediately with
-// ErrNeverFits; when a queue limit is configured, admissions beyond it
-// fail with ErrQueueFull.
+// bumpLocked increments a per-switch/per-tenant metric series. Callers
+// hold s.mu (the registry takes its own lock; serve never re-enters).
+func (s *Server) bumpLocked(name, tenant string) {
+	if s.metrics == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = "-"
+	}
+	s.metrics.Counter(name, "switch", s.label, "tenant", tenant).Incr(1)
+}
+
+// Admit installs prog into the shared pipeline under a fresh QueryID
+// with default QoS. See AdmitQoS.
 func (s *Server) Admit(ctx context.Context, prog switchsim.Program) (*Lease, error) {
+	return s.AdmitQoS(ctx, prog, QoS{})
+}
+
+// AdmitQoS installs prog into the shared pipeline under a fresh QueryID
+// and returns the lease. When the pipeline is too busy, the call waits
+// in the priority queue (higher qos.Priority first, FIFO within a
+// level) until completing queries free enough resources, ctx is done,
+// or qos.Deadline passes (ErrDeadline). Programs too large for the
+// model itself fail immediately with ErrNeverFits; when a queue limit
+// is configured, admissions beyond it fail with ErrQueueFull; a failed
+// switch rejects everything with ErrFailed.
+func (s *Server) AdmitQoS(ctx context.Context, prog switchsim.Program, qos QoS) (*Lease, error) {
 	if err := validateProgram(prog); err != nil {
 		return nil, err
 	}
@@ -148,29 +258,50 @@ func (s *Server) Admit(ctx context.Context, prog switchsim.Program) (*Lease, err
 		s.mu.Unlock()
 		return nil, err
 	}
-	// FIFO fairness: only admit immediately when nobody is waiting.
-	if len(s.waiters) == 0 {
-		if l, err := s.installLocked(prog); err == nil {
+	// Queue fairness: admit immediately only when no eligible waiter of
+	// equal or higher priority would be overtaken, and the tenant is
+	// under quota.
+	if !s.blockedByQueueLocked(qos.Priority) && !s.tenantAtQuotaLocked(qos.Tenant) {
+		if l, err := s.installLocked(prog, qos.Tenant); err == nil {
 			s.mu.Unlock()
 			return l, nil
 		}
 	}
 	if s.queueCap > 0 && len(s.waiters) >= s.queueCap {
 		s.counters.Shed++
+		s.bumpLocked("shed", qos.Tenant)
 		s.mu.Unlock()
 		return nil, ErrQueueFull
 	}
-	w := &waiter{prog: prog, ready: make(chan *Lease, 1)}
+	w := &waiter{prog: prog, qos: qos, ready: make(chan admitResult, 1)}
 	s.waiters = append(s.waiters, w)
 	s.counters.Waited++
 	s.mu.Unlock()
 
+	var deadline <-chan time.Time
+	if !qos.Deadline.IsZero() {
+		t := time.NewTimer(time.Until(qos.Deadline))
+		defer t.Stop()
+		deadline = t.C
+	}
 	select {
-	case l := <-w.ready:
-		if l == nil {
-			return nil, ErrClosed
+	case r := <-w.ready:
+		return r.lease, r.err
+	case <-deadline:
+		s.mu.Lock()
+		removed := s.removeWaiterLocked(w)
+		if removed {
+			s.counters.DeadlineMissed++
+			s.bumpLocked("deadline_missed", qos.Tenant)
 		}
-		return l, nil
+		s.mu.Unlock()
+		if !removed {
+			// Admission raced the deadline: the outcome was (or is being)
+			// delivered — take it, the resources are already committed.
+			r := <-w.ready
+			return r.lease, r.err
+		}
+		return nil, ErrDeadline
 	case <-ctx.Done():
 		s.mu.Lock()
 		removed := s.removeWaiterLocked(w)
@@ -178,8 +309,8 @@ func (s *Server) Admit(ctx context.Context, prog switchsim.Program) (*Lease, err
 		if !removed {
 			// Admission raced the cancellation: the lease was (or is
 			// being) delivered. Take it and give the resources back.
-			if l := <-w.ready; l != nil {
-				l.Release()
+			if r := <-w.ready; r.err == nil {
+				r.lease.Release()
 			}
 		}
 		return nil, ctx.Err()
@@ -195,28 +326,68 @@ func validateProgram(prog switchsim.Program) error {
 	return prog.Profile().Validate()
 }
 
+// syncFailureLocked promotes an injector-initiated pipeline death to
+// server-level failure: the serving layer may learn of the dead switch
+// lazily, but every control-plane path observes a consistent state —
+// leases revoked, waiters failed. Callers hold s.mu.
+func (s *Server) syncFailureLocked() {
+	if !s.failed && !s.closed && s.pipe.Failed() {
+		s.failLocked()
+	}
+}
+
 // admitPrologueLocked is the shared admission gate: a closed server
-// rejects everything, and a program the model can never host must not
-// occupy a queue slot it can never leave successfully (the oversized
-// bypass, counted once per rejection). Callers hold s.mu.
+// rejects everything, a failed switch rejects with the direct-execution
+// cue, and a program the model can never host must not occupy a queue
+// slot it can never leave successfully (the oversized bypass, counted
+// once per rejection). Callers hold s.mu.
 func (s *Server) admitPrologueLocked(prog switchsim.Program) error {
+	s.syncFailureLocked()
 	if s.closed {
 		return ErrClosed
 	}
-	if err := s.pipe.Model().Admits(prog.Profile()); err != nil {
+	if s.failed {
+		return ErrFailed
+	}
+	if err := s.model.Admits(prog.Profile()); err != nil {
 		s.counters.Oversized++
 		return fmt.Errorf("%w: %v", ErrNeverFits, err)
 	}
 	return nil
 }
 
-// TryAdmit is the non-blocking admission used by fabric placement: it
-// grants a lease only when the program can be installed right now.
-// Queued waiters keep FIFO priority — TryAdmit never jumps the queue.
-// It fails with ErrNeverFits for programs the model can never host,
-// ErrClosed on a closed server, and ErrBusy when admission would have
-// to wait.
+// tenantAtQuotaLocked reports whether tenant holds its full quota of
+// active leases. Callers hold s.mu.
+func (s *Server) tenantAtQuotaLocked(tenant string) bool {
+	return s.tenantQuota > 0 && s.tenantActive[tenant] >= s.tenantQuota
+}
+
+// blockedByQueueLocked reports whether an arriving admission at pri
+// would overtake an eligible queued waiter of equal or higher priority
+// (quota-blocked waiters are not overtakable — they are not runnable).
+// Callers hold s.mu.
+func (s *Server) blockedByQueueLocked(pri int) bool {
+	for _, w := range s.waiters {
+		if w.qos.Priority >= pri && !s.tenantAtQuotaLocked(w.qos.Tenant) {
+			return true
+		}
+	}
+	return false
+}
+
+// TryAdmit is the non-blocking admission used by fabric placement, with
+// default QoS. See TryAdmitQoS.
 func (s *Server) TryAdmit(prog switchsim.Program) (*Lease, error) {
+	return s.TryAdmitQoS(prog, QoS{})
+}
+
+// TryAdmitQoS grants a lease only when the program can be installed
+// right now. Queued waiters of equal or higher priority keep their
+// place — TryAdmitQoS never jumps that part of the queue. It fails with
+// ErrNeverFits for programs the model can never host, ErrClosed on a
+// closed server, ErrFailed on a failed switch, and ErrBusy when
+// admission would have to wait (including tenant-quota exhaustion).
+func (s *Server) TryAdmitQoS(prog switchsim.Program, qos QoS) (*Lease, error) {
 	if err := validateProgram(prog); err != nil {
 		return nil, err
 	}
@@ -225,10 +396,13 @@ func (s *Server) TryAdmit(prog switchsim.Program) (*Lease, error) {
 	if err := s.admitPrologueLocked(prog); err != nil {
 		return nil, err
 	}
-	if len(s.waiters) > 0 {
+	if s.blockedByQueueLocked(qos.Priority) {
 		return nil, ErrBusy
 	}
-	l, err := s.installLocked(prog)
+	if s.tenantAtQuotaLocked(qos.Tenant) {
+		return nil, fmt.Errorf("%w: tenant %q at quota (%d active)", ErrBusy, qos.Tenant, s.tenantQuota)
+	}
+	l, err := s.installLocked(prog, qos.Tenant)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBusy, err)
 	}
@@ -237,7 +411,7 @@ func (s *Server) TryAdmit(prog switchsim.Program) (*Lease, error) {
 
 // installLocked packs prog into the pipeline under a fresh flow id and
 // records the lease. Callers hold s.mu.
-func (s *Server) installLocked(prog switchsim.Program) (*Lease, error) {
+func (s *Server) installLocked(prog switchsim.Program, tenant string) (*Lease, error) {
 	flowID := s.nextFlow
 	for {
 		if _, taken := s.active[flowID]; !taken && flowID != 0 {
@@ -249,9 +423,11 @@ func (s *Server) installLocked(prog switchsim.Program) (*Lease, error) {
 		return nil, err
 	}
 	s.nextFlow = flowID + 1
-	l := &Lease{s: s, flowID: flowID, prog: prog, util: s.pipe.Utilization()}
+	l := &Lease{s: s, pipe: s.pipe, flowID: flowID, prog: prog, tenant: tenant, util: s.pipe.Utilization()}
 	s.active[flowID] = l
+	s.tenantActive[tenant]++
 	s.counters.Admitted++
+	s.bumpLocked("admitted", tenant)
 	return l, nil
 }
 
@@ -267,40 +443,160 @@ func (s *Server) removeWaiterLocked(w *waiter) bool {
 	return false
 }
 
-// release uninstalls a lease's program and re-admits waiters.
+// release uninstalls a lease's program and re-admits waiters. Releasing
+// a revoked lease — or a lease whose flow id has been recycled after a
+// fail/restore cycle — is a no-op: the resources it held died with the
+// switch.
 func (s *Server) release(l *Lease) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.active[l.flowID]; !ok {
+	s.syncFailureLocked()
+	if l.revoked {
+		return
+	}
+	if cur, ok := s.active[l.flowID]; !ok || cur != l {
 		return
 	}
 	// Uninstall only needs the lease's own traffic to have stopped, and
 	// it has: a lease is released by the query's execution goroutine
 	// after its last batch. Other flows' in-flight batches are untouched
 	// — they run on their own programs, looked up before this point.
-	if err := s.pipe.Uninstall(l.flowID); err != nil {
-		// The lease is the only installer for its flow id; failure here
-		// means the invariant broke, which the churn tests guard.
+	if err := l.pipe.Uninstall(l.flowID); err != nil {
+		// The lease is the only installer for its flow id on a healthy
+		// pipeline; failure here means the invariant broke, which the
+		// churn tests guard.
 		panic(fmt.Sprintf("serve: uninstall flow %d: %v", l.flowID, err))
 	}
 	delete(s.active, l.flowID)
+	s.tenantActive[l.tenant]--
+	if s.tenantActive[l.tenant] <= 0 {
+		delete(s.tenantActive, l.tenant)
+	}
 	s.admitWaitersLocked()
 }
 
-// admitWaitersLocked grants leases from the head of the FIFO queue while
-// the head fits. Strict head-of-line: a large query at the head blocks
-// smaller ones behind it from jumping ahead, so no query starves.
-// Callers hold s.mu.
+// bestWaiterLocked returns the index of the next admittable waiter —
+// highest priority, FIFO within a level, skipping tenants at quota — or
+// -1. Callers hold s.mu.
+func (s *Server) bestWaiterLocked() int {
+	best := -1
+	for i, w := range s.waiters {
+		if s.tenantAtQuotaLocked(w.qos.Tenant) {
+			continue
+		}
+		if best == -1 || w.qos.Priority > s.waiters[best].qos.Priority {
+			best = i
+		}
+	}
+	return best
+}
+
+// admitWaitersLocked grants leases in priority order while the best
+// eligible waiter fits. Strict head-of-line within the eligible set: a
+// large query at the effective head blocks smaller ones behind it from
+// jumping ahead, so no query starves; only quota-blocked waiters are
+// skipped (their unblocking event is their own tenant's release, not
+// resource headroom). Callers hold s.mu.
 func (s *Server) admitWaitersLocked() {
-	for len(s.waiters) > 0 {
-		head := s.waiters[0]
-		l, err := s.installLocked(head.prog)
+	for {
+		i := s.bestWaiterLocked()
+		if i < 0 {
+			return
+		}
+		w := s.waiters[i]
+		l, err := s.installLocked(w.prog, w.qos.Tenant)
 		if err != nil {
 			return
 		}
-		s.waiters = s.waiters[1:]
-		head.ready <- l
+		s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+		w.ready <- admitResult{lease: l}
 	}
+}
+
+// Fail simulates this switch dying (§7.2): the pipeline is marked dead
+// (all subsequent traffic forwards unpruned), every active lease is
+// revoked — its Release becomes a no-op and Err reports ErrFailed — and
+// every queued admission fails with ErrFailed. Idempotent.
+func (s *Server) Fail() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.failLocked()
+	}
+}
+
+// failLocked is Fail's body, shared with the lazy promotion of an
+// injector-initiated pipeline death. Callers hold s.mu.
+func (s *Server) failLocked() {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.pipe.Fail()
+	for _, l := range s.active {
+		l.revoked = true
+		s.counters.Revoked++
+		s.bumpLocked("revoked", l.tenant)
+	}
+	s.active = make(map[uint32]*Lease)
+	s.tenantActive = make(map[string]int)
+	for _, w := range s.waiters {
+		s.counters.Shed++
+		s.bumpLocked("shed", w.qos.Tenant)
+		w.ready <- admitResult{err: ErrFailed}
+	}
+	s.waiters = nil
+}
+
+// Failed reports whether the switch is currently failed.
+func (s *Server) Failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncFailureLocked()
+	return s.failed
+}
+
+// Restore brings a failed switch back with a fresh, empty pipeline —
+// the "reboot the switch with empty states" recovery of §3. Leases
+// revoked by the failure stay revoked; standing programs must be
+// re-admitted. A healthy switch restores to itself (no-op).
+func (s *Server) Restore() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncFailureLocked()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.failed {
+		return nil
+	}
+	pl, err := switchsim.NewPipeline(s.model)
+	if err != nil {
+		return err
+	}
+	s.pipe = pl
+	s.failed = false
+	return nil
+}
+
+// NoteFailedOver records that an execution holding a lease on this
+// switch was redone elsewhere after the switch failed (counted on the
+// failed switch).
+func (s *Server) NoteFailedOver(tenant string) {
+	s.mu.Lock()
+	s.counters.FailedOver++
+	s.bumpLocked("failed_over", tenant)
+	s.mu.Unlock()
+}
+
+// NoteReplaced records that a standing program placed on this switch
+// was re-admitted elsewhere after the switch failed (counted on the
+// failed switch).
+func (s *Server) NoteReplaced(tenant string) {
+	s.mu.Lock()
+	s.counters.Replaced++
+	s.bumpLocked("replaced", tenant)
+	s.mu.Unlock()
 }
 
 // Close fails all queued admissions and future Admit calls with
@@ -313,7 +609,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	for _, w := range s.waiters {
-		w.ready <- nil
+		w.ready <- admitResult{err: ErrClosed}
 	}
 	s.waiters = nil
 }
@@ -321,13 +617,19 @@ func (s *Server) Close() {
 // Lease is one admitted query's hold on the shared pipeline: its
 // QueryID, its installed program, and the flow-scoped dataplane handle
 // the batched engine executes through. Release returns the resources
-// and wakes queued admissions; it is idempotent.
+// and wakes queued admissions; it is idempotent, and a no-op for leases
+// revoked by switch failure (the pipeline that held the program is
+// gone).
 type Lease struct {
 	s      *Server
+	pipe   *switchsim.Pipeline // the pipeline the program was installed on
 	flowID uint32
 	prog   switchsim.Program
+	tenant string
 	util   switchsim.Utilization
 	once   sync.Once
+	// revoked is guarded by s.mu: set when the switch fails.
+	revoked bool
 }
 
 // QueryID returns the flow id the serving layer assigned this query —
@@ -340,18 +642,40 @@ func (l *Lease) QueryID() uint32 { return l.flowID }
 // directly.
 func (l *Lease) Program() switchsim.Program { return l.prog }
 
+// Tenant returns the admission's QoS tenant.
+func (l *Lease) Tenant() string { return l.tenant }
+
 // Utilization returns the shared pipeline's occupancy snapshot taken at
 // this query's admission — the per-query utilization surfaced in
 // execution reports.
 func (l *Lease) Utilization() switchsim.Utilization { return l.util }
 
-// ProcessBatch routes one batch through the shared pipeline under the
-// lease's QueryID. It implements engine.BatchDataplane.
+// ProcessBatch routes one batch through the lease's pipeline under its
+// QueryID. It implements engine.BatchDataplane. On a failed switch
+// every entry forwards — the dataplane never lies toward wrong results,
+// only toward more master work.
 func (l *Lease) ProcessBatch(b *switchsim.Batch, decisions []switchsim.Decision) {
-	l.s.pipe.ProcessBatch(l.flowID, b, decisions)
+	l.pipe.ProcessBatch(l.flowID, b, decisions)
 }
 
-// Release uninstalls the program and re-admits queued waiters.
+// Err reports the lease's health: nil while the switch holds the
+// program, ErrFailed once the switch has failed (the program and its
+// register state are gone, and any pass that crossed the failure must
+// be redone — the engine's failover hook). It implements
+// engine.HealthDataplane.
+func (l *Lease) Err() error {
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	l.s.syncFailureLocked()
+	if l.revoked {
+		return ErrFailed
+	}
+	return nil
+}
+
+// Release uninstalls the program and re-admits queued waiters. It is
+// idempotent, and safe (a no-op) after the switch failed or the server
+// closed.
 func (l *Lease) Release() {
 	l.once.Do(func() { l.s.release(l) })
 }

@@ -1,0 +1,115 @@
+package stats
+
+// This file is the fabric's operational-counters registry — the
+// benthos-metrics shape: a flat namespace of named counters, each
+// refined by an ordered set of label pairs (switch index, tenant), all
+// updates lock-free on the hot path. The serving layer counts
+// admissions, sheds, revocations and deadline misses per switch and
+// per tenant through one shared Registry; the fabric adds failover and
+// re-placement events; benches and tests read it back as a snapshot
+// keyed "name{k=v,...}".
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one monotonically increasing counter. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Incr adds delta to the counter.
+func (c *Counter) Incr(delta uint64) { c.n.Add(delta) }
+
+// Get returns the counter's current value.
+func (c *Counter) Get() uint64 { return c.n.Load() }
+
+// Registry is a labeled-counter registry. Counter handles are interned:
+// the same (name, labels) pair always returns the same *Counter, so hot
+// paths resolve a handle once and Incr without further lookups.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// counterKey canonicalizes (name, labels): labels are "k", "v" pairs,
+// sorted by key so call-site ordering does not split a series. An odd
+// trailing label value is ignored rather than corrupting the key.
+func counterKey(name string, labels []string) string {
+	if len(labels) < 2 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Labels are alternating key, value strings.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	key := counterKey(name, labels)
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[key] = c
+	return c
+}
+
+// Snapshot returns every counter's current value keyed by its canonical
+// "name{k=v,...}" series name. Zero-valued series that were touched are
+// included — a registered counter is part of the export surface.
+func (r *Registry) Snapshot() map[string]uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]uint64, len(r.counters))
+	for k, c := range r.counters {
+		out[k] = c.Get()
+	}
+	return out
+}
+
+// Total sums every series of name across all label combinations.
+func (r *Registry) Total(name string) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var sum uint64
+	for k, c := range r.counters {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			sum += c.Get()
+		}
+	}
+	return sum
+}

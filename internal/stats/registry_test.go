@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("admitted", "switch", "0", "tenant", "t1")
+	b := r.Counter("admitted", "tenant", "t1", "switch", "0") // label order irrelevant
+	if a != b {
+		t.Fatal("same (name, labels) must intern to one counter")
+	}
+	c := r.Counter("admitted", "switch", "1", "tenant", "t1")
+	if a == c {
+		t.Fatal("different labels must be distinct series")
+	}
+	a.Incr(2)
+	c.Incr(3)
+	snap := r.Snapshot()
+	if snap["admitted{switch=0,tenant=t1}"] != 2 {
+		t.Fatalf("snapshot = %v, want series admitted{switch=0,tenant=t1}=2", snap)
+	}
+	if got := r.Total("admitted"); got != 5 {
+		t.Fatalf("Total(admitted) = %d, want 5", got)
+	}
+	if got := r.Total("adm"); got != 0 {
+		t.Fatalf("Total must not match name prefixes, got %d", got)
+	}
+}
+
+func TestRegistryUnlabeledAndConcurrent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("shed") != r.Counter("shed") {
+		t.Fatal("unlabeled counters must intern too")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shed", "switch", "0").Incr(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shed", "switch", "0").Get(); got != 8000 {
+		t.Fatalf("concurrent Incr lost updates: %d != 8000", got)
+	}
+}

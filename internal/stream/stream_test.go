@@ -104,7 +104,7 @@ func TestIncrementalEquivalence(t *testing.T) {
 	execs := map[string]func(seed uint64) DeltaExec{
 		"direct": func(uint64) DeltaExec { return DirectExec },
 		"cheetah": func(seed uint64) DeltaExec {
-			return func(dq *engine.Query) (*engine.Result, error) {
+			return func(dq *engine.Query, _ func() *engine.Result) (*engine.Result, error) {
 				run, err := engine.ExecCheetah(dq, engine.CheetahOptions{Workers: 2, Seed: seed})
 				if err != nil {
 					return nil, err
@@ -394,7 +394,7 @@ func TestFailedSubscriptionLeavesBacklog(t *testing.T) {
 	defer in.Close()
 	q := &engine.Query{Kind: engine.KindTopN, Table: tb, OrderCol: "v", N: 2}
 	boom := fmt.Errorf("executor broke")
-	sub, err := in.Subscribe(q, SubOptions{Exec: func(*engine.Query) (*engine.Result, error) {
+	sub, err := in.Subscribe(q, SubOptions{Exec: func(*engine.Query, func() *engine.Result) (*engine.Result, error) {
 		return nil, boom
 	}})
 	if err != nil {

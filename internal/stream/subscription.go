@@ -14,7 +14,15 @@ import (
 // returns its canonical result. The planning layer injects an executor
 // that streams the delta through a held switch program; the default is
 // exact direct execution.
-type DeltaExec func(dq *engine.Query) (*engine.Result, error)
+//
+// standing lazily renders the current standing merge state (the result
+// of everything absorbed so far). Executors that re-place a dead
+// switch's program use it to warm-rebuild prune state (§7.2 recovery);
+// most executors never call it. It is only valid for the duration of
+// the call — it reads state the stream layer guards, so it must not be
+// retained, and Subscription methods (Results, Step, Close) must not be
+// called from inside a DeltaExec.
+type DeltaExec func(dq *engine.Query, standing func() *engine.Result) (*engine.Result, error)
 
 // SubOptions shapes one subscription.
 type SubOptions struct {
@@ -259,13 +267,19 @@ func (s *Subscription) step() (int, error) {
 }
 
 // absorbSpan executes rows [lo, hi) of the snapshot as one delta and
-// folds the result into m.
+// folds the result into m. The executor gets a lazy view of m's current
+// state (stateMu is already held here, and merger snapshots take no
+// locks, so the closure is safe for the duration of the call): for
+// unwindowed subscriptions that is the full standing result, which
+// §7.2 re-placement warms fresh programs from; for windowed ones it is
+// only the current pane — per-pane state must not prune across window
+// boundaries, and the planning layer never warms windowed programs.
 func (s *Subscription) absorbSpan(snap *table.Table, lo, hi uint64, m merger) error {
 	delta, err := snap.View(int(lo), int(hi))
 	if err != nil {
 		return err
 	}
-	res, err := s.exec(deltaQuery(s.q, delta))
+	res, err := s.exec(deltaQuery(s.q, delta), m.snapshot)
 	if err != nil {
 		return err
 	}

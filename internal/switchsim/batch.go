@@ -54,18 +54,33 @@ func ProcessBatchOf(prog Program, b *Batch, decisions []Decision) {
 }
 
 // ProcessBatch runs the program bound to flowID over a batch of entries.
-// Unknown flows forward everything untouched, mirroring Process. Only
-// the flow lookup is under the read lock — holding it across a whole
-// batch would convoy every flow's traffic behind any pending Install
-// (Go's write-preferring RWMutex blocks new readers then), serializing
-// exactly the concurrency §5 promises. The caller owns its flow's
-// lifecycle: a flow is only uninstalled after its own batches are done,
-// so the program cannot be torn down mid-batch.
+// Unknown flows forward everything untouched, mirroring Process, and so
+// does a failed pipeline — a dead switch prunes nothing, which is what
+// keeps the §7.2 backstop exact. Only the flow lookup is under the read
+// lock — holding it across a whole batch would convoy every flow's
+// traffic behind any pending Install (Go's write-preferring RWMutex
+// blocks new readers then), serializing exactly the concurrency §5
+// promises. The caller owns its flow's lifecycle: a flow is only
+// uninstalled after its own batches are done, so the program cannot be
+// torn down mid-batch.
+//
+// When a FaultInjector is armed, it is consulted once per batch with
+// the pipeline-wide batch ordinal before the batch executes, so a test
+// can kill the switch between any two batches.
 func (pl *Pipeline) ProcessBatch(flowID uint32, b *Batch, decisions []Decision) {
 	pl.mu.RLock()
+	failed := pl.failed
+	inj := pl.injector
 	prog := pl.programOf(flowID)
 	pl.mu.RUnlock()
-	if prog == nil {
+	if !failed && inj != nil {
+		n := pl.batchSeq.Add(1)
+		if inj(flowID, int(n-1)) {
+			pl.killFromFlow(flowID)
+			failed = true
+		}
+	}
+	if failed || prog == nil {
 		for j := 0; j < b.N; j++ {
 			decisions[j] = Forward
 		}

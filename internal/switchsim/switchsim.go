@@ -13,11 +13,18 @@
 package switchsim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
+
+// ErrFailed is returned by control-plane operations against a failed
+// pipeline: a dead switch accepts no installs and its existing rules
+// are gone with the hardware.
+var ErrFailed = errors.New("switchsim: pipeline has failed")
 
 // Model describes a switch's hardware resources. The defaults follow the
 // constraint ranges quoted in §2.2 (12–60 stages, ≤10 stateful ALUs per
@@ -202,7 +209,20 @@ type Pipeline struct {
 	placements  []Placement
 	byFlow      map[uint32]*Placement
 	reservedTop int // stages reserved for selection + reliability
+	failed      bool
+	injector    FaultInjector
+	batchSeq    atomic.Uint64 // dataplane batches seen, for the injector
 }
+
+// FaultInjector decides, before batch ordinal n crosses the pipeline,
+// whether the switch dies at that instant — i.e. between batch n-1 and
+// batch n. flowID is the flow about to process. A true return kills the
+// pipeline exactly as Fail does, except that the victim flow's program
+// state is also scrubbed (the calling goroutine owns that flow's
+// traffic, so the reset is within the per-flow ownership discipline —
+// the state a real switch loses at power-off). The injector must be
+// fast and must not call back into the pipeline.
+type FaultInjector func(flowID uint32, batch int) bool
 
 // ReservedStages is the number of pipeline stages held back for the §6
 // prune-bit selection stage and the §7 reliability protocol.
@@ -230,6 +250,49 @@ func NewPipeline(m Model) (*Pipeline, error) {
 
 // Model returns the pipeline's hardware model.
 func (pl *Pipeline) Model() Model { return pl.model }
+
+// SetFaultInjector installs (or, with nil, removes) the pipeline's
+// fault hook. Chaos harnesses arm it before traffic starts.
+func (pl *Pipeline) SetFaultInjector(fi FaultInjector) {
+	pl.mu.Lock()
+	pl.injector = fi
+	pl.mu.Unlock()
+}
+
+// Fail marks the pipeline dead: every subsequent dataplane decision is
+// Forward (a dead switch prunes nothing — the §7.2 backstop's exactness
+// anchor) and control-plane operations fail with ErrFailed. Program
+// state is NOT scrubbed here — in-flight batches of other flows may be
+// executing their programs, and the serving layer treats a dead
+// switch's state as lost regardless (revoked leases are never drained).
+// Idempotent.
+func (pl *Pipeline) Fail() {
+	pl.mu.Lock()
+	pl.failed = true
+	pl.mu.Unlock()
+}
+
+// Failed reports whether the pipeline is dead.
+func (pl *Pipeline) Failed() bool {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.failed
+}
+
+// killFromFlow is the injector-initiated death: the calling goroutine
+// owns flowID's traffic, so that one program's state can be scrubbed
+// safely (modeling the register loss of a real power-off). Other flows'
+// programs simply go quiet — the dead pipeline stops invoking them.
+func (pl *Pipeline) killFromFlow(flowID uint32) {
+	pl.mu.Lock()
+	if !pl.failed {
+		pl.failed = true
+		if plc, ok := pl.byFlow[flowID]; ok {
+			plc.Program.Reset()
+		}
+	}
+	pl.mu.Unlock()
+}
 
 // Programs returns a snapshot of the admitted placements in installation
 // order.
@@ -296,6 +359,9 @@ func (pl *Pipeline) placeProfile(p Profile) (phys []int, perStageALUs, perStageS
 func (pl *Pipeline) CanInstall(p Profile) error {
 	pl.mu.RLock()
 	defer pl.mu.RUnlock()
+	if pl.failed {
+		return ErrFailed
+	}
 	_, _, _, err := pl.placeProfile(p)
 	return err
 }
@@ -319,6 +385,9 @@ func (m Model) Admits(p Profile) error {
 func (pl *Pipeline) Install(flowID uint32, prog Program) error {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	if pl.failed {
+		return ErrFailed
+	}
 	if _, dup := pl.byFlow[flowID]; dup {
 		return fmt.Errorf("switchsim: flow %d already has a program", flowID)
 	}
@@ -344,6 +413,9 @@ func (pl *Pipeline) Install(flowID uint32, prog Program) error {
 func (pl *Pipeline) Uninstall(flowID uint32) error {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	if pl.failed {
+		return ErrFailed
+	}
 	plc, ok := pl.byFlow[flowID]
 	if !ok {
 		return fmt.Errorf("switchsim: flow %d has no program", flowID)
@@ -387,9 +459,10 @@ func (pl *Pipeline) FlowInstalled(flowID uint32) bool {
 // no rules for (§3: "fully compatible with other network functions").
 func (pl *Pipeline) Process(flowID uint32, vals []uint64) Decision {
 	pl.mu.RLock()
+	failed := pl.failed
 	prog := pl.programOf(flowID)
 	pl.mu.RUnlock()
-	if prog == nil {
+	if failed || prog == nil {
 		return Forward
 	}
 	return prog.Process(vals)

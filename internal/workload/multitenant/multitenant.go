@@ -133,6 +133,27 @@ func (m *Mix) Query(i int) *engine.Query {
 	}
 }
 
+// NumTenants is the tenant population of the mix: query i belongs to
+// tenant i mod NumTenants, so every tenant draws every query kind over
+// a full cycle (kind and tenant indices are coprime walks: 8 kinds × 5
+// tenants repeat only every 40 queries).
+const NumTenants = 5
+
+// Tenant returns the name of the tenant owning the i-th query.
+func (m *Mix) Tenant(i int) string {
+	return fmt.Sprintf("tenant-%d", i%NumTenants)
+}
+
+// Priority returns the i-th query's admission priority: tenant 0 is
+// the premium tenant (priority 1), the rest are best-effort (priority
+// 0). Serving layers admit higher priorities first within a queue.
+func (m *Mix) Priority(i int) int {
+	if i%NumTenants == 0 {
+		return 1
+	}
+	return 0
+}
+
 // DriveConfig shapes one open-loop serving run.
 type DriveConfig struct {
 	// Clients is the concurrent client count draining the arrival queue.
@@ -159,11 +180,12 @@ type DriveResult struct {
 }
 
 // Submit executes one query of the mix and reports the entries it
-// streamed and whether it fell back to direct execution. The serving
-// benchmark passes a closure over plan.Serving.Submit; tests pass
-// fakes. (A function type keeps this package independent of the
-// planning layer.)
-type Submit func(ctx context.Context, q *engine.Query) (entries int, direct bool, err error)
+// streamed and whether it fell back to direct execution. i is the
+// query's mix index, so drivers can derive its QoS (Tenant(i),
+// Priority(i)) without re-deriving the query. The serving benchmark
+// passes a closure over plan.Serving.SubmitQoS; tests pass fakes. (A
+// function type keeps this package independent of the planning layer.)
+type Submit func(ctx context.Context, i int, q *engine.Query) (entries int, direct bool, err error)
 
 // Drive runs the mix open-loop: arrivals follow a Poisson process that
 // never waits for completions, cfg.Clients workers drain the arrival
@@ -219,7 +241,7 @@ func (m *Mix) Drive(ctx context.Context, cfg DriveConfig, submit Submit) (*Drive
 			for i := range jobs {
 				q := m.Query(i)
 				t0 := time.Now()
-				entries, direct, err := submit(ctx, q)
+				entries, direct, err := submit(ctx, i, q)
 				lat := float64(time.Since(t0)) / float64(time.Millisecond)
 				mu.Lock()
 				if err != nil {

@@ -83,7 +83,7 @@ func TestDriveRunsEveryQuery(t *testing.T) {
 	seen := map[engine.QueryKind]int{}
 	res, err := mix.Drive(context.Background(), DriveConfig{
 		Clients: 4, Queries: queries, Lambda: 10_000, Seed: 1,
-	}, func(_ context.Context, q *engine.Query) (int, bool, error) {
+	}, func(_ context.Context, _ int, q *engine.Query) (int, bool, error) {
 		mu.Lock()
 		seen[q.Kind]++
 		mu.Unlock()
@@ -112,7 +112,7 @@ func TestDriveRunsEveryQuery(t *testing.T) {
 
 	// A submit error aborts with context.
 	if _, err := mix.Drive(context.Background(), DriveConfig{Clients: 2, Queries: 4, Lambda: 10_000},
-		func(context.Context, *engine.Query) (int, bool, error) {
+		func(context.Context, int, *engine.Query) (int, bool, error) {
 			return 0, false, errors.New("boom")
 		}); err == nil {
 		t.Fatal("submit error not propagated")
@@ -123,7 +123,7 @@ func TestDriveRunsEveryQuery(t *testing.T) {
 		t.Fatal("nil submit accepted")
 	}
 	if _, err := mix.Drive(context.Background(), DriveConfig{Clients: 1, Queries: 0},
-		func(context.Context, *engine.Query) (int, bool, error) { return 0, false, nil }); err == nil {
+		func(context.Context, int, *engine.Query) (int, bool, error) { return 0, false, nil }); err == nil {
 		t.Fatal("zero queries accepted")
 	}
 }
@@ -143,7 +143,7 @@ func TestDriveHonorsCancellation(t *testing.T) {
 	start := time.Now()
 	// Lambda 1 → the full 32-query schedule would take ~30s of arrivals.
 	_, err = mix.Drive(ctx, DriveConfig{Clients: 2, Queries: 32, Lambda: 1, Seed: 9},
-		func(context.Context, *engine.Query) (int, bool, error) { return 1, false, nil })
+		func(context.Context, int, *engine.Query) (int, bool, error) { return 1, false, nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
