@@ -32,14 +32,17 @@ package cheetah
 import (
 	"cheetah/internal/cache"
 	"cheetah/internal/cluster"
+	"cheetah/internal/connector"
 	"cheetah/internal/engine"
 	"cheetah/internal/fabric"
+	"cheetah/internal/netserve"
 	"cheetah/internal/plan"
 	"cheetah/internal/prune"
 	"cheetah/internal/serve"
 	"cheetah/internal/stream"
 	"cheetah/internal/switchsim"
 	"cheetah/internal/table"
+	"cheetah/internal/wire"
 )
 
 // The session API: planner-backed query execution.
@@ -146,6 +149,84 @@ var (
 	// ErrStreamClosed marks operations on a closed streaming handle.
 	ErrStreamClosed = stream.ErrClosed
 )
+
+// The network front door: a TCP server speaking the internal/wire
+// frame protocol that multiplexes many remote clients onto one shared
+// fabric (cmd/cheetahd is the standalone daemon), and the client that
+// dials it. Queries answered over the wire are bit-identical to
+// in-process ExecDirect; SIGTERM-style drains hand every outstanding
+// client a result, a retryable error, or a Goodbye. See
+// examples/server for the in-process tour.
+type (
+	// Server serves a fabric over TCP; open with ServeNet/ListenNet,
+	// stop with Shutdown (graceful drain) or Close.
+	Server = netserve.Server
+	// ServerOptions configures the served catalog (tables, streamed
+	// primary) and the fabric behind it.
+	ServerOptions = netserve.Options
+	// NetClient is a wire-protocol client connection: one-shot queries,
+	// appends, pings, and credit-windowed subscriptions.
+	NetClient = netserve.Client
+	// NetQueryOptions carries one remote query's QoS terms.
+	NetQueryOptions = netserve.QueryOptions
+	// NetSubscribeOptions configures a remote subscription (window,
+	// slide, initial credits).
+	NetSubscribeOptions = netserve.SubscribeOptions
+	// NetSub is a remote standing subscription: coalesced Updates plus
+	// a Credit window.
+	NetSub = netserve.ClientSub
+	// ServerError is a server-reported wire error; Retryable reports
+	// whether reissuing (elsewhere, or after the drain) can succeed.
+	ServerError = netserve.ServerError
+	// WireSpec is a table-name-detached query for the wire protocol;
+	// the server binds it against its served catalog. Build one from an
+	// engine query with WireSpecOf.
+	WireSpec = wire.QuerySpec
+	// WireUpdate is one pushed subscription refresh: the new standing
+	// result plus its committed stream version.
+	WireUpdate = wire.UpdateMsg
+)
+
+// WireSpecOf derives a wire query spec from a locally-built query, with
+// the served names standing in for its table pointers.
+var WireSpecOf = wire.SpecOf
+
+// ListenNet starts a wire-protocol server on addr ("host:0" picks a
+// free port).
+func ListenNet(addr string, opts ServerOptions) (*Server, error) {
+	return netserve.Listen(addr, opts)
+}
+
+// DialNet connects to a wire-protocol server as the given tenant.
+func DialNet(addr, tenant string) (*NetClient, error) {
+	return netserve.Dial(addr, tenant)
+}
+
+// Connectors: pluggable Source→Ingestor feeds and Subscription→Sink
+// fan-outs, wired by spec strings ("gen:rows=100000,batch=256",
+// "log:path=-") through a registry — how cheetahd builds streaming
+// topology from flags.
+type (
+	// ConnectorSource produces row batches for a streaming feed.
+	ConnectorSource = connector.Source
+	// ConnectorSink consumes standing-result refreshes from a pipe.
+	ConnectorSink = connector.Sink
+	// ConnectorRegistry maps spec names to source/sink builders.
+	ConnectorRegistry = connector.Registry
+	// ConnectorRuntime owns running feeds and pipes over one Streaming
+	// handle; Close stops them all.
+	ConnectorRuntime = connector.Runtime
+)
+
+// DefaultConnectors returns the built-in connector registry (gen and
+// csv sources; log and null sinks).
+func DefaultConnectors() *connector.Registry { return connector.DefaultRegistry() }
+
+// NewConnectorRuntime creates a connector runtime over a streaming
+// handle.
+func NewConnectorRuntime(st *Streaming) (*ConnectorRuntime, error) {
+	return connector.NewRuntime(st)
+}
 
 // Tables and schemas.
 type (

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cheetah-bench [-scale N] [-seeds K] [-switches W] [-chaos] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|all]
+//	cheetah-bench [-scale N] [-seeds K] [-switches W] [-chaos] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|net|all]
 //
 // Scale divides the paper's dataset sizes (scale=1 reproduces paper
 // scale and takes minutes; the default 50 finishes in seconds). Output
@@ -58,6 +58,8 @@ func main() {
 	seed := flag.Uint64("seed", 0xc0ffee, "base RNG seed")
 	switches := flag.Int("switches", 4, "fabric width for the serve target (scaling table measures 1, 2, 4, ... up to this)")
 	chaos := flag.Bool("chaos", false, "serve target only: kill/restore a switch every ~50 queries (fault-tolerance soak; results stay exact)")
+	addr := flag.String("addr", "", "net target: drive an external cheetahd at this address (empty = in-process loopback server)")
+	conns := flag.Int("conns", 1000, "net target: simulated connection count for the churn loop")
 	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output file for the baseline target")
 	baselineRows := flag.Int("baseline-rows", 100_000, "benchmark table rows for the baseline target (diff follows the reference's recorded rows)")
 	baselineRef := flag.String("baseline-ref", "BENCH_baseline.json", "reference file for the diff target")
@@ -81,6 +83,7 @@ func main() {
 		"fig11":  func() error { _, err := bench.Fig11(os.Stdout, o); return err },
 		"serve":  func() error { return bench.Serve(os.Stdout, o, *switches, *chaos) },
 		"stream": func() error { return bench.Stream(os.Stdout, o, *switches) },
+		"net":    func() error { return bench.Net(os.Stdout, o, *addr, *conns) },
 		"baseline": func() error {
 			// Measure first, write after: a failed run must not clobber
 			// an existing baseline file.
@@ -143,7 +146,7 @@ func main() {
 		}
 		f, ok := run[t]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, serve, stream, or diff)\n", t, order)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, serve, stream, net, or diff)\n", t, order)
 			os.Exit(2)
 		}
 		if err := f(); err != nil {

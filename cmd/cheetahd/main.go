@@ -1,0 +1,212 @@
+// Command cheetahd serves a Cheetah fabric over TCP: external clients
+// submit one-shot queries, stream appends, and hold standing
+// subscriptions against the multi-switch fabric through the
+// internal/wire frame protocol (see internal/netserve for the client).
+//
+// Usage:
+//
+//	cheetahd [-listen addr] [-rows N] [-rank-rows N] [-scale N]
+//	         [-switches W] [-workers K] [-seed S]
+//	         [-queue-limit N] [-tenant-quota N]
+//	         [-backlog N] [-shed]
+//	         [-source spec]... [-pipe kind=KIND,sink=SPEC]...
+//
+// The served catalog is the benchmark mix ("visits" + "rankings", the
+// same tables `cheetah-bench net -scale N` queries); -rows/-rank-rows
+// override the sizes directly. Streaming over "visits" is always on:
+// -backlog/-shed set the ingestor's backpressure policy.
+//
+// Connector topology comes from repeatable flags: each -source spec
+// (e.g. "gen:rows=100000,batch=256,rate=5000") pumps rows into the
+// served table through the connector runtime, and each -pipe
+// (e.g. "kind=topn,sink=log:path=-") holds a server-side continuous
+// query whose standing-result refreshes fan into the named sink.
+//
+// On SIGTERM/SIGINT the server drains: new work is refused with a
+// retryable error, in-flight queries finish, subscriptions close after
+// a final update, connector pumps stop, and the process exits 0 — the
+// contract the CI e2e job asserts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cheetah/internal/connector"
+	"cheetah/internal/engine"
+	"cheetah/internal/netserve"
+	"cheetah/internal/plan"
+	"cheetah/internal/table"
+	"cheetah/internal/workload/multitenant"
+)
+
+// stringList is a repeatable flag.
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, "; ") }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
+
+// paper-scale mix sizes, mirrored from internal/bench so -scale means
+// the same thing to cheetahd and cheetah-bench.
+const (
+	paperVisitRows = 31_700_000
+	paperRankRows  = 18_000_000
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cheetahd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:4780", "TCP listen address")
+	scale := flag.Int("scale", 200, "divide paper dataset sizes by this factor (matches cheetah-bench -scale)")
+	rows := flag.Int("rows", 0, "visits table rows (0 = paper rows / scale)")
+	rankRows := flag.Int("rank-rows", 0, "rankings table rows (0 = paper rows / scale)")
+	switches := flag.Int("switches", 2, "fabric width (switch pipelines)")
+	workers := flag.Int("workers", 1, "CWorkers per query")
+	seed := flag.Uint64("seed", 0xc0ffee, "RNG seed for tables and pruners")
+	queueLimit := flag.Int("queue-limit", 0, "per-switch admission queue cap (0 = unbounded)")
+	tenantQuota := flag.Int("tenant-quota", 0, "per-tenant concurrent lease cap per switch (0 = unlimited)")
+	backlog := flag.Int("backlog", 0, "ingest backlog cap in rows ahead of the slowest subscription (0 = unbounded)")
+	shed := flag.Bool("shed", false, "shed over-backlog appends instead of blocking")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	var sources, pipes stringList
+	flag.Var(&sources, "source", "connector source spec feeding the served table (repeatable), e.g. gen:rows=100000,batch=256")
+	flag.Var(&pipes, "pipe", "server-side continuous query piped to a sink (repeatable), e.g. kind=topn,sink=log:path=-")
+	flag.Parse()
+
+	uvRows := *rows
+	if uvRows <= 0 {
+		uvRows = max(paperVisitRows / *scale, 2000)
+	}
+	rkRows := *rankRows
+	if rkRows <= 0 {
+		rkRows = max(paperRankRows / *scale, 1000)
+	}
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: uvRows, RankRows: rkRows, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	srv, err := netserve.Listen(*listen, netserve.Options{
+		Tables:  map[string]*table.Table{"visits": mix.Visits, "rankings": mix.Rankings},
+		Primary: "visits",
+		Plan:    plan.Options{Switches: *switches, Workers: *workers, Seed: *seed},
+		Serve:   plan.ServeOptions{QueueLimit: *queueLimit, TenantQuota: *tenantQuota},
+		Stream:  &plan.StreamOptions{Backlog: *backlog, Shed: *shed, QueueLimit: *queueLimit},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cheetahd: listening on %s (visits=%d rows, rankings=%d rows, %d switches)\n",
+		srv.Addr(), uvRows, rkRows, *switches)
+
+	// Connector topology: sources pump into the served table, pipes
+	// hold continuous queries fanning into sinks.
+	reg := connector.DefaultRegistry()
+	rt, err := connector.NewRuntime(srv.Streaming())
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for _, spec := range sources {
+		src, err := reg.OpenSource(spec)
+		if err != nil {
+			return err
+		}
+		if err := rt.Feed(ctx, src); err != nil {
+			return err
+		}
+		fmt.Printf("cheetahd: source %q feeding visits\n", spec)
+	}
+	for _, spec := range pipes {
+		q, sink, err := buildPipe(reg, mix, spec)
+		if err != nil {
+			return err
+		}
+		if _, err := rt.Pipe(ctx, q, sink); err != nil {
+			return err
+		}
+		fmt.Printf("cheetahd: pipe %q standing\n", spec)
+	}
+
+	// SIGTERM/SIGINT → graceful drain: in-flight work finishes, every
+	// client gets a result, a retryable error, or a Goodbye.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigc
+	fmt.Printf("cheetahd: %v, draining\n", sig)
+	rt.Close()
+	dctx, cancel := context.WithTimeout(ctx, *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	stats := srv.Stats()
+	fmt.Printf("cheetahd: drained clean (admitted %d, shed %d, failed over %d, active leases %d)\n",
+		stats.Admitted, stats.Shed, stats.FailedOver, stats.Active)
+	if stats.Active != 0 {
+		return fmt.Errorf("drain left %d active leases", stats.Active)
+	}
+	return nil
+}
+
+// buildPipe parses a "kind=KIND,sink=SPEC" pipe flag into a continuous
+// query over the mix's visits table plus its sink. KIND is one of the
+// eight mix kinds by name; the query shape is the mix's canonical one
+// for that kind.
+func buildPipe(reg *connector.Registry, mix *multitenant.Mix, spec string) (*engine.Query, connector.Sink, error) {
+	kinds := map[string]int{
+		"filter": 0, "distinct": 1, "topn": 2, "groupbymax": 3,
+		"groupbysum": 4, "having": 5, "join": 6, "skyline": 7,
+	}
+	// The sink spec may itself contain commas (its own args), so split
+	// on "sink=" first: everything after it belongs to the sink.
+	var kind, sinkSpec string
+	head := spec
+	if idx := strings.Index(spec, "sink="); idx >= 0 {
+		sinkSpec = spec[idx+len("sink="):]
+		head = strings.TrimSuffix(spec[:idx], ",")
+	}
+	for _, kv := range strings.Split(head, ",") {
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("malformed -pipe argument %q in %q", kv, spec)
+		}
+		if k != "kind" {
+			return nil, nil, fmt.Errorf("unknown -pipe key %q in %q", k, spec)
+		}
+		kind = v
+	}
+	ki, ok := kinds[kind]
+	if !ok {
+		return nil, nil, fmt.Errorf("-pipe needs kind= one of filter|distinct|topn|groupbymax|groupbysum|having|join|skyline, got %q", kind)
+	}
+	if sinkSpec == "" {
+		return nil, nil, fmt.Errorf("-pipe needs sink=, got %q", spec)
+	}
+	sink, err := reg.OpenSink(sinkSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mix.Query(ki), sink, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

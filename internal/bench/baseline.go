@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,8 +10,11 @@ import (
 
 	"cheetah/internal/boolexpr"
 	"cheetah/internal/engine"
+	"cheetah/internal/netserve"
+	"cheetah/internal/plan"
 	"cheetah/internal/prune"
 	"cheetah/internal/stats"
+	"cheetah/internal/table"
 	"cheetah/internal/workload"
 	"cheetah/internal/workload/multitenant"
 )
@@ -58,6 +62,18 @@ type StreamBaselineEntry struct {
 	FreshP99MS float64 `json:"fresh_p99_ms"`
 }
 
+// NetBaselineEntry is one network-serving measurement: the connection
+// churn against an in-process cheetahd over TCP loopback.
+// Informational only, like the serve/stream rows (wall-clock network
+// throughput is too host-dependent to gate CI on).
+type NetBaselineEntry struct {
+	Conns       int     `json:"conns"`
+	ConnsPerSec float64 `json:"conns_per_sec"`
+	RTTP50MS    float64 `json:"rtt_p50_ms"`
+	RTTP99MS    float64 `json:"rtt_p99_ms"`
+	Queries     int     `json:"queries"`
+}
+
 // BaselineReport is the file format of BENCH_baseline.json: enough
 // context to compare runs across commits plus the per-benchmark entries.
 type BaselineReport struct {
@@ -70,6 +86,9 @@ type BaselineReport struct {
 	Serve []ServeBaselineEntry `json:"serve,omitempty"`
 	// Stream is the streaming ingest snapshot (appenders × freshness).
 	Stream []StreamBaselineEntry `json:"stream,omitempty"`
+	// Net is the network serving snapshot (connection churn over TCP
+	// loopback).
+	Net []NetBaselineEntry `json:"net,omitempty"`
 }
 
 // Baseline measures the ExecCheetah micro-benchmarks (both the batched
@@ -173,6 +192,28 @@ func Baseline(w io.Writer, rows int) error {
 			FreshP99MS: lv.P99MS,
 		})
 	}
+	// Network serving snapshot: a small connection churn against an
+	// in-process server on TCP loopback.
+	netSrv, err := netserve.Listen("127.0.0.1:0", netserve.Options{
+		Tables:  map[string]*table.Table{"visits": mix.Visits, "rankings": mix.Rankings},
+		Primary: "visits",
+		Plan:    plan.Options{Workers: 1, Seed: 1, Switches: 2},
+	})
+	if err != nil {
+		return err
+	}
+	defer netSrv.Close()
+	nv, err := runNetLevel(context.Background(), netSrv.Addr().String(), mix, 200)
+	if err != nil {
+		return err
+	}
+	report.Net = append(report.Net, NetBaselineEntry{
+		Conns:       nv.Conns,
+		ConnsPerSec: nv.ConnsPerSec(),
+		RTTP50MS:    stats.Percentile(nv.RTTMS, 50),
+		RTTP99MS:    stats.Percentile(nv.RTTMS, 99),
+		Queries:     nv.Queries,
+	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)

@@ -134,7 +134,30 @@ func (s *Session) removeChild(c interface{ Close() }) {
 // execution, and in-flight Submits complete (a Submit racing Close
 // falls back to exact direct execution — never an error). One-shot
 // Exec/Plan calls keep working on the closed session; Close is about
-// the long-lived handles. Idempotent: extra Closes are no-ops.
+// the long-lived handles. Idempotent: extra Closes are no-ops, and
+// concurrent Closes are safe.
+//
+// The error contract for callers racing Close, by path:
+//
+//   - RETRYABLE (the operation may be reissued against another session
+//     or after a restart; nothing partial happened):
+//     Streaming.Append/AppendBatch fail with stream.ErrClosed — the
+//     batch either committed atomically before the close or not at
+//     all. Streaming.Subscribe fails with a closed-handle error before
+//     registering anything. Network front ends (internal/netserve) map
+//     exactly these to their retryable wire error code during a drain.
+//   - NEVER AN ERROR: Serving.Submit/SubmitQoS racing Close does not
+//     fail because of the close — serve.ErrClosed triggers the exact
+//     direct fallback, so the caller gets a correct result either way.
+//     The only errors a close-racing SubmitQoS surfaces are the ones
+//     its QoS could produce anyway, and of those only
+//     serve.ErrDeadline (deadline-based shedding: the query is
+//     dropped, not degraded — retry with a fresh deadline if still
+//     wanted).
+//   - TERMINAL (retrying cannot help): query validation errors and
+//     execution failures, unchanged by Close.
+//
+// TestSessionCloseRaceQoSAndAppend pins this contract under -race.
 func (s *Session) Close() {
 	s.mu.Lock()
 	if s.closed {

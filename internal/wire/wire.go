@@ -122,6 +122,12 @@ func (p *Packet) DecodeFrom(b []byte) error {
 	t := MsgType(b[0])
 	switch t {
 	case MsgAck, MsgFin, MsgFinAck:
+		// Control messages are fixed-size: trailing bytes mean the
+		// buffer was framed wrong, and accepting them would break the
+		// decode→encode round-trip (the fuzz target's invariant).
+		if len(b) != ackLen {
+			return ErrBadCount
+		}
 		p.Type = t
 		p.FlowID = binary.BigEndian.Uint32(b[1:5])
 		p.Seq = binary.BigEndian.Uint64(b[5:13])
