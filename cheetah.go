@@ -24,6 +24,9 @@
 //   - Pruners: every §4/§5 algorithm, constructible with paper or custom
 //     parameters, each declaring its Table 2 resource profile.
 //   - The switch model: PISA resource admission and multi-query packing.
+//   - Storage-side data skipping: block zone maps + Bloom metadata that
+//     eliminate whole blocks before they are read, composing with the
+//     switch's in-flight pruning (see SkipStats).
 //
 // See examples/quickstart for a five-minute tour and DESIGN.md for the
 // system inventory.
@@ -246,6 +249,27 @@ const (
 
 // NewTable creates an empty table with the given schema.
 func NewTable(s Schema) (*Table, error) { return table.New(s) }
+
+// Storage-side data skipping: sessions build a block skip index (per-
+// column zone maps + Bloom filters over fixed-size row blocks) on their
+// table at Open, and WHERE/TOP N/JOIN plans skip blocks the metadata
+// proves irrelevant before any row is read or encoded — bit-identical
+// results, reported via Execution.SkipStats and the Explain output.
+// Opt out with SessionOptions.DisableSkipping; tune the block size with
+// SessionOptions.SkipBlockRows.
+type (
+	// SkipIndex is a table's block skip metadata, built with
+	// Table.BuildSkipIndex and extended by Table.RefreshSkipIndex.
+	SkipIndex = table.SkipIndex
+	// SkipStats counts blocks proven irrelevant (and their rows) during
+	// one execution; embedded in Execution and cumulative per streaming
+	// subscription via StreamSubscription.Skipped.
+	SkipStats = engine.SkipStats
+)
+
+// DefaultSkipBlockRows is the skip-index block size used when
+// SessionOptions.SkipBlockRows is unset.
+const DefaultSkipBlockRows = table.DefaultBlockRows
 
 // Queries and execution.
 type (

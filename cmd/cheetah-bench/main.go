@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cheetah-bench [-scale N] [-seeds K] [-switches W] [-chaos] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|net|all]
+//	cheetah-bench [-scale N] [-seeds K] [-switches W] [-chaos] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|net|skip|all]
 //
 // Scale divides the paper's dataset sizes (scale=1 reproduces paper
 // scale and takes minutes; the default 50 finishes in seconds). Output
@@ -25,8 +25,10 @@
 // fault-tolerance work (results stay exact either way — the run errors
 // out otherwise). The stream target drives concurrent appenders
 // (1/8/64) into a streaming session with standing continuous queries,
-// reporting ingest rows/s and result-freshness p50/p99. None of these
-// is part of "all".
+// reporting ingest rows/s and result-freshness p50/p99. The skip
+// target sweeps a clustered-column filter across selectivities
+// (0.1/1/10/50%) and reports the exact block-skip rate plus entries/s
+// with skipping on vs a full scan. None of these is part of "all".
 package main
 
 import (
@@ -84,6 +86,7 @@ func main() {
 		"serve":  func() error { return bench.Serve(os.Stdout, o, *switches, *chaos) },
 		"stream": func() error { return bench.Stream(os.Stdout, o, *switches) },
 		"net":    func() error { return bench.Net(os.Stdout, o, *addr, *conns) },
+		"skip":   func() error { return bench.Skip(os.Stdout, o) },
 		"baseline": func() error {
 			// Measure first, write after: a failed run must not clobber
 			// an existing baseline file.
@@ -146,7 +149,7 @@ func main() {
 		}
 		f, ok := run[t]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, serve, stream, net, or diff)\n", t, order)
+			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, serve, stream, net, skip, or diff)\n", t, order)
 			os.Exit(2)
 		}
 		if err := f(); err != nil {

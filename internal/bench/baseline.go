@@ -89,6 +89,9 @@ type BaselineReport struct {
 	// Net is the network serving snapshot (connection churn over TCP
 	// loopback).
 	Net []NetBaselineEntry `json:"net,omitempty"`
+	// Skip is the block-skipping snapshot (selectivity sweep over a
+	// clustered column).
+	Skip []SkipBaselineEntry `json:"skip,omitempty"`
 }
 
 // Baseline measures the ExecCheetah micro-benchmarks (both the batched
@@ -214,6 +217,31 @@ func Baseline(w io.Writer, rows int) error {
 		RTTP99MS:    stats.Percentile(nv.RTTMS, 99),
 		Queries:     nv.Queries,
 	})
+	// Block-skipping snapshot: the selectivity sweep on a clustered
+	// table sized to a handful of blocks so the baseline stays quick.
+	skipTB, err := skipTable(16*table.DefaultBlockRows, 1)
+	if err != nil {
+		return err
+	}
+	for _, sel := range skipSelectivities {
+		lv, err := runSkipLevel(skipTB, sel)
+		if err != nil {
+			return err
+		}
+		rate := 0.0
+		if lv.Stats.BlocksSeen > 0 {
+			rate = float64(lv.Stats.BlocksSkipped) / float64(lv.Stats.BlocksSeen)
+		}
+		report.Skip = append(report.Skip, SkipBaselineEntry{
+			Selectivity:   sel,
+			BlocksSeen:    lv.Stats.BlocksSeen,
+			BlocksSkipped: lv.Stats.BlocksSkipped,
+			RowsSkipped:   lv.Stats.RowsSkipped,
+			SkipRate:      rate,
+			EntriesPerSec: lv.SkipPerSec,
+			ScanPerSec:    lv.ScanPerSec,
+		})
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)

@@ -401,19 +401,21 @@ func encCols64(t *table.Table, cols []int) partEncoder {
 
 // encFilter encodes one column per predicate (the raw value for
 // switch-evaluable comparisons, the worker-precomputed bit for LIKE),
-// sweeping column-at-a-time.
-func encFilter(q *Query, cols []int) partEncoder {
+// sweeping column-at-a-time. t is the table (or segment view) being
+// encoded; preds and cols are the query's predicates and their column
+// indexes in t's schema.
+func encFilter(t *table.Table, preds []FilterPred, cols []int) partEncoder {
 	type predEnc struct {
 		ints []int64
 		strs []string
 		like string
 	}
-	pes := make([]predEnc, len(q.Predicates))
-	for i, p := range q.Predicates {
+	pes := make([]predEnc, len(preds))
+	for i, p := range preds {
 		if p.SwitchSupported() {
-			pes[i] = predEnc{ints: q.Table.Int64Col(cols[i])}
+			pes[i] = predEnc{ints: t.Int64Col(cols[i])}
 		} else {
-			pes[i] = predEnc{strs: q.Table.StringCol(cols[i]), like: p.Like}
+			pes[i] = predEnc{strs: t.StringCol(cols[i]), like: p.Like}
 		}
 	}
 	return func(dst [][]uint64, ids []uint64, lo, hi, pos0, stride int) {
@@ -554,6 +556,15 @@ func batchFilter(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	}
 	br := newBatchRun(pruner)
 	dp := opts.dataplaneFor(pruner)
+	// Skipping is exact for FILTER (monotone formula over block bounds;
+	// skip.go): a skipped block contains no matching row, so both the
+	// trusted materialization and the exact master re-check below stay
+	// bit-identical to ExecDirect.
+	spans := fullSpans(q.Table)
+	if opts.Skip {
+		spans, br.run.Skipped = filterSpans(q, q.Table, cols)
+	}
+	encFor := func(t *table.Table) partEncoder { return encFilter(t, q.Predicates, cols) }
 	// With the engine's own default pruner, every survivor passed the
 	// full switch formula (precomputed bits included) — the same formula
 	// the master would re-check — so the completion materializes rows
@@ -563,25 +574,27 @@ func batchFilter(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	trusted := opts.Pruner == nil
 	if !trusted {
 		sv := survivorSet{remaining: q.Table.NumRows()}
-		batchPass(q.Table.NumRows(), opts.Workers, len(cols), true, br.buf, encFilter(q, cols), dp, nil,
+		err := spanPass(q.Table, spans, opts.Workers, len(cols), true, br.buf, encFor, dp,
 			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 				br.run.Traffic.EntriesSent += b.N
 				fwd := br.buf.compactForwarded(ids, dec, b.N)
 				br.run.Traffic.Forwarded += len(fwd)
 				sv.add(fwd, b.N)
 			})
-		res, err := completeOnRows(q, sv.rows)
-		if err != nil {
-			putStreamBuf(br.buf)
-			return nil, err
+		if err == nil {
+			var res *Result
+			if res, err = completeOnRows(q, sv.rows); err == nil {
+				return br.finish(pruner, res, len(sv.rows)), nil
+			}
 		}
-		return br.finish(pruner, res, len(sv.rows)), nil
+		putStreamBuf(br.buf)
+		return nil, err
 	}
 	if q.CountOnly {
 		// COUNT(*) needs no row ids at all: the forward count is the
 		// answer.
 		count := 0
-		batchPass(q.Table.NumRows(), opts.Workers, len(cols), false, br.buf, encFilter(q, cols), dp, nil,
+		err := spanPass(q.Table, spans, opts.Workers, len(cols), false, br.buf, encFor, dp,
 			func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
 				br.run.Traffic.EntriesSent += b.N
 				n := b.N
@@ -591,17 +604,24 @@ func batchFilter(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 				br.run.Traffic.Forwarded += n
 				count += n
 			})
+		if err != nil {
+			putStreamBuf(br.buf)
+			return nil, err
+		}
 		res := &Result{Columns: []string{"count"}, Rows: [][]string{{strconv.Itoa(count)}}}
 		return br.finish(pruner, res, count), nil
 	}
 	sv := survivorSet{remaining: q.Table.NumRows()}
-	batchPass(q.Table.NumRows(), opts.Workers, len(cols), true, br.buf, encFilter(q, cols), dp, nil,
+	if err := spanPass(q.Table, spans, opts.Workers, len(cols), true, br.buf, encFor, dp,
 		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 			br.run.Traffic.EntriesSent += b.N
 			fwd := br.buf.compactForwarded(ids, dec, b.N)
 			br.run.Traffic.Forwarded += len(fwd)
 			sv.add(fwd, b.N)
-		})
+		}); err != nil {
+		putStreamBuf(br.buf)
+		return nil, err
+	}
 	t := q.Table
 	names := make([]string, t.NumCols())
 	for i, d := range t.Schema() {
@@ -706,21 +726,34 @@ func batchTopN(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	// directly from the stream buffer; no survivor list materializes.
 	h := make(int64Heap, 0, q.N)
 	forwarded := 0
-	batchPass(q.Table.NumRows(), opts.Workers, 1, false, br.buf, encInt64(q.Table, col), dp, nil,
-		func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
-			br.run.Traffic.EntriesSent += b.N
-			fwd := br.buf.compactForwarded(b.Cols[0], dec, b.N)
-			forwarded += len(fwd)
-			for _, raw := range fwd {
-				v := int64(raw)
-				if len(h) < q.N {
-					h.push(v)
-				} else if v > h[0] {
-					h[0] = v
-					h.fixRoot()
-				}
+	sink := func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+		br.run.Traffic.EntriesSent += b.N
+		fwd := br.buf.compactForwarded(b.Cols[0], dec, b.N)
+		forwarded += len(fwd)
+		for _, raw := range fwd {
+			v := int64(raw)
+			if len(h) < q.N {
+				h.push(v)
+			} else if v > h[0] {
+				h[0] = v
+				h.fixRoot()
 			}
+		}
+	}
+	if opts.Skip && q.Table.SkipIndex() != nil {
+		// Block threshold bound (skip.go): once the heap is full, a
+		// block whose max ≤ h[0] cannot change the final multiset. The
+		// heap tightens between spans, so the bound is dynamic.
+		topNSpanScan(q.Table, col, q.N, &h, &br.run.Skipped, func(lo, hi int) {
+			v, err := q.Table.View(lo, hi)
+			if err != nil {
+				return
+			}
+			batchPass(v.NumRows(), opts.Workers, 1, false, br.buf, encInt64(v, col), dp, nil, sink)
 		})
+	} else {
+		batchPass(q.Table.NumRows(), opts.Workers, 1, false, br.buf, encInt64(q.Table, col), dp, nil, sink)
+	}
 	br.run.Traffic.Forwarded = forwarded
 	// The scalar completion sorts values descending and then re-sorts
 	// the formatted rows lexicographically; only the final order is
@@ -917,11 +950,22 @@ func batchJoin(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	rc := q.Right.Schema().MustIndex(q.RightKey)
 	br := newBatchRun(pruner)
 	dp := opts.dataplaneFor(pruner)
-	encA := encSide(q.Table, lc, prune.SideA, opts.Seed)
-	encB := encSide(q.Right, rc, prune.SideB, opts.Seed)
+	// Probe-side block skipping (skip.go): a right block where every
+	// distinct left key tests Bloom-negative holds no joinable row.
+	// Every right pass — including the symmetric build pass — uses the
+	// same spans: a key that would train the B-side filter out of a
+	// skipped block cannot exist on the left, so no left row loses its
+	// forward, and the master's execJoin re-check stays exact.
+	leftSpans := fullSpans(q.Table)
+	rightSpans := fullSpans(q.Right)
+	if opts.Skip {
+		rightSpans, br.run.Skipped = joinRightSpans(q.Table, lc, q.Right, rc)
+	}
+	encAFor := func(t *table.Table) partEncoder { return encSide(t, lc, prune.SideA, opts.Seed) }
+	encBFor := func(t *table.Table) partEncoder { return encSide(t, rc, prune.SideB, opts.Seed) }
 
-	pass := func(t *table.Table, enc partEncoder, sv *survivorSet) {
-		batchPass(t.NumRows(), opts.Workers, 2, sv != nil, br.buf, enc, dp, nil,
+	pass := func(t *table.Table, spans []span, encFor func(*table.Table) partEncoder, sv *survivorSet) error {
+		return spanPass(t, spans, opts.Workers, 2, sv != nil, br.buf, encFor, dp,
 			func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 				br.run.Traffic.EntriesSent += b.N
 				if sv == nil {
@@ -939,24 +983,37 @@ func batchJoin(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 			})
 	}
 	var left, right survivorSet
+	var err error
 	if pruner.Asymmetric() {
 		// §4.3's small-table optimization: side A streams once, unpruned,
 		// while its filter trains; then side B is pruned against it.
 		left.remaining = q.Table.NumRows()
-		pass(q.Table, encA, &left)
+		err = pass(q.Table, leftSpans, encAFor, &left)
 		pruner.StartProbe()
 		right.remaining = q.Right.NumRows()
-		pass(q.Right, encB, &right)
+		if err == nil {
+			err = pass(q.Right, rightSpans, encBFor, &right)
+		}
 	} else {
 		// Pass 1: both key columns build the filters; packets terminate
 		// at the switch. Pass 2: full entries, pruned by the other side.
-		pass(q.Table, encA, nil)
-		pass(q.Right, encB, nil)
+		err = pass(q.Table, leftSpans, encAFor, nil)
+		if err == nil {
+			err = pass(q.Right, rightSpans, encBFor, nil)
+		}
 		pruner.StartProbe()
 		left.remaining = q.Table.NumRows()
-		pass(q.Table, encA, &left)
+		if err == nil {
+			err = pass(q.Table, leftSpans, encAFor, &left)
+		}
 		right.remaining = q.Right.NumRows()
-		pass(q.Right, encB, &right)
+		if err == nil {
+			err = pass(q.Right, rightSpans, encBFor, &right)
+		}
+	}
+	if err != nil {
+		putStreamBuf(br.buf)
+		return nil, err
 	}
 	res, err := execJoin(q, left.rows, right.rows)
 	if err != nil {

@@ -33,6 +33,13 @@ type CheetahOptions struct {
 	// switchover, end-of-stream drains) still address it directly.
 	// Batched path only; combining Flow with Scalar is an error.
 	Flow BatchDataplane
+	// Skip enables storage-side block skipping (skip.go) for kinds with
+	// a sound block bound (FILTER, TOP N, JOIN) when the table carries a
+	// skip index (table.BuildSkipIndex). Results stay bit-identical to
+	// ExecDirect; skipped blocks are never encoded, so Traffic shrinks.
+	// Batched path only; combining Skip with Scalar is an error — the
+	// scalar path is the frozen equivalence oracle.
+	Skip bool
 }
 
 // BatchDataplane processes one batch of entries for an already-admitted
@@ -95,6 +102,9 @@ type CheetahRun struct {
 	Stats   prune.Stats
 	// PrunerName records which algorithm ran on the switch.
 	PrunerName string
+	// Skipped reports the block-skipping work (zero unless
+	// CheetahOptions.Skip was set and the table carries a skip index).
+	Skipped SkipStats
 }
 
 // UnprunedFraction is Forwarded/EntriesSent, Figures 10–11's metric.
@@ -121,6 +131,9 @@ func ExecCheetah(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	}
 	if opts.Flow != nil {
 		return nil, fmt.Errorf("engine: a flow-scoped dataplane requires the batched path, not Scalar")
+	}
+	if opts.Skip {
+		return nil, fmt.Errorf("engine: block skipping requires the batched path, not Scalar")
 	}
 	switch q.Kind {
 	case KindFilter:

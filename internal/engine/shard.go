@@ -114,6 +114,12 @@ type ShardedOptions struct {
 	// it (capped exponential backoff — the cap is maxFailoverAttempts
 	// itself). Zero retries immediately, which is what tests want.
 	Backoff time.Duration
+	// Skip enables storage-side block skipping on each shard (skip.go)
+	// for kinds with a sound block bound (FILTER, TOP N, JOIN). Shards
+	// that are contiguous views of an indexed table inherit its skip
+	// index; hash/range shards are freshly materialized tables without
+	// one and simply scan. Results stay bit-identical to ExecDirect.
+	Skip bool
 }
 
 // ShardedRun is the outcome of a scatter/gather execution.
@@ -135,6 +141,9 @@ type ShardedRun struct {
 	// Degraded counts shards that fell back to master-side execution of
 	// their program after failover was exhausted or unavailable.
 	Degraded int
+	// Skipped sums the shards' block-skipping work (zero unless
+	// Options.Skip was set and shards carried skip metadata).
+	Skipped SkipStats
 }
 
 // UnprunedFraction is Forwarded/EntriesSent over the whole fabric.
@@ -253,6 +262,7 @@ type shardExec struct {
 	pruner   prune.Pruner
 	dp       BatchDataplane
 	traffic  Traffic
+	skipped  SkipStats
 	attempts int  // failover replacements taken
 	degraded bool // fell back to master-side execution
 }
@@ -311,6 +321,7 @@ func (se *shardExec) run(opts ShardedOptions, pass func() error) error {
 	for {
 		se.ensureHealthy(opts)
 		se.traffic = Traffic{}
+		se.skipped = SkipStats{}
 		if err := pass(); err != nil {
 			return err
 		}
@@ -469,6 +480,7 @@ func ExecSharded(q *Query, opts ShardedOptions) (*ShardedRun, error) {
 		if se.degraded {
 			run.Degraded++
 		}
+		run.Skipped.Add(se.skipped)
 	}
 	return run, nil
 }
@@ -482,9 +494,10 @@ func (se *shardExec) shardSurvivors(opts ShardedOptions, collect func(fwd []uint
 	q := se.q
 	buf := getStreamBuf()
 	defer putStreamBuf(buf)
-	var enc partEncoder
+	var encFor func(*table.Table) partEncoder
 	var width int
 	needIDs := true
+	spans := fullSpans(q.Table)
 	switch q.Kind {
 	case KindFilter:
 		cols := make([]int, len(q.Predicates))
@@ -492,7 +505,13 @@ func (se *shardExec) shardSurvivors(opts ShardedOptions, collect func(fwd []uint
 			cols[i] = q.Table.Schema().MustIndex(p.Col)
 		}
 		width = len(cols)
-		enc = encFilter(q, cols)
+		if opts.Skip {
+			// Contiguous shards are views of the indexed root and skip
+			// against its (root-aligned) blocks; materialized hash/range
+			// shards have no index and get the full span back.
+			spans, se.skipped = filterSpans(q, q.Table, cols)
+		}
+		encFor = func(t *table.Table) partEncoder { return encFilter(t, q.Predicates, cols) }
 	case KindSkyline:
 		cols := make([]int, len(q.SkylineCols))
 		for i, c := range q.SkylineCols {
@@ -500,11 +519,11 @@ func (se *shardExec) shardSurvivors(opts ShardedOptions, collect func(fwd []uint
 		}
 		width = len(cols) + 1
 		needIDs = false
-		enc = encCols64(q.Table, cols)
+		encFor = func(t *table.Table) partEncoder { return encCols64(t, cols) }
 	default:
 		return fmt.Errorf("engine: shardSurvivors does not handle %v", q.Kind)
 	}
-	batchPass(q.Table.NumRows(), opts.Workers, width, needIDs, buf, enc, se.dp, nil,
+	return spanPass(q.Table, spans, opts.Workers, width, needIDs, buf, encFor, se.dp,
 		func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 			se.traffic.EntriesSent += b.N
 			src := ids
@@ -517,7 +536,6 @@ func (se *shardExec) shardSurvivors(opts ShardedOptions, collect func(fwd []uint
 			se.traffic.Forwarded += len(fwd)
 			collect(fwd, ids, b.N)
 		})
-	return nil
 }
 
 // shardedGather serves FILTER and SKYLINE: per-shard survivor streams,
@@ -651,21 +669,34 @@ func shardedTopN(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun
 			buf := getStreamBuf()
 			defer putStreamBuf(buf)
 			h := make(int64Heap, 0, qs.N)
-			batchPass(qs.Table.NumRows(), opts.Workers, 1, false, buf, encInt64(qs.Table, col), se.dp, nil,
-				func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
-					se.traffic.EntriesSent += b.N
-					fwd := buf.compactForwarded(b.Cols[0], dec, b.N)
-					se.traffic.Forwarded += len(fwd)
-					for _, raw := range fwd {
-						v := int64(raw)
-						if len(h) < qs.N {
-							h.push(v)
-						} else if v > h[0] {
-							h[0] = v
-							h.fixRoot()
-						}
+			sink := func(b *switchsim.Batch, dec []switchsim.Decision, _ []uint64) {
+				se.traffic.EntriesSent += b.N
+				fwd := buf.compactForwarded(b.Cols[0], dec, b.N)
+				se.traffic.Forwarded += len(fwd)
+				for _, raw := range fwd {
+					v := int64(raw)
+					if len(h) < qs.N {
+						h.push(v)
+					} else if v > h[0] {
+						h[0] = v
+						h.fixRoot()
 					}
+				}
+			}
+			if opts.Skip && qs.Table.SkipIndex() != nil {
+				// Shard-local threshold bound: the shard heap's h[0] is a
+				// valid (if looser) lower bound for its own top N, which
+				// is all the global merge consumes from this shard.
+				topNSpanScan(qs.Table, col, qs.N, &h, &se.skipped, func(lo, hi int) {
+					v, err := qs.Table.View(lo, hi)
+					if err != nil {
+						return
+					}
+					batchPass(v.NumRows(), opts.Workers, 1, false, buf, encInt64(v, col), se.dp, nil, sink)
 				})
+			} else {
+				batchPass(qs.Table.NumRows(), opts.Workers, 1, false, buf, encInt64(qs.Table, col), se.dp, nil, sink)
+			}
 			se.traffic.MasterProcessed = len(h)
 			heaps[s] = h
 			return nil
@@ -964,10 +995,18 @@ func shardedJoin(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun
 			}
 			buf := getStreamBuf()
 			defer putStreamBuf(buf)
-			encA := encSide(qs.Table, lc, prune.SideA, opts.Seed)
-			encB := encSide(qs.Right, rc, prune.SideB, opts.Seed)
-			pass := func(t *table.Table, enc partEncoder, sv *survivorSet) {
-				batchPass(t.NumRows(), opts.Workers, 2, sv != nil, buf, enc, se.dp, nil,
+			// Probe-side skipping per shard: exact for the same reason as
+			// the single-switch path (skip.go) — a key absent from every
+			// scanned right block is absent from the shard's left too.
+			leftSpans := fullSpans(qs.Table)
+			rightSpans := fullSpans(qs.Right)
+			if opts.Skip {
+				rightSpans, se.skipped = joinRightSpans(qs.Table, lc, qs.Right, rc)
+			}
+			encAFor := func(t *table.Table) partEncoder { return encSide(t, lc, prune.SideA, opts.Seed) }
+			encBFor := func(t *table.Table) partEncoder { return encSide(t, rc, prune.SideB, opts.Seed) }
+			pass := func(t *table.Table, spans []span, encFor func(*table.Table) partEncoder, sv *survivorSet) error {
+				return spanPass(t, spans, opts.Workers, 2, sv != nil, buf, encFor, se.dp,
 					func(b *switchsim.Batch, dec []switchsim.Decision, ids []uint64) {
 						se.traffic.EntriesSent += b.N
 						if sv == nil {
@@ -984,20 +1023,32 @@ func shardedJoin(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun
 					})
 			}
 			var left, right survivorSet
+			var err error
 			if j.Asymmetric() {
 				left.remaining = qs.Table.NumRows()
-				pass(qs.Table, encA, &left)
+				err = pass(qs.Table, leftSpans, encAFor, &left)
 				j.StartProbe()
 				right.remaining = qs.Right.NumRows()
-				pass(qs.Right, encB, &right)
+				if err == nil {
+					err = pass(qs.Right, rightSpans, encBFor, &right)
+				}
 			} else {
-				pass(qs.Table, encA, nil)
-				pass(qs.Right, encB, nil)
+				err = pass(qs.Table, leftSpans, encAFor, nil)
+				if err == nil {
+					err = pass(qs.Right, rightSpans, encBFor, nil)
+				}
 				j.StartProbe()
 				left.remaining = qs.Table.NumRows()
-				pass(qs.Table, encA, &left)
+				if err == nil {
+					err = pass(qs.Table, leftSpans, encAFor, &left)
+				}
 				right.remaining = qs.Right.NumRows()
-				pass(qs.Right, encB, &right)
+				if err == nil {
+					err = pass(qs.Right, rightSpans, encBFor, &right)
+				}
+			}
+			if err != nil {
+				return err
 			}
 			res, err := execJoin(qs, left.rows, right.rows)
 			if err != nil {

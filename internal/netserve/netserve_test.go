@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -341,8 +342,12 @@ func TestGracefulDrain(t *testing.T) {
 					}
 					continue
 				}
-				// Connection-level close after the drain finishes.
-				if errors.Is(err, ErrClientClosed) || cl.Err() != nil {
+				// Connection-level close after the drain finishes. The
+				// server's close can also surface on the write side as a
+				// reset/EPIPE before the client's read loop notices and
+				// sets Err — same event, racing observation sides.
+				if errors.Is(err, ErrClientClosed) || cl.Err() != nil ||
+					errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
 					return
 				}
 				bad <- err

@@ -25,6 +25,12 @@ type Execution struct {
 	// Stats is the switch program's pruning statistics; zero for
 	// ModeDirect.
 	Stats prune.Stats
+	// SkipStats counts the block skip index's work when the plan enabled
+	// skipping (Plan.Skip): BlocksSkipped of BlocksSeen blocks were
+	// proven irrelevant by zone maps/Blooms and never read, eliminating
+	// RowsSkipped rows before encode. Zero when skipping was off or
+	// nothing could be skipped.
+	engine.SkipStats
 	// ClusterReport is non-nil only for ModeCluster.
 	ClusterReport *cluster.Report
 	// QueryID is the flow id the serving layer assigned this execution
@@ -103,6 +109,10 @@ func (e *Execution) Explain() string {
 				i, sw.Traffic.EntriesSent, sw.Traffic.Forwarded, sw.Util)
 		}
 	}
+	if p.Skip {
+		fmt.Fprintf(&b, "skip:    %d/%d blocks skipped via zone maps + blooms (%d rows never read)\n",
+			e.BlocksSkipped, e.BlocksSeen, e.RowsSkipped)
+	}
 	if e.ClusterReport != nil {
 		fmt.Fprintf(&b, "network: delivered=%d retransmits=%d\n",
 			e.ClusterReport.Delivered, e.ClusterReport.Retransmissions)
@@ -140,7 +150,13 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 	q := p.Query
 	switch p.Mode {
 	case ModeDirect:
-		res, err := engine.ExecDirect(q)
+		var res *engine.Result
+		var err error
+		if p.Skip {
+			res, ex.SkipStats, err = engine.ExecDirectSkip(q)
+		} else {
+			res, err = engine.ExecDirect(q)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +173,7 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 		}
 		ex.PipelineUtil = dedicatedUtil(p.Model, pruner)
 		run, err := engine.ExecCheetah(q, engine.CheetahOptions{
-			Workers: p.Workers, Pruner: pruner, Seed: p.Seed,
+			Workers: p.Workers, Pruner: pruner, Seed: p.Seed, Skip: p.Skip,
 		})
 		if err != nil {
 			return nil, err
@@ -165,6 +181,7 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 		ex.Result = run.Result
 		ex.Traffic = run.Traffic
 		ex.Stats = run.Stats
+		ex.SkipStats = run.Skipped
 		ex.Estimate = s.cost.CheetahTime(q.Kind, run.Traffic, s.opts.NICGbps)
 	case ModeCluster:
 		if p.Switches > 1 {
@@ -222,6 +239,7 @@ func (s *Session) execShardedCheetah(ex *Execution, p *Plan) (*Execution, error)
 	}
 	run, err := engine.ExecSharded(q, engine.ShardedOptions{
 		Shards: p.Switches, Workers: p.Workers, Seed: p.Seed, Pruners: pruners,
+		Skip: p.Skip,
 	})
 	if err != nil {
 		return nil, err
@@ -229,6 +247,7 @@ func (s *Session) execShardedCheetah(ex *Execution, p *Plan) (*Execution, error)
 	ex.Result = run.Result
 	ex.Traffic = run.Traffic
 	ex.Stats = run.Stats
+	ex.SkipStats = run.Skipped
 	// All N programs are identically configured, so one dedicated-
 	// pipeline model covers every switch.
 	util := dedicatedUtil(p.Model, pruners[0])

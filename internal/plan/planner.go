@@ -57,6 +57,13 @@ type Plan struct {
 	PrunerName string
 	Guarantee  prune.Guarantee
 	Profile    switchsim.Profile
+	// Skip reports that execution will consult the table's block skip
+	// index (zone maps + Blooms) to avoid reading blocks that provably
+	// hold no relevant row. Set for WHERE, TOP N and JOIN plans on
+	// indexed tables unless the session disables skipping; never set for
+	// ModeCluster (the network transport streams whole tables). Skipping
+	// is exact: results are bit-identical with it on or off.
+	Skip bool
 	// Reason explains the planning outcome: the parameter derivation for
 	// admitted programs, the admission failure chain for fallbacks.
 	Reason string
@@ -177,6 +184,7 @@ func (s *Session) planFor(q *engine.Query, switches int) (*Plan, error) {
 	if p.Mode == ModeDirect {
 		p.Reason = fmt.Sprintf("no pruning program fits %s: %s",
 			s.opts.Model.Name, strings.Join(rejections, "; "))
+		s.planSkip(p)
 		return p, nil
 	}
 	if switches > 1 {
@@ -189,7 +197,35 @@ func (s *Session) planFor(q *engine.Query, switches int) (*Plan, error) {
 			p.Reason += "; cluster transport supports single-pass kinds only, running in-process"
 		}
 	}
+	s.planSkip(p)
 	return p, nil
+}
+
+// planSkip decides whether the plan consults the block skip index. Only
+// WHERE, TOP N and JOIN derive block-level bounds (the other kinds need
+// every row's exact value); the cluster transport streams whole tables,
+// so skipping stays in-process. A JOIN additionally wants an index on
+// the probe (right) table — the session only indexed its own table at
+// Open, so build one here on first use.
+func (s *Session) planSkip(p *Plan) {
+	if s.opts.DisableSkipping || p.Mode == ModeCluster {
+		return
+	}
+	q := p.Query
+	switch q.Kind {
+	case engine.KindFilter, engine.KindTopN:
+		if q.Table.SkipIndex() == nil && q.Table.RootOffset() == 0 {
+			// Session.Plan accepts hand-built queries over tables other
+			// than the session's; index them on first use too.
+			_ = q.Table.BuildSkipIndex(s.opts.SkipBlockRows)
+		}
+		p.Skip = q.Table.SkipIndex() != nil
+	case engine.KindJoin:
+		if q.Right.SkipIndex() == nil && q.Right.RootOffset() == 0 {
+			_ = q.Right.BuildSkipIndex(s.opts.SkipBlockRows)
+		}
+		p.Skip = q.Right.SkipIndex() != nil
+	}
 }
 
 // singlePass reports whether the kind streams the table once — the

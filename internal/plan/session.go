@@ -58,6 +58,17 @@ type Options struct {
 	NICGbps float64
 	// CostModel overrides the calibrated completion-time model.
 	CostModel *engine.CostModel
+	// DisableSkipping turns storage-side block skipping off. By default
+	// Open builds a block skip index (per-column zone maps + Bloom
+	// filters) over the session table, and eligible plans (WHERE, TOP N,
+	// JOIN) skip blocks the metadata proves irrelevant before any row is
+	// read or encoded. Skipping never changes results — every plan stays
+	// bit-identical to an unskipped direct execution — so the knob exists
+	// for measurement, not correctness.
+	DisableSkipping bool
+	// SkipBlockRows is the skip-index block size in rows; ≤ 0 selects
+	// table.DefaultBlockRows.
+	SkipBlockRows int
 }
 
 // Session is an open database handle: a table plus the planning context
@@ -100,6 +111,12 @@ func Open(t *table.Table, opts Options) (*Session, error) {
 	cost := engine.DefaultCostModel()
 	if opts.CostModel != nil {
 		cost = *opts.CostModel
+	}
+	if !opts.DisableSkipping && t.SkipIndex() == nil && t.RootOffset() == 0 {
+		// Best effort: a session over a view (RootOffset ≠ 0, or a
+		// zero-offset view whose root owns the data) inherits whatever
+		// index its root carries; BuildSkipIndex rejects views.
+		_ = t.BuildSkipIndex(opts.SkipBlockRows)
 	}
 	return &Session{
 		table:    t,

@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cheetah/internal/engine"
+	"cheetah/internal/prune"
+	"cheetah/internal/table"
+	"cheetah/internal/workload"
+)
+
+// TestExecutionSkipStats is the acceptance check: a selective WHERE
+// over the bench table reports RowsSkipped > 0 on the Execution, the
+// result stays bit-identical to a no-skip direct run, and Explain
+// prints the skip plan.
+func TestExecutionSkipStats(t *testing.T) {
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(20_000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(uv, Options{Workers: 3, Seed: 7, SkipBlockRows: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if uv.SkipIndex() == nil {
+		t.Fatal("Open did not build a skip index on the session table")
+	}
+
+	q, err := s.Select().Where("adRevenue", prune.OpGT, 300_000).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.ExecDirect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := s.Exec(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Plan.Skip {
+		t.Fatalf("plan did not enable skipping: %s", ex.Plan)
+	}
+	if !want.Equal(ex.Result) {
+		t.Fatal("skipped execution diverges from direct")
+	}
+	if ex.RowsSkipped == 0 || ex.BlocksSkipped == 0 {
+		t.Fatalf("selective WHERE skipped nothing: %+v", ex.SkipStats)
+	}
+	exp := ex.Explain()
+	if !strings.Contains(exp, "skip:") || !strings.Contains(exp, "blocks skipped") {
+		t.Fatalf("Explain omits the skip plan:\n%s", exp)
+	}
+}
+
+// TestDisableSkipping pins the opt-out: no index is built, no plan
+// skips, results are unchanged.
+func TestDisableSkipping(t *testing.T) {
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(5_000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(uv, Options{Workers: 2, Seed: 1, DisableSkipping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if uv.SkipIndex() != nil {
+		t.Fatal("DisableSkipping still built an index")
+	}
+	ex, err := s.Select().Where("adRevenue", prune.OpGT, 300_000).Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Plan.Skip || ex.SkipStats != (engine.SkipStats{}) {
+		t.Fatalf("disabled session still skipped: %+v", ex.SkipStats)
+	}
+}
+
+// TestStreamingSkipStats pins skip accounting through a subscription:
+// mid-subscription appends grow the tail block, the index refreshes on
+// the snapshot path, deltas skip, and the standing result matches a
+// from-scratch direct run.
+func TestStreamingSkipStats(t *testing.T) {
+	src, err := workload.UserVisits(workload.DefaultUserVisits(6_000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := table.New(src.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(target, Options{Workers: 2, Seed: 9, SkipBlockRows: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := streamCtx(t)
+	st, err := s.Stream(ctx, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Select().Where("adRevenue", prune.OpGT, 300_000).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := st.Subscribe(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Plan().Skip {
+		t.Fatalf("subscription plan did not enable skipping: %s", sub.Plan())
+	}
+	// Batch sizes deliberately misaligned with the 256-row block size:
+	// deltas start and end mid-block, and the tail block grows across
+	// deltas.
+	appendInChunks(t, st, src, 413)
+	if err := sub.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	fq := *q
+	fq.Table = src
+	want, err := engine.ExecDirect(&fq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ver := sub.Results()
+	if ver != uint64(src.NumRows()) {
+		t.Fatalf("version=%d, want %d", ver, src.NumRows())
+	}
+	if !want.Equal(got) {
+		t.Fatal("standing result diverges from from-scratch direct run")
+	}
+	if sk := sub.Skipped(); sk.RowsSkipped == 0 {
+		t.Fatalf("subscription deltas skipped nothing: %+v", sk)
+	}
+}

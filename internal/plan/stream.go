@@ -160,6 +160,7 @@ type Subscription struct {
 	swIdx    int
 	replaced int
 	traffic  engine.Traffic
+	skipped  engine.SkipStats
 	once     sync.Once
 }
 
@@ -200,6 +201,22 @@ func (ss *Subscription) addTraffic(t engine.Traffic) {
 	ss.traffic.Forwarded += t.Forwarded
 	ss.traffic.SecondPassSent += t.SecondPassSent
 	ss.traffic.MasterProcessed += t.MasterProcessed
+	ss.mu.Unlock()
+}
+
+// Skipped returns the cumulative block-skip statistics of the
+// subscription's delta executions: blocks (and their rows) the skip
+// index proved irrelevant, so the delta never read or encoded them.
+// Zero when the plan did not enable skipping (Plan().Skip).
+func (ss *Subscription) Skipped() engine.SkipStats {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.skipped
+}
+
+func (ss *Subscription) addSkipped(st engine.SkipStats) {
+	ss.mu.Lock()
+	ss.skipped.Add(st)
 	ss.mu.Unlock()
 }
 
@@ -286,7 +303,7 @@ func (st *Streaming) subscribe(ctx context.Context, q *engine.Query, window, sli
 	var exec stream.DeltaExec
 	switch {
 	case p.Mode == ModeDirect:
-		exec = stream.DirectExec
+		exec = ss.directExec()
 	case p.Switches > 1:
 		exec, err = st.shardedExec(ctx, ss, p, windowed)
 	default:
@@ -312,6 +329,23 @@ func (st *Streaming) subscribe(ctx context.Context, q *engine.Query, window, sli
 	st.subs[ss] = struct{}{}
 	st.mu.Unlock()
 	return ss, nil
+}
+
+// directExec is the delta executor for unpruned subscriptions: exact
+// direct execution of each delta, still consulting the skip index when
+// the plan enabled skipping (skipping is storage-side, independent of
+// whether a switch program runs).
+func (ss *Subscription) directExec() stream.DeltaExec {
+	if !ss.plan.Skip {
+		return stream.DirectExec
+	}
+	return func(dq *engine.Query, _ func() *engine.Result) (*engine.Result, error) {
+		res, st, err := engine.ExecDirectSkip(dq)
+		if err == nil {
+			ss.addSkipped(st)
+		}
+		return res, err
+	}
 }
 
 // fallbackDirect reports whether a fabric admission failure means "run
@@ -377,7 +411,7 @@ func (st *Streaming) placedExec(ctx context.Context, ss *Subscription, p *Plan, 
 		if fallbackDirect(err) {
 			p.Mode = ModeDirect
 			p.Reason = fmt.Sprintf("streaming fallback: %v", err)
-			return stream.DirectExec, nil
+			return ss.directExec(), nil
 		}
 		return nil, err
 	}
@@ -412,12 +446,14 @@ func (st *Streaming) placedExec(ctx context.Context, ss *Subscription, p *Plan, 
 			resetForDelta([]prune.Pruner{curPruner}, windowed)
 			run, err := engine.ExecCheetah(dq, engine.CheetahOptions{
 				Workers: workers, Pruner: curPruner, Seed: seed, Flow: cur.Lease,
+				Skip: p.Skip,
 			})
 			if err != nil {
 				return nil, err
 			}
 			if cur.Err() == nil {
 				ss.addTraffic(run.Traffic)
+				ss.addSkipped(run.Skipped)
 				return run.Result, nil
 			}
 			// The switch died while the delta was streaming through it:
@@ -453,7 +489,7 @@ func (st *Streaming) shardedExec(ctx context.Context, ss *Subscription, p *Plan,
 		if fallbackDirect(err) {
 			p.Mode = ModeDirect
 			p.Reason = fmt.Sprintf("streaming fallback: %v", err)
-			return stream.DirectExec, nil
+			return ss.directExec(), nil
 		}
 		return nil, err
 	}
@@ -492,11 +528,13 @@ func (st *Streaming) shardedExec(ctx context.Context, ss *Subscription, p *Plan,
 		run, err := engine.ExecSharded(dq, engine.ShardedOptions{
 			Shards: shards, Workers: workers, Seed: seed,
 			Pruners: curPruners, Flows: curFlows, Failover: failover,
+			Skip: p.Skip,
 		})
 		if err != nil {
 			return nil, err
 		}
 		ss.addTraffic(run.Traffic)
+		ss.addSkipped(run.Skipped)
 		return run.Result, nil
 	}, nil
 }

@@ -233,6 +233,10 @@ func (s *Subscription) step() (int, error) {
 		s.in.mu.Unlock()
 		return 0, nil
 	}
+	// Extend the skip index over the rows this delta covers before the
+	// snapshot captures the index pointer (same amortization as
+	// Ingestor.Snapshot; in.mu serializes the refresh against commits).
+	s.in.t.RefreshSkipIndex()
 	snap, err := s.in.t.SnapshotPrefix(int(hi))
 	s.in.mu.Unlock()
 	if err != nil {

@@ -1,0 +1,201 @@
+package table
+
+// Block skip metadata: zone maps + Bloom filters over fixed-size row
+// blocks, the storage-side complement to switch pruning. The switch
+// prunes entries in flight; the skip index lets workers avoid reading
+// (and encoding) whole blocks that provably contain no relevant row,
+// in the style of Provenance-based Data Skipping.
+//
+// The index is immutable once published: extending it after appends
+// builds a NEW SkipIndex sharing the sealed (full) block metas and
+// rebuilding only the tail, so a snapshot that captured an older index
+// pointer keeps reading it without synchronization — the same
+// copy-on-write discipline SnapshotPrefix applies to column headers.
+//
+// Staleness is safe in both directions, which is what makes the
+// ingestor integration cheap. An index covering MORE rows than a view
+// (snapshot taken mid-tail-block) yields per-block ranges and Blooms
+// that are supersets of the view's rows — fewer skips, never a wrong
+// one. An index covering FEWER rows (appends since the last refresh)
+// leaves the uncovered tail without metadata — those rows are always
+// scanned. Both rely on rows being append-only and never rewritten;
+// in-place reorders (SortByInt64, Shuffle) invalidate the index.
+
+import (
+	"fmt"
+
+	"cheetah/internal/hashutil"
+	"cheetah/internal/sketch"
+)
+
+// DefaultBlockRows is the skip-index block size used when the caller
+// does not pick one: large enough that per-block metadata (two int64s
+// plus ~8 Bloom bits per row per column) stays well under 1% of column
+// storage, small enough that a selective predicate skips at fine grain.
+const DefaultBlockRows = 4096
+
+// bloomSeed salts the per-column block Blooms. Fixed so rebuilding a
+// tail block reproduces the same structure for the same rows.
+const bloomSeed = 0x5eedb10c
+
+// BlockMeta summarizes one block of rows: per-column min/max for Int64
+// columns and a per-column Bloom filter (Int64 values keyed directly,
+// strings hashed). All fields are immutable after construction.
+type BlockMeta struct {
+	rows   int
+	mins   []int64
+	maxs   []int64
+	blooms []*sketch.Bloom
+}
+
+// Rows returns how many rows the block summarizes. For every block but
+// the tail this equals the index's block size; the tail covers however
+// many rows existed at the last build/refresh.
+func (m *BlockMeta) Rows() int { return m.rows }
+
+// Int64Range returns the min and max value of Int64 column c over the
+// block's rows.
+func (m *BlockMeta) Int64Range(c int) (lo, hi int64) { return m.mins[c], m.maxs[c] }
+
+// MayContainInt64 reports whether Int64 column c may contain v in this
+// block. False is definitive (zone map excludes it, or the Bloom has
+// never seen it); true may be a false positive.
+func (m *BlockMeta) MayContainInt64(c int, v int64) bool {
+	if v < m.mins[c] || v > m.maxs[c] {
+		return false
+	}
+	if b := m.blooms[c]; b != nil {
+		return b.Contains(uint64(v))
+	}
+	return true
+}
+
+// MayContainString reports whether String column c may contain s in
+// this block. False is definitive; true may be a false positive.
+func (m *BlockMeta) MayContainString(c int, s string) bool {
+	if b := m.blooms[c]; b != nil {
+		return b.Contains(hashutil.HashString64(s, bloomSeed))
+	}
+	return true
+}
+
+// SkipIndex is block skip metadata over the first Rows() rows of a root
+// table, in root row coordinates: block b covers root rows
+// [b·BlockRows(), min((b+1)·BlockRows(), Rows())). The struct and every
+// BlockMeta it references are immutable; refreshing after appends
+// publishes a new index.
+type SkipIndex struct {
+	blockRows int
+	rows      int
+	blocks    []*BlockMeta
+}
+
+// BlockRows returns the index's block size in rows.
+func (ix *SkipIndex) BlockRows() int { return ix.blockRows }
+
+// Rows returns how many root rows the index covers. Rows appended after
+// the last refresh are uncovered and must be scanned.
+func (ix *SkipIndex) Rows() int { return ix.rows }
+
+// NumBlocks returns the number of block metas.
+func (ix *SkipIndex) NumBlocks() int { return len(ix.blocks) }
+
+// Block returns the meta for block b.
+func (ix *SkipIndex) Block(b int) *BlockMeta { return ix.blocks[b] }
+
+// SkipIndex returns the table's skip index, or nil if none was built.
+// Views and snapshots return the index captured from their root at
+// creation time; use RootOffset to translate view rows to index rows.
+// Safe to call concurrently with BuildSkipIndex/RefreshSkipIndex: the
+// pointer swap is atomic and a stale index is safe in both directions
+// (see the file comment).
+func (t *Table) SkipIndex() *SkipIndex { return t.skip.Load() }
+
+// RootOffset returns the view's starting row in root coordinates (0 for
+// a root table). Skip-index blocks are root-aligned, so a consumer
+// iterating a view maps local row r to index row RootOffset()+r.
+func (t *Table) RootOffset() int { return t.off }
+
+// BuildSkipIndex builds (or rebuilds) block skip metadata over all
+// current rows and attaches it to the table; SnapshotPrefix, View and
+// Partition propagate the index to the tables they derive. blockRows
+// ≤ 0 selects DefaultBlockRows. Only root tables carry an index.
+func (t *Table) BuildSkipIndex(blockRows int) error {
+	if t.parent != nil {
+		return fmt.Errorf("table: cannot build a skip index on a view")
+	}
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	ix := &SkipIndex{blockRows: blockRows, rows: t.n}
+	for lo := 0; lo < t.n; lo += blockRows {
+		hi := min(lo+blockRows, t.n)
+		ix.blocks = append(ix.blocks, t.buildBlock(lo, hi, blockRows))
+	}
+	t.skip.Store(ix)
+	return nil
+}
+
+// RefreshSkipIndex extends the skip index over rows appended since the
+// last build/refresh. Sealed (full) block metas are shared with the
+// previous index; only the tail block is rebuilt, so the cost is
+// O(blockRows + new rows) and previously captured snapshots keep their
+// old index untouched. A no-op when the table has no index, is a view,
+// or is already fully covered.
+func (t *Table) RefreshSkipIndex() {
+	ix := t.skip.Load()
+	if t.parent != nil || ix == nil || ix.rows == t.n {
+		return
+	}
+	nx := &SkipIndex{blockRows: ix.blockRows, rows: t.n}
+	sealed := ix.rows / ix.blockRows
+	nx.blocks = make([]*BlockMeta, 0, (t.n+ix.blockRows-1)/ix.blockRows)
+	nx.blocks = append(nx.blocks, ix.blocks[:sealed]...)
+	for lo := sealed * ix.blockRows; lo < t.n; lo += ix.blockRows {
+		hi := min(lo+ix.blockRows, t.n)
+		nx.blocks = append(nx.blocks, t.buildBlock(lo, hi, ix.blockRows))
+	}
+	t.skip.Store(nx)
+}
+
+// buildBlock summarizes root rows [lo, hi) of every column. Bloom size
+// follows the block capacity (~8 bits per row, 3 hash functions) with a
+// small floor so tiny test blocks keep a usable false-positive rate.
+func (t *Table) buildBlock(lo, hi, blockRows int) *BlockMeta {
+	m := &BlockMeta{
+		rows:   hi - lo,
+		mins:   make([]int64, len(t.cols)),
+		maxs:   make([]int64, len(t.cols)),
+		blooms: make([]*sketch.Bloom, len(t.cols)),
+	}
+	bits := max(8*blockRows, 64)
+	for c, col := range t.cols {
+		b, err := sketch.NewBloom(bits, 3, bloomSeed^uint64(c))
+		if err != nil {
+			// Size and hash count are statically valid; an error here
+			// would be a programming bug, not a data condition.
+			panic(fmt.Sprintf("table: block bloom: %v", err))
+		}
+		m.blooms[c] = b
+		switch col.typ {
+		case Int64:
+			vals := col.ints[lo:hi]
+			mn, mx := vals[0], vals[0]
+			for _, v := range vals {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+				b.Add(uint64(v))
+			}
+			m.mins[c], m.maxs[c] = mn, mx
+		case String:
+			for _, s := range col.strs[lo:hi] {
+				b.Add(hashutil.HashString64(s, bloomSeed))
+			}
+		}
+	}
+	return m
+}

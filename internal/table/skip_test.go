@@ -1,0 +1,216 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+)
+
+func skipTestTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	tb := MustNew(Schema{
+		{Name: "v", Type: Int64},
+		{Name: "s", Type: String},
+	})
+	for i := 0; i < rows; i++ {
+		if err := tb.AppendRow(int64(i*10), fmt.Sprintf("s%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestSkipIndexEmptyTable(t *testing.T) {
+	tb := skipTestTable(t, 0)
+	if err := tb.BuildSkipIndex(4); err != nil {
+		t.Fatal(err)
+	}
+	ix := tb.SkipIndex()
+	if ix == nil || ix.NumBlocks() != 0 || ix.Rows() != 0 {
+		t.Fatalf("empty table index: %+v", ix)
+	}
+	// Growing from empty covers the appended rows.
+	if err := tb.AppendRow(int64(7), "x"); err != nil {
+		t.Fatal(err)
+	}
+	tb.RefreshSkipIndex()
+	ix = tb.SkipIndex()
+	if ix.NumBlocks() != 1 || ix.Rows() != 1 {
+		t.Fatalf("refresh from empty: blocks=%d rows=%d", ix.NumBlocks(), ix.Rows())
+	}
+	if lo, hi := ix.Block(0).Int64Range(0); lo != 7 || hi != 7 {
+		t.Fatalf("range after refresh: [%d,%d]", lo, hi)
+	}
+}
+
+func TestSkipIndexSingleRowBlocks(t *testing.T) {
+	tb := skipTestTable(t, 5)
+	if err := tb.BuildSkipIndex(1); err != nil {
+		t.Fatal(err)
+	}
+	ix := tb.SkipIndex()
+	if ix.NumBlocks() != 5 {
+		t.Fatalf("blocks=%d, want 5", ix.NumBlocks())
+	}
+	for b := 0; b < 5; b++ {
+		m := ix.Block(b)
+		if m.Rows() != 1 {
+			t.Fatalf("block %d rows=%d", b, m.Rows())
+		}
+		want := int64(b * 10)
+		if lo, hi := m.Int64Range(0); lo != want || hi != want {
+			t.Fatalf("block %d range [%d,%d], want [%d,%d]", b, lo, hi, want, want)
+		}
+		if !m.MayContainInt64(0, want) {
+			t.Fatalf("block %d misses its own value %d", b, want)
+		}
+		if m.MayContainInt64(0, want+1) {
+			t.Fatalf("block %d zone map admits %d", b, want+1)
+		}
+		if !m.MayContainString(1, fmt.Sprintf("s%04d", b)) {
+			t.Fatalf("block %d misses its own string", b)
+		}
+	}
+}
+
+func TestSkipIndexBlockBoundaryAppends(t *testing.T) {
+	tb := skipTestTable(t, 0)
+	if err := tb.BuildSkipIndex(4); err != nil {
+		t.Fatal(err)
+	}
+	// Append exactly one block, refresh, then exactly one more: the
+	// sealed meta must be reused (pointer identity), not rebuilt.
+	for i := 0; i < 4; i++ {
+		if err := tb.AppendRow(int64(i), fmt.Sprintf("s%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.RefreshSkipIndex()
+	first := tb.SkipIndex()
+	if first.NumBlocks() != 1 || first.Block(0).Rows() != 4 {
+		t.Fatalf("after boundary append: blocks=%d", first.NumBlocks())
+	}
+	sealed := first.Block(0)
+	for i := 4; i < 8; i++ {
+		if err := tb.AppendRow(int64(i), fmt.Sprintf("s%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.RefreshSkipIndex()
+	second := tb.SkipIndex()
+	if second.NumBlocks() != 2 {
+		t.Fatalf("blocks=%d, want 2", second.NumBlocks())
+	}
+	if second.Block(0) != sealed {
+		t.Fatal("sealed block meta was rebuilt, want pointer reuse")
+	}
+	// The earlier index is untouched (copy-on-write).
+	if first.NumBlocks() != 1 || first.Rows() != 4 {
+		t.Fatal("refresh mutated the previously published index")
+	}
+}
+
+func TestSkipIndexPartialTailRefresh(t *testing.T) {
+	tb := skipTestTable(t, 6) // blockRows=4: one sealed + 2-row tail
+	if err := tb.BuildSkipIndex(4); err != nil {
+		t.Fatal(err)
+	}
+	old := tb.SkipIndex()
+	if old.NumBlocks() != 2 || old.Block(1).Rows() != 2 {
+		t.Fatalf("unexpected initial shape: blocks=%d", old.NumBlocks())
+	}
+	oldTail := old.Block(1)
+	if err := tb.AppendRow(int64(999), "tail"); err != nil {
+		t.Fatal(err)
+	}
+	tb.RefreshSkipIndex()
+	nw := tb.SkipIndex()
+	if nw.NumBlocks() != 2 || nw.Block(1).Rows() != 3 {
+		t.Fatalf("tail not extended: rows=%d", nw.Block(1).Rows())
+	}
+	if nw.Block(1) == oldTail {
+		t.Fatal("tail meta must be rebuilt, not shared")
+	}
+	// The old index still describes the old prefix: its tail never saw
+	// the new value.
+	if lo, hi := oldTail.Int64Range(0); hi >= 999 || lo != 40 {
+		t.Fatalf("old tail range mutated: [%d,%d]", lo, hi)
+	}
+	if lo, hi := nw.Block(1).Int64Range(0); hi != 999 || lo != 40 {
+		t.Fatalf("new tail range wrong: [%d,%d]", lo, hi)
+	}
+}
+
+func TestSkipIndexSnapshotMidTailBlock(t *testing.T) {
+	tb := skipTestTable(t, 6)
+	if err := tb.BuildSkipIndex(4); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot 5 of 6 rows: the captured index covers MORE rows than the
+	// snapshot (6 > 5) — a legal superset; and a snapshot taken before a
+	// refresh keeps the old index even as the root's advances.
+	snap, err := tb.SnapshotPrefix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SkipIndex() != tb.SkipIndex() {
+		t.Fatal("snapshot did not capture the root's index")
+	}
+	if err := tb.AppendRow(int64(1000), "new"); err != nil {
+		t.Fatal(err)
+	}
+	tb.RefreshSkipIndex()
+	if snap.SkipIndex() == tb.SkipIndex() {
+		t.Fatal("snapshot index advanced with the root's refresh")
+	}
+	if snap.SkipIndex().Rows() != 6 || tb.SkipIndex().Rows() != 7 {
+		t.Fatalf("rows: snap=%d root=%d", snap.SkipIndex().Rows(), tb.SkipIndex().Rows())
+	}
+	// Views of the snapshot inherit its captured index and map via
+	// RootOffset.
+	v, err := snap.View(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SkipIndex() != snap.SkipIndex() || v.RootOffset() != 2 {
+		t.Fatalf("view index/offset: off=%d", v.RootOffset())
+	}
+}
+
+func TestSkipIndexViewRejectedAndReorderInvalidates(t *testing.T) {
+	tb := skipTestTable(t, 8)
+	v, err := tb.View(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.BuildSkipIndex(4); err == nil {
+		t.Fatal("BuildSkipIndex on a view succeeded, want error")
+	}
+	if err := tb.BuildSkipIndex(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Shuffle(1); err != nil {
+		t.Fatal(err)
+	}
+	if tb.SkipIndex() != nil {
+		t.Fatal("shuffle left a stale skip index attached")
+	}
+	if err := tb.BuildSkipIndex(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SortByInt64("v"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.SkipIndex() != nil {
+		t.Fatal("sort left a stale skip index attached")
+	}
+}
+
+func TestSkipIndexDefaultBlockRows(t *testing.T) {
+	tb := skipTestTable(t, 10)
+	if err := tb.BuildSkipIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.SkipIndex().BlockRows(); got != DefaultBlockRows {
+		t.Fatalf("blockRows=%d, want %d", got, DefaultBlockRows)
+	}
+}

@@ -8,11 +8,19 @@
 // which covers every benchmark query in the paper). Partitioning produces
 // zero-copy views that share column storage, the same way Spark partitions
 // reference blocks of a parent dataset.
+//
+// Tables optionally carry a block skip index (skip.go): per-column
+// min/max zone maps and Bloom filters over fixed-size row blocks, built
+// by BuildSkipIndex and extended over appended rows by RefreshSkipIndex
+// under the same copy-on-write discipline as SnapshotPrefix. The engine
+// consults it to prove whole blocks irrelevant to a query — storage-side
+// skipping that composes with the switch's in-flight pruning.
 package table
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"cheetah/internal/hashutil"
 )
@@ -107,6 +115,15 @@ type Table struct {
 	// version counts mutations applied through this handle (appends,
 	// sorts, shuffles). Views and snapshots start at 0 and stay there.
 	version uint64
+	// skip is the block skip metadata (zone maps + Blooms; skip.go), nil
+	// until BuildSkipIndex. Immutable once published: refreshes swap in
+	// a new index, views and snapshots capture the pointer at creation.
+	// In-place reorders clear it — block summaries describe row ranges.
+	// The pointer itself is atomic so a planner may consult the index
+	// while an ingestor refreshes it; skip-index staleness is safe in
+	// both directions (skip.go), unlike every other Table field, which
+	// needs external synchronization against mutation.
+	skip atomic.Pointer[SkipIndex]
 }
 
 // New creates an empty table with the given schema.
@@ -178,7 +195,9 @@ func (t *Table) SnapshotPrefix(n int) (*Table, error) {
 		}
 		cols[i] = nc
 	}
-	return &Table{schema: t.schema, cols: cols, off: t.off, n: n, parent: root}, nil
+	snap := &Table{schema: t.schema, cols: cols, off: t.off, n: n, parent: root}
+	snap.skip.Store(t.skip.Load())
+	return snap, nil
 }
 
 // NumCols returns the number of columns.
@@ -317,13 +336,15 @@ func (t *Table) View(lo, hi int) (*Table, error) {
 	if t.parent != nil {
 		root = t.parent
 	}
-	return &Table{
+	v := &Table{
 		schema: t.schema,
 		cols:   t.cols,
 		off:    t.off + lo,
 		n:      hi - lo,
 		parent: root,
-	}, nil
+	}
+	v.skip.Store(t.skip.Load())
+	return v, nil
 }
 
 // Partition splits the table into k contiguous zero-copy views of
@@ -425,7 +446,10 @@ func (t *Table) Shuffle(seed uint64) error {
 }
 
 // applyPermutation reorders every column so row i becomes old row perm[i].
+// Reordering invalidates the skip index: its block summaries describe
+// positional row ranges that no longer hold.
 func (t *Table) applyPermutation(perm []int) {
+	t.skip.Store(nil)
 	for _, c := range t.cols {
 		switch c.typ {
 		case Int64:
