@@ -151,14 +151,16 @@ func buildUserVisits(b *testing.B, rows int) *cheetah.Table {
 }
 
 // benchExecCheetah runs q through ExecCheetah with the given path and
-// reports entries/s; the batch and scalar variants of each benchmark
-// share it so the ≥3× speedup criterion is measurable in one build.
-func benchExecCheetah(b *testing.B, q *cheetah.Query, rows int, scalar bool) {
+// reports entries/s; the fused (default), batch (NoFuse) and scalar
+// variants of each benchmark share it so the speedup criteria are
+// measurable in one build.
+func benchExecCheetah(b *testing.B, q *cheetah.Query, rows int, opts cheetah.CheetahOptions) {
 	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cheetah.ExecCheetah(q, cheetah.CheetahOptions{Workers: 5, Seed: uint64(i), Scalar: scalar}); err != nil {
+		opts.Workers, opts.Seed = 5, uint64(i)
+		if _, err := cheetah.ExecCheetah(q, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -190,27 +192,39 @@ func filter100kQuery(b *testing.B) *cheetah.Query {
 }
 
 func BenchmarkExecCheetahDistinct100k(b *testing.B) {
-	benchExecCheetah(b, distinct100kQuery(b), 100_000, false)
+	benchExecCheetah(b, distinct100kQuery(b), 100_000, cheetah.CheetahOptions{})
+}
+
+func BenchmarkExecCheetahDistinct100kBatch(b *testing.B) {
+	benchExecCheetah(b, distinct100kQuery(b), 100_000, cheetah.CheetahOptions{NoFuse: true})
 }
 
 func BenchmarkExecCheetahDistinct100kScalar(b *testing.B) {
-	benchExecCheetah(b, distinct100kQuery(b), 100_000, true)
+	benchExecCheetah(b, distinct100kQuery(b), 100_000, cheetah.CheetahOptions{Scalar: true})
 }
 
 func BenchmarkExecCheetahTopN100k(b *testing.B) {
-	benchExecCheetah(b, topN100kQuery(b), 100_000, false)
+	benchExecCheetah(b, topN100kQuery(b), 100_000, cheetah.CheetahOptions{})
+}
+
+func BenchmarkExecCheetahTopN100kBatch(b *testing.B) {
+	benchExecCheetah(b, topN100kQuery(b), 100_000, cheetah.CheetahOptions{NoFuse: true})
 }
 
 func BenchmarkExecCheetahTopN100kScalar(b *testing.B) {
-	benchExecCheetah(b, topN100kQuery(b), 100_000, true)
+	benchExecCheetah(b, topN100kQuery(b), 100_000, cheetah.CheetahOptions{Scalar: true})
 }
 
 func BenchmarkExecCheetahFilter100k(b *testing.B) {
-	benchExecCheetah(b, filter100kQuery(b), 100_000, false)
+	benchExecCheetah(b, filter100kQuery(b), 100_000, cheetah.CheetahOptions{})
+}
+
+func BenchmarkExecCheetahFilter100kBatch(b *testing.B) {
+	benchExecCheetah(b, filter100kQuery(b), 100_000, cheetah.CheetahOptions{NoFuse: true})
 }
 
 func BenchmarkExecCheetahFilter100kScalar(b *testing.B) {
-	benchExecCheetah(b, filter100kQuery(b), 100_000, true)
+	benchExecCheetah(b, filter100kQuery(b), 100_000, cheetah.CheetahOptions{Scalar: true})
 }
 
 func BenchmarkExecDirectDistinct100k(b *testing.B) {

@@ -8,8 +8,12 @@
 // scale and takes minutes; the default 50 finishes in seconds). Output
 // is aligned text, one block per table/figure.
 //
-// The baseline target measures the ExecCheetah micro-benchmarks (batch
-// and scalar paths) and writes machine-readable JSON to -baseline-out,
+// With -cpuprofile or -memprofile, the whole run is profiled with
+// runtime/pprof and the profile written on exit — point `go tool pprof`
+// at the output to see where a target spends its time or memory.
+//
+// The baseline target measures the ExecCheetah micro-benchmarks (fused,
+// batch and scalar paths) and writes machine-readable JSON to -baseline-out,
 // giving future changes a perf trajectory to compare against. The diff
 // target re-measures the same benchmarks and compares entries/s against
 // the committed reference (-baseline-ref), exiting non-zero when any
@@ -37,6 +41,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"cheetah/internal/bench"
 )
@@ -54,7 +60,11 @@ func appendFile(path, content string) error {
 	return f.Close()
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's whole body so the profile-writing defers fire before
+// the process exits with the target's status code.
+func run() int {
 	scale := flag.Int("scale", 50, "divide paper dataset sizes by this factor (1 = paper scale)")
 	seeds := flag.Int("seeds", 5, "runs per randomized algorithm (95% CIs)")
 	seed := flag.Uint64("seed", 0xc0ffee, "base RNG seed")
@@ -66,14 +76,46 @@ func main() {
 	baselineRows := flag.Int("baseline-rows", 100_000, "benchmark table rows for the baseline target (diff follows the reference's recorded rows)")
 	baselineRef := flag.String("baseline-ref", "BENCH_baseline.json", "reference file for the diff target")
 	regressThreshold := flag.Float64("regress-threshold", 0.15, "entries/s regression fraction that fails the diff target")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at run end to this file")
 	flag.Parse()
 
-	o := bench.Options{Scale: *scale, Seeds: *seeds, BaseSeed: *seed}
-	targets := flag.Args()
-	if len(targets) == 0 {
-		targets = []string{"all"}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
-	run := map[string]func() error{
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	o := bench.Options{Scale: *scale, Seeds: *seeds, BaseSeed: *seed}
+	selected := flag.Args()
+	if len(selected) == 0 {
+		selected = []string{"all"}
+	}
+	targets := map[string]func() error{
 		"table2": func() error { return bench.Table2(os.Stdout) },
 		"table3": func() error { return bench.Table3(os.Stdout) },
 		"fig5":   func() error { _, err := bench.Fig5(os.Stdout, o); return err },
@@ -136,25 +178,26 @@ func main() {
 		},
 	}
 	order := []string{"table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
-	for _, t := range targets {
+	for _, t := range selected {
 		if t == "all" {
 			for _, name := range order {
 				fmt.Printf("\n===== %s =====\n", name)
-				if err := run[name](); err != nil {
+				if err := targets[name](); err != nil {
 					fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-					os.Exit(1)
+					return 1
 				}
 			}
 			continue
 		}
-		f, ok := run[t]
+		f, ok := targets[t]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown target %q (want one of %v, baseline, serve, stream, net, skip, or diff)\n", t, order)
-			os.Exit(2)
+			return 2
 		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", t, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

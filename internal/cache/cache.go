@@ -146,21 +146,28 @@ func (m *Matrix) MemoryBits() int { return m.d * m.w * 64 }
 // RollingMin is the d×w matrix of §5's randomized TOP N: each row keeps
 // the w largest values routed to it, in descending column order, using the
 // single-comparison-per-stage rolling-minimum update the switch supports.
+//
+// Empty slots hold MinSentinel rather than a fill counter: the sentinel is
+// the smallest int64, so it sorts to the tail of a descending row and the
+// filling splice and the full-row displacement are the same operation. A
+// row is full exactly when its last column is not the sentinel. The one
+// representable casualty is a genuine MinSentinel value: it is
+// indistinguishable from an empty slot, so such values are never cached
+// and never pruned — forwarding them is always sound, the master just
+// sees a few more entries.
 type RollingMin struct {
 	d, w int
 	vals []int64
-	fill []int
-	// mins caches each full row's minimum (its last column) and holds
-	// MinSentinel while the row is filling, giving batch loops a
-	// single-load prune test that avoids touching the row matrix for
-	// pruned entries. Maintained by Offer.
+	// mins caches each row's last column (MinSentinel while the row is
+	// filling), giving scan loops a single compact-array prune test that
+	// avoids touching the row matrix for pruned entries. Maintained by
+	// Offer/InsertFull.
 	mins []int64
 }
 
-// MinSentinel marks a not-yet-full row in the Mins cache. A row's true
-// minimum can also legitimately be MinSentinel, so a batch loop seeing
-// value ≤ mins[row] == MinSentinel must confirm with FullMin before
-// pruning; every other value of mins[row] proves the row is full.
+// MinSentinel marks an empty slot (and a not-yet-full row in the Mins
+// cache): a value ≤ mins[row] may be pruned exactly when mins[row] is not
+// the sentinel.
 const MinSentinel = math.MinInt64
 
 // NewRollingMin creates the matrix.
@@ -168,11 +175,23 @@ func NewRollingMin(d, w int) (*RollingMin, error) {
 	if d <= 0 || w <= 0 {
 		return nil, fmt.Errorf("cache: rolling-min dimensions %dx%d must be positive", d, w)
 	}
-	r := &RollingMin{d: d, w: w, vals: make([]int64, d*w), fill: make([]int, d), mins: make([]int64, d)}
-	for i := range r.mins {
-		r.mins[i] = MinSentinel
-	}
+	r := &RollingMin{d: d, w: w, vals: make([]int64, d*w), mins: make([]int64, d)}
+	fillSentinel(r.vals)
+	fillSentinel(r.mins)
 	return r, nil
+}
+
+// fillSentinel sets every element to MinSentinel at memmove speed
+// (doubling copies beat a scalar store loop on the 128KB value matrices
+// the TOP N pruners allocate per query).
+func fillSentinel(s []int64) {
+	if len(s) == 0 {
+		return
+	}
+	s[0] = MinSentinel
+	for i := 1; i < len(s); i *= 2 {
+		copy(s[i:], s[:i])
+	}
 }
 
 // Mins exposes the per-row minimum cache for batch prune tests. The
@@ -188,46 +207,69 @@ func (r *RollingMin) Cols() int { return r.w }
 // Offer presents value to the given row (chosen uniformly at random by the
 // caller). It returns true when the value was smaller than every cached
 // value in a full row — i.e. the entry can be pruned. Otherwise the value
-// is spliced into its ordered position and the row's minimum falls out.
-//
-// The hardware performs this as a rolling swap — at each stage the packet
-// compares its carried value to the register, swapping when larger — and
-// this implementation computes the identical final row state as a
-// branch-light insertion: a position count over the descending row
-// followed by a shift.
+// is spliced into its ordered position and the row's minimum (an empty
+// sentinel while filling) falls out.
 func (r *RollingMin) Offer(row int, value int64) (prune bool) {
+	last := r.mins[row]
+	if value <= last && last != MinSentinel {
+		return true
+	}
+	r.InsertFull(row, value)
+	return false
+}
+
+// InsertFull splices value into its row: Offer without the prune verdict.
+// The splice is a no-op when value is not larger than the row minimum, so
+// callers that already proved value > mins[row] (the fused loops' compact
+// prune test) lose nothing by skipping the verdict; sentinel-valued empty
+// slots make the filling phase the same displacement.
+func (r *RollingMin) InsertFull(row int, value int64) {
+	if r.w == 4 {
+		// The literal hardware rolling swap, branch-free: each stage keeps
+		// the larger of (register, carried value) and passes the smaller
+		// on; min/max compile to conditional moves, so the randomly placed
+		// insertions never mispredict. w=4 is LegacyRandTopNConfig's
+		// column count, making this the steady-state TOP N path — and
+		// keeping it straight-line keeps InsertFull inlinable into the
+		// fused scan loops.
+		base := row * 4
+		s := r.vals[base : base+4 : base+4]
+		v0, v1, v2, v3 := s[0], s[1], s[2], s[3]
+		c := value
+		s[0] = max(v0, c)
+		c = min(v0, c)
+		s[1] = max(v1, c)
+		c = min(v1, c)
+		s[2] = max(v2, c)
+		c = min(v2, c)
+		m := max(v3, c)
+		s[3] = m
+		r.mins[row] = m
+		return
+	}
+	r.insertSplice(row, value)
+}
+
+// insertSplice is InsertFull's generic-width path: a position count over
+// the descending row followed by a shift (a no-op when value misses the
+// row's top w).
+func (r *RollingMin) insertSplice(row int, value int64) {
 	base := row * r.w
-	n := r.fill[row]
-	slots := r.vals[base : base+n]
-	// Insertion position: the count of slots ≥ value (a descending
-	// prefix), matching the strict-compare swap walk.
+	slots := r.vals[base : base+r.w]
 	pos := 0
 	for _, s := range slots {
 		if s >= value {
 			pos++
 		}
 	}
-	if n < r.w {
-		for i := n; i > pos; i-- {
-			r.vals[base+i] = r.vals[base+i-1]
-		}
-		r.vals[base+pos] = value
-		r.fill[row] = n + 1
-		if n+1 == r.w {
-			r.mins[row] = r.vals[base+r.w-1]
-		}
-		return false
-	}
 	if pos == r.w {
-		// The value is smaller than all w cached values: prune.
-		return true
+		return
 	}
 	for i := r.w - 1; i > pos; i-- {
-		r.vals[base+i] = r.vals[base+i-1]
+		slots[i] = slots[i-1]
 	}
-	r.vals[base+pos] = value
-	r.mins[row] = r.vals[base+r.w-1]
-	return false
+	slots[pos] = value
+	r.mins[row] = slots[r.w-1]
 }
 
 // FullMin returns the minimum cached value of row and whether the row is
@@ -237,28 +279,23 @@ func (r *RollingMin) Offer(row int, value int64) (prune bool) {
 // splice, and a not-full row can never prune. The method is small enough
 // to inline into callers' inner loops.
 func (r *RollingMin) FullMin(row int) (int64, bool) {
-	if r.fill[row] < r.w {
+	m := r.mins[row]
+	if m == MinSentinel {
 		return 0, false
 	}
-	return r.vals[row*r.w+r.w-1], true
+	return m, true
 }
 
 // RowMin returns the minimum cached value of a full row, or false when the
 // row is not yet full.
 func (r *RollingMin) RowMin(row int) (int64, bool) {
-	n := r.fill[row]
-	if n < r.w {
-		return 0, false
-	}
-	return r.vals[row*r.w+r.w-1], true
+	return r.FullMin(row)
 }
 
 // Reset clears all rows.
 func (r *RollingMin) Reset() {
-	for i := range r.fill {
-		r.fill[i] = 0
-		r.mins[i] = MinSentinel
-	}
+	fillSentinel(r.vals)
+	fillSentinel(r.mins)
 }
 
 // MemoryBits returns the SRAM footprint in bits.

@@ -479,7 +479,7 @@ func TestRollingMinOfferOrder(t *testing.T) {
 		}
 		for j, want := range s.want {
 			if r.vals[j] != want {
-				t.Fatalf("step %d: slot %d = %d, want %d (row %v)", i, j, r.vals[j], want, r.vals[:r.fill[0]])
+				t.Fatalf("step %d: slot %d = %d, want %d (row %v)", i, j, r.vals[j], want, r.vals[:3])
 			}
 		}
 	}

@@ -1069,8 +1069,16 @@ func batchSkyline(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	return br.finish(pruner, res, len(sv.rows)), nil
 }
 
-// execCheetahBatch dispatches the batched pipeline.
+// execCheetahBatch dispatches the batched pipeline, trying the fused
+// compiler first: when the query's pruner is a shipped type the fused
+// layer knows (and the dataplane grants direct program access), the
+// whole execution runs as monomorphic per-kind loops (fuse.go).
 func execCheetahBatch(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	if !opts.NoFuse {
+		if run, ok, err := execCheetahFused(q, opts); ok {
+			return run, err
+		}
+	}
 	switch q.Kind {
 	case KindFilter:
 		return batchFilter(q, opts)
@@ -1105,6 +1113,18 @@ func (h *int64Heap) push(v int64) {
 		}
 		(*h)[parent], (*h)[j] = (*h)[j], (*h)[parent]
 		j = parent
+	}
+}
+
+// offer admits v to the capacity-topN heap when it qualifies: a plain
+// push while filling, a root replacement when v beats the current
+// minimum, a no-op otherwise.
+func (h *int64Heap) offer(v int64, topN int) {
+	if len(*h) < topN {
+		h.push(v)
+	} else if v > (*h)[0] {
+		(*h)[0] = v
+		(*h).fixRoot()
 	}
 }
 

@@ -84,7 +84,9 @@ func equivQueries(tb, rt *table.Table) map[string]*Query {
 // TestBatchMatchesScalarExec is the batch-vs-scalar equivalence suite:
 // for every query kind, worker count and seed, the batched pipeline must
 // produce identical Result, Traffic and Stats to the legacy per-row
-// path.
+// path. Every batched leg in this file pins NoFuse — the chunked
+// pipeline is the subject under test here; the fused compiler has its
+// own equivalence suite (fuse_test.go).
 func TestBatchMatchesScalarExec(t *testing.T) {
 	tb := equivTable(t, 5000, 0x5eed)
 	rt := equivTable(t, 1777, 0x0dd)
@@ -99,7 +101,7 @@ func TestBatchMatchesScalarExec(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s w=%d seed=%d scalar: %v", name, workers, seed, err)
 				}
-				batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: seed})
+				batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: seed, NoFuse: true})
 				if err != nil {
 					t.Fatalf("%s w=%d seed=%d batch: %v", name, workers, seed, err)
 				}
@@ -141,7 +143,7 @@ func TestBatchTinyTables(t *testing.T) {
 			if err != nil {
 				t.Fatalf("rows=%d w=%d scalar: %v", rows, workers, err)
 			}
-			batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 3})
+			batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 3, NoFuse: true})
 			if err != nil {
 				t.Fatalf("rows=%d w=%d batch: %v", rows, workers, err)
 			}
@@ -172,7 +174,7 @@ func TestBatchAsymmetricJoin(t *testing.T) {
 			if err != nil {
 				return nil, nil, err
 			}
-			b, err = ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 7, Pruner: pb})
+			b, err = ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 7, Pruner: pb, NoFuse: true})
 			return a, b, err
 		}
 		scalar, batch, err := mk()
@@ -200,7 +202,7 @@ func TestBatchMultiChunk(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 11})
+			batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 11, NoFuse: true})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -228,7 +230,7 @@ func TestBatchParallelEncode(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 13})
+			batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 13, NoFuse: true})
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -271,7 +273,7 @@ func TestBatchCustomPrunerFilterExactCompletion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		batch, err := ExecCheetah(q, CheetahOptions{Workers: 3, Seed: 5, Pruner: mk()})
+		batch, err := ExecCheetah(q, CheetahOptions{Workers: 3, Seed: 5, Pruner: mk(), NoFuse: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -305,7 +307,7 @@ func TestBatchChunkBoundaryOrder(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 9})
+		batch, err := ExecCheetah(q, CheetahOptions{Workers: workers, Seed: 9, NoFuse: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -40,6 +40,14 @@ type CheetahOptions struct {
 	// Batched path only; combining Skip with Scalar is an error — the
 	// scalar path is the frozen equivalence oracle.
 	Skip bool
+	// NoFuse opts out of the fused execution loops (fuse.go) and keeps
+	// the chunked batch pipeline. The fused path is the default when the
+	// query's pruner is a shipped type the compiler knows; Results are
+	// always bit-identical to ExecDirect either way. Traffic and Stats
+	// are also identical for every kind except randomized TOP N, whose
+	// fused RNG draws from a counter-indexed stream (prune decisions may
+	// differ; final Results do not).
+	NoFuse bool
 }
 
 // BatchDataplane processes one batch of entries for an already-admitted
@@ -69,6 +77,11 @@ type progDataplane struct{ prog switchsim.Program }
 func (d progDataplane) ProcessBatch(b *switchsim.Batch, decisions []switchsim.Decision) {
 	switchsim.ProcessBatchOf(d.prog, b, decisions)
 }
+
+// FusedProgram implements the fused-capability probe (fuse.go): on the
+// exclusive path the execution owns the program outright, so direct
+// access is always allowed.
+func (d progDataplane) FusedProgram() switchsim.Program { return d.prog }
 
 // dataplaneFor resolves the batch dataplane of one execution: the
 // caller's flow-scoped handle when serving, the pruner itself otherwise.

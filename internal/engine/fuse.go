@@ -1,0 +1,1132 @@
+package engine
+
+// This file is the fused query compiler — the default execution layer of
+// ExecCheetah. The batched pipeline (batch.go) is already columnar, but
+// it still round-trips every chunk through three materialized passes
+// (encode into stream buffers → BatchProgram.ProcessBatch filling a
+// Decision slice → compact survivors), with an interface dispatch per
+// chunk and the pruner's per-entry state transition hidden behind it.
+// Here each query kind compiles to one monomorphic loop instead: the
+// loop reads table columns directly, inlines the pruner's core state
+// transition through the concrete type's Fused* entry points
+// (prune/fused.go), and consumes survivors in place — no wire buffers,
+// no Decision slice, no per-chunk dispatch.
+//
+// Equivalence contract. For every kind the fused loop visits entries in
+// the exact arrival order of the batched/scalar paths (the round-robin
+// worker interleave — see rrStarts), drives the same state transitions,
+// and deposits the same Stats via AddStats, so Results, Traffic and
+// Stats are bit-identical to the batched path — with two deliberate
+// relaxations, both invisible in Results:
+//
+//   - Stateless or order-insensitive passes (FILTER's predicate sweeps,
+//     JOIN's Bloom build/probe, HAVING's exact second pass) run in plain
+//     row order: their totals and final state cannot depend on order.
+//   - Randomized TOP N draws its row choices from a counter-indexed RNG
+//     stream (prune.FusedRandState) instead of the scalar path's serial
+//     chain, so its prune decisions — and hence Traffic/Stats — differ
+//     from the scalar oracle, while final Results stay bit-identical
+//     (the master's heap completion is exact on whatever survives).
+//
+// Gating. The compiler only engages when it can own the program for the
+// whole run: the pruner must be one of the shipped concrete types, and
+// the dataplane must grant direct access through FusedProgram() — the
+// exclusive progDataplane always does; a serve.Lease does only while its
+// pipeline is healthy and no fault injector is armed (chaos runs keep
+// the batched per-batch kill semantics). Anything else — a third-party
+// pruner, a wrong concrete type for the kind, an exotic predicate
+// layout — falls back to the batched pipeline untouched.
+
+import (
+	"strconv"
+	"sync"
+
+	"cheetah/internal/cache"
+	"cheetah/internal/hashutil"
+	"cheetah/internal/prune"
+	"cheetah/internal/sketch"
+	"cheetah/internal/switchsim"
+	"cheetah/internal/table"
+)
+
+// fuseGate reports whether the execution may drive pruner's state
+// directly: the resolved dataplane must expose direct program access and
+// hand back the very same program the options carry.
+func fuseGate(opts CheetahOptions, pruner prune.Pruner) bool {
+	fp, ok := opts.dataplaneFor(pruner).(interface{ FusedProgram() switchsim.Program })
+	if !ok {
+		return false
+	}
+	return fp.FusedProgram() == switchsim.Program(pruner)
+}
+
+// rrStarts returns the worker partition boundaries of rows
+// [lo, lo+n): partition w is [starts[w], starts[w+1]), identical to
+// table.Partition / interleave / batchPass. The fused loops replay the
+// round-robin arrival order with
+//
+//	for k, done := 0, 0; done < n; k++ {
+//	    for w := 0; w < workers; w++ {
+//	        r := starts[w] + k
+//	        if r >= starts[w+1] { continue }
+//	        done++
+//	        ... entry r ...
+//	    }
+//	}
+//
+// — cycle k visits every still-live partition in worker order, which is
+// exactly interleave's schedule.
+func rrStarts(lo, n, workers int) []int {
+	starts := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		starts[i] = lo + i*n/workers
+	}
+	return starts
+}
+
+// rowFP is fingerprintRow compiled to a direct (devirtualized) per-row
+// call, with the dominant single-column cases hoisted to a raw column
+// slice; it must stay bit-identical to fingerprintRow / encFingerprint.
+type rowFP struct {
+	strs []string
+	ints []int64
+	accs []colAcc
+	seed uint64
+	h0   uint64
+}
+
+func newRowFP(t *table.Table, cols []int, seed uint64) rowFP {
+	f := rowFP{seed: seed, h0: seed ^ 0xfeedface}
+	if len(cols) == 1 {
+		if t.ColumnType(cols[0]) == table.String {
+			f.strs = t.StringCol(cols[0])
+		} else {
+			f.ints = t.Int64Col(cols[0])
+		}
+		return f
+	}
+	f.accs = make([]colAcc, len(cols))
+	for i, c := range cols {
+		f.accs[i] = accessorFor(t, c)
+	}
+	return f
+}
+
+func (f *rowFP) fp(r int) uint64 {
+	if f.strs != nil {
+		return hashutil.Mix64(f.h0 ^ hashutil.HashString64(f.strs[r], f.seed))
+	}
+	if f.ints != nil {
+		return hashutil.Mix64(f.h0 ^ hashutil.HashUint64(uint64(f.ints[r]), f.seed))
+	}
+	return fingerprintAccs(f.accs, r, f.seed)
+}
+
+// --- FILTER ------------------------------------------------------------
+
+// fusedFilterChunk sizes the predicate bit-vector sweeps so the vector
+// stays cache-resident across the per-predicate passes.
+const fusedFilterChunk = 8192
+
+// filterBitsPool recycles the per-chunk predicate bit-vectors of the
+// fused FILTER scan.
+var filterBitsPool = sync.Pool{New: func() any {
+	s := make([]uint32, fusedFilterChunk)
+	return &s
+}}
+
+// predPasses is Predicate.Eval's comparison with the value hoisted —
+// used to precompute, for a LIKE wire column, which of its two values
+// {0, 1} passes a non-precomputed predicate over it (a degenerate shape
+// a caller-built pruner can request; kept for exact parity).
+func predPasses(v int64, op prune.CmpOp, c int64) bool {
+	switch op {
+	case prune.OpGT:
+		return v > c
+	case prune.OpGE:
+		return v >= c
+	case prune.OpLT:
+		return v < c
+	case prune.OpLE:
+		return v <= c
+	case prune.OpEQ:
+		return v == c
+	case prune.OpNE:
+		return v != c
+	default:
+		return false
+	}
+}
+
+// evalIntPred sweeps one raw int64 wire column, OR-ing bit into the
+// bit-vector of every passing row — Filter.ProcessBatch's per-predicate
+// loop reading the table column directly.
+func evalIntPred(bits []uint32, col []int64, pr *prune.Predicate, bit uint32) {
+	if pr.Precomputed {
+		for j, v := range col {
+			if v != 0 {
+				bits[j] |= bit
+			}
+		}
+		return
+	}
+	c := pr.Const
+	switch pr.Op {
+	case prune.OpGT:
+		for j, v := range col {
+			if v > c {
+				bits[j] |= bit
+			}
+		}
+	case prune.OpGE:
+		for j, v := range col {
+			if v >= c {
+				bits[j] |= bit
+			}
+		}
+	case prune.OpLT:
+		for j, v := range col {
+			if v < c {
+				bits[j] |= bit
+			}
+		}
+	case prune.OpLE:
+		for j, v := range col {
+			if v <= c {
+				bits[j] |= bit
+			}
+		}
+	case prune.OpEQ:
+		for j, v := range col {
+			if v == c {
+				bits[j] |= bit
+			}
+		}
+	case prune.OpNE:
+		for j, v := range col {
+			if v != c {
+				bits[j] |= bit
+			}
+		}
+	}
+}
+
+// evalLikePred sweeps one LIKE wire column: the wire value is the 0/1
+// match bit, so a non-precomputed predicate over it reduces to two
+// precomputed booleans.
+func evalLikePred(bits []uint32, col []string, like string, pr *prune.Predicate, bit uint32) {
+	hitSets, missSets := true, false
+	if !pr.Precomputed {
+		hitSets = predPasses(1, pr.Op, pr.Const)
+		missSets = predPasses(0, pr.Op, pr.Const)
+	}
+	for j := range col {
+		if MatchLike(col[j], like) {
+			if hitSets {
+				bits[j] |= bit
+			}
+		} else if missSets {
+			bits[j] |= bit
+		}
+	}
+}
+
+// fusedFilterScan runs the whole FILTER dataplane over spans of t as
+// chunked column sweeps: each filter predicate ORs its bit into a pooled
+// bit-vector straight from its wire column (raw int64, or LIKE evaluated
+// on the fly), then one truth-table sweep counts — and, when rows is
+// non-nil, collects — the survivors. Filtering is stateless, so plain
+// row order yields the same totals as the worker interleave, and the
+// result assembly sorts. ok=false means the pruner's predicate layout
+// does not match the query's wire format; the caller falls back.
+func fusedFilterScan(t *table.Table, preds []FilterPred, cols []int, f *prune.Filter,
+	spans []span, rows *[]int) (sent, fwd int, ok bool) {
+	sPreds, tt := f.FusedSpec()
+	for i := range sPreds {
+		if sPreds[i].ValIdx >= len(preds) {
+			return 0, 0, false
+		}
+	}
+	type wire struct {
+		ints []int64
+		strs []string
+		like string
+	}
+	wires := make([]wire, len(preds))
+	for i := range preds {
+		if preds[i].SwitchSupported() {
+			wires[i] = wire{ints: t.Int64Col(cols[i])}
+		} else {
+			wires[i] = wire{strs: t.StringCol(cols[i]), like: preds[i].Like}
+		}
+	}
+	bp := filterBitsPool.Get().(*[]uint32)
+	bits := *bp
+	for _, sp := range spans {
+		for lo := sp.lo; lo < sp.hi; lo += fusedFilterChunk {
+			hi := min(lo+fusedFilterChunk, sp.hi)
+			m := hi - lo
+			if cap(bits) < m {
+				bits = make([]uint32, m)
+			}
+			bits = bits[:m]
+			clear(bits)
+			for i := range sPreds {
+				pr := &sPreds[i]
+				w := &wires[pr.ValIdx]
+				bit := uint32(1) << uint(i)
+				if w.ints != nil {
+					evalIntPred(bits, w.ints[lo:hi], pr, bit)
+				} else {
+					evalLikePred(bits, w.strs[lo:hi], w.like, pr, bit)
+				}
+			}
+			sent += m
+			if rows == nil {
+				for _, bv := range bits {
+					if tt.Lookup(bv) {
+						fwd++
+					}
+				}
+				continue
+			}
+			for j, bv := range bits {
+				if tt.Lookup(bv) {
+					fwd++
+					*rows = append(*rows, lo+j)
+				}
+			}
+		}
+	}
+	*bp = bits
+	filterBitsPool.Put(bp)
+	return sent, fwd, true
+}
+
+func fusedFilter(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	cols := make([]int, len(q.Predicates))
+	for i, p := range q.Predicates {
+		cols[i] = q.Table.Schema().MustIndex(p.Col)
+	}
+	trusted := opts.Pruner == nil
+	var f *prune.Filter
+	if trusted {
+		p, err := DefaultPruner(q, opts.Seed)
+		if err != nil {
+			return nil, true, err
+		}
+		f = p.(*prune.Filter)
+	} else {
+		var ok bool
+		if f, ok = opts.Pruner.(*prune.Filter); !ok || !fuseGate(opts, f) {
+			return nil, false, nil
+		}
+	}
+	run := &CheetahRun{PrunerName: f.Name()}
+	spans := fullSpans(q.Table)
+	if opts.Skip {
+		spans, run.Skipped = filterSpans(q, q.Table, cols)
+	}
+	var survivors []int
+	rowsPtr := &survivors
+	if trusted && q.CountOnly {
+		rowsPtr = nil
+	}
+	sent, fwd, ok := fusedFilterScan(q.Table, q.Predicates, cols, f, spans, rowsPtr)
+	if !ok {
+		return nil, false, nil
+	}
+	f.AddStats(uint64(sent), uint64(sent-fwd))
+	run.Traffic.EntriesSent = sent
+	run.Traffic.Forwarded = fwd
+	run.Stats = f.Stats()
+	if trusted && q.CountOnly {
+		run.Result = &Result{Columns: []string{"count"}, Rows: [][]string{{strconv.Itoa(fwd)}}}
+		run.Traffic.MasterProcessed = fwd
+		return run, true, nil
+	}
+	if !trusted {
+		// A caller-supplied pruner may forward false positives; keep the
+		// exact master completion.
+		res, err := completeOnRows(q, survivors)
+		if err != nil {
+			return nil, true, err
+		}
+		run.Result = res
+		run.Traffic.MasterProcessed = len(survivors)
+		return run, true, nil
+	}
+	t := q.Table
+	names := make([]string, t.NumCols())
+	for i, d := range t.Schema() {
+		names[i] = d.Name
+	}
+	rows := make([][]string, len(survivors))
+	backing := make([]string, len(survivors)*t.NumCols())
+	for i, r := range survivors {
+		row := backing[i*t.NumCols() : (i+1)*t.NumCols() : (i+1)*t.NumCols()]
+		for c := range row {
+			row[c] = cellString(t, c, r)
+		}
+		rows[i] = row
+	}
+	run.Result = sortedResult(names, rows)
+	run.Traffic.MasterProcessed = len(survivors)
+	return run, true, nil
+}
+
+// --- DISTINCT ----------------------------------------------------------
+
+// fusedDistinctScan streams every row's key fingerprint through the
+// cache matrix in worker-interleave order and dedupes survivors on the
+// fly: first-seen fingerprints land in seen/rows (the master's unique
+// list), later duplicates only count as forwarded.
+func fusedDistinctScan(t *table.Table, cols []int, seed uint64, m *cache.Matrix, workers int,
+	seen map[uint64]struct{}, rows *[]int) (sent, fwd int) {
+	n := t.NumRows()
+	if n == 0 {
+		return 0, 0
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	starts := rrStarts(0, n, workers)
+	fpr := newRowFP(t, cols, seed)
+	for k, done := 0, 0; done < n; k++ {
+		for w := 0; w < workers; w++ {
+			r := starts[w] + k
+			if r >= starts[w+1] {
+				continue
+			}
+			done++
+			fp := fpr.fp(r)
+			if m.Insert(fp) {
+				continue
+			}
+			fwd++
+			if _, dup := seen[fp]; !dup {
+				seen[fp] = struct{}{}
+				*rows = append(*rows, r)
+			}
+		}
+	}
+	return n, fwd
+}
+
+func fusedDistinct(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	var d *prune.Distinct
+	if opts.Pruner != nil {
+		var ok bool
+		if d, ok = opts.Pruner.(*prune.Distinct); !ok || !fuseGate(opts, d) {
+			return nil, false, nil
+		}
+	} else {
+		p, err := DefaultPruner(q, opts.Seed)
+		if err != nil {
+			return nil, true, err
+		}
+		d = p.(*prune.Distinct)
+	}
+	cols := make([]int, len(q.DistinctCols))
+	for i, c := range q.DistinctCols {
+		cols[i] = q.Table.Schema().MustIndex(c)
+	}
+	run := &CheetahRun{PrunerName: d.Name()}
+	ds := distinctScratchPool.Get().(*distinctScratch)
+	clear(ds.seen)
+	ds.uniqueRows = ds.uniqueRows[:0]
+	sent, fwd := fusedDistinctScan(q.Table, cols, opts.Seed, d.FusedMatrix(), opts.Workers,
+		ds.seen, &ds.uniqueRows)
+	d.AddStats(uint64(sent), uint64(sent-fwd))
+	run.Traffic.EntriesSent = sent
+	run.Traffic.Forwarded = fwd
+	var res *Result
+	if len(cols) == 1 {
+		cells := make([]string, len(ds.uniqueRows))
+		for i, r := range ds.uniqueRows {
+			cells[i] = cellString(q.Table, cols[0], r)
+		}
+		radixSortStrings(cells)
+		res = &Result{Columns: append([]string(nil), q.DistinctCols...), Rows: singleCellRows(cells)}
+	} else {
+		rows := make([][]string, len(ds.uniqueRows))
+		backing := make([]string, len(ds.uniqueRows)*len(cols))
+		for i, r := range ds.uniqueRows {
+			row := backing[i*len(cols) : (i+1)*len(cols) : (i+1)*len(cols)]
+			for k, c := range cols {
+				row[k] = cellString(q.Table, c, r)
+			}
+			rows[i] = row
+		}
+		res = sortedResult(append([]string(nil), q.DistinctCols...), rows)
+	}
+	distinctScratchPool.Put(ds)
+	run.Result = res
+	run.Traffic.MasterProcessed = fwd
+	run.Stats = d.Stats()
+	return run, true, nil
+}
+
+// --- TOP N -------------------------------------------------------------
+
+// fusedTopNRandSpan streams rows [lo, hi) through the randomized TOP N
+// matrix, feeding survivors straight into the master's N-heap. The row
+// choice comes from the counter-indexed RNG stream
+// (prune.FusedRandState): the per-entry draw is Mix64 of a running
+// counter — no loop-carried dependency — and the prune test is the
+// min-cache fast path of RandTopN.ProcessBatch with the steady-state
+// splice specialized to InsertFull. Two sanctioned liberties beyond the
+// batched path's: the scan runs in plain row order rather than
+// worker-interleave (the row draw is value-independent, so any
+// deterministic entry↔counter pairing gives the same uniform-row
+// guarantee — this pruner's decisions already deviate from the scalar
+// oracle by design), and the worker count does not influence the
+// stream at all, so fused TOP N traffic is reproducible across worker
+// counts too.
+func fusedTopNRandSpan(ints []int64, lo, hi int, p *prune.RandTopN,
+	h *int64Heap, topN int) (sent, fwd int) {
+	n := hi - lo
+	if n == 0 {
+		return 0, 0
+	}
+	m, d, base, pos0 := p.FusedRandState(n)
+	mins := m.Mins()
+	g := uint64(prune.FusedRandGolden)
+	acc := base + pos0*g
+	vs := ints[lo:hi]
+	// Hash a quad of counters ahead and touch their min-cache lines, then
+	// settle the four verdicts unrolled and exactly in entry order: the
+	// draws have no loop-carried dependency, so the four hashes overlap,
+	// the summed loads act as software prefetches hiding the random-access
+	// latency a one-at-a-time loop pays serially, and the unroll keeps the
+	// row indices in registers. Decisions are identical to the sequential
+	// loop — each verdict re-reads mins (now resident) after any earlier
+	// splice in the quad.
+	i := 0
+	for ; i+4 <= len(vs); i += 4 {
+		z0 := hashutil.Mix64(acc)
+		z1 := hashutil.Mix64(acc + g)
+		z2 := hashutil.Mix64(acc + 2*g)
+		z3 := hashutil.Mix64(acc + 3*g)
+		acc += 4 * g
+		r0 := int(hashutil.ReduceFull(z0, d))
+		r1 := int(hashutil.ReduceFull(z1, d))
+		r2 := int(hashutil.ReduceFull(z2, d))
+		r3 := int(hashutil.ReduceFull(z3, d))
+		_ = mins[r0] + mins[r1] + mins[r2] + mins[r3]
+		v0, v1, v2, v3 := vs[i], vs[i+1], vs[i+2], vs[i+3]
+		// Forwarded entries splice into their (possibly still filling)
+		// row — the sentinel-slot layout makes InsertFull Offer minus the
+		// verdict the compact-array test already settled.
+		if mn := mins[r0]; v0 > mn || mn == cache.MinSentinel {
+			m.InsertFull(r0, v0)
+			fwd++
+			h.offer(v0, topN)
+		}
+		if mn := mins[r1]; v1 > mn || mn == cache.MinSentinel {
+			m.InsertFull(r1, v1)
+			fwd++
+			h.offer(v1, topN)
+		}
+		if mn := mins[r2]; v2 > mn || mn == cache.MinSentinel {
+			m.InsertFull(r2, v2)
+			fwd++
+			h.offer(v2, topN)
+		}
+		if mn := mins[r3]; v3 > mn || mn == cache.MinSentinel {
+			m.InsertFull(r3, v3)
+			fwd++
+			h.offer(v3, topN)
+		}
+	}
+	for ; i < len(vs); i++ {
+		v := vs[i]
+		row := int(hashutil.ReduceFull(hashutil.Mix64(acc), d))
+		acc += g
+		if mn := mins[row]; v > mn || mn == cache.MinSentinel {
+			m.InsertFull(row, v)
+			fwd++
+			h.offer(v, topN)
+		}
+	}
+	return n, fwd
+}
+
+// fusedTopNDetSpan is fusedTopNRandSpan for the deterministic threshold
+// pruner: the per-entry transition is DetTopN.FusedOffer.
+func fusedTopNDetSpan(ints []int64, lo, hi, workers int, p *prune.DetTopN,
+	h *int64Heap, topN int) (sent, fwd int) {
+	n := hi - lo
+	if n == 0 {
+		return 0, 0
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	starts := rrStarts(lo, n, workers)
+	for k, done := 0, 0; done < n; k++ {
+		for w := 0; w < workers; w++ {
+			r := starts[w] + k
+			if r >= starts[w+1] {
+				continue
+			}
+			done++
+			v := ints[r]
+			if p.FusedOffer(v) {
+				continue
+			}
+			fwd++
+			if len(*h) < topN {
+				h.push(v)
+			} else if v > (*h)[0] {
+				(*h)[0] = v
+				(*h).fixRoot()
+			}
+		}
+	}
+	return n, fwd
+}
+
+func fusedTopN(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	var rnd *prune.RandTopN
+	var det *prune.DetTopN
+	var pr prune.Pruner
+	if opts.Pruner != nil {
+		switch p := opts.Pruner.(type) {
+		case *prune.RandTopN:
+			rnd, pr = p, p
+		case *prune.DetTopN:
+			det, pr = p, p
+		default:
+			return nil, false, nil
+		}
+		if !fuseGate(opts, pr) {
+			return nil, false, nil
+		}
+	} else {
+		p, err := DefaultPruner(q, opts.Seed)
+		if err != nil {
+			return nil, true, err
+		}
+		rnd = p.(*prune.RandTopN)
+		pr = rnd
+	}
+	col := q.Table.Schema().MustIndex(q.OrderCol)
+	ints := q.Table.Int64Col(col)
+	run := &CheetahRun{PrunerName: pr.Name()}
+	h := make(int64Heap, 0, q.N)
+	sent, fwd := 0, 0
+	scan := func(lo, hi int) {
+		var s, f int
+		if rnd != nil {
+			s, f = fusedTopNRandSpan(ints, lo, hi, rnd, &h, q.N)
+		} else {
+			s, f = fusedTopNDetSpan(ints, lo, hi, opts.Workers, det, &h, q.N)
+		}
+		sent += s
+		fwd += f
+	}
+	if opts.Skip && q.Table.SkipIndex() != nil {
+		topNSpanScan(q.Table, col, q.N, &h, &run.Skipped, scan)
+	} else {
+		scan(0, q.Table.NumRows())
+	}
+	if rnd != nil {
+		rnd.AddStats(uint64(sent), uint64(sent-fwd))
+	} else {
+		det.AddStats(uint64(sent), uint64(sent-fwd))
+	}
+	run.Traffic.EntriesSent = sent
+	run.Traffic.Forwarded = fwd
+	cells := make([]string, len(h))
+	for i, v := range h {
+		cells[i] = strconv.FormatInt(v, 10)
+	}
+	radixSortStrings(cells)
+	run.Result = &Result{Columns: []string{q.OrderCol}, Rows: singleCellRows(cells)}
+	run.Traffic.MasterProcessed = fwd
+	run.Stats = pr.Stats()
+	return run, true, nil
+}
+
+// --- GROUP BY MAX ------------------------------------------------------
+
+// fusedGroupByMaxScan streams (key fingerprint, value) through the
+// keyed-max matrix in worker-interleave order, folding survivors into
+// the master's fingerprint-keyed maxima with one representative row per
+// key for late materialization.
+func fusedGroupByMaxScan(t *table.Table, kc, vc int, seed uint64, g *prune.GroupBy, workers int,
+	keyIdx map[uint64]int, maxs *[]int64, reps *[]int) (sent, fwd int) {
+	n := t.NumRows()
+	if n == 0 {
+		return 0, 0
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	starts := rrStarts(0, n, workers)
+	fpr := newRowFP(t, []int{kc}, seed)
+	vals := t.Int64Col(vc)
+	m, neg := g.FusedMatrix()
+	for k, done := 0, 0; done < n; k++ {
+		for w := 0; w < workers; w++ {
+			r := starts[w] + k
+			if r >= starts[w+1] {
+				continue
+			}
+			done++
+			fp := fpr.fp(r)
+			v := vals[r]
+			ov := v
+			if neg {
+				ov = -v
+			}
+			if m.Offer(fp, ov) {
+				continue
+			}
+			fwd++
+			if i, ok := keyIdx[fp]; ok {
+				if v > (*maxs)[i] {
+					(*maxs)[i] = v
+				}
+			} else {
+				keyIdx[fp] = len(*maxs)
+				*maxs = append(*maxs, v)
+				*reps = append(*reps, r)
+			}
+		}
+	}
+	return n, fwd
+}
+
+func fusedGroupByMax(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	var g *prune.GroupBy
+	if opts.Pruner != nil {
+		var ok bool
+		if g, ok = opts.Pruner.(*prune.GroupBy); !ok || !fuseGate(opts, g) {
+			return nil, false, nil
+		}
+	} else {
+		p, err := DefaultPruner(q, opts.Seed)
+		if err != nil {
+			return nil, true, err
+		}
+		g = p.(*prune.GroupBy)
+	}
+	kc := q.Table.Schema().MustIndex(q.KeyCol)
+	vc := q.Table.Schema().MustIndex(q.AggCol)
+	run := &CheetahRun{PrunerName: g.Name()}
+	keyIdx := make(map[uint64]int, 1024)
+	var maxs []int64
+	var reps []int
+	sent, fwd := fusedGroupByMaxScan(q.Table, kc, vc, opts.Seed, g, opts.Workers, keyIdx, &maxs, &reps)
+	g.AddStats(uint64(sent), uint64(sent-fwd))
+	run.Traffic.EntriesSent = sent
+	run.Traffic.Forwarded = fwd
+	rows := make([][]string, len(maxs))
+	backing := make([]string, len(maxs)*2)
+	for i := range maxs {
+		row := backing[i*2 : i*2+2 : i*2+2]
+		row[0] = cellString(q.Table, kc, reps[i])
+		row[1] = strconv.FormatInt(maxs[i], 10)
+		rows[i] = row
+	}
+	run.Result = sortedResult([]string{q.KeyCol, "max(" + q.AggCol + ")"}, rows)
+	run.Traffic.MasterProcessed = fwd
+	run.Stats = g.Stats()
+	return run, true, nil
+}
+
+// --- GROUP BY SUM ------------------------------------------------------
+
+// fusedGroupBySumScan streams (key fingerprint, value) through the
+// in-switch aggregation matrix in worker-interleave order. The key
+// dictionary entry is recorded before ProcessEmit, which may rewrite the
+// forwarded pair with an evicted aggregate (batchGroupBySum's pre-hook).
+func fusedGroupBySumScan(t *table.Table, kc, vc int, seed uint64, gs *prune.GroupBySum, workers int,
+	fpToKey map[uint64]string, sums map[uint64]int64) (sent, fwd int) {
+	n := t.NumRows()
+	if n == 0 {
+		return 0, 0
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	starts := rrStarts(0, n, workers)
+	fpr := newRowFP(t, []int{kc}, seed)
+	vals := t.Int64Col(vc)
+	var vbuf [2]uint64
+	for k, done := 0, 0; done < n; k++ {
+		for w := 0; w < workers; w++ {
+			r := starts[w] + k
+			if r >= starts[w+1] {
+				continue
+			}
+			done++
+			fp := fpr.fp(r)
+			if _, ok := fpToKey[fp]; !ok {
+				fpToKey[fp] = cellString(t, kc, r)
+			}
+			vbuf[0] = fp
+			vbuf[1] = uint64(vals[r])
+			if d, out := gs.ProcessEmit(vbuf[:]); d == switchsim.Forward {
+				fwd++
+				sums[out[0]] += int64(out[1])
+			}
+		}
+	}
+	return n, fwd
+}
+
+func fusedGroupBySum(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	var gs *prune.GroupBySum
+	if opts.Pruner != nil {
+		var ok bool
+		if gs, ok = opts.Pruner.(*prune.GroupBySum); !ok || !fuseGate(opts, gs) {
+			return nil, false, nil
+		}
+	} else {
+		p, err := prune.NewGroupBySum(prune.DefaultGroupBySumConfig(opts.Seed))
+		if err != nil {
+			return nil, true, err
+		}
+		gs = p
+	}
+	kc := q.Table.Schema().MustIndex(q.KeyCol)
+	vc := q.Table.Schema().MustIndex(q.AggCol)
+	run := &CheetahRun{PrunerName: gs.Name()}
+	sums := map[uint64]int64{}
+	fpToKey := map[uint64]string{}
+	sent, fwd := fusedGroupBySumScan(q.Table, kc, vc, opts.Seed, gs, opts.Workers, fpToKey, sums)
+	run.Traffic.EntriesSent = sent
+	run.Traffic.Forwarded = fwd
+	for _, e := range gs.Drain() {
+		run.Traffic.Forwarded++
+		sums[e[0]] += int64(e[1])
+	}
+	rows := make([][]string, 0, len(sums))
+	for fp, v := range sums {
+		rows = append(rows, []string{fpToKey[fp], strconv.FormatInt(v, 10)})
+	}
+	run.Result = sortedResult([]string{q.KeyCol, "sum(" + q.AggCol + ")"}, rows)
+	run.Traffic.MasterProcessed = len(sums)
+	run.Stats = gs.Stats()
+	return run, true, nil
+}
+
+// --- HAVING ------------------------------------------------------------
+
+// fusedHavingPass1 streams (key fingerprint, value) through the
+// Count-Min sketch in worker-interleave order, collecting candidate key
+// fingerprints.
+func fusedHavingPass1(t *table.Table, kc, vc int, seed uint64, h *prune.Having, workers int,
+	candidates map[uint64]bool) (sent, fwd int) {
+	n := t.NumRows()
+	if n == 0 {
+		return 0, 0
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	starts := rrStarts(0, n, workers)
+	fpr := newRowFP(t, []int{kc}, seed)
+	vals := t.Int64Col(vc)
+	for k, done := 0, 0; done < n; k++ {
+		for w := 0; w < workers; w++ {
+			r := starts[w] + k
+			if r >= starts[w+1] {
+				continue
+			}
+			done++
+			fp := fpr.fp(r)
+			if h.FusedOffer(fp, vals[r]) {
+				continue
+			}
+			fwd++
+			candidates[fp] = true
+		}
+	}
+	return n, fwd
+}
+
+// fusedHavingPass2 is the exact partial second pass: candidate keys'
+// entries re-stream and the master sums them exactly. No pruner state is
+// touched, so plain row order gives identical sums and counts.
+func fusedHavingPass2(t *table.Table, kc int, vals []int64, fpr *rowFP,
+	candidates map[uint64]bool, sums map[string]int64) (resent int) {
+	for r := 0; r < t.NumRows(); r++ {
+		if !candidates[fpr.fp(r)] {
+			continue
+		}
+		resent++
+		sums[cellString(t, kc, r)] += vals[r]
+	}
+	return resent
+}
+
+func fusedHaving(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	var h *prune.Having
+	if opts.Pruner != nil {
+		var ok bool
+		if h, ok = opts.Pruner.(*prune.Having); !ok || !fuseGate(opts, h) {
+			return nil, false, nil
+		}
+	} else {
+		p, err := prune.NewHaving(prune.DefaultHavingConfig(q.Threshold, opts.Seed))
+		if err != nil {
+			return nil, true, err
+		}
+		h = p
+	}
+	kc := q.Table.Schema().MustIndex(q.KeyCol)
+	vc := q.Table.Schema().MustIndex(q.AggCol)
+	run := &CheetahRun{PrunerName: h.Name()}
+	candidates := map[uint64]bool{}
+	sent, fwd := fusedHavingPass1(q.Table, kc, vc, opts.Seed, h, opts.Workers, candidates)
+	h.AddStats(uint64(sent), uint64(sent-fwd))
+	run.Traffic.EntriesSent = sent
+	run.Traffic.Forwarded = fwd
+	sums := map[string]int64{}
+	fpr := newRowFP(q.Table, []int{kc}, opts.Seed)
+	resent := fusedHavingPass2(q.Table, kc, q.Table.Int64Col(vc), &fpr, candidates, sums)
+	run.Traffic.EntriesSent += resent
+	run.Traffic.SecondPassSent = resent
+	rows := make([][]string, 0, len(sums))
+	for k, v := range sums {
+		if v > q.Threshold {
+			rows = append(rows, []string{k})
+		}
+	}
+	run.Result = sortedResult([]string{q.KeyCol}, rows)
+	run.Traffic.MasterProcessed = resent
+	run.Stats = h.Stats()
+	return run, true, nil
+}
+
+// --- JOIN --------------------------------------------------------------
+
+// fusedJoinBuild trains mem with one side's key fingerprints. Bloom Add
+// is commutative, so plain row order over the spans suffices. rows
+// non-nil marks the asymmetric build: every entry forwards (and
+// collects) while the filter trains.
+func fusedJoinBuild(t *table.Table, kc int, seed uint64, mem sketch.Membership,
+	spans []span, rows *[]int) (sent, fwd int) {
+	fpr := newRowFP(t, []int{kc}, seed)
+	for _, sp := range spans {
+		sent += sp.hi - sp.lo
+		for r := sp.lo; r < sp.hi; r++ {
+			mem.Add(fpr.fp(r))
+		}
+	}
+	if rows != nil {
+		for _, sp := range spans {
+			for r := sp.lo; r < sp.hi; r++ {
+				*rows = append(*rows, r)
+			}
+		}
+		fwd = sent
+	}
+	return sent, fwd
+}
+
+// fusedJoinProbe collects the rows of one side whose key fingerprint
+// tests positive in the other side's filter. Contains does not mutate,
+// so plain row order over the spans suffices.
+func fusedJoinProbe(t *table.Table, kc int, seed uint64, mem sketch.Membership,
+	spans []span, rows *[]int) (sent, fwd int) {
+	fpr := newRowFP(t, []int{kc}, seed)
+	for _, sp := range spans {
+		sent += sp.hi - sp.lo
+		for r := sp.lo; r < sp.hi; r++ {
+			if mem.Contains(fpr.fp(r)) {
+				fwd++
+				*rows = append(*rows, r)
+			}
+		}
+	}
+	return sent, fwd
+}
+
+func fusedJoin(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	var j *prune.Join
+	if opts.Pruner != nil {
+		var ok bool
+		if j, ok = opts.Pruner.(*prune.Join); !ok || !fuseGate(opts, j) {
+			return nil, false, nil
+		}
+	} else {
+		p, err := prune.NewJoin(prune.DefaultJoinConfig(opts.Seed))
+		if err != nil {
+			return nil, true, err
+		}
+		j = p
+	}
+	// The fused passes hard-code which filter each pass trains or probes;
+	// that only matches the batched path when the pruner starts in the
+	// build phase (a mid-phase standing pruner keeps the batched path,
+	// whose passes consult the live phase).
+	if j.Phase() != prune.PhaseBuild {
+		return nil, false, nil
+	}
+	lc := q.Table.Schema().MustIndex(q.LeftKey)
+	rc := q.Right.Schema().MustIndex(q.RightKey)
+	run := &CheetahRun{PrunerName: j.Name()}
+	leftSpans := fullSpans(q.Table)
+	rightSpans := fullSpans(q.Right)
+	if opts.Skip {
+		rightSpans, run.Skipped = joinRightSpans(q.Table, lc, q.Right, rc)
+	}
+	fa, fb := j.FusedFilters()
+	var left, right []int
+	sent, fwd, pruned := 0, 0, 0
+	if j.Asymmetric() {
+		s, f := fusedJoinBuild(q.Table, lc, opts.Seed, fa, leftSpans, &left)
+		sent += s
+		fwd += f
+		j.StartProbe()
+		s, f = fusedJoinProbe(q.Right, rc, opts.Seed, fa, rightSpans, &right)
+		sent += s
+		fwd += f
+		pruned += s - f
+	} else {
+		s, _ := fusedJoinBuild(q.Table, lc, opts.Seed, fa, leftSpans, nil)
+		sent += s
+		pruned += s
+		s, _ = fusedJoinBuild(q.Right, rc, opts.Seed, fb, rightSpans, nil)
+		sent += s
+		pruned += s
+		j.StartProbe()
+		s, f := fusedJoinProbe(q.Table, lc, opts.Seed, fb, leftSpans, &left)
+		sent += s
+		fwd += f
+		pruned += s - f
+		s, f = fusedJoinProbe(q.Right, rc, opts.Seed, fa, rightSpans, &right)
+		sent += s
+		fwd += f
+		pruned += s - f
+	}
+	j.AddStats(uint64(sent), uint64(pruned))
+	run.Traffic.EntriesSent = sent
+	run.Traffic.Forwarded = fwd
+	res, err := execJoin(q, left, right)
+	if err != nil {
+		return nil, true, err
+	}
+	run.Result = res
+	run.Traffic.MasterProcessed = len(left) + len(right)
+	run.Stats = j.Stats()
+	return run, true, nil
+}
+
+// --- SKYLINE -----------------------------------------------------------
+
+// fusedSkylineScan streams the dimension tuples through the skyline
+// pool in worker-interleave order. The pool's swap/drop logic (and its
+// stats) live in Process; the fused win is the devirtualized call and
+// the in-loop survivor collection.
+func fusedSkylineScan(t *table.Table, cols []int, s *prune.Skyline, workers int,
+	rows *[]int) (sent, fwd int) {
+	n := t.NumRows()
+	if n == 0 {
+		return 0, 0
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	starts := rrStarts(0, n, workers)
+	ints := make([][]int64, len(cols))
+	for i, c := range cols {
+		ints[i] = t.Int64Col(c)
+	}
+	vals := make([]uint64, len(cols)+1)
+	for k, done := 0, 0; done < n; k++ {
+		for w := 0; w < workers; w++ {
+			r := starts[w] + k
+			if r >= starts[w+1] {
+				continue
+			}
+			done++
+			for i, src := range ints {
+				vals[i] = uint64(src[r])
+			}
+			vals[len(ints)] = uint64(r)
+			if s.Process(vals) == switchsim.Forward {
+				fwd++
+				*rows = append(*rows, r)
+			}
+		}
+	}
+	return n, fwd
+}
+
+func fusedSkyline(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	var s *prune.Skyline
+	if opts.Pruner != nil {
+		var ok bool
+		if s, ok = opts.Pruner.(*prune.Skyline); !ok || !fuseGate(opts, s) {
+			return nil, false, nil
+		}
+	} else {
+		p, err := DefaultPruner(q, opts.Seed)
+		if err != nil {
+			return nil, true, err
+		}
+		s = p.(*prune.Skyline)
+	}
+	cols := make([]int, len(q.SkylineCols))
+	for i, c := range q.SkylineCols {
+		cols[i] = q.Table.Schema().MustIndex(c)
+	}
+	run := &CheetahRun{PrunerName: s.Name()}
+	var survivors []int
+	sent, fwd := fusedSkylineScan(q.Table, cols, s, opts.Workers, &survivors)
+	run.Traffic.EntriesSent = sent
+	run.Traffic.Forwarded = fwd
+	for _, e := range s.Drain() {
+		run.Traffic.Forwarded++
+		survivors = append(survivors, int(e[len(cols)]))
+	}
+	res, err := completeOnRows(q, survivors)
+	if err != nil {
+		return nil, true, err
+	}
+	run.Result = res
+	run.Traffic.MasterProcessed = len(survivors)
+	run.Stats = s.Stats()
+	return run, true, nil
+}
+
+// --- dispatch ----------------------------------------------------------
+
+// execCheetahFused compiles and runs the query as one fused loop per
+// pass. ok=false means the compiler cannot own this execution (foreign
+// pruner type, no direct program access, mid-phase join state) and the
+// batched pipeline must run instead; when ok=true the run (or error) is
+// final.
+func execCheetahFused(q *Query, opts CheetahOptions) (*CheetahRun, bool, error) {
+	if opts.Pruner == nil && opts.Flow != nil {
+		// The flow's installed program is not in our hands; only the
+		// batched mux may drive it.
+		return nil, false, nil
+	}
+	switch q.Kind {
+	case KindFilter:
+		return fusedFilter(q, opts)
+	case KindDistinct:
+		return fusedDistinct(q, opts)
+	case KindTopN:
+		return fusedTopN(q, opts)
+	case KindGroupByMax:
+		return fusedGroupByMax(q, opts)
+	case KindGroupBySum:
+		return fusedGroupBySum(q, opts)
+	case KindHaving:
+		return fusedHaving(q, opts)
+	case KindJoin:
+		return fusedJoin(q, opts)
+	case KindSkyline:
+		return fusedSkyline(q, opts)
+	default:
+		return nil, false, nil
+	}
+}

@@ -1,0 +1,275 @@
+package engine
+
+// Sharded-path bindings of the fused compiler (fuse.go): each helper
+// runs one shard's whole pruning pass as fused loops when the shard's
+// dataplane grants direct program access and the pruner is a shipped
+// concrete type, returning ok=false to keep the shard on the chunked
+// batch pipeline. Traffic, Stats and the shard partials handed to the
+// global combine are bit-identical to the batched shard pass (with the
+// same single sanctioned deviation as the single-switch path: the
+// randomized TOP N RNG stream). Failover composes unchanged — these run
+// inside shardExec.run, so a pass that crossed its switch's death is
+// discarded and redone exactly like a batched one.
+
+import (
+	"cheetah/internal/prune"
+	"cheetah/internal/switchsim"
+)
+
+// fusable reports whether the shard may drive its program's state
+// directly for a whole pass — the sharded counterpart of fuseGate.
+func (se *shardExec) fusable(opts ShardedOptions) bool {
+	if opts.NoFuse {
+		return false
+	}
+	fp, ok := se.dp.(interface{ FusedProgram() switchsim.Program })
+	return ok && fp.FusedProgram() == switchsim.Program(se.pruner)
+}
+
+// fusedGatherPass runs one FILTER or SKYLINE shard stream (including
+// SKYLINE's control-plane drain) and returns the shard's surviving row
+// ids in shard-local coordinates.
+func (se *shardExec) fusedGatherPass(opts ShardedOptions) ([]int, bool) {
+	if !se.fusable(opts) {
+		return nil, false
+	}
+	q := se.q
+	switch q.Kind {
+	case KindFilter:
+		f, isF := se.pruner.(*prune.Filter)
+		if !isF {
+			return nil, false
+		}
+		cols := make([]int, len(q.Predicates))
+		for i, p := range q.Predicates {
+			cols[i] = q.Table.Schema().MustIndex(p.Col)
+		}
+		spans := fullSpans(q.Table)
+		if opts.Skip {
+			spans, se.skipped = filterSpans(q, q.Table, cols)
+		}
+		var rows []int
+		sent, fwd, ok := fusedFilterScan(q.Table, q.Predicates, cols, f, spans, &rows)
+		if !ok {
+			return nil, false
+		}
+		f.AddStats(uint64(sent), uint64(sent-fwd))
+		se.traffic.EntriesSent = sent
+		se.traffic.Forwarded = fwd
+		se.traffic.MasterProcessed = len(rows)
+		return rows, true
+	case KindSkyline:
+		sk, isS := se.pruner.(*prune.Skyline)
+		if !isS {
+			return nil, false
+		}
+		cols := make([]int, len(q.SkylineCols))
+		for i, c := range q.SkylineCols {
+			cols[i] = q.Table.Schema().MustIndex(c)
+		}
+		var rows []int
+		sent, fwd := fusedSkylineScan(q.Table, cols, sk, opts.Workers, &rows)
+		se.traffic.EntriesSent = sent
+		se.traffic.Forwarded = fwd
+		for _, e := range sk.Drain() {
+			se.traffic.Forwarded++
+			rows = append(rows, int(e[len(cols)]))
+		}
+		se.traffic.MasterProcessed = len(rows)
+		return rows, true
+	}
+	return nil, false
+}
+
+// fusedDistinctPass runs one DISTINCT shard stream and returns the
+// shard's first-seen unique rows with their fingerprints (the global
+// combine's dedupe keys).
+func (se *shardExec) fusedDistinctPass(opts ShardedOptions, cols []int) (fps []uint64, rows []int, ok bool) {
+	if !se.fusable(opts) {
+		return nil, nil, false
+	}
+	d, isD := se.pruner.(*prune.Distinct)
+	if !isD {
+		return nil, nil, false
+	}
+	seen := make(map[uint64]struct{}, 1024)
+	sent, fwd := fusedDistinctScan(se.q.Table, cols, opts.Seed, d.FusedMatrix(), opts.Workers, seen, &rows)
+	d.AddStats(uint64(sent), uint64(sent-fwd))
+	se.traffic.EntriesSent = sent
+	se.traffic.Forwarded = fwd
+	se.traffic.MasterProcessed = fwd
+	// The scan dedupes by fingerprint but keeps only rows; recompute the
+	// fingerprints of the (few) unique rows for the cross-shard combine.
+	fpr := newRowFP(se.q.Table, cols, opts.Seed)
+	fps = make([]uint64, len(rows))
+	for i, r := range rows {
+		fps[i] = fpr.fp(r)
+	}
+	return fps, rows, true
+}
+
+// fusedTopNPass runs one TOP N shard stream into the shard-local N-heap.
+func (se *shardExec) fusedTopNPass(opts ShardedOptions, col int) (int64Heap, bool) {
+	if !se.fusable(opts) {
+		return nil, false
+	}
+	var rnd *prune.RandTopN
+	var det *prune.DetTopN
+	switch p := se.pruner.(type) {
+	case *prune.RandTopN:
+		rnd = p
+	case *prune.DetTopN:
+		det = p
+	default:
+		return nil, false
+	}
+	q := se.q
+	ints := q.Table.Int64Col(col)
+	h := make(int64Heap, 0, q.N)
+	sent, fwd := 0, 0
+	scan := func(lo, hi int) {
+		var s, f int
+		if rnd != nil {
+			s, f = fusedTopNRandSpan(ints, lo, hi, rnd, &h, q.N)
+		} else {
+			s, f = fusedTopNDetSpan(ints, lo, hi, opts.Workers, det, &h, q.N)
+		}
+		sent += s
+		fwd += f
+	}
+	if opts.Skip && q.Table.SkipIndex() != nil {
+		topNSpanScan(q.Table, col, q.N, &h, &se.skipped, scan)
+	} else {
+		scan(0, q.Table.NumRows())
+	}
+	if rnd != nil {
+		rnd.AddStats(uint64(sent), uint64(sent-fwd))
+	} else {
+		det.AddStats(uint64(sent), uint64(sent-fwd))
+	}
+	se.traffic.EntriesSent = sent
+	se.traffic.Forwarded = fwd
+	se.traffic.MasterProcessed = len(h)
+	return h, true
+}
+
+// fusedGroupByMaxPass runs one GROUP BY MAX shard stream and returns the
+// shard's fingerprint-keyed partial maxima (fps in first-seen order,
+// with one representative row per key).
+func (se *shardExec) fusedGroupByMaxPass(opts ShardedOptions, kc, vc int) (fps []uint64, maxs []int64, reps []int, ok bool) {
+	if !se.fusable(opts) {
+		return nil, nil, nil, false
+	}
+	g, isG := se.pruner.(*prune.GroupBy)
+	if !isG {
+		return nil, nil, nil, false
+	}
+	keyIdx := make(map[uint64]int, 1024)
+	sent, fwd := fusedGroupByMaxScan(se.q.Table, kc, vc, opts.Seed, g, opts.Workers, keyIdx, &maxs, &reps)
+	g.AddStats(uint64(sent), uint64(sent-fwd))
+	se.traffic.EntriesSent = sent
+	se.traffic.Forwarded = fwd
+	se.traffic.MasterProcessed = len(maxs)
+	// keyIdx assigns dense first-seen indices; inverting it recovers the
+	// fingerprint list in exactly the batched partial's order.
+	fps = make([]uint64, len(maxs))
+	for fp, i := range keyIdx {
+		fps[i] = fp
+	}
+	return fps, maxs, reps, true
+}
+
+// fusedGroupBySumPass runs one GROUP BY SUM shard stream (including the
+// end-of-stream drain) and returns the shard's partial sums and key
+// dictionary.
+func (se *shardExec) fusedGroupBySumPass(opts ShardedOptions, kc, vc int) (sums map[uint64]int64, fpToKey map[uint64]string, ok bool) {
+	if !se.fusable(opts) {
+		return nil, nil, false
+	}
+	gs, isGS := se.pruner.(*prune.GroupBySum)
+	if !isGS {
+		return nil, nil, false
+	}
+	sums = make(map[uint64]int64, 1024)
+	fpToKey = make(map[uint64]string, 1024)
+	sent, fwd := fusedGroupBySumScan(se.q.Table, kc, vc, opts.Seed, gs, opts.Workers, fpToKey, sums)
+	se.traffic.EntriesSent = sent
+	se.traffic.Forwarded = fwd
+	for _, e := range gs.Drain() {
+		se.traffic.Forwarded++
+		sums[e[0]] += int64(e[1])
+	}
+	se.traffic.MasterProcessed = len(sums)
+	return sums, fpToKey, true
+}
+
+// fusedHavingCandidates runs one HAVING first-pass shard stream through
+// the shard's (threshold-tightened) sketch and returns its candidate
+// fingerprints. The exact second pass is pruner-free and shared with the
+// single-switch path (fusedHavingPass2).
+func (se *shardExec) fusedHavingCandidates(opts ShardedOptions, kc, vc int) (map[uint64]bool, bool) {
+	if !se.fusable(opts) {
+		return nil, false
+	}
+	h, isH := se.pruner.(*prune.Having)
+	if !isH {
+		return nil, false
+	}
+	cand := make(map[uint64]bool, 1024)
+	sent, fwd := fusedHavingPass1(se.q.Table, kc, vc, opts.Seed, h, opts.Workers, cand)
+	h.AddStats(uint64(sent), uint64(sent-fwd))
+	se.traffic.EntriesSent = sent
+	se.traffic.Forwarded = fwd
+	return cand, true
+}
+
+// fusedJoinPass runs one shard's whole Bloom join (build and probe
+// passes over the co-located shard pair) and returns the surviving rows
+// of both sides.
+func (se *shardExec) fusedJoinPass(opts ShardedOptions, lc, rc int) (left, right []int, ok bool) {
+	if !se.fusable(opts) {
+		return nil, nil, false
+	}
+	j, isJ := se.pruner.(*prune.Join)
+	if !isJ || j.Phase() != prune.PhaseBuild {
+		return nil, nil, false
+	}
+	q := se.q
+	leftSpans := fullSpans(q.Table)
+	rightSpans := fullSpans(q.Right)
+	if opts.Skip {
+		rightSpans, se.skipped = joinRightSpans(q.Table, lc, q.Right, rc)
+	}
+	fa, fb := j.FusedFilters()
+	sent, fwd, pruned := 0, 0, 0
+	if j.Asymmetric() {
+		s, f := fusedJoinBuild(q.Table, lc, opts.Seed, fa, leftSpans, &left)
+		sent += s
+		fwd += f
+		j.StartProbe()
+		s, f = fusedJoinProbe(q.Right, rc, opts.Seed, fa, rightSpans, &right)
+		sent += s
+		fwd += f
+		pruned += s - f
+	} else {
+		s, _ := fusedJoinBuild(q.Table, lc, opts.Seed, fa, leftSpans, nil)
+		sent += s
+		pruned += s
+		s, _ = fusedJoinBuild(q.Right, rc, opts.Seed, fb, rightSpans, nil)
+		sent += s
+		pruned += s
+		j.StartProbe()
+		s, f := fusedJoinProbe(q.Table, lc, opts.Seed, fb, leftSpans, &left)
+		sent += s
+		fwd += f
+		pruned += s - f
+		s, f = fusedJoinProbe(q.Right, rc, opts.Seed, fa, rightSpans, &right)
+		sent += s
+		fwd += f
+		pruned += s - f
+	}
+	j.AddStats(uint64(sent), uint64(pruned))
+	se.traffic.EntriesSent = sent
+	se.traffic.Forwarded = fwd
+	return left, right, true
+}

@@ -120,6 +120,12 @@ type ShardedOptions struct {
 	// index; hash/range shards are freshly materialized tables without
 	// one and simply scan. Results stay bit-identical to ExecDirect.
 	Skip bool
+	// NoFuse opts shards out of the fused compiled loops (fuse.go) and
+	// back onto the chunked batch pipeline, mirroring
+	// CheetahOptions.NoFuse. Shards whose dataplane withholds direct
+	// program access (chaos-armed pipelines) fall back per shard
+	// automatically; Results are identical either way.
+	NoFuse bool
 }
 
 // ShardedRun is the outcome of a scatter/gather execution.
@@ -545,6 +551,10 @@ func shardedGather(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedR
 	err := forEachShard(len(execs), func(s int) error {
 		se := execs[s]
 		return se.run(opts, func() error {
+			if rows, ok := se.fusedGatherPass(opts); ok {
+				survivors[s] = rows
+				return nil
+			}
 			sv := survivorSet{remaining: se.q.Table.NumRows()}
 			if err := se.shardSurvivors(opts, func(fwd []uint64, _ []uint64, chunkN int) {
 				sv.add(fwd, chunkN)
@@ -602,6 +612,10 @@ func shardedDistinct(q *Query, execs []*shardExec, opts ShardedOptions) (*Sharde
 			cols[i] = qs.Table.Schema().MustIndex(c)
 		}
 		return se.run(opts, func() error {
+			if fps, rows, ok := se.fusedDistinctPass(opts, cols); ok {
+				partials[s] = uniq{fps: fps, rows: rows}
+				return nil
+			}
 			buf := getStreamBuf()
 			defer putStreamBuf(buf)
 			seen := make(map[uint64]struct{}, 1024)
@@ -666,6 +680,10 @@ func shardedTopN(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun
 		qs := se.q
 		col := qs.Table.Schema().MustIndex(qs.OrderCol)
 		return se.run(opts, func() error {
+			if h, ok := se.fusedTopNPass(opts, col); ok {
+				heaps[s] = h
+				return nil
+			}
 			buf := getStreamBuf()
 			defer putStreamBuf(buf)
 			h := make(int64Heap, 0, qs.N)
@@ -742,6 +760,10 @@ func shardedGroupByMax(q *Query, execs []*shardExec, opts ShardedOptions) (*Shar
 		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
 		vc := qs.Table.Schema().MustIndex(qs.AggCol)
 		return se.run(opts, func() error {
+			if fps, maxs, reps, ok := se.fusedGroupByMaxPass(opts, kc, vc); ok {
+				partials[s] = partial{fps: fps, maxs: maxs, reps: reps}
+				return nil
+			}
 			buf := getStreamBuf()
 			defer putStreamBuf(buf)
 			keyIdx := make(map[uint64]int, 1024)
@@ -823,6 +845,10 @@ func shardedGroupBySum(q *Query, execs []*shardExec, opts ShardedOptions) (*Shar
 		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
 		vc := qs.Table.Schema().MustIndex(qs.AggCol)
 		return se.run(opts, func() error {
+			if sums, fpToKey, ok := se.fusedGroupBySumPass(opts, kc, vc); ok {
+				partials[s] = partial{sums: sums, fpToKey: fpToKey}
+				return nil
+			}
 			gs, ok := se.pruner.(*prune.GroupBySum)
 			if !ok {
 				return fmt.Errorf("engine: group-by-sum needs a *prune.GroupBySum, got %T", se.pruner)
@@ -898,6 +924,10 @@ func shardedHaving(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedR
 			if _, ok := se.pruner.(*prune.Having); !ok {
 				return fmt.Errorf("engine: having needs a *prune.Having, got %T", se.pruner)
 			}
+			if cand, ok := se.fusedHavingCandidates(opts, kc, vc); ok {
+				candidateSets[s] = cand
+				return nil
+			}
 			buf := getStreamBuf()
 			defer putStreamBuf(buf)
 			cand := make(map[uint64]bool, 1024)
@@ -933,6 +963,18 @@ func shardedHaving(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedR
 		qs := se.q
 		kc := qs.Table.Schema().MustIndex(qs.KeyCol)
 		vc := qs.Table.Schema().MustIndex(qs.AggCol)
+		if !opts.NoFuse {
+			// The exact pass is pruner-free (dp is nil below), so the fused
+			// loop applies regardless of the shard's dataplane.
+			fpr := newRowFP(qs.Table, []int{kc}, opts.Seed)
+			sums := make(map[string]int64, len(candidates))
+			resent := fusedHavingPass2(qs.Table, kc, qs.Table.Int64Col(vc), &fpr, candidates, sums)
+			se.traffic.EntriesSent += resent
+			se.traffic.SecondPassSent += resent
+			se.traffic.MasterProcessed = se.traffic.SecondPassSent
+			sumsPer[s] = sums
+			return nil
+		}
 		buf := getStreamBuf()
 		defer putStreamBuf(buf)
 		sums := make(map[string]int64, len(candidates))
@@ -992,6 +1034,15 @@ func shardedJoin(q *Query, execs []*shardExec, opts ShardedOptions) (*ShardedRun
 			j, ok := se.pruner.(*prune.Join)
 			if !ok {
 				return fmt.Errorf("engine: join needs a *prune.Join, got %T", se.pruner)
+			}
+			if fl, fr, ok := se.fusedJoinPass(opts, lc, rc); ok {
+				res, err := execJoin(qs, fl, fr)
+				if err != nil {
+					return err
+				}
+				se.traffic.MasterProcessed = len(fl) + len(fr)
+				results[s] = res
+				return nil
 			}
 			buf := getStreamBuf()
 			defer putStreamBuf(buf)

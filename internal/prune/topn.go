@@ -200,7 +200,11 @@ type RandTopN struct {
 	cfg    RandTopNConfig
 	matrix *cache.RollingMin
 	rng    uint64
-	stats  Stats
+	// fusedPos is the counter-indexed RNG stream position of the fused
+	// path (fused.go); the scalar chain above and this counter are
+	// independent streams.
+	fusedPos uint64
+	stats    Stats
 }
 
 // NewRandTopN builds the pruner.
@@ -298,6 +302,7 @@ func (p *RandTopN) ProcessBatch(b *switchsim.Batch, decisions []switchsim.Decisi
 func (p *RandTopN) Reset() {
 	p.matrix.Reset()
 	p.rng = p.cfg.Seed ^ 0x6d6f746f726f6c61
+	p.fusedPos = 0
 	p.stats = Stats{}
 }
 

@@ -658,6 +658,17 @@ func (l *Lease) ProcessBatch(b *switchsim.Batch, decisions []switchsim.Decision)
 	l.pipe.ProcessBatch(l.flowID, b, decisions)
 }
 
+// FusedProgram reports whether the engine's fused loops may drive this
+// lease's program directly, returning it when so and nil otherwise
+// (failed switch, uninstalled flow, fault injector armed — the
+// pipeline decides; see switchsim.Pipeline.FusedProgram). The lease's
+// owner is the only goroutine driving its flow's traffic, so direct
+// access preserves the per-flow ownership discipline, and the engine
+// still runs its post-pass Err check for failover.
+func (l *Lease) FusedProgram() switchsim.Program {
+	return l.pipe.FusedProgram(l.flowID)
+}
+
 // Err reports the lease's health: nil while the switch holds the
 // program, ErrFailed once the switch has failed (the program and its
 // register state are gone, and any pass that crossed the failure must

@@ -1,5 +1,7 @@
 package switchsim
 
+import "sync"
+
 // This file adds the batched dataplane interface. The per-entry Process
 // call models one packet crossing the pipeline; simulating at that
 // granularity costs an interface dispatch, a slice header and a stats
@@ -35,6 +37,14 @@ type BatchProgram interface {
 	ProcessBatch(b *Batch, decisions []Decision)
 }
 
+// gatherPool recycles the scalar fallback's per-entry gather slice;
+// allocating it per call shows up at paper scale when a third-party
+// Program streams millions of chunk-sized batches.
+var gatherPool = sync.Pool{New: func() any {
+	s := make([]uint64, 0, 16)
+	return &s
+}}
+
 // ProcessBatchOf runs prog over the batch, using the native batch loop
 // when prog implements BatchProgram and falling back to a per-entry
 // gather + Process loop otherwise, so third-party Programs keep working
@@ -44,13 +54,20 @@ func ProcessBatchOf(prog Program, b *Batch, decisions []Decision) {
 		bp.ProcessBatch(b, decisions)
 		return
 	}
-	vals := make([]uint64, len(b.Cols))
+	vp := gatherPool.Get().(*[]uint64)
+	vals := *vp
+	if cap(vals) < len(b.Cols) {
+		vals = make([]uint64, len(b.Cols))
+	}
+	vals = vals[:len(b.Cols)]
 	for j := 0; j < b.N; j++ {
 		for i, c := range b.Cols {
 			vals[i] = c[j]
 		}
 		decisions[j] = prog.Process(vals)
 	}
+	*vp = vals
+	gatherPool.Put(vp)
 }
 
 // ProcessBatch runs the program bound to flowID over a batch of entries.
@@ -87,4 +104,24 @@ func (pl *Pipeline) ProcessBatch(flowID uint32, b *Batch, decisions []Decision) 
 		return
 	}
 	ProcessBatchOf(prog, b, decisions)
+}
+
+// FusedProgram returns the live program installed for flowID when a
+// caller may drive it directly — the engine's fused loops bypass the
+// per-batch mux entirely, so the pipeline must be healthy, the flow
+// installed, and no fault injector armed (injected deaths fire between
+// batches through ProcessBatch's ordinal; a bypassing caller would
+// never observe them, so chaos runs keep the batched path). A nil
+// return means the caller must route through ProcessBatch. The
+// ownership discipline is unchanged: the flow's owner is the only
+// goroutine touching its program state, and a concurrent Fail only
+// flips the pipeline flag — the post-pass health check (Lease.Err)
+// still reports the death.
+func (pl *Pipeline) FusedProgram(flowID uint32) Program {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	if pl.failed || pl.injector != nil {
+		return nil
+	}
+	return pl.programOf(flowID)
 }
