@@ -188,11 +188,21 @@ type (
 	// WireUpdate is one pushed subscription refresh: the new standing
 	// result plus its committed stream version.
 	WireUpdate = wire.UpdateMsg
+	// WireResult is one query answer over the wire: rows plus the
+	// server-side wall clock and compact stage-trace summary
+	// (NetClient.Query returns it; render the summary with
+	// FormatNetTrace).
+	WireResult = wire.ResultMsg
 )
 
 // WireSpecOf derives a wire query spec from a locally-built query, with
 // the served names standing in for its table pointers.
 var WireSpecOf = wire.SpecOf
+
+// FormatNetTrace renders a wire result's server-side stage summary —
+// one line per lifecycle stage with duration and entry counts. Empty
+// when the server disabled tracing.
+var FormatNetTrace = netserve.FormatTrace
 
 // ListenNet starts a wire-protocol server on addr ("host:0" picks a
 // free port).

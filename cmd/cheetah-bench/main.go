@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	cheetah-bench [-scale N] [-seeds K] [-switches W] [-chaos] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|net|skip|all]
+//	cheetah-bench [-scale N] [-seeds K] [-switches W] [-chaos] [-trace] [table2|table3|fig5|fig6|fig7|fig8|fig9|fig10|fig11|baseline|serve|stream|net|skip|all]
 //
 // Scale divides the paper's dataset sizes (scale=1 reproduces paper
 // scale and takes minutes; the default 50 finishes in seconds). Output
@@ -33,6 +33,11 @@
 // target sweeps a clustered-column filter across selectivities
 // (0.1/1/10/50%) and reports the exact block-skip rate plus entries/s
 // with skipping on vs a full scan. None of these is part of "all".
+//
+// -trace prints measured ExplainAnalyze span trees — every query kind
+// run once per execution path (single-switch, sharded, exact direct),
+// each with its lifecycle trace (plan, skip, encode, prune, per-switch
+// passes, merge) — then exits unless explicit targets follow.
 package main
 
 import (
@@ -70,6 +75,7 @@ func run() int {
 	seed := flag.Uint64("seed", 0xc0ffee, "base RNG seed")
 	switches := flag.Int("switches", 4, "fabric width for the serve target (scaling table measures 1, 2, 4, ... up to this)")
 	chaos := flag.Bool("chaos", false, "serve target only: kill/restore a switch every ~50 queries (fault-tolerance soak; results stay exact)")
+	trace := flag.Bool("trace", false, "print ExplainAnalyze span trees for every query kind across execution paths (standalone unless targets are also given)")
 	addr := flag.String("addr", "", "net target: drive an external cheetahd at this address (empty = in-process loopback server)")
 	conns := flag.Int("conns", 1000, "net target: simulated connection count for the churn loop")
 	baselineOut := flag.String("baseline-out", "BENCH_baseline.json", "output file for the baseline target")
@@ -112,6 +118,17 @@ func run() int {
 
 	o := bench.Options{Scale: *scale, Seeds: *seeds, BaseSeed: *seed}
 	selected := flag.Args()
+	if *trace {
+		if err := bench.Trace(os.Stdout, o, *switches); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+		// `cheetah-bench -trace` alone prints traces and exits; with
+		// explicit targets the traces print first, then the targets run.
+		if len(selected) == 0 {
+			return 0
+		}
+	}
 	if len(selected) == 0 {
 		selected = []string{"all"}
 	}

@@ -9,6 +9,7 @@
 //	         [-switches W] [-workers K] [-seed S]
 //	         [-queue-limit N] [-tenant-quota N]
 //	         [-backlog N] [-shed]
+//	         [-metrics addr] [-pprof] [-slow-query D]
 //	         [-source spec]... [-pipe kind=KIND,sink=SPEC]...
 //
 // The served catalog is the benchmark mix ("visits" + "rankings", the
@@ -22,6 +23,15 @@
 // (e.g. "kind=topn,sink=log:path=-") holds a server-side continuous
 // query whose standing-result refreshes fan into the named sink.
 //
+// -metrics starts a second HTTP listener serving GET /metrics
+// (Prometheus text exposition of the fabric's shared registry:
+// admission counters, queue-depth and lease gauges, per-kind query
+// latency histograms with p50/p99) and GET /healthz (200 while the
+// fabric can place queries, 503 once draining or every switch is
+// down). -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on that listener. -slow-query logs any query whose
+// wall clock exceeds the threshold and counts it in slow_queries.
+//
 // On SIGTERM/SIGINT the server drains: new work is refused with a
 // retryable error, in-flight queries finish, subscriptions close after
 // a final update, connector pumps stop, and the process exits 0 — the
@@ -32,6 +42,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -79,6 +92,9 @@ func run() error {
 	backlog := flag.Int("backlog", 0, "ingest backlog cap in rows ahead of the slowest subscription (0 = unbounded)")
 	shed := flag.Bool("shed", false, "shed over-backlog appends instead of blocking")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	metricsAddr := flag.String("metrics", "", "HTTP address serving /metrics (Prometheus text) and /healthz (empty = disabled)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the -metrics server")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this wall-clock threshold (0 = disabled)")
 	var sources, pipes stringList
 	flag.Var(&sources, "source", "connector source spec feeding the served table (repeatable), e.g. gen:rows=100000,batch=256")
 	flag.Var(&pipes, "pipe", "server-side continuous query piped to a sink (repeatable), e.g. kind=topn,sink=log:path=-")
@@ -103,12 +119,25 @@ func run() error {
 		Plan:    plan.Options{Switches: *switches, Workers: *workers, Seed: *seed},
 		Serve:   plan.ServeOptions{QueueLimit: *queueLimit, TenantQuota: *tenantQuota},
 		Stream:  &plan.StreamOptions{Backlog: *backlog, Shed: *shed, QueueLimit: *queueLimit},
+
+		SlowQueryThreshold: *slowQuery,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("cheetahd: listening on %s (visits=%d rows, rankings=%d rows, %d switches)\n",
 		srv.Addr(), uvRows, rkRows, *switches)
+
+	// Observability sidecar: a plain HTTP listener serving the shared
+	// metrics registry as Prometheus text plus a fabric-backed health
+	// probe; pprof mounts only when asked for.
+	var obsSrv *http.Server
+	if *metricsAddr != "" {
+		obsSrv, err = serveObs(srv, *metricsAddr, *pprofOn)
+		if err != nil {
+			return err
+		}
+	}
 
 	// Connector topology: sources pump into the served table, pipes
 	// hold continuous queries fanning into sinks.
@@ -145,6 +174,12 @@ func run() error {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	sig := <-sigc
 	fmt.Printf("cheetahd: %v, draining\n", sig)
+	if obsSrv != nil {
+		// The probe endpoint goes down with the drain: /healthz flips to
+		// 503 the moment Shutdown marks the server draining, and the
+		// listener itself closes once in-flight scrapes finish.
+		defer obsSrv.Close()
+	}
 	rt.Close()
 	dctx, cancel := context.WithTimeout(ctx, *drainTimeout)
 	defer cancel()
@@ -158,6 +193,44 @@ func run() error {
 		return fmt.Errorf("drain left %d active leases", stats.Active)
 	}
 	return nil
+}
+
+// serveObs starts the observability HTTP listener: GET /metrics dumps
+// the server's shared registry in Prometheus text exposition format,
+// GET /healthz answers 200 while the fabric can place queries (503
+// once draining or every switch is down), and -pprof mounts the
+// standard net/http/pprof handlers under /debug/pprof/.
+func serveObs(srv *netserve.Server, addr string, withPprof bool) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = srv.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if srv.Healthy() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "unavailable")
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	hs := &http.Server{Handler: mux}
+	go func() { _ = hs.Serve(ln) }()
+	fmt.Printf("cheetahd: metrics on http://%s/metrics (healthz%s)\n",
+		ln.Addr(), map[bool]string{true: ", pprof", false: ""}[withPprof])
+	return hs, nil
 }
 
 // buildPipe parses a "kind=KIND,sink=SPEC" pipe flag into a continuous

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"cheetah/internal/hashutil"
+	"cheetah/internal/obs"
 	"cheetah/internal/prune"
 	"cheetah/internal/switchsim"
 	"cheetah/internal/table"
@@ -1075,10 +1076,25 @@ func batchSkyline(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 // whole execution runs as monomorphic per-kind loops (fuse.go).
 func execCheetahBatch(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	if !opts.NoFuse {
+		tm := opts.Trace.Begin(obs.StageFused, opts.TraceSwitch)
 		if run, ok, err := execCheetahFused(q, opts); ok {
+			if err == nil && run != nil {
+				// One span covers the fused encode→prune→compact loop and
+				// its in-loop completion — the phases are interleaved by
+				// construction, so they cannot be timed apart.
+				tm.End(int64(run.Traffic.EntriesSent), int64(run.Traffic.Forwarded))
+			}
 			return run, err
 		}
 	}
+	if opts.Trace != nil && opts.traceAcc == nil {
+		return execCheetahBatchTraced(q, opts)
+	}
+	return execCheetahBatchDispatch(q, opts)
+}
+
+// execCheetahBatchDispatch routes to the per-kind batched execution.
+func execCheetahBatchDispatch(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	switch q.Kind {
 	case KindFilter:
 		return batchFilter(q, opts)

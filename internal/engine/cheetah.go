@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"cheetah/internal/hashutil"
+	"cheetah/internal/obs"
 	"cheetah/internal/prune"
 	"cheetah/internal/switchsim"
 	"cheetah/internal/table"
@@ -48,6 +50,19 @@ type CheetahOptions struct {
 	// fused RNG draws from a counter-indexed stream (prune decisions may
 	// differ; final Results do not).
 	NoFuse bool
+	// Trace, when non-nil, collects per-stage spans (encode/prune/merge
+	// on the batched path, one fused span on the fused path) into the
+	// query's lifecycle trace. Tracing observes only: it never changes
+	// results, traffic or stats. The scalar path — the frozen
+	// equivalence oracle — is never traced.
+	Trace *obs.Trace
+	// TraceSwitch labels this execution's spans with the fabric switch
+	// index the flow is placed on (0 for an unplaced local execution).
+	TraceSwitch int
+
+	// traceAcc, set only by the traced dispatch, makes dataplaneFor
+	// wrap the resolved dataplane with ProcessBatch timing.
+	traceAcc *traceAcc
 }
 
 // BatchDataplane processes one batch of entries for an already-admitted
@@ -86,10 +101,16 @@ func (d progDataplane) FusedProgram() switchsim.Program { return d.prog }
 // dataplaneFor resolves the batch dataplane of one execution: the
 // caller's flow-scoped handle when serving, the pruner itself otherwise.
 func (o CheetahOptions) dataplaneFor(pruner prune.Pruner) BatchDataplane {
+	var dp BatchDataplane
 	if o.Flow != nil {
-		return o.Flow
+		dp = o.Flow
+	} else {
+		dp = progDataplane{prog: pruner}
 	}
-	return progDataplane{prog: pruner}
+	if o.traceAcc != nil {
+		return traceDataplane{inner: dp, acc: o.traceAcc}
+	}
+	return dp
 }
 
 // Traffic counts the data movement of one Cheetah execution; the cost
@@ -118,6 +139,10 @@ type CheetahRun struct {
 	// Skipped reports the block-skipping work (zero unless
 	// CheetahOptions.Skip was set and the table carries a skip index).
 	Skipped SkipStats
+	// Wall is the execution's total wall time, captured once in
+	// ExecCheetah around the whole run (see Stopwatch) — identical
+	// semantics on the scalar, batched and fused paths.
+	Wall time.Duration
 }
 
 // UnprunedFraction is Forwarded/EntriesSent, Figures 10–11's metric.
@@ -133,6 +158,18 @@ func (c *CheetahRun) UnprunedFraction() float64 {
 // switch pruner, and complete the query at the master on the survivors
 // via late materialization (row ids travel in the packets).
 func ExecCheetah(q *Query, opts CheetahOptions) (*CheetahRun, error) {
+	clock := StartClock()
+	run, err := execCheetah(q, opts)
+	if run != nil {
+		// The engine's single wall capture (satellite of the timing
+		// unification): one stamp per call, covering every internal pass,
+		// never reset by a retry.
+		run.Wall = clock.Elapsed()
+	}
+	return run, err
+}
+
+func execCheetah(q *Query, opts CheetahOptions) (*CheetahRun, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}

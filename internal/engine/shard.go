@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"cheetah/internal/obs"
 	"cheetah/internal/prune"
 	"cheetah/internal/switchsim"
 	"cheetah/internal/table"
@@ -126,6 +127,12 @@ type ShardedOptions struct {
 	// program access (chaos-armed pipelines) fall back per shard
 	// automatically; Results are identical either way.
 	NoFuse bool
+	// Trace, when non-nil, collects one span per shard pass (plus a
+	// failover span per discarded attempt and a global merge span) into
+	// the query's lifecycle trace. Span recording is mutex-guarded, so
+	// concurrent shard goroutines may share the trace. Tracing observes
+	// only — results, traffic and stats are unchanged.
+	Trace *obs.Trace
 }
 
 // ShardedRun is the outcome of a scatter/gather execution.
@@ -150,6 +157,10 @@ type ShardedRun struct {
 	// Skipped sums the shards' block-skipping work (zero unless
 	// Options.Skip was set and shards carried skip metadata).
 	Skipped SkipStats
+	// Wall is the execution's total wall time, captured once in
+	// ExecSharded around the whole run (see Stopwatch) — it covers every
+	// shard pass including failover redos, never a single attempt.
+	Wall time.Duration
 }
 
 // UnprunedFraction is Forwarded/EntriesSent over the whole fabric.
@@ -328,12 +339,21 @@ func (se *shardExec) run(opts ShardedOptions, pass func() error) error {
 		se.ensureHealthy(opts)
 		se.traffic = Traffic{}
 		se.skipped = SkipStats{}
+		tm := opts.Trace.Begin(obs.StageShard, se.idx).Attempt(se.attempts)
 		if err := pass(); err != nil {
 			return err
 		}
 		if se.healthErr() == nil {
+			note := ""
+			if se.degraded {
+				note = "degraded: master-side backstop"
+			}
+			tm.Counts(int64(se.traffic.EntriesSent), int64(se.traffic.Forwarded)).EndNote(note)
 			return nil
 		}
+		// The pass crossed the switch's death: its wall time is recorded
+		// as a failover span and the stream is redone (§7.2).
+		tm.Restage(obs.StageFailover).EndNote("pass discarded: switch died mid-stream")
 	}
 }
 
@@ -416,6 +436,17 @@ func gatherSurvivors(execs []*shardExec, survivors [][]int) (*table.Table, error
 // exact global result. The result is identical to ExecDirect for every
 // query kind.
 func ExecSharded(q *Query, opts ShardedOptions) (*ShardedRun, error) {
+	clock := StartClock()
+	run, err := execSharded(q, opts)
+	if run != nil {
+		// The engine's single wall capture: one stamp per call, covering
+		// every shard pass and failover redo, never reset by a retry.
+		run.Wall = clock.Elapsed()
+	}
+	return run, err
+}
+
+func execSharded(q *Query, opts ShardedOptions) (*ShardedRun, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -450,6 +481,7 @@ func ExecSharded(q *Query, opts ShardedOptions) (*ShardedRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	traceBase := opts.Trace.Elapsed()
 	var run *ShardedRun
 	switch q.Kind {
 	case KindFilter, KindSkyline:
@@ -487,6 +519,24 @@ func ExecSharded(q *Query, opts ShardedOptions) (*ShardedRun, error) {
 			run.Degraded++
 		}
 		run.Skipped.Add(se.skipped)
+	}
+	if tr := opts.Trace; tr != nil {
+		// The global combine is everything after the last shard pass
+		// finished: shard-local partials merged into the exact result.
+		mergeStart := traceBase
+		for _, s := range tr.Spans() {
+			if (s.Stage == obs.StageShard || s.Stage == obs.StageFailover) && s.Start >= traceBase {
+				if end := s.Start + s.Dur; end > mergeStart {
+					mergeStart = end
+				}
+			}
+		}
+		now := tr.Elapsed()
+		if now < mergeStart {
+			mergeStart = now
+		}
+		tr.Add(obs.Span{Stage: obs.StageMerge, Switch: -1, Start: mergeStart,
+			Dur: now - mergeStart, Entries: int64(run.Traffic.MasterProcessed)})
 	}
 	return run, nil
 }

@@ -1,0 +1,173 @@
+package netserve
+
+// Observability over the wire: the Result frame's compact trace
+// summary and wall clock, the server's shared metrics registry
+// (per-kind latency histograms, slow-query counter + log hook,
+// admission gauges), and the health signal cheetahd's /healthz serves.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cheetah/internal/obs"
+	"cheetah/internal/plan"
+	"cheetah/internal/stats"
+	"cheetah/internal/table"
+	"cheetah/internal/wire"
+	"cheetah/internal/workload/multitenant"
+)
+
+// TestWireTraceAndMetrics runs all 8 kinds over TCP and checks each
+// result carries the server-side wall clock and stage summary, the
+// shared registry accumulates per-kind latency histograms, and the
+// slow-query hook fires (threshold 1ns: everything is slow).
+func TestWireTraceAndMetrics(t *testing.T) {
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 2000, RankRows: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := stats.NewRegistry()
+	var mu sync.Mutex
+	var slowLines []string
+	srv, err := Listen("127.0.0.1:0", Options{
+		Tables:             map[string]*table.Table{"visits": mix.Visits, "rankings": mix.Rankings},
+		Primary:            "visits",
+		Plan:               plan.Options{Switches: 2, Seed: 11},
+		Metrics:            reg,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog: func(format string, args ...any) {
+			mu.Lock()
+			slowLines = append(slowLines, format)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if srv.Metrics() != reg {
+		t.Fatal("server did not adopt the caller's registry")
+	}
+	if !srv.Healthy() {
+		t.Fatal("fresh server reports unhealthy")
+	}
+
+	cl := dialMix(t, srv, "tenant-0")
+	ctx := context.Background()
+	kinds := map[string]bool{}
+	for i := 0; i < multitenant.NumKinds; i++ {
+		q := mix.Query(i)
+		kinds[q.Kind.String()] = true
+		spec, err := wire.SpecOf(q, "visits", rightName(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.Query(ctx, *spec, QueryOptions{})
+		if err != nil {
+			t.Fatalf("query %d (%v): %v", i, q.Kind, err)
+		}
+		if res.WallNanos == 0 {
+			t.Fatalf("query %d (%v): result carries no wall clock", i, q.Kind)
+		}
+		if len(res.Trace) == 0 {
+			t.Fatalf("query %d (%v): result carries no trace summary", i, q.Kind)
+		}
+		var sawPlan bool
+		for _, st := range res.Trace {
+			if obs.Stage(st.Stage) == obs.StagePlan {
+				sawPlan = true
+			}
+		}
+		if !sawPlan {
+			t.Fatalf("query %d (%v): trace summary %v has no plan stage", i, q.Kind, res.Trace)
+		}
+		rendered := FormatTrace(res)
+		if !strings.Contains(rendered, "server wall") || !strings.Contains(rendered, "plan") {
+			t.Fatalf("query %d (%v): FormatTrace rendered %q", i, q.Kind, rendered)
+		}
+	}
+
+	// Per-kind latency histograms: every kind submitted shows up, each
+	// with at least one observation and a positive sum.
+	for kind := range kinds {
+		h := reg.Histogram("query_latency", "kind", kind)
+		if h.Count() == 0 || h.Sum() <= 0 {
+			t.Fatalf("query_latency{kind=%s} is empty", kind)
+		}
+	}
+	if n := reg.Total("slow_queries"); n == 0 {
+		t.Fatal("slow-query counter never fired at a 1ns threshold")
+	}
+	mu.Lock()
+	lines := len(slowLines)
+	mu.Unlock()
+	if lines == 0 {
+		t.Fatal("slow-query log hook never fired")
+	}
+
+	srv.Close()
+	if srv.Healthy() {
+		t.Fatal("closed server still reports healthy")
+	}
+}
+
+// TestWireTraceDisabled pins the opt-out: with session tracing off the
+// Result frame carries no stage summary (the wall clock still does —
+// it comes from the execution, not the trace) and FormatTrace renders
+// nothing.
+func TestWireTraceDisabled(t *testing.T) {
+	mix, err := multitenant.NewMix(multitenant.MixConfig{VisitRows: 1000, RankRows: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Listen("127.0.0.1:0", Options{
+		Tables:  map[string]*table.Table{"visits": mix.Visits, "rankings": mix.Rankings},
+		Primary: "visits",
+		Plan:    plan.Options{Switches: 2, Seed: 11, DisableTracing: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl := dialMix(t, srv, "tenant-0")
+	q := mix.Query(0)
+	spec, err := wire.SpecOf(q, "visits", rightName(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(context.Background(), *spec, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 0 {
+		t.Fatalf("tracing disabled but summary present: %v", res.Trace)
+	}
+	if res.WallNanos == 0 {
+		t.Fatal("wall clock must not depend on tracing")
+	}
+	if FormatTrace(res) != "" {
+		t.Fatal("FormatTrace must render nothing without a summary")
+	}
+}
+
+// TestHealthyTracksFabric pins Healthy() to the fabric's failure
+// state: all switches failed → unhealthy; one restored → healthy.
+func TestHealthyTracksFabric(t *testing.T) {
+	srv, _ := testServer(t, false, 500)
+	fab := srv.Serving().Fabric()
+	for i := 0; i < fab.Size(); i++ {
+		fab.Fail(i)
+	}
+	if srv.Healthy() {
+		t.Fatal("all switches failed but server reports healthy")
+	}
+	if err := fab.Restore(0); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Healthy() {
+		t.Fatal("restored switch but server reports unhealthy")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"cheetah/internal/engine"
 	"cheetah/internal/plan"
 	"cheetah/internal/serve"
+	"cheetah/internal/stats"
 	"cheetah/internal/stream"
 	"cheetah/internal/table"
 	"cheetah/internal/wire"
@@ -66,6 +68,18 @@ type Options struct {
 	// Stream, when non-nil, enables appends and subscriptions over the
 	// primary table with the given backlog/shed policy.
 	Stream *plan.StreamOptions
+	// Metrics, when non-nil, is the registry every layer of the server
+	// records into (fabric admission counters and gauges, query-latency
+	// histograms, credit stalls) — the registry cheetahd's /metrics
+	// endpoint exposes. Nil creates a server-private registry, reachable
+	// via Server.Metrics.
+	Metrics *stats.Registry
+	// SlowQueryThreshold, when > 0, counts and logs every query whose
+	// measured wall clock meets it.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives one line per slow query; nil selects the
+	// standard logger.
+	SlowQueryLog func(format string, args ...any)
 }
 
 // Server is a live cheetahd instance: a listener plus the shared
@@ -77,6 +91,9 @@ type Server struct {
 	strm    *plan.Streaming // nil when streaming is disabled
 	tables  map[string]*table.Table
 	primary string
+	metrics *stats.Registry
+	slowAt  time.Duration
+	slowLog func(format string, args ...any)
 
 	mu       sync.Mutex
 	conns    map[*conn]struct{}
@@ -97,6 +114,18 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 	primary := opts.Tables[opts.Primary]
 	if opts.Primary == "" || primary == nil {
 		return nil, fmt.Errorf("netserve: Options.Tables must contain Primary (%q)", opts.Primary)
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = stats.NewRegistry()
+	}
+	if opts.SlowQueryLog == nil {
+		opts.SlowQueryLog = log.Printf
+	}
+	// One registry across every layer: the fabrics' admission series,
+	// the serving gauges/histograms and the server's own query metrics
+	// all land in the registry /metrics exposes.
+	if opts.Plan.Metrics == nil {
+		opts.Plan.Metrics = opts.Metrics
 	}
 	sess, err := plan.Open(primary, opts.Plan)
 	if err != nil {
@@ -126,6 +155,9 @@ func Serve(ln net.Listener, opts Options) (*Server, error) {
 		strm:    strm,
 		tables:  tables,
 		primary: opts.Primary,
+		metrics: opts.Metrics,
+		slowAt:  opts.SlowQueryThreshold,
+		slowLog: opts.SlowQueryLog,
 		conns:   make(map[*conn]struct{}),
 	}
 	s.accepting.Add(1)
@@ -162,6 +194,32 @@ func (s *Server) Streaming() *plan.Streaming { return s.strm }
 
 // Stats returns the cumulative admission counters across the fabric.
 func (s *Server) Stats() serve.Counters { return s.serving.Stats() }
+
+// Metrics returns the server's operational-metrics registry: fabric
+// admission counters, queue/lease gauges, admission-wait and
+// query-latency histograms, credit stalls — the series /metrics
+// exposes.
+func (s *Server) Metrics() *stats.Registry { return s.metrics }
+
+// Healthy reports whether the server can currently do useful work: not
+// draining, and at least one fabric switch alive (an all-dead fabric
+// still answers exactly via the direct fallback, but /healthz should
+// say the deployment is degraded).
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	down := s.draining || s.closed
+	s.mu.Unlock()
+	if down {
+		return false
+	}
+	fab := s.serving.Fabric()
+	for i := 0; i < fab.Size(); i++ {
+		if !fab.Server(i).Failed() {
+			return true
+		}
+	}
+	return false
+}
 
 func (s *Server) acceptLoop() {
 	defer s.accepting.Done()
@@ -522,9 +580,11 @@ func (c *conn) handleQuery(req *wire.QueryReq) {
 			if errors.Is(err, serve.ErrDeadline) || errors.Is(err, serve.ErrBusy) {
 				code = wire.CodeRetryable
 			}
+			c.srv.metrics.Counter("query_errors", "kind", q.Kind.String()).Incr(1)
 			c.writeError(req.ID, code, err.Error())
 			return
 		}
+		c.srv.observeQuery(c.tenant, q, ex)
 		res := wire.ResultMsg{
 			ID:          req.ID,
 			Mode:        uint8(ex.Plan.Mode),
@@ -533,9 +593,42 @@ func (c *conn) handleQuery(req *wire.QueryReq) {
 			FailedOver:  uint32(ex.FailedOver),
 			Columns:     ex.Result.Columns,
 			Rows:        ex.Result.Rows,
+			WallNanos:   uint64(ex.Wall),
+		}
+		if tr := ex.Trace(); tr != nil {
+			for _, st := range tr.Summary() {
+				res.Trace = append(res.Trace, wire.TraceStage{
+					Stage:     uint8(st.Stage),
+					Nanos:     clampU64(st.Nanos),
+					Entries:   clampU64(st.Entries),
+					Forwarded: clampU64(st.Forwarded),
+				})
+			}
 		}
 		_ = c.writeFrame(wire.FrameResult, res.EncodeBody(nil))
 	}()
+}
+
+// clampU64 narrows a non-negative int64 metric for the wire (negative
+// never happens in practice; encode zero rather than a huge uvarint).
+func clampU64(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// observeQuery records one completed query's operational series: the
+// per-kind latency histogram and, past the slow-query threshold, the
+// slow-query counter and log line.
+func (s *Server) observeQuery(tenant string, q *engine.Query, ex *plan.Execution) {
+	kind := q.Kind.String()
+	s.metrics.Histogram("query_latency", "kind", kind).Observe(int64(ex.Wall))
+	if s.slowAt > 0 && ex.Wall >= s.slowAt {
+		s.metrics.Counter("slow_queries", "kind", kind).Incr(1)
+		s.slowLog("netserve: slow query kind=%s tenant=%q wall=%v failovers=%d rows=%d",
+			kind, tenant, ex.Wall, ex.FailedOver, len(ex.Result.Rows))
+	}
 }
 
 // handleAppend commits one batch into the ingestor, mapping the
@@ -642,6 +735,9 @@ func (c *conn) forward(id uint64, st *subState) {
 		if st.credits == 0 {
 			st.pending = u // latest wins while the window is exhausted
 			st.mu.Unlock()
+			// A stall: the client's window is the bottleneck, not the
+			// fabric — the series a slow consumer shows up in.
+			c.srv.metrics.Counter("credit_stalls").Incr(1)
 			continue
 		}
 		st.credits--

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	m := tr.Begin(StagePlan, -1)
+	m.End(1, 2)
+	m.EndNote("x")
+	tr.Add(Span{})
+	tr.SetQueryID(7)
+	tr.Release()
+	if tr.QueryID() != 0 || tr.Spans() != nil || tr.Summary() != nil || tr.Elapsed() != 0 {
+		t.Fatal("nil trace must observe nothing")
+	}
+	if !strings.Contains(tr.String(), "disabled") {
+		t.Fatalf("nil render = %q, want disabled marker", tr.String())
+	}
+}
+
+func TestSpanOrderingAndRender(t *testing.T) {
+	tr := New()
+	tr.SetQueryID(42)
+	// Record out of start order; Spans must sort by start offset.
+	tr.Add(Span{Stage: StageMerge, Switch: -1, Start: 30, Dur: 5})
+	tr.Add(Span{Stage: StagePlan, Switch: -1, Start: 0, Dur: 10})
+	tr.Add(Span{Stage: StagePrune, Switch: 1, Start: 10, Dur: 20, Entries: 100, Forwarded: 7})
+	tr.Add(Span{Stage: StageEncode, Switch: 1, Start: 10, Dur: 8})
+	spans := tr.Spans()
+	want := []Stage{StagePlan, StageEncode, StagePrune, StageMerge}
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(spans), len(want))
+	}
+	for i, s := range spans {
+		if s.Stage != want[i] {
+			t.Fatalf("span %d stage = %v, want %v", i, s.Stage, want[i])
+		}
+	}
+	out := tr.String()
+	if !strings.Contains(out, "query-id=42") {
+		t.Fatalf("render missing query id:\n%s", out)
+	}
+	for _, frag := range []string{"plan", "encode", "prune", "merge", "switch=1", "entries=100", "forwarded=7"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// Engine-side stages indent one level deeper than lifecycle stages.
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "  plan"):
+		case strings.HasPrefix(line, "    prune"), strings.HasPrefix(line, "    encode"):
+		case strings.HasPrefix(line, "  prune"), strings.HasPrefix(line, "  encode"):
+			t.Fatalf("engine stage not indented:\n%s", out)
+		}
+	}
+}
+
+func TestTimerMeasuresMonotonic(t *testing.T) {
+	tr := New()
+	m := tr.Begin(StageScan, -1)
+	time.Sleep(2 * time.Millisecond)
+	m.End(10, 3)
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Dur < time.Millisecond {
+		t.Fatalf("span dur %v too small for a 2ms stage", s.Dur)
+	}
+	if s.Entries != 10 || s.Forwarded != 3 {
+		t.Fatalf("counts = %d/%d, want 10/3", s.Entries, s.Forwarded)
+	}
+	if tr.Elapsed() < s.Start+s.Dur {
+		t.Fatal("elapsed must cover the span")
+	}
+}
+
+func TestSummaryAggregatesPerStage(t *testing.T) {
+	tr := New()
+	tr.Add(Span{Stage: StagePrune, Switch: 0, Dur: 10, Entries: 100, Forwarded: 5})
+	tr.Add(Span{Stage: StagePrune, Switch: 1, Dur: 20, Entries: 200, Forwarded: 7})
+	tr.Add(Span{Stage: StagePlan, Dur: 3})
+	sum := tr.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("got %d stage totals, want 2", len(sum))
+	}
+	if sum[0].Stage != StagePlan || sum[0].Nanos != 3 {
+		t.Fatalf("summary[0] = %+v, want plan/3ns", sum[0])
+	}
+	if sum[1].Stage != StagePrune || sum[1].Nanos != 30 || sum[1].Entries != 300 || sum[1].Forwarded != 12 {
+		t.Fatalf("summary[1] = %+v, want prune totals 30/300/12", sum[1])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m := tr.Begin(StageShard, g)
+				m.End(int64(i), 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(tr.Spans()); n != 1600 {
+		t.Fatalf("lost spans under concurrency: %d != 1600", n)
+	}
+}
+
+func TestStageNamesStable(t *testing.T) {
+	// Stage numbers ride the wire; renames are fine, renumbering is not.
+	want := map[Stage]string{
+		StagePlan: "plan", StageAdmit: "admit", StageSkip: "skip",
+		StageScan: "scan", StageEncode: "encode", StagePrune: "prune",
+		StageFused: "fused", StageMerge: "merge", StageShard: "shard",
+		StageDelta: "delta", StageFailover: "failover",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Fatalf("stage %d = %q, want %q", s, s.String(), name)
+		}
+	}
+	if StagePlan != 0 || StageFailover != 10 {
+		t.Fatal("stage numbering must stay stable (wire format)")
+	}
+}

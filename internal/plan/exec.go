@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"cheetah/internal/cluster"
 	"cheetah/internal/engine"
+	"cheetah/internal/obs"
 	"cheetah/internal/prune"
 	"cheetah/internal/serve"
 	"cheetah/internal/switchsim"
@@ -57,7 +59,21 @@ type Execution struct {
 	// SparkEstimate is the modelled completion time of the Spark-style
 	// baseline on the same data, for comparison (Figure 5's other bar).
 	SparkEstimate engine.Breakdown
+	// Wall is the measured wall-clock of the whole execution, captured
+	// once per call by the engine's shared Stopwatch. For a served query
+	// it covers every failover attempt (admission waits and discarded
+	// passes included) — never reset per attempt.
+	Wall time.Duration
+
+	// trace is the execution's lifecycle trace; nil when the session
+	// disabled tracing (Options.DisableTracing).
+	trace *obs.Trace
 }
+
+// Trace returns the execution's lifecycle trace: per-stage spans from
+// planning through admission, switch passes and the master merge. Nil
+// when the session disabled tracing.
+func (e *Execution) Trace() *obs.Trace { return e.trace }
 
 // SwitchReport is one fabric switch's share of a scatter/gather
 // execution: its shard's traffic and the pipeline occupancy of its
@@ -125,33 +141,91 @@ func (e *Execution) Explain() string {
 	return b.String()
 }
 
+// ExplainAnalyze renders the execution the way Explain does, then
+// appends what actually happened: the measured wall clock and the
+// lifecycle trace's span tree (per-stage timings, per-switch passes,
+// failover attempts, stream counts).
+func (e *Execution) ExplainAnalyze() string {
+	var b strings.Builder
+	b.WriteString(e.Explain())
+	fmt.Fprintf(&b, "wall:    %s measured\n", e.Wall.Round(time.Microsecond))
+	if e.trace == nil {
+		b.WriteString("trace:   disabled (Options.DisableTracing)\n")
+	} else {
+		e.trace.Render(&b)
+	}
+	return b.String()
+}
+
+// addSkipSpan records the skip-index consultation as a zero-duration
+// span (consultation time is folded into the pass that consulted it):
+// the span carries the rows the metadata eliminated before encode.
+func addSkipSpan(tr *obs.Trace, start time.Duration, st engine.SkipStats) {
+	if st.BlocksSeen == 0 {
+		return
+	}
+	tr.Add(obs.Span{
+		Stage: obs.StageSkip, Switch: -1, Start: start,
+		Entries: int64(st.RowsSkipped),
+		Note:    fmt.Sprintf("%d/%d blocks skipped", st.BlocksSkipped, st.BlocksSeen),
+	})
+}
+
 // Exec plans and executes the query through the planned path. It is the
 // session API's single execution entrypoint: the same call serves
 // direct, batched-Cheetah and cluster execution, and always returns the
-// full Execution report.
+// full Execution report. Unless the session disabled tracing, the
+// returned execution carries a lifecycle trace whose plan span covers
+// the planner call itself.
 func (s *Session) Exec(ctx context.Context, q *engine.Query) (*Execution, error) {
+	tr := s.newTrace()
+	tm := tr.Begin(obs.StagePlan, -1)
 	p, err := s.Plan(q)
 	if err != nil {
+		tr.Release()
 		return nil, err
 	}
-	return s.ExecPlan(ctx, p)
+	tm.EndNote(p.Mode.String())
+	return s.execPlan(ctx, p, tr)
 }
 
 // ExecPlan executes a previously computed plan, allowing one plan to be
-// inspected (or rendered) before running and reused across runs.
+// inspected (or rendered) before running and reused across runs. The
+// trace of a pre-planned execution has no plan span — planning happened
+// outside the call.
 func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
+	return s.execPlan(ctx, p, s.newTrace())
+}
+
+// execPlan runs a plan under an already-started trace and stamps the
+// execution's Wall once around the whole call — the single wall-clock
+// capture point every execution path shares (engine.Stopwatch).
+func (s *Session) execPlan(ctx context.Context, p *Plan, tr *obs.Trace) (*Execution, error) {
+	clock := engine.StartClock()
+	ex, err := s.execPlanModes(ctx, p, tr)
+	if err != nil {
+		tr.Release()
+		return nil, err
+	}
+	ex.Wall = clock.Elapsed()
+	return ex, nil
+}
+
+func (s *Session) execPlanModes(ctx context.Context, p *Plan, tr *obs.Trace) (*Execution, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ex := &Execution{Plan: p}
+	ex := &Execution{Plan: p, trace: tr}
 	q := p.Query
 	switch p.Mode {
 	case ModeDirect:
 		var res *engine.Result
 		var err error
+		tm := tr.Begin(obs.StageScan, -1)
+		start := tr.Elapsed()
 		if p.Skip {
 			res, ex.SkipStats, err = engine.ExecDirectSkip(q)
 		} else {
@@ -160,6 +234,8 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 		if err != nil {
 			return nil, err
 		}
+		tm.End(int64(queryRows(q)), int64(len(res.Rows)))
+		addSkipSpan(tr, start, ex.SkipStats)
 		ex.Result = res
 		// Direct execution is single-node: all rows on one machine.
 		ex.Estimate = s.cost.SparkTime(q.Kind, []int{queryRows(q)}, len(res.Rows), false, s.opts.NICGbps)
@@ -172,12 +248,15 @@ func (s *Session) ExecPlan(ctx context.Context, p *Plan) (*Execution, error) {
 			return nil, err
 		}
 		ex.PipelineUtil = dedicatedUtil(p.Model, pruner)
+		start := tr.Elapsed()
 		run, err := engine.ExecCheetah(q, engine.CheetahOptions{
 			Workers: p.Workers, Pruner: pruner, Seed: p.Seed, Skip: p.Skip,
+			Trace: tr, TraceSwitch: 0,
 		})
 		if err != nil {
 			return nil, err
 		}
+		addSkipSpan(tr, start, run.Skipped)
 		ex.Result = run.Result
 		ex.Traffic = run.Traffic
 		ex.Stats = run.Stats
@@ -237,13 +316,15 @@ func (s *Session) execShardedCheetah(ex *Execution, p *Plan) (*Execution, error)
 	if err != nil {
 		return nil, err
 	}
+	start := ex.trace.Elapsed()
 	run, err := engine.ExecSharded(q, engine.ShardedOptions{
 		Shards: p.Switches, Workers: p.Workers, Seed: p.Seed, Pruners: pruners,
-		Skip: p.Skip,
+		Skip: p.Skip, Trace: ex.trace,
 	})
 	if err != nil {
 		return nil, err
 	}
+	addSkipSpan(ex.trace, start, run.Skipped)
 	ex.Result = run.Result
 	ex.Traffic = run.Traffic
 	ex.Stats = run.Stats

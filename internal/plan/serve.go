@@ -18,6 +18,7 @@ import (
 
 	"cheetah/internal/engine"
 	"cheetah/internal/fabric"
+	"cheetah/internal/obs"
 	"cheetah/internal/serve"
 	"cheetah/internal/switchsim"
 )
@@ -59,6 +60,7 @@ func (s *Session) Serve(ctx context.Context, opts ServeOptions) (*Serving, error
 		Model:       s.opts.Model,
 		QueueLimit:  opts.QueueLimit,
 		TenantQuota: opts.TenantQuota,
+		Metrics:     s.opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -163,16 +165,28 @@ func (sv *Serving) SubmitQoS(ctx context.Context, q *engine.Query, qos serve.QoS
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// One clock over the whole submission: the execution's Wall covers
+	// every failover attempt, admission waits and discarded passes
+	// included — never reset per attempt.
+	clock := engine.StartClock()
+	tr := sv.s.newTrace()
 	// A served query runs whole on its placed switch, so plan at fabric
 	// width 1 regardless of the session's Exec width.
+	ptm := tr.Begin(obs.StagePlan, -1)
 	p, err := sv.s.planFor(q, 1)
 	if err != nil {
+		tr.Release()
 		return nil, err
 	}
+	ptm.EndNote(p.Mode.String())
 	// The planner's own fallback (no program fits the model) bypasses
 	// admission entirely — the oversized-query bypass.
 	if p.Mode == ModeDirect {
-		return sv.s.ExecPlan(ctx, p)
+		ex, err := sv.s.execPlan(ctx, p, tr)
+		if ex != nil {
+			ex.Wall = clock.Elapsed()
+		}
+		return ex, err
 	}
 	// Serving always executes in-process through a shared pipeline — the
 	// cluster transport has no multiplexed path — so a UseCluster plan
@@ -188,10 +202,17 @@ func (sv *Serving) SubmitQoS(ctx context.Context, q *engine.Query, qos serve.QoS
 		// stream through clean state (§7.2).
 		pruner, err := p.NewPruner()
 		if err != nil {
+			tr.Release()
 			return nil, err
 		}
+		admitStart := tr.Elapsed()
 		placement, err := sv.fab.AdmitQoS(ctx, pruner, qos)
 		if err != nil {
+			tr.Add(obs.Span{
+				Stage: obs.StageAdmit, Switch: -1, Attempt: attempt,
+				Start: admitStart, Dur: tr.Elapsed() - admitStart,
+				Note: fmt.Sprintf("not admitted: %v", err),
+			})
 			if fallbackServing(err) {
 				fb := &Plan{
 					Query:    q,
@@ -202,21 +223,31 @@ func (sv *Serving) SubmitQoS(ctx context.Context, q *engine.Query, qos serve.QoS
 					Switches: 1,
 					Reason:   fmt.Sprintf("serving fallback: %v", err),
 				}
-				ex, err := sv.s.ExecPlan(ctx, fb)
+				ex, err := sv.s.execPlan(ctx, fb, tr)
 				if ex != nil {
 					// Failovers taken before the fabric ran out of
 					// switches still count.
 					ex.FailedOver = attempt
+					ex.Wall = clock.Elapsed()
 				}
 				return ex, err
 			}
+			tr.Release()
 			return nil, err
 		}
+		tr.SetQueryID(placement.QueryID())
+		tr.Add(obs.Span{
+			Stage: obs.StageAdmit, Switch: placement.Switch, Attempt: attempt,
+			Start: admitStart, Dur: tr.Elapsed() - admitStart,
+		})
+		passStart := tr.Elapsed()
 		run, err := engine.ExecCheetah(q, engine.CheetahOptions{
 			Workers: p.Workers, Pruner: pruner, Seed: p.Seed, Flow: placement.Lease,
+			Trace: tr, TraceSwitch: placement.Switch,
 		})
 		if err != nil {
 			placement.Release()
+			tr.Release()
 			return nil, err
 		}
 		if placement.Err() != nil {
@@ -224,6 +255,11 @@ func (sv *Serving) SubmitQoS(ctx context.Context, q *engine.Query, qos serve.QoS
 			// the attempt's result cannot be trusted (drained register
 			// state died with the switch), so fail over to another
 			// placement — or to exact direct execution past the cap.
+			tr.Add(obs.Span{
+				Stage: obs.StageFailover, Switch: placement.Switch, Attempt: attempt,
+				Start: passStart, Dur: tr.Elapsed() - passStart,
+				Note: "pass discarded: placed switch died mid-query",
+			})
 			sv.fab.Server(placement.Switch).NoteFailedOver(qos.Tenant)
 			placement.Release()
 			if attempt >= maxSubmitFailovers {
@@ -236,9 +272,10 @@ func (sv *Serving) SubmitQoS(ctx context.Context, q *engine.Query, qos serve.QoS
 					Switches: 1,
 					Reason:   "serving fallback: failover attempts exhausted",
 				}
-				ex, err := sv.s.ExecPlan(ctx, fb)
+				ex, err := sv.s.execPlan(ctx, fb, tr)
 				if ex != nil {
 					ex.FailedOver = attempt + 1
+					ex.Wall = clock.Elapsed()
 				}
 				return ex, err
 			}
@@ -255,6 +292,8 @@ func (sv *Serving) SubmitQoS(ctx context.Context, q *engine.Query, qos serve.QoS
 			PerSwitch:    sv.perSwitch(placement.Switch, run.Traffic),
 			PipelineUtil: placement.Utilization(),
 			Estimate:     sv.s.cost.CheetahTime(q.Kind, run.Traffic, sv.s.opts.NICGbps),
+			Wall:         clock.Elapsed(),
+			trace:        tr,
 		}
 		ex.SparkEstimate = sv.s.sparkEstimate(q, len(ex.Result.Rows), p.Switches)
 		placement.Release()

@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"cheetah/internal/engine"
+	"cheetah/internal/obs"
+	"cheetah/internal/stats"
 	"cheetah/internal/switchsim"
 	"cheetah/internal/table"
 )
@@ -69,6 +71,21 @@ type Options struct {
 	// SkipBlockRows is the skip-index block size in rows; ≤ 0 selects
 	// table.DefaultBlockRows.
 	SkipBlockRows int
+	// Metrics, when non-nil, is the operational-metrics registry the
+	// session's serving and streaming fabrics record into (admission
+	// counters, queue-depth/active-lease gauges, admission-wait and
+	// delta-latency histograms). Nil gives each fabric a private
+	// registry, reachable via its Fabric().Metrics().
+	Metrics *stats.Registry
+	// DisableTracing turns query lifecycle tracing off. By default every
+	// Exec/Submit/delta execution carries an obs.Trace collecting
+	// per-stage spans (plan, admission, skip, encode, prune, merge,
+	// per-switch passes), surfaced via Execution.Trace and
+	// Execution.ExplainAnalyze. Tracing times whole stages — never
+	// per-entry work — and carries nothing back into the execution, so
+	// results stay bit-identical either way; the knob exists for
+	// measurement, not correctness.
+	DisableTracing bool
 }
 
 // Session is an open database handle: a table plus the planning context
@@ -191,6 +208,16 @@ func (s *Session) Close() {
 	for _, c := range kids {
 		c.Close()
 	}
+}
+
+// newTrace starts a lifecycle trace for one execution, or returns the
+// nil no-op trace when the session disabled tracing — every obs method
+// is nil-safe, so instrumentation points need no checks of their own.
+func (s *Session) newTrace() *obs.Trace {
+	if s.opts.DisableTracing {
+		return nil
+	}
+	return obs.New()
 }
 
 // Table returns the session's table.

@@ -50,6 +50,7 @@ import (
 
 	"cheetah/internal/engine"
 	"cheetah/internal/fabric"
+	"cheetah/internal/obs"
 	"cheetah/internal/prune"
 	"cheetah/internal/serve"
 	"cheetah/internal/stream"
@@ -100,6 +101,7 @@ func (s *Session) Stream(ctx context.Context, opts StreamOptions) (*Streaming, e
 		Switches:   s.opts.Switches,
 		Model:      s.opts.Model,
 		QueueLimit: opts.QueueLimit,
+		Metrics:    s.opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -161,7 +163,47 @@ type Subscription struct {
 	replaced int
 	traffic  engine.Traffic
 	skipped  engine.SkipStats
-	once     sync.Once
+	// lastTrace is the most recently completed delta's lifecycle trace
+	// (nil before the first delta, or with tracing disabled). Traces are
+	// handed out to callers, so they are never pooled back — dropped
+	// references are garbage-collected.
+	lastTrace *obs.Trace
+	once      sync.Once
+}
+
+// Trace returns the lifecycle trace of the most recently completed
+// delta execution: the delta span plus the engine stages that ran
+// beneath it (encode/prune/merge, per-shard passes, failovers). Nil
+// before the first delta completes or when the session disabled
+// tracing.
+func (ss *Subscription) Trace() *obs.Trace {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.lastTrace
+}
+
+// tracedDelta wraps a delta executor body so every delta runs under its
+// own trace: a top-level delta span brackets the whole execution
+// (redos included) and the completed trace publishes via Trace.
+func (ss *Subscription) tracedDelta(inner func(dq *engine.Query, standing func() *engine.Result, tr *obs.Trace) (*engine.Result, error)) stream.DeltaExec {
+	return func(dq *engine.Query, standing func() *engine.Result) (*engine.Result, error) {
+		clock := engine.StartClock()
+		tr := ss.st.s.newTrace()
+		tm := tr.Begin(obs.StageDelta, -1)
+		res, err := inner(dq, standing, tr)
+		if err != nil {
+			tm.EndNote("error: " + err.Error())
+		} else {
+			tm.End(int64(dq.Table.NumRows()), int64(len(res.Rows)))
+		}
+		// Delta freshness: how long a committed batch took to fold into
+		// the standing result (redos and failover re-placements included).
+		ss.st.fab.Metrics().Histogram("delta_latency").Observe(clock.Elapsed().Nanoseconds())
+		ss.mu.Lock()
+		ss.lastTrace = tr
+		ss.mu.Unlock()
+		return res, err
+	}
 }
 
 // Plan returns the plan backing the subscription's delta executions.
@@ -336,16 +378,24 @@ func (st *Streaming) subscribe(ctx context.Context, q *engine.Query, window, sli
 // the plan enabled skipping (skipping is storage-side, independent of
 // whether a switch program runs).
 func (ss *Subscription) directExec() stream.DeltaExec {
-	if !ss.plan.Skip {
-		return stream.DirectExec
-	}
-	return func(dq *engine.Query, _ func() *engine.Result) (*engine.Result, error) {
+	return ss.tracedDelta(func(dq *engine.Query, _ func() *engine.Result, tr *obs.Trace) (*engine.Result, error) {
+		tm := tr.Begin(obs.StageScan, -1)
+		start := tr.Elapsed()
+		if !ss.plan.Skip {
+			res, err := engine.ExecDirect(dq)
+			if err == nil {
+				tm.End(int64(dq.Table.NumRows()), int64(len(res.Rows)))
+			}
+			return res, err
+		}
 		res, st, err := engine.ExecDirectSkip(dq)
 		if err == nil {
 			ss.addSkipped(st)
+			tm.End(int64(dq.Table.NumRows()), int64(len(res.Rows)))
+			addSkipSpan(tr, start, st)
 		}
 		return res, err
-	}
+	})
 }
 
 // fallbackDirect reports whether a fabric admission failure means "run
@@ -424,7 +474,7 @@ func (st *Streaming) placedExec(ctx context.Context, ss *Subscription, p *Plan, 
 	// goroutine (one delta executes at a time); ss.placements mirrors
 	// cur under ss.mu for Close and Switch.
 	cur, curPruner := placement, pruner
-	return func(dq *engine.Query, standing func() *engine.Result) (*engine.Result, error) {
+	return ss.tracedDelta(func(dq *engine.Query, standing func() *engine.Result, tr *obs.Trace) (*engine.Result, error) {
 		for redo := 0; ; redo++ {
 			if cur.Err() != nil {
 				npl, npr, rerr := st.replacement(p, dq, standing, windowed)
@@ -444,14 +494,16 @@ func (st *Streaming) placedExec(ctx context.Context, ss *Subscription, p *Plan, 
 				st.noteReplaced(old)
 			}
 			resetForDelta([]prune.Pruner{curPruner}, windowed)
+			passStart := tr.Elapsed()
 			run, err := engine.ExecCheetah(dq, engine.CheetahOptions{
 				Workers: workers, Pruner: curPruner, Seed: seed, Flow: cur.Lease,
-				Skip: p.Skip,
+				Skip: p.Skip, Trace: tr, TraceSwitch: cur.Switch,
 			})
 			if err != nil {
 				return nil, err
 			}
 			if cur.Err() == nil {
+				addSkipSpan(tr, passStart, run.Skipped)
 				ss.addTraffic(run.Traffic)
 				ss.addSkipped(run.Skipped)
 				return run.Result, nil
@@ -461,11 +513,16 @@ func (st *Streaming) placedExec(ctx context.Context, ss *Subscription, p *Plan, 
 			// are gone, so the attempt's result cannot be trusted — discard
 			// it and redo the delta, degrading to exact direct execution
 			// when deaths keep chasing the re-placements.
+			tr.Add(obs.Span{
+				Stage: obs.StageFailover, Switch: cur.Switch, Attempt: redo,
+				Start: passStart, Dur: tr.Elapsed() - passStart,
+				Note: "pass discarded: switch died mid-delta",
+			})
 			if redo >= maxDeltaRedos {
 				return engine.ExecDirect(dq)
 			}
 		}
-	}, nil
+	}), nil
 }
 
 // shardedExec admits one standing program per switch and returns the
@@ -501,7 +558,7 @@ func (st *Streaming) shardedExec(ctx context.Context, ss *Subscription, p *Plan,
 		flows[i] = pl
 	}
 	shards, workers, seed := p.Switches, p.Workers, p.Seed
-	return func(dq *engine.Query, standing func() *engine.Result) (*engine.Result, error) {
+	return ss.tracedDelta(func(dq *engine.Query, standing func() *engine.Result, tr *obs.Trace) (*engine.Result, error) {
 		// The hook runs on the engine's per-shard goroutines; distinct
 		// shards re-place concurrently, so the shared slices and the
 		// subscription's placement list update under ss.mu.
@@ -525,18 +582,20 @@ func (st *Streaming) shardedExec(ctx context.Context, ss *Subscription, p *Plan,
 		curFlows := append([]engine.BatchDataplane(nil), flows...)
 		ss.mu.Unlock()
 		resetForDelta(curPruners, windowed)
+		passStart := tr.Elapsed()
 		run, err := engine.ExecSharded(dq, engine.ShardedOptions{
 			Shards: shards, Workers: workers, Seed: seed,
 			Pruners: curPruners, Flows: curFlows, Failover: failover,
-			Skip: p.Skip,
+			Skip: p.Skip, Trace: tr,
 		})
 		if err != nil {
 			return nil, err
 		}
+		addSkipSpan(tr, passStart, run.Skipped)
 		ss.addTraffic(run.Traffic)
 		ss.addSkipped(run.Skipped)
 		return run.Result, nil
-	}, nil
+	}), nil
 }
 
 // resetForDelta clears switch state before a delta execution where

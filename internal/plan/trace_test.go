@@ -1,0 +1,327 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cheetah/internal/obs"
+	"cheetah/internal/prune"
+	"cheetah/internal/table"
+	"cheetah/internal/workload"
+)
+
+// traceKindCases opens sessions at the given width and builds one query
+// per kind — the same 8-kind matrix the equivalence tests pin.
+func traceKindCases(t *testing.T, switches int) []struct {
+	label string
+	s     *Session
+	b     *Builder
+} {
+	t.Helper()
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(4000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := workload.Rankings(3000, 2)
+	orders, lineitem, err := workload.TPCHQ3(800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(tb *table.Table) *Session {
+		s, err := Open(tb, Options{Workers: 2, Seed: 7, Switches: switches})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	sUV, sRK, sOrd := open(uv), open(rk), open(orders)
+	return []struct {
+		label string
+		s     *Session
+		b     *Builder
+	}{
+		{"filter", sUV, sUV.Select().Where("adRevenue", prune.OpGT, 300_000)},
+		{"distinct", sUV, sUV.Select().Distinct("userAgent")},
+		{"topn", sUV, sUV.Select().TopN("adRevenue", 100)},
+		{"groupby-max", sUV, sUV.Select().GroupByMax("userAgent", "adRevenue")},
+		{"groupby-sum", sUV, sUV.Select().GroupBySum("languageCode", "adRevenue")},
+		{"having", sUV, sUV.Select().GroupBySum("languageCode", "adRevenue").Having(500_000)},
+		{"join", sOrd, sOrd.Select().Join(lineitem, "o_orderkey", "l_orderkey")},
+		{"skyline", sRK, sRK.Select().Skyline("pageRank", "avgDuration")},
+	}
+}
+
+// planStages indexes an execution's spans by stage.
+func planStages(ex *Execution) map[obs.Stage][]obs.Span {
+	out := make(map[obs.Stage][]obs.Span)
+	for _, s := range ex.Trace().Spans() {
+		out[s.Stage] = append(out[s.Stage], s)
+	}
+	return out
+}
+
+// TestExplainAnalyzeAllKindsAcrossPaths is the tentpole's rendering
+// acceptance: for every kind, the default (fused) path, the sharded
+// path and the direct path each produce a trace whose span tree renders
+// the stages that actually ran — plan and the per-switch engine stages —
+// plus a measured wall clock.
+func TestExplainAnalyzeAllKindsAcrossPaths(t *testing.T) {
+	ctx := context.Background()
+
+	// Default single-switch path: plan span + one fused engine span.
+	for _, c := range traceKindCases(t, 1) {
+		q, err := c.b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		ex, err := c.s.Exec(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		if ex.Wall <= 0 {
+			t.Fatalf("%s fused: Wall not captured", c.label)
+		}
+		st := planStages(ex)
+		if len(st[obs.StagePlan]) == 0 {
+			t.Fatalf("%s fused: no plan span:\n%s", c.label, ex.Trace())
+		}
+		if len(st[obs.StageFused]) == 0 {
+			t.Fatalf("%s fused: no fused span:\n%s", c.label, ex.Trace())
+		}
+		if ex.RowsSkipped > 0 && len(st[obs.StageSkip]) == 0 {
+			t.Fatalf("%s fused: rows skipped but no skip span:\n%s", c.label, ex.Trace())
+		}
+		out := ex.ExplainAnalyze()
+		for _, want := range []string{"wall:", "trace:", "plan", "fused"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s fused: ExplainAnalyze missing %q:\n%s", c.label, want, out)
+			}
+		}
+	}
+
+	// Sharded path: per-switch shard spans + the global merge.
+	const shards = 3
+	for _, c := range traceKindCases(t, shards) {
+		q, err := c.b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		ex, err := c.s.Exec(ctx, q)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", c.label, err)
+		}
+		st := planStages(ex)
+		seen := map[int]bool{}
+		for _, s := range st[obs.StageShard] {
+			seen[s.Switch] = true
+		}
+		if len(seen) != shards {
+			t.Fatalf("%s sharded: shard spans on %d switches, want %d:\n%s",
+				c.label, len(seen), shards, ex.Trace())
+		}
+		if len(st[obs.StageMerge]) == 0 {
+			t.Fatalf("%s sharded: no merge span:\n%s", c.label, ex.Trace())
+		}
+		out := ex.ExplainAnalyze()
+		for _, want := range []string{"wall:", "shard", "merge", "switch="} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s sharded: ExplainAnalyze missing %q:\n%s", c.label, want, out)
+			}
+		}
+	}
+
+	// Direct path: the scan span (ExecPlan on a direct plan — no plan
+	// span, planning happened outside the call).
+	for _, c := range traceKindCases(t, 1) {
+		q, err := c.b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		fb := &Plan{
+			Query: q, Mode: ModeDirect, Model: c.s.opts.Model,
+			Workers: 1, Switches: 1, Reason: "test: forced direct",
+		}
+		ex, err := c.s.ExecPlan(ctx, fb)
+		if err != nil {
+			t.Fatalf("%s direct: %v", c.label, err)
+		}
+		st := planStages(ex)
+		if len(st[obs.StageScan]) == 0 {
+			t.Fatalf("%s direct: no scan span:\n%s", c.label, ex.Trace())
+		}
+		if got := st[obs.StageScan][0].Entries; got != int64(queryRows(q)) {
+			t.Fatalf("%s direct: scan span entries %d != %d rows", c.label, got, queryRows(q))
+		}
+		if !strings.Contains(ex.ExplainAnalyze(), "scan") {
+			t.Fatalf("%s direct: ExplainAnalyze missing scan:\n%s", c.label, ex.ExplainAnalyze())
+		}
+	}
+}
+
+// TestPlanTracingEquivalenceAndOptOut pins the invariant at the session
+// layer: tracing (default-on) changes no results, and DisableTracing
+// yields a nil trace with the wall clock still captured.
+func TestPlanTracingEquivalenceAndOptOut(t *testing.T) {
+	ctx := context.Background()
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(4000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Open(uv, Options{Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Open(uv, Options{Workers: 2, Seed: 7, DisableTracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, build := range []func(s *Session) *Builder{
+		func(s *Session) *Builder { return s.Select().Where("adRevenue", prune.OpGT, 300_000) },
+		func(s *Session) *Builder { return s.Select().TopN("adRevenue", 100) },
+		func(s *Session) *Builder { return s.Select().GroupBySum("languageCode", "adRevenue") },
+	} {
+		qOn, err := build(on).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qOff, err := build(off).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exOn, err := on.Exec(ctx, qOn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exOff, err := off.Exec(ctx, qOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exOn.Result.Equal(exOff.Result) {
+			t.Fatal("tracing changed the result")
+		}
+		if exOn.Traffic != exOff.Traffic || exOn.Stats != exOff.Stats {
+			t.Fatalf("tracing changed traffic/stats: %+v vs %+v", exOn.Traffic, exOff.Traffic)
+		}
+		if exOn.Trace() == nil {
+			t.Fatal("tracing is not on by default")
+		}
+		if exOff.Trace() != nil {
+			t.Fatal("DisableTracing left a trace attached")
+		}
+		if exOff.Wall <= 0 {
+			t.Fatal("DisableTracing lost the wall clock")
+		}
+		if !strings.Contains(exOff.ExplainAnalyze(), "trace:   disabled") {
+			t.Fatalf("untraced ExplainAnalyze:\n%s", exOff.ExplainAnalyze())
+		}
+	}
+}
+
+// TestSubmitQoSTrace pins the served path's spans: plan + admission
+// (stamped with the placed switch and the fabric-assigned QueryID) +
+// the engine stages, with one Wall over the whole submission.
+func TestSubmitQoSTrace(t *testing.T) {
+	ctx := context.Background()
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(4000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(uv, Options{Workers: 2, Seed: 7, Switches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sv, err := s.Serve(ctx, ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	q, err := s.Select().Where("adRevenue", prune.OpGT, 300_000).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := sv.Submit(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Wall <= 0 {
+		t.Fatal("Submit: Wall not captured")
+	}
+	st := planStages(ex)
+	if len(st[obs.StagePlan]) == 0 || len(st[obs.StageAdmit]) == 0 {
+		t.Fatalf("Submit: missing plan/admit spans:\n%s", ex.Trace())
+	}
+	if got := st[obs.StageAdmit][0].Switch; got != ex.Switch {
+		t.Fatalf("admit span switch %d != placed switch %d", got, ex.Switch)
+	}
+	if ex.QueryID != 0 && ex.Trace().QueryID() != ex.QueryID {
+		t.Fatalf("trace query id %d != execution's %d", ex.Trace().QueryID(), ex.QueryID)
+	}
+	if out := ex.ExplainAnalyze(); !strings.Contains(out, "admit") {
+		t.Fatalf("ExplainAnalyze missing admit:\n%s", out)
+	}
+}
+
+// TestSubscriptionDeltaTrace pins the streaming path: every completed
+// delta publishes a fresh trace with a top-level delta span bracketing
+// the engine stages that ran beneath it.
+func TestSubscriptionDeltaTrace(t *testing.T) {
+	ctx := streamCtx(t)
+	uv, err := workload.UserVisits(workload.DefaultUserVisits(1600, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := table.New(uv.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(target, Options{Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Stream(ctx, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Select().Where("adRevenue", prune.OpGT, 300_000).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := st.Subscribe(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if sub.Trace() != nil {
+		t.Fatal("subscription has a trace before any delta ran")
+	}
+	appendInChunks(t, st, uv, 400)
+	if err := sub.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tr := sub.Trace()
+	if tr == nil {
+		t.Fatal("no delta trace after flush")
+	}
+	var delta, engineStages int
+	for _, sp := range tr.Spans() {
+		switch sp.Stage {
+		case obs.StageDelta:
+			delta++
+			if sp.Entries <= 0 {
+				t.Fatalf("delta span carries no entries:\n%s", tr)
+			}
+		case obs.StageFused, obs.StageEncode, obs.StagePrune, obs.StageMerge, obs.StageScan:
+			engineStages++
+		}
+	}
+	if delta == 0 {
+		t.Fatalf("no delta span:\n%s", tr)
+	}
+	if engineStages == 0 {
+		t.Fatalf("delta trace has no engine stages beneath it:\n%s", tr)
+	}
+}

@@ -268,11 +268,11 @@ func TestMetricsLabels(t *testing.T) {
 		t.Fatalf("replaced total = %d, want 1", got)
 	}
 	var sawTenant, sawSwitch bool
-	for series := range reg.Snapshot() {
-		if strings.Contains(series, "tenant=acme") {
+	for _, series := range reg.Snapshot() {
+		if strings.Contains(series.Name, "tenant=acme") {
 			sawTenant = true
 		}
-		if strings.Contains(series, "switch=3") {
+		if strings.Contains(series.Name, "switch=3") {
 			sawSwitch = true
 		}
 	}

@@ -235,6 +235,27 @@ func (s *Server) bumpLocked(name, tenant string) {
 	s.metrics.Counter(name, "switch", s.label, "tenant", tenant).Incr(1)
 }
 
+// occupancyLocked refreshes the per-switch queue-depth and active-lease
+// gauges; called after every transition that changes either. Callers
+// hold s.mu.
+func (s *Server) occupancyLocked() {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.Gauge("queue_depth", "switch", s.label).Set(int64(len(s.waiters)))
+	s.metrics.Gauge("active_leases", "switch", s.label).Set(int64(len(s.active)))
+}
+
+// observeWait records how long one successful admission took from call
+// to lease grant — immediate admissions land in the lowest bucket, so
+// the histogram's upper quantiles isolate genuine queue waits.
+func (s *Server) observeWait(start time.Time) {
+	if s.metrics == nil {
+		return
+	}
+	s.metrics.Histogram("admission_wait", "switch", s.label).Observe(time.Since(start).Nanoseconds())
+}
+
 // Admit installs prog into the shared pipeline under a fresh QueryID
 // with default QoS. See AdmitQoS.
 func (s *Server) Admit(ctx context.Context, prog switchsim.Program) (*Lease, error) {
@@ -253,6 +274,7 @@ func (s *Server) AdmitQoS(ctx context.Context, prog switchsim.Program, qos QoS) 
 	if err := validateProgram(prog); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	s.mu.Lock()
 	if err := s.admitPrologueLocked(prog); err != nil {
 		s.mu.Unlock()
@@ -264,6 +286,7 @@ func (s *Server) AdmitQoS(ctx context.Context, prog switchsim.Program, qos QoS) 
 	if !s.blockedByQueueLocked(qos.Priority) && !s.tenantAtQuotaLocked(qos.Tenant) {
 		if l, err := s.installLocked(prog, qos.Tenant); err == nil {
 			s.mu.Unlock()
+			s.observeWait(start)
 			return l, nil
 		}
 	}
@@ -276,6 +299,7 @@ func (s *Server) AdmitQoS(ctx context.Context, prog switchsim.Program, qos QoS) 
 	w := &waiter{prog: prog, qos: qos, ready: make(chan admitResult, 1)}
 	s.waiters = append(s.waiters, w)
 	s.counters.Waited++
+	s.occupancyLocked()
 	s.mu.Unlock()
 
 	var deadline <-chan time.Time
@@ -286,6 +310,9 @@ func (s *Server) AdmitQoS(ctx context.Context, prog switchsim.Program, qos QoS) 
 	}
 	select {
 	case r := <-w.ready:
+		if r.err == nil {
+			s.observeWait(start)
+		}
 		return r.lease, r.err
 	case <-deadline:
 		s.mu.Lock()
@@ -428,6 +455,7 @@ func (s *Server) installLocked(prog switchsim.Program, tenant string) (*Lease, e
 	s.tenantActive[tenant]++
 	s.counters.Admitted++
 	s.bumpLocked("admitted", tenant)
+	s.occupancyLocked()
 	return l, nil
 }
 
@@ -437,6 +465,7 @@ func (s *Server) removeWaiterLocked(w *waiter) bool {
 	for i, q := range s.waiters {
 		if q == w {
 			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			s.occupancyLocked()
 			return true
 		}
 	}
@@ -473,6 +502,7 @@ func (s *Server) release(l *Lease) {
 		delete(s.tenantActive, l.tenant)
 	}
 	s.admitWaitersLocked()
+	s.occupancyLocked()
 }
 
 // bestWaiterLocked returns the index of the next admittable waiter —
@@ -546,6 +576,7 @@ func (s *Server) failLocked() {
 		w.ready <- admitResult{err: ErrFailed}
 	}
 	s.waiters = nil
+	s.occupancyLocked()
 }
 
 // Failed reports whether the switch is currently failed.
@@ -612,6 +643,7 @@ func (s *Server) Close() {
 		w.ready <- admitResult{err: ErrClosed}
 	}
 	s.waiters = nil
+	s.occupancyLocked()
 }
 
 // Lease is one admitted query's hold on the shared pipeline: its

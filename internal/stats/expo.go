@@ -1,0 +1,121 @@
+package stats
+
+// Prometheus text exposition for the registry. The output is fully
+// deterministic — metric names sorted, series within a name sorted by
+// their canonical label key, histogram buckets in bound order — so a
+// golden test can pin the exact bytes and scrape diffs stay readable.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricPrefix namespaces every exposed series.
+const MetricPrefix = "cheetah_"
+
+// promEscape escapes a label value per the Prometheus text format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders sorted label pairs as {k="v",...}; extra, when
+// non-empty, is appended last as-is (the histogram `le` label — by
+// Prometheus convention it trails the series' own labels).
+func promLabels(labels []string, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, labels[i], promEscape(labels[i+1]))
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promBound renders a bucket's upper bound in seconds ("1e-06" …
+// "+Inf") — shared bounds, so every process exposes identical `le`s.
+func promBound(i int) string {
+	ns := HistBound(i)
+	if ns < 0 {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered series in the Prometheus
+// text exposition format. Counters and gauges expose their value
+// directly; histograms expose cumulative `_bucket` series (bounds in
+// seconds), a `_seconds_sum` and a `_count`, plus `_p50`/`_p99` gauge
+// convenience series so dashboards get quantiles without PromQL.
+func (r *Registry) WritePrometheus(out io.Writer) error {
+	var w strings.Builder
+	keys := r.sortedKeys()
+	r.mu.RLock()
+	type sample struct {
+		key string
+		s   *series
+	}
+	byName := make(map[string][]sample)
+	names := make([]string, 0, 8)
+	for _, k := range keys {
+		s := r.byKey[k]
+		if _, ok := byName[s.name]; !ok {
+			names = append(names, s.name)
+		}
+		byName[s.name] = append(byName[s.name], sample{key: k, s: s})
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		samples := byName[name]
+		full := MetricPrefix + name
+		switch {
+		case samples[0].s.c != nil:
+			fmt.Fprintf(&w, "# TYPE %s counter\n", full)
+			for _, sm := range samples {
+				fmt.Fprintf(&w, "%s%s %d\n", full, promLabels(sm.s.labels, ""), sm.s.c.Get())
+			}
+		case samples[0].s.g != nil:
+			fmt.Fprintf(&w, "# TYPE %s gauge\n", full)
+			for _, sm := range samples {
+				fmt.Fprintf(&w, "%s%s %d\n", full, promLabels(sm.s.labels, ""), sm.s.g.Get())
+			}
+		case samples[0].s.h != nil:
+			fmt.Fprintf(&w, "# TYPE %s histogram\n", full)
+			for _, sm := range samples {
+				h := sm.s.h
+				counts := h.Buckets()
+				var cum uint64
+				for i, n := range counts {
+					cum += n
+					le := fmt.Sprintf(`le="%s"`, promBound(i))
+					fmt.Fprintf(&w, "%s_bucket%s %d\n", full, promLabels(sm.s.labels, le), cum)
+				}
+				fmt.Fprintf(&w, "%s_seconds_sum%s %s\n", full,
+					promLabels(sm.s.labels, ""),
+					strconv.FormatFloat(float64(h.Sum())/1e9, 'g', -1, 64))
+				fmt.Fprintf(&w, "%s_count%s %d\n", full, promLabels(sm.s.labels, ""), h.Count())
+				fmt.Fprintf(&w, "%s_p50%s %d\n", full, promLabels(sm.s.labels, ""), h.P50())
+				fmt.Fprintf(&w, "%s_p99%s %d\n", full, promLabels(sm.s.labels, ""), h.P99())
+			}
+		}
+	}
+	_, err := io.WriteString(out, w.String())
+	return err
+}

@@ -1,0 +1,168 @@
+package stats
+
+// Gauges and fixed-bucket latency histograms for the registry. Both
+// are lock-free on the observation path: a gauge is one atomic word, a
+// histogram is an atomic bucket array indexed by a bit-length
+// computation. Buckets are fixed (not adaptive) so histograms recorded
+// by independent shards merge exactly — merge of shard histograms ==
+// histogram of the concatenated samples — and so the Prometheus
+// exposition's `le` bounds are stable across processes.
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Gauge is an instantaneous level (queue depth, active leases). The
+// zero value is ready to use; all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Get returns the current level.
+func (g *Gauge) Get() int64 { return g.v.Load() }
+
+// HistBuckets is the fixed bucket count: bucket i covers latencies in
+// (HistBound(i-1), HistBound(i)] nanoseconds with exponentially
+// doubling bounds from 1µs, and the last bucket is the +Inf overflow.
+const HistBuckets = 26
+
+// histMaxExp is the largest finite bound's exponent: 1µs << 24 ≈ 16.8s.
+const histMaxExp = HistBuckets - 2
+
+// HistBound returns bucket i's inclusive upper bound in nanoseconds;
+// the last bucket returns -1 (+Inf).
+func HistBound(i int) int64 {
+	if i >= HistBuckets-1 {
+		return -1
+	}
+	return 1000 << i
+}
+
+// histBucket maps a latency to its bucket index.
+func histBucket(ns int64) int {
+	if ns <= 1000 {
+		return 0
+	}
+	// Smallest i with ns <= 1000<<i, i.e. the bit length of the
+	// microsecond count rounded up.
+	i := bits.Len64(uint64(ns-1) / 1000)
+	if i > histMaxExp+1 {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket latency histogram over nanosecond
+// observations. The zero value is ready to use; Observe is lock-free
+// and all methods are safe for concurrent use.
+//
+// Quantile estimates interpolate within the bucket containing the
+// rank, so an estimate is always within one bucket bound of the exact
+// sample quantile — pinned by the property tests.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	sum     atomic.Int64
+	count   atomic.Uint64
+}
+
+// Observe records one latency in nanoseconds. Negative observations
+// clamp to zero (a monotonic clock should never produce them).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[histBucket(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total of all observations in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Merge folds o's observations into h. Fixed shared bucket bounds make
+// this exact: merging per-shard histograms equals observing the
+// concatenated samples.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	h.count.Add(o.count.Load())
+}
+
+// Buckets returns a snapshot of the per-bucket counts.
+func (h *Histogram) Buckets() [HistBuckets]uint64 {
+	var out [HistBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observed
+// latencies in nanoseconds: the bucket holding the rank is found by a
+// cumulative walk and the estimate interpolates linearly inside it.
+// Returns 0 with no observations; ranks landing in the +Inf bucket
+// return the largest finite bound.
+func (h *Histogram) Quantile(q float64) int64 {
+	counts := h.Buckets()
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			if i == HistBuckets-1 {
+				return HistBound(histMaxExp)
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = HistBound(i - 1)
+			}
+			hi := HistBound(i)
+			frac := (rank - cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return HistBound(histMaxExp)
+}
+
+// P50, P90 and P99 are the exposition's pinned quantile estimates.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+
+// P90 estimates the 90th-percentile latency in nanoseconds.
+func (h *Histogram) P90() int64 { return h.Quantile(0.90) }
+
+// P99 estimates the 99th-percentile latency in nanoseconds.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }

@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotOrderingGolden pins Snapshot's deterministic sorted
+// order across mixed switch×tenant keys: registration order is
+// scrambled on purpose and must not leak into the output.
+func TestSnapshotOrderingGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of order.
+	r.Counter("shed", "switch", "1").Incr(4)
+	r.Counter("admitted", "tenant", "beta", "switch", "0").Incr(2)
+	r.Counter("admitted", "switch", "1", "tenant", "acme").Incr(3)
+	r.Counter("admitted", "switch", "0", "tenant", "acme").Incr(1)
+	r.Counter("revoked").Incr(7)
+	r.Counter("shed", "switch", "0") // touched, zero-valued: still exported
+	want := []Series{
+		{Name: "admitted{switch=0,tenant=acme}", Value: 1},
+		{Name: "admitted{switch=0,tenant=beta}", Value: 2},
+		{Name: "admitted{switch=1,tenant=acme}", Value: 3},
+		{Name: "revoked", Value: 7},
+		{Name: "shed{switch=0}", Value: 0},
+		{Name: "shed{switch=1}", Value: 4},
+	}
+	got := r.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d series, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %+v, want %+v\nfull: %v", i, got[i], want[i], got)
+		}
+	}
+	// Repeat snapshots are identical — the order is pinned, not lucky.
+	again := r.Snapshot()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("snapshot order must be stable across calls")
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", "switch", "0")
+	if g != r.Gauge("queue_depth", "switch", "0") {
+		t.Fatal("gauges must intern")
+	}
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Get(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestSeriesTypeCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "switch", "0")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter key must panic")
+		}
+	}()
+	r.Gauge("x", "switch", "0")
+}
+
+// exactQuantile is the reference: the q-quantile of the sorted sample.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles asserts the histogram's p50/p90/p99 estimates land
+// within one bucket of the exact sample quantiles.
+func checkQuantiles(t *testing.T, name string, samples []int64) {
+	t.Helper()
+	var h Histogram
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.50, 0.90, 0.99} {
+		est := h.Quantile(q)
+		exact := exactQuantile(sorted, q)
+		be, bx := histBucket(est), histBucket(exact)
+		if be < bx-1 || be > bx+1 {
+			t.Fatalf("%s q=%.2f: estimate %d (bucket %d) not within one bucket of exact %d (bucket %d)",
+				name, q, est, be, exact, bx)
+		}
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Fatalf("%s: count %d != %d", name, h.Count(), len(samples))
+	}
+}
+
+// TestHistogramQuantileProperty drives the estimator with three sample
+// shapes — uniform, zipf-like heavy tail, bimodal — and pins the
+// within-one-bucket guarantee for p50/p90/p99.
+func TestHistogramQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xc0ffee))
+	const n = 20000
+
+	uniform := make([]int64, n)
+	for i := range uniform {
+		uniform[i] = 1_000 + rng.Int63n(50_000_000) // 1µs .. 50ms
+	}
+	checkQuantiles(t, "uniform", uniform)
+
+	zipf := make([]int64, n)
+	z := rand.NewZipf(rng, 1.2, 1, 1<<22)
+	for i := range zipf {
+		zipf[i] = 1_000 * int64(1+z.Uint64()) // µs-scale heavy tail
+	}
+	checkQuantiles(t, "zipf", zipf)
+
+	bimodal := make([]int64, n)
+	for i := range bimodal {
+		if rng.Intn(10) < 7 {
+			bimodal[i] = 5_000 + rng.Int63n(20_000) // fast mode ~5-25µs
+		} else {
+			bimodal[i] = 80_000_000 + rng.Int63n(40_000_000) // slow mode ~100ms
+		}
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+}
+
+// TestHistogramMergeAssociativity pins that merging per-shard
+// histograms equals observing the concatenated samples, regardless of
+// how the samples were split or the merges ordered.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shards := make([][]int64, 4)
+	var all []int64
+	for s := range shards {
+		for i := 0; i < 5000; i++ {
+			v := rng.Int63n(1_000_000_000)
+			shards[s] = append(shards[s], v)
+			all = append(all, v)
+		}
+	}
+	var whole Histogram
+	for _, v := range all {
+		whole.Observe(v)
+	}
+	// Merge left-to-right and pairwise; both must equal the whole.
+	var ltr Histogram
+	for _, shard := range shards {
+		var h Histogram
+		for _, v := range shard {
+			h.Observe(v)
+		}
+		ltr.Merge(&h)
+	}
+	var ab, cd, pair Histogram
+	for _, v := range append(append([]int64(nil), shards[0]...), shards[1]...) {
+		ab.Observe(v)
+	}
+	for _, v := range append(append([]int64(nil), shards[2]...), shards[3]...) {
+		cd.Observe(v)
+	}
+	pair.Merge(&ab)
+	pair.Merge(&cd)
+	for name, h := range map[string]*Histogram{"left-to-right": &ltr, "pairwise": &pair} {
+		if h.Buckets() != whole.Buckets() || h.Count() != whole.Count() || h.Sum() != whole.Sum() {
+			t.Fatalf("%s merge diverges from concatenated histogram", name)
+		}
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Observe(-5) // clamps to 0
+	h.Observe(0)
+	h.Observe(1000) // bound of bucket 0, inclusive
+	if b := h.Buckets(); b[0] != 3 {
+		t.Fatalf("bucket 0 = %d, want 3", b[0])
+	}
+	h.Observe(1001)
+	if b := h.Buckets(); b[1] != 1 {
+		t.Fatalf("1001ns must land in bucket 1, got %v", b[:3])
+	}
+	h.Observe(math.MaxInt64) // overflow bucket
+	if b := h.Buckets(); b[HistBuckets-1] != 1 {
+		t.Fatal("huge observation must land in the +Inf bucket")
+	}
+	if HistBound(HistBuckets-1) != -1 {
+		t.Fatal("last bucket must be +Inf")
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition bytes: counter, gauge
+// and histogram rendering, canonical label ordering, sorted metric
+// names, seconds-scale bucket bounds.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("admitted", "tenant", "acme", "switch", "1").Incr(3)
+	r.Counter("admitted", "switch", "0", "tenant", "acme").Incr(1)
+	r.Gauge("queue_depth", "switch", "0").Set(2)
+	h := r.Histogram("admission_wait", "switch", "0")
+	h.Observe(1_500)     // bucket 1 (≤2µs)
+	h.Observe(3_000_000) // 3ms
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantFrags := []string{
+		"# TYPE cheetah_admitted counter\n" +
+			`cheetah_admitted{switch="0",tenant="acme"} 1` + "\n" +
+			`cheetah_admitted{switch="1",tenant="acme"} 3` + "\n",
+		"# TYPE cheetah_admission_wait histogram\n",
+		`cheetah_admission_wait_bucket{switch="0",le="1e-06"} 0` + "\n",
+		`cheetah_admission_wait_bucket{switch="0",le="2e-06"} 1` + "\n",
+		`cheetah_admission_wait_bucket{switch="0",le="+Inf"} 2` + "\n",
+		`cheetah_admission_wait_seconds_sum{switch="0"} 0.0030015` + "\n",
+		`cheetah_admission_wait_count{switch="0"} 2` + "\n",
+		"# TYPE cheetah_queue_depth gauge\n" +
+			`cheetah_queue_depth{switch="0"} 2` + "\n",
+	}
+	for _, frag := range wantFrags {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("exposition missing:\n%s\ngot:\n%s", frag, out)
+		}
+	}
+	// Metric families appear in sorted name order.
+	ia := strings.Index(out, "cheetah_admission_wait")
+	ib := strings.Index(out, "cheetah_admitted")
+	ic := strings.Index(out, "cheetah_queue_depth")
+	if !(ia < ib && ib < ic) {
+		t.Fatalf("metric families out of order:\n%s", out)
+	}
+	// Exposition is byte-stable across calls.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("exposition must be deterministic")
+	}
+}

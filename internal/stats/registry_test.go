@@ -18,7 +18,7 @@ func TestRegistryInterning(t *testing.T) {
 	}
 	a.Incr(2)
 	c.Incr(3)
-	snap := r.Snapshot()
+	snap := r.SnapshotMap()
 	if snap["admitted{switch=0,tenant=t1}"] != 2 {
 		t.Fatalf("snapshot = %v, want series admitted{switch=0,tenant=t1}=2", snap)
 	}

@@ -817,6 +817,17 @@ func (q *QueryReq) DecodeBody(b []byte) error {
 	return d.done()
 }
 
+// TraceStage is one aggregated lifecycle stage of the server-side
+// execution — obs.Trace.Summary compacted for the wire, so clients see
+// where server time went without shipping the whole span list. Stage is
+// the obs.Stage number (stable by contract).
+type TraceStage struct {
+	Stage     uint8
+	Nanos     uint64
+	Entries   uint64
+	Forwarded uint64
+}
+
 // ResultMsg answers a QueryReq with the canonical sorted result plus a
 // small execution summary.
 type ResultMsg struct {
@@ -829,6 +840,12 @@ type ResultMsg struct {
 	FailedOver uint32
 	Columns    []string
 	Rows       [][]string
+	// WallNanos is the server-side wall clock of the whole execution
+	// (admission waits and failover attempts included).
+	WallNanos uint64
+	// Trace is the compact per-stage timing summary; empty when the
+	// server runs with tracing disabled.
+	Trace []TraceStage
 }
 
 // EncodeBody serializes the result body.
@@ -838,7 +855,16 @@ func (r *ResultMsg) EncodeBody(b []byte) []byte {
 	b = binary.AppendUvarint(b, r.EntriesSent)
 	b = binary.AppendUvarint(b, r.Forwarded)
 	b = binary.AppendUvarint(b, uint64(r.FailedOver))
-	return appendResult(b, r.Columns, r.Rows)
+	b = appendResult(b, r.Columns, r.Rows)
+	b = binary.AppendUvarint(b, r.WallNanos)
+	b = binary.AppendUvarint(b, uint64(len(r.Trace)))
+	for _, t := range r.Trace {
+		b = append(b, t.Stage)
+		b = binary.AppendUvarint(b, t.Nanos)
+		b = binary.AppendUvarint(b, t.Entries)
+		b = binary.AppendUvarint(b, t.Forwarded)
+	}
+	return b
 }
 
 // DecodeBody parses a result body.
@@ -854,6 +880,20 @@ func (r *ResultMsg) DecodeBody(b []byte) error {
 	}
 	r.FailedOver = uint32(fo)
 	r.Columns, r.Rows = d.result()
+	r.WallNanos = d.uvarint()
+	n := d.count(4) // stage byte + three at-least-one-byte uvarints
+	if d.err != nil {
+		return d.done()
+	}
+	if n > 0 {
+		r.Trace = make([]TraceStage, n)
+		for i := range r.Trace {
+			r.Trace[i].Stage = d.u8()
+			r.Trace[i].Nanos = d.uvarint()
+			r.Trace[i].Entries = d.uvarint()
+			r.Trace[i].Forwarded = d.uvarint()
+		}
+	}
 	return d.done()
 }
 

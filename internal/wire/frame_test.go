@@ -82,6 +82,16 @@ func TestFrameRoundTrips(t *testing.T) {
 			Rows:    [][]string{{"a", "1"}, {"b", "2"}, {"", ""}},
 		}, &ResultMsg{}},
 		{"result-empty", &ResultMsg{ID: 1, Columns: []string{"count"}}, &ResultMsg{}},
+		{"result-traced", &ResultMsg{
+			ID: 12, Mode: 2, EntriesSent: 640, Forwarded: 64,
+			Columns:   []string{"k"},
+			Rows:      [][]string{{"a"}},
+			WallNanos: 1_250_000,
+			Trace: []TraceStage{
+				{Stage: 0, Nanos: 12_000, Entries: 0, Forwarded: 0},
+				{Stage: 6, Nanos: 900_000, Entries: 640, Forwarded: 64},
+			},
+		}, &ResultMsg{}},
 		{"appended", &AppendedMsg{ID: 3, Version: 77}, &AppendedMsg{}},
 		{"subscribe", &SubscribeReq{ID: 5, Window: 100, Slide: 50, Credits: 4, Spec: sampleSpec()}, &SubscribeReq{}},
 		{"subscribed", &SubscribedMsg{ID: 5, Direct: true}, &SubscribedMsg{}},
